@@ -1,0 +1,146 @@
+(* ddcr_sim: simulate a scenario under a chosen MAC protocol.
+
+   Examples:
+     ddcr_sim -s trading -n 6 --protocol ddcr --burst 65536
+     ddcr_sim -s uniform -n 8 --load 0.7 --protocol beb
+     ddcr_sim -s atc --adversary --per-class *)
+
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Run = Rtnet_stats.Run
+module Summary = Rtnet_stats.Summary
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Feasibility = Rtnet_core.Feasibility
+module Beb = Rtnet_baselines.Csma_cd_beb
+module Dcr = Rtnet_baselines.Csma_dcr
+module Tdma = Rtnet_baselines.Tdma
+module Np_edf = Rtnet_edf.Np_edf
+module Ddcr_trace = Rtnet_core.Ddcr_trace
+
+open Cmdliner
+
+let ms = 1_000_000
+
+let protocol =
+  Arg.(
+    value & opt string "ddcr"
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"One of: ddcr, beb, dcr, tdma, oracle, all.")
+
+let per_class =
+  Arg.(
+    value & flag
+    & info [ "per-class" ] ~doc:"Print per-class worst latencies and bounds.")
+
+let histogram =
+  Arg.(
+    value & flag
+    & info [ "histogram" ]
+        ~doc:"Print an ASCII latency histogram per protocol.")
+
+let trace_summary =
+  Arg.(
+    value & flag
+    & info [ "trace-summary" ]
+        ~doc:"Collect a protocol event trace (ddcr only) and print its \
+              per-phase slot accounting.")
+
+let lockstep =
+  Arg.(
+    value & flag
+    & info [ "lockstep" ]
+        ~doc:"Assert replica lockstep after every slot (slower).")
+
+let run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event =
+  match name with
+  | "ddcr" ->
+    Ddcr.run_trace ~check_lockstep:lockstep ?on_event params inst trace ~horizon
+  | "beb" -> Beb.run_trace ~seed inst trace ~horizon
+  | "dcr" -> Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon
+  | "tdma" -> Tdma.run_trace inst trace ~horizon
+  | "oracle" -> Np_edf.run inst.Instance.phy trace ~horizon
+  | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+
+let main scenario size load deadline_windows seed horizon_ms indices burst
+    theta allocation adversary protocol per_class histogram trace_summary
+    lockstep =
+  let inst =
+    Cli_common.instance_of ~scenario ~size ~load ~deadline_windows
+  in
+  let inst =
+    if adversary then Instance.with_law inst Arrival.Greedy_burst else inst
+  in
+  let horizon = horizon_ms * ms in
+  let trace = Instance.trace inst ~seed ~horizon in
+  let params =
+    Ddcr_params.with_theta
+      (Ddcr_params.with_burst
+         (Ddcr_params.default ~indices_per_source:indices ~allocation inst)
+         burst)
+      theta
+  in
+  Format.printf "%a@.parameters: %a@.trace: %d messages over %d ms@.@."
+    Instance.pp inst Ddcr_params.pp params (List.length trace) horizon_ms;
+  let names =
+    if protocol = "all" then [ "ddcr"; "beb"; "dcr"; "tdma"; "oracle" ]
+    else [ protocol ]
+  in
+  List.iter
+    (fun name ->
+      let recorder =
+        if trace_summary && name = "ddcr" then Some (Ddcr_trace.collector ())
+        else None
+      in
+      let on_event = Option.map fst recorder in
+      let o = run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event in
+      Format.printf "%-14s %a@." o.Run.protocol Run.pp_metrics (Run.metrics o);
+      (match recorder with
+      | Some (_, finish) ->
+        Format.printf "%a@." Ddcr_trace.pp_summary
+          (Ddcr_trace.summarize (finish ()))
+      | None -> ());
+      (match Summary.of_list (List.map Run.latency o.Run.completions) with
+      | Some s ->
+        Format.printf "  latency: %a@." Summary.pp s;
+        if histogram then begin
+          let h =
+            Summary.Histogram.create ~lo:s.Summary.min ~hi:(s.Summary.max + 1)
+              ~buckets:12
+          in
+          List.iter
+            (fun c -> Summary.Histogram.add h (Run.latency c))
+            o.Run.completions;
+          print_string (Summary.Histogram.render h)
+        end
+      | None -> ());
+      if per_class then
+        List.iter
+          (fun (cls_id, worst) ->
+            let c =
+              List.find
+                (fun c -> c.Message.cls_id = cls_id)
+                (Instance.classes inst)
+            in
+            Format.printf "  %-12s worst %10d  B_DDCR %12.0f@."
+              c.Message.cls_name worst
+              (Feasibility.latency_bound params inst c))
+          (Run.per_class_worst_latency o))
+    names;
+  0
+
+let cmd =
+  let term =
+    Term.(
+      const main $ Cli_common.scenario $ Cli_common.size $ Cli_common.load
+      $ Cli_common.deadline_windows $ Cli_common.seed $ Cli_common.horizon_ms
+      $ Cli_common.indices_per_source $ Cli_common.burst_bits
+      $ Cli_common.theta $ Cli_common.allocation $ Cli_common.adversary
+      $ protocol $ per_class $ histogram $ trace_summary $ lockstep)
+  in
+  Cmd.v
+    (Cmd.info "ddcr_sim" ~doc:"Simulate HRTDM scenarios under MAC protocols")
+    term
+
+let () = exit (Cmd.eval' cmd)

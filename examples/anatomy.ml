@@ -1,0 +1,72 @@
+(* Anatomy of a CSMA/DDCR collision resolution, slot by slot.
+
+   A deliberately tiny network — three sources whose messages land in
+   different deadline classes plus a same-class tie — so the full
+   protocol trace fits on a screen: the initiating collision, the time
+   tree search walking the deadline classes, the static tree search
+   breaking the tie, and the open attempt slot closing the epoch.
+
+   Run with: dune exec examples/anatomy.exe *)
+
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Instance = Rtnet_workload.Instance
+module Phy = Rtnet_channel.Phy
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Ddcr_trace = Rtnet_core.Ddcr_trace
+module Run = Rtnet_stats.Run
+
+let () =
+  (* Three sources on classic 10 Mb/s Ethernet (512-bit slot, easy
+     numbers).  Sources 0 and 1 share a deadline class (the tie the
+     static tree must break); source 2 is one class later. *)
+  let cls id src d =
+    {
+      Message.cls_id = id;
+      cls_name = Printf.sprintf "m%d" id;
+      cls_source = src;
+      cls_bits = 1000;
+      cls_deadline = d;
+      cls_burst = 1;
+      cls_window = 400_000;
+    }
+  in
+  let inst =
+    Instance.create_exn ~name:"anatomy" ~phy:Phy.classic_ethernet
+      ~num_sources:3
+      [
+        (cls 0 0 20_000, Arrival.Periodic { offset = 0 });
+        (cls 1 1 20_400, Arrival.Periodic { offset = 0 });
+        (cls 2 2 50_000, Arrival.Periodic { offset = 0 });
+      ]
+  in
+  let params =
+    {
+      Ddcr_params.time_m = 2;
+      time_leaves = 16;
+      class_width = 4_000;
+      alpha = 0;
+      theta = 0;
+      static_m = 2;
+      static_leaves = 4;
+      static_indices = [| [| 0 |]; [| 1 |]; [| 2 |] |];
+      burst_bits = 0;
+    }
+  in
+  Format.printf "%a@.parameters: %a@.@." Instance.pp inst Ddcr_params.pp params;
+  let record, finish = Ddcr_trace.collector () in
+  let outcome =
+    Ddcr.run ~check_lockstep:true ~on_event:record ~seed:1 params inst
+      ~horizon:8_500
+  in
+  print_endline "protocol trace (one line per slot / transition):";
+  List.iter (fun e -> Format.printf "  %a@." Ddcr_trace.pp_event e) (finish ());
+  Format.printf "@.%a@.@." Run.pp_metrics (Run.metrics outcome);
+  print_endline
+    "reading guide: the three simultaneous arrivals collide; the time\n\
+     tree search walks the empty early classes, isolates nothing until\n\
+     the class holding m0 and m1 collides on its leaf; the static tree\n\
+     search transmits both in index order; m2's later class then\n\
+     resolves with a plain transmission; the open attempt slot falls\n\
+     silent and the channel returns to free CSMA-CD."

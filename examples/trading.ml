@@ -1,0 +1,79 @@
+(* On-line transaction traffic (Section 2.1's stock-market example):
+   bursty order flow with sub-millisecond deadlines, compared across
+   every protocol in the library on one identical arrival trace.
+
+   This is the workload class where the difference between a
+   probabilistic MAC (CSMA-CD/BEB), a deterministic but deadline-blind
+   MAC (CSMA/DCR, TDMA) and deadline-driven resolution (CSMA/DDCR)
+   shows up in the tail.
+
+   Run with: dune exec examples/trading.exe *)
+
+module Instance = Rtnet_workload.Instance
+module Scenarios = Rtnet_workload.Scenarios
+module Run = Rtnet_stats.Run
+module Table = Rtnet_util.Table
+module Summary = Rtnet_stats.Summary
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Beb = Rtnet_baselines.Csma_cd_beb
+module Dcr = Rtnet_baselines.Csma_dcr
+module Tdma = Rtnet_baselines.Tdma
+module Np_edf = Rtnet_edf.Np_edf
+
+let ms = 1_000_000
+
+let () =
+  let inst = Scenarios.trading ~gateways:6 in
+  Format.printf "%a@." Instance.pp inst;
+  let horizon = 50 * ms in
+  let trace = Instance.trace inst ~seed:2024 ~horizon in
+  Format.printf "@.one trace, %d messages, every protocol:@.@."
+    (List.length trace);
+  let params = Ddcr_params.default inst in
+  (* Orders are ~4-kbit frames on a medium whose contention slot is
+     4096 bit-times: every collision slot costs as much as a frame, the
+     regime Section 5's packet bursting (802.3z) addresses — include a
+     bursting configuration alongside plain CSMA/DDCR. *)
+  let bursting = Ddcr_params.with_burst params 65_536 in
+  let relabel name o = { o with Run.protocol = name } in
+  let runs =
+    [
+      Ddcr.run_trace params inst trace ~horizon;
+      relabel "csma-ddcr+burst" (Ddcr.run_trace bursting inst trace ~horizon);
+      Beb.run_trace ~seed:2024 inst trace ~horizon;
+      Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon;
+      Tdma.run_trace inst trace ~horizon;
+      Np_edf.run inst.Instance.phy trace ~horizon;
+    ]
+  in
+  let tbl =
+    Table.create
+      [
+        "protocol"; "delivered"; "misses"; "p50 (us)"; "p99 (us)"; "max (us)";
+        "inversions"; "util";
+      ]
+  in
+  List.iter
+    (fun o ->
+      let m = Run.metrics o in
+      let lat = List.map Run.latency o.Run.completions in
+      let s = Summary.of_list_exn lat in
+      let us v = Printf.sprintf "%.1f" (float_of_int v /. 1000.) in
+      Table.add_row tbl
+        [
+          o.Run.protocol;
+          string_of_int m.Run.delivered;
+          string_of_int m.Run.deadline_misses;
+          us s.Summary.p50;
+          us s.Summary.p99;
+          us s.Summary.max;
+          string_of_int m.Run.inversions;
+          Printf.sprintf "%.3f" m.Run.utilization;
+        ])
+    runs;
+  Table.print tbl;
+  print_endline
+    "\nthe oracle is the floor; CSMA/DDCR tracks it with a bounded tail,\n\
+     while BEB's randomized backoff grows an unbounded p99/max and the\n\
+     deadline-blind deterministic protocols invert urgent messages."

@@ -1,0 +1,42 @@
+(** CSMA/DCR — the 802.3D deterministic collision resolution protocol
+    (Le Lann & Rolin, 1984), cited in Section 5 as the {i STs-like}
+    ancestor of CSMA/DDCR that was deployed industrially.
+
+    Identical to CSMA/DDCR with the time-tree layer removed: channel
+    access is à la CSMA-CD, and every collision is resolved by one
+    balanced m-ary search of the {b static} tree, in static-index
+    order.  Latency is bounded (unlike BEB) but the resolution order
+    ignores deadlines, so deadline inversions grow with load — the gap
+    that CSMA/DDCR's deadline equivalence classes close. *)
+
+type params = {
+  static_m : int;  (** branching degree *)
+  static_leaves : int;  (** [q], a power of [static_m] *)
+  static_indices : int array array;  (** per-source disjoint indices *)
+}
+
+val default : ?indices_per_source:int -> Rtnet_workload.Instance.t -> params
+(** [default inst] sizes the static tree exactly as
+    {!Rtnet_core.Ddcr_params.default} does. *)
+
+val of_ddcr : Rtnet_core.Ddcr_params.t -> params
+(** [of_ddcr p] reuses a CSMA/DDCR configuration's static tree — for
+    like-for-like comparisons. *)
+
+val run_trace :
+  params ->
+  Rtnet_workload.Instance.t ->
+  Rtnet_workload.Message.t list ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run_trace params inst trace ~horizon] simulates the trace under
+    CSMA/DCR. *)
+
+val run :
+  ?seed:int ->
+  params ->
+  Rtnet_workload.Instance.t ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run params inst ~horizon] generates the instance's trace (default
+    seed 1) and simulates it. *)

@@ -1,0 +1,87 @@
+module Message = Rtnet_workload.Message
+module Instance = Rtnet_workload.Instance
+module Phy = Rtnet_channel.Phy
+module Edf_queue = Rtnet_edf.Edf_queue
+module Run = Rtnet_stats.Run
+
+type params = { slot_bits : int }
+
+let default inst =
+  let max_wire =
+    List.fold_left
+      (fun acc c -> max acc (Phy.tx_bits inst.Instance.phy c.Message.cls_bits))
+      1 (Instance.classes inst)
+  in
+  { slot_bits = max_wire + inst.Instance.phy.Phy.slot_bits }
+
+let run_trace ?params inst trace ~horizon =
+  let p = match params with Some p -> p | None -> default inst in
+  let z = inst.Instance.num_sources in
+  let phy = inst.Instance.phy in
+  List.iter
+    (fun m ->
+      if Phy.tx_bits phy m.Message.cls.Message.cls_bits > p.slot_bits then
+        invalid_arg "Tdma.run_trace: frame larger than the TDMA slot")
+    trace;
+  let queues = Array.make z Edf_queue.empty in
+  let completions = ref [] in
+  let busy_bits = ref 0 in
+  let tx_count = ref 0 in
+  let arrivals =
+    ref
+      (List.sort
+         (fun a b ->
+           compare (a.Message.arrival, a.Message.uid) (b.Message.arrival, b.Message.uid))
+         trace)
+  in
+  let deliver now =
+    let rec go = function
+      | m :: rest when m.Message.arrival <= now ->
+        let s = m.Message.cls.Message.cls_source in
+        queues.(s) <- Edf_queue.insert queues.(s) m;
+        go rest
+      | rest -> arrivals := rest
+    in
+    go !arrivals
+  in
+  let now = ref 0 in
+  let owner = ref 0 in
+  while !now < horizon do
+    deliver !now;
+    (match Edf_queue.pop queues.(!owner) with
+    | Some (m, q) ->
+      queues.(!owner) <- q;
+      let on_wire = Phy.tx_bits phy m.Message.cls.Message.cls_bits in
+      completions :=
+        { Run.c_msg = m; c_start = !now; c_finish = !now + on_wire }
+        :: !completions;
+      busy_bits := !busy_bits + on_wire;
+      incr tx_count
+    | None -> ());
+    owner := (!owner + 1) mod z;
+    now := !now + p.slot_bits
+  done;
+  let unfinished =
+    Array.fold_left (fun acc q -> acc @ Edf_queue.to_sorted_list q) [] queues
+    @ List.filter (fun m -> m.Message.arrival < horizon) !arrivals
+  in
+  {
+    Run.protocol = "tdma";
+    completions = List.rev !completions;
+    unfinished;
+    dropped = [];
+    horizon;
+    channel =
+      Some
+        {
+          Rtnet_channel.Channel.idle_slots = 0;
+          collision_slots = 0;
+          tx_count = !tx_count;
+          garbled_count = 0;
+          busy_bits = !busy_bits;
+          total_bits = !now;
+        };
+  }
+
+let run ?(seed = 1) ?params inst ~horizon =
+  run_trace ?params inst (Instance.trace inst ~seed ~horizon) ~horizon

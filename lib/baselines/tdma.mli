@@ -1,0 +1,33 @@
+(** Fixed-assignment TDMA — the contention-free alternative.
+
+    Time is divided into rounds of [z] equal slots, one per source;
+    source [i] may start one frame at the beginning of its slot in each
+    round (frames fit the slot by construction).  Latency is trivially
+    bounded, but the bound degrades linearly with [z] and unused slots
+    are wasted — the reservation-based strawman against which
+    contention protocols with near-optimal channel utilisation are
+    motivated (Section 3.1). *)
+
+type params = { slot_bits : int  (** TDMA slot length, bit-times *) }
+
+val default : Rtnet_workload.Instance.t -> params
+(** [default inst] sizes the TDMA slot for the largest on-wire frame
+    of the instance plus one contention slot of guard time. *)
+
+val run_trace :
+  ?params:params ->
+  Rtnet_workload.Instance.t ->
+  Rtnet_workload.Message.t list ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run_trace inst trace ~horizon] simulates the trace under TDMA.
+    @raise Invalid_argument if some frame exceeds the TDMA slot. *)
+
+val run :
+  ?seed:int ->
+  ?params:params ->
+  Rtnet_workload.Instance.t ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run inst ~horizon] generates the instance's trace (default seed
+    1) and simulates it. *)

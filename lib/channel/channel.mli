@@ -1,0 +1,110 @@
+(** Slotted broadcast channel with ternary feedback.
+
+    The medium is shared by all sources.  Time advances in contention
+    slots; in each slot every source either attempts a transmission or
+    listens.  At the end of the slot all sources observe the same
+    channel state — silence, busy (one transmission) or collision —
+    within the slot time [x], as the paper's medium model requires.
+
+    The channel owns the safety property of [<p.HRTDM>]: it records
+    every carried transmission and {!check_safety} verifies that no two
+    of them ever overlapped. *)
+
+type attempt = {
+  att_source : int;  (** attempting source id *)
+  att_tag : int;  (** caller-chosen message tag, reported back *)
+  att_bits : int;  (** Data-Link frame length [l], bits *)
+  att_key : int * int;
+      (** arbitration key (absolute deadline, static index); only used
+          by {!Phy.Arbitration} media, smaller wins *)
+}
+
+type resolution =
+  | Idle  (** nobody attempted: one empty slot *)
+  | Tx of { src : int; tag : int; on_wire : int }
+      (** exactly one attempt: it is carried; [on_wire] is [l'] in
+          bit-times *)
+  | Garbled of { on_wire : int }
+      (** exactly one attempt, but the frame was destroyed by channel
+          noise (fault injection): the medium was busy for [on_wire]
+          bit-times, every station observed a CRC-invalid frame, and
+          nothing was carried — the sender's message stays queued *)
+  | Clash of { contenders : (int * int) list; survivor : (int * int * int) option }
+      (** two or more attempts, as [(source, tag)] pairs.  On a
+          destructive medium [survivor = None] (all destroyed).  On an
+          arbitration medium the smallest-key contender survives as
+          [Some (src, tag, on_wire)] and its frame is carried in the
+          same access. *)
+
+type t
+(** Stateful channel: medium parameters plus occupancy statistics and
+    the safety log. *)
+
+type fault = {
+  fault_rate : float;  (** probability that a lone frame is garbled *)
+  fault_seed : int;  (** PRNG seed: fault patterns are reproducible *)
+}
+(** Channel-noise model: each frame carried through {!contend} is
+    independently destroyed with probability [fault_rate] (it still
+    occupies the medium for its full length — the full-frame CRC-error
+    model, distinguishable from a collision fragment by all stations).
+    Arbitrated survivors and {!burst} continuations are not subjected
+    to faults (bursting rides a verified acquisition). *)
+
+val create : ?fault:fault -> Phy.t -> t
+(** [create phy] is a fresh, idle channel over medium [phy], fault-free
+    unless [fault] is given. *)
+
+val phy : t -> Phy.t
+(** [phy ch] is the underlying medium. *)
+
+val slot_bits : t -> int
+(** [slot_bits ch] is the contention-slot duration in bit-times. *)
+
+val contend : t -> now:int -> attempt list -> resolution * int
+(** [contend ch ~now attempts] resolves one contention slot beginning
+    at time [now] and returns the resolution together with the time at
+    which the channel is next free (start of the next slot): [now +
+    slot] after [Idle] or a destructive [Clash], [now + on_wire] after
+    a [Tx], and [now + slot + on_wire] after an arbitrated [Clash].
+    Statistics and the safety log are updated.
+    @raise Invalid_argument if [now] precedes the end of the previous
+    slot, or if two attempts share a source id. *)
+
+val burst : t -> src:int -> tag:int -> bits:int -> int * int
+(** [burst ch ~src ~tag ~bits] appends one more frame to the channel
+    acquisition of [src] (IEEE 802.3z packet bursting, Section 5) —
+    valid only immediately after a slot whose resolution carried a
+    frame from [src] (a [Tx] or an arbitrated [Clash] survivor) and
+    before any further {!contend}.  Returns [(on_wire, next_free)].
+    The safety log and statistics are updated exactly as for a normal
+    transmission.
+    @raise Invalid_argument if [src] does not hold the channel. *)
+
+(** Channel occupancy statistics, all in slots/bit-times of this
+    channel. *)
+type stats = {
+  idle_slots : int;  (** slots in which nobody attempted *)
+  collision_slots : int;  (** slots consumed by collisions *)
+  tx_count : int;  (** messages carried *)
+  garbled_count : int;  (** frames destroyed by injected noise *)
+  busy_bits : int;  (** bit-times spent carrying frames *)
+  total_bits : int;  (** bit-times elapsed across all resolved slots *)
+}
+
+val stats : t -> stats
+(** [stats ch] is a snapshot of the counters. *)
+
+val utilization : t -> float
+(** [utilization ch] is [busy_bits / total_bits] (0 if nothing has
+    happened yet). *)
+
+val carried : t -> (int * int * int * int) list
+(** [carried ch] lists every carried transmission as
+    [(source, tag, start, finish)], oldest first. *)
+
+val check_safety : t -> (unit, string) result
+(** [check_safety ch] re-examines the full transmission log and returns
+    [Error reason] if any two carried transmissions overlapped in time —
+    i.e. if the mutual-exclusion requirement of [<p.HRTDM>] was
+    violated. *)

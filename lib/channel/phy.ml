@@ -1,0 +1,53 @@
+type collision_semantics = Destructive | Arbitration
+
+type t = {
+  name : string;
+  throughput_bps : float;
+  slot_bits : int;
+  overhead_bits : int;
+  min_frame_bits : int;
+  semantics : collision_semantics;
+}
+
+let gigabit_ethernet =
+  {
+    name = "gigabit-ethernet";
+    throughput_bps = 1e9;
+    slot_bits = 4096;
+    overhead_bits = 160;
+    min_frame_bits = 4096;
+    semantics = Destructive;
+  }
+
+let classic_ethernet =
+  {
+    name = "classic-ethernet";
+    throughput_bps = 1e7;
+    slot_bits = 512;
+    overhead_bits = 160;
+    min_frame_bits = 512;
+    semantics = Destructive;
+  }
+
+let atm_bus =
+  {
+    name = "atm-bus";
+    throughput_bps = 1e9;
+    slot_bits = 8;
+    overhead_bits = 40;
+    min_frame_bits = 424;
+    semantics = Arbitration;
+  }
+
+let tx_bits phy l =
+  if l <= 0 then invalid_arg "Phy.tx_bits: non-positive length";
+  max (l + phy.overhead_bits) phy.min_frame_bits
+
+let seconds_of_bits phy b = float_of_int b /. phy.throughput_bps
+
+let pp fmt phy =
+  Format.fprintf fmt "%s (%.0e bit/s, slot %d bits, %s collisions)"
+    phy.name phy.throughput_bps phy.slot_bits
+    (match phy.semantics with
+    | Destructive -> "destructive"
+    | Arbitration -> "arbitrated")

@@ -1,0 +1,53 @@
+(** Physical-layer model of a broadcast medium.
+
+    The simulator measures everything in {b bit-times}: one unit is the
+    time to put one bit on the wire at nominal throughput [ψ].  The
+    paper's quantities translate directly: a contention slot costs
+    [slot_bits] units ([x·ψ]) and transmitting a message of Data-Link
+    length [l] costs [tx_bits l] units ([l'·ψ/ψ = l']), where
+    [l' > l] accounts for physical framing and signalling overhead
+    (Section 4.3). *)
+
+type collision_semantics =
+  | Destructive
+      (** Ethernet-like: simultaneous transmissions destroy each other;
+          the slot only yields the ternary feedback
+          silence/success/collision. *)
+  | Arbitration
+      (** ATM-internal-bus-like: an exclusive-OR wired logic makes
+          collisions non-destructive — the contender with the smallest
+          arbitration key survives the collision slot and transmits
+          (Section 3.2, "busses internal to ATM switches"). *)
+
+type t = {
+  name : string;  (** human-readable medium name *)
+  throughput_bps : float;  (** nominal [ψ], for converting to seconds *)
+  slot_bits : int;  (** slot time [x] in bit-times *)
+  overhead_bits : int;  (** PHY framing added to every frame *)
+  min_frame_bits : int;  (** minimum on-wire frame (carrier extension) *)
+  semantics : collision_semantics;  (** collision behaviour *)
+}
+
+val gigabit_ethernet : t
+(** Half-duplex Gigabit Ethernet (IEEE 802.3z): 1 Gbit/s, 4096-bit slot
+    (512-byte slotTime with carrier extension), 160 bits of
+    preamble + interframe overhead, destructive collisions. *)
+
+val classic_ethernet : t
+(** 10 Mbit/s Ethernet: 512-bit slot, 512-bit minimum frame. *)
+
+val atm_bus : t
+(** Bus internal to an ATM switch: tiny slot (8 bit-times — "1 or a few
+    bit times", Section 3.2), 424-bit cells (53 bytes) with the 40-bit
+    header counted as overhead, non-destructive arbitration. *)
+
+val tx_bits : t -> int -> int
+(** [tx_bits phy l] is the on-wire cost [l'] (bit-times) of a frame
+    with Data-Link length [l] bits: overhead added, then padded to the
+    minimum frame.  @raise Invalid_argument if [l <= 0]. *)
+
+val seconds_of_bits : t -> int -> float
+(** [seconds_of_bits phy b] converts bit-times to seconds at [ψ]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt phy] prints a one-line summary of the medium. *)

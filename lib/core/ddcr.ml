@@ -1,0 +1,372 @@
+module Message = Rtnet_workload.Message
+module Instance = Rtnet_workload.Instance
+module Channel = Rtnet_channel.Channel
+module Phy = Rtnet_channel.Phy
+module Edf_queue = Rtnet_edf.Edf_queue
+module Run = Rtnet_stats.Run
+
+exception Protocol_violation of string
+
+module Automaton = struct
+  type tts = {
+    mutable t_stack : (int * int) list; (* unsearched time-tree intervals *)
+    mutable f_star : int; (* highest searched time leaf, -1 at entry *)
+    mutable sent : bool; (* "out": something transmitted this TTs *)
+  }
+
+  type sts = {
+    mutable s_stack : (int * int) list; (* unsearched static intervals *)
+    time_leaf : int; (* the colliding deadline class *)
+  }
+
+  type phase = Free | Attempt | Tts of tts | Sts of sts * tts
+
+  type t = {
+    params : Ddcr_params.t;
+    source : int;
+    mutable phase : phase;
+    mutable reft : int;
+    mutable rank : int; (* next unused own static index in current STs *)
+    mutable last_out : bool; (* [out] flag of the last completed TTs *)
+  }
+
+  let create params ~source =
+    { params; source; phase = Free; reft = 0; rank = 0; last_out = false }
+
+  (* f(reft, I.msg) = max(⌊(DM − (α + reft))/c⌋, f* + 1). *)
+  let time_index t tts msg =
+    let p = t.params in
+    let natural =
+      Rtnet_util.Int_math.fdiv
+        (Message.abs_deadline msg - p.Ddcr_params.alpha - t.reft)
+        p.Ddcr_params.class_width
+    in
+    max natural (tts.f_star + 1)
+
+  let attempt_of t msg =
+    {
+      Channel.att_source = t.source;
+      att_tag = msg.Message.uid;
+      att_bits = msg.Message.cls.Message.cls_bits;
+      att_key = (Message.abs_deadline msg, t.source);
+    }
+
+  let decide t ~msg_star =
+    match (t.phase, msg_star) with
+    | (Free | Attempt), Some m -> Some (attempt_of t m)
+    | (Free | Attempt), None -> None
+    | Tts tts, Some m -> (
+      match tts.t_stack with
+      | (lo, w) :: _ ->
+        let idx = time_index t tts m in
+        if idx <= t.params.Ddcr_params.time_leaves - 1 && idx >= lo && idx < lo + w
+        then Some (attempt_of t m)
+        else None
+      | [] -> raise (Protocol_violation "decide: empty time-tree stack"))
+    | Tts _, None -> None
+    | Sts (sts, tts), Some m -> (
+      match sts.s_stack with
+      | (lo, w) :: _ ->
+        let own = t.params.Ddcr_params.static_indices.(t.source) in
+        if
+          t.rank < Array.length own
+          && own.(t.rank) >= lo
+          && own.(t.rank) < lo + w
+          && time_index t tts m <= sts.time_leaf
+        then Some (attempt_of t m)
+        else None
+      | [] -> raise (Protocol_violation "decide: empty static-tree stack"))
+    | Sts _, None -> None
+
+  let enter_tts t ~reft =
+    t.reft <- reft;
+    t.phase <-
+      Tts { t_stack = [ (0, t.params.Ddcr_params.time_leaves) ]; f_star = -1; sent = false }
+
+  let finish_tts_if_done t tts =
+    match tts.t_stack with
+    | _ :: _ -> ()
+    | [] ->
+      if not tts.sent then t.reft <- t.reft + t.params.Ddcr_params.theta;
+      t.last_out <- tts.sent;
+      t.phase <- Attempt
+
+  let split m (lo, w) =
+    let child = w / m in
+    List.init m (fun i -> (lo + (i * child), child))
+
+  let pop_time_interval t tts (lo, w) rest =
+    tts.t_stack <- rest;
+    tts.f_star <- lo + w - 1;
+    finish_tts_if_done t tts
+
+  let finish_sts_if_done t sts tts ~next_free =
+    match sts.s_stack with
+    | _ :: _ -> ()
+    | [] ->
+      (* STs completion: reft := local physical time; the colliding
+         time leaf is now fully searched. *)
+      t.reft <- next_free;
+      (match tts.t_stack with
+      | leaf :: rest ->
+        t.phase <- Tts tts;
+        pop_time_interval t tts leaf rest
+      | [] -> raise (Protocol_violation "sts completion: no time leaf"))
+
+  let observe t ~resolution ~next_free =
+    match t.phase with
+    | Free -> (
+      match resolution with
+      (* A garbled frame (channel noise) carries nothing and changes no
+         protocol state, in any phase: the sender simply retries its
+         current step at the next slot. *)
+      | Channel.Idle | Channel.Tx _ | Channel.Garbled _ -> ()
+      | Channel.Clash _ -> enter_tts t ~reft:next_free)
+    | Attempt -> (
+      match resolution with
+      | Channel.Idle -> t.phase <- Free
+      | Channel.Garbled _ -> ()
+      | Channel.Tx _ -> enter_tts t ~reft:t.reft
+      | Channel.Clash _ ->
+        (* Resetting reft below the value accumulated by compressed
+           time would undo the compression; the max keeps it monotone
+           while matching "reft := local physical time" whenever the
+           mode is off (reft <= physical time then). *)
+        enter_tts t ~reft:(max t.reft next_free))
+    | Tts tts -> (
+      match tts.t_stack with
+      | [] -> raise (Protocol_violation "observe: empty time-tree stack")
+      | ((lo, w) as top) :: rest -> (
+        match resolution with
+        | Channel.Idle -> pop_time_interval t tts top rest
+        | Channel.Garbled _ -> ()
+        | Channel.Tx _ ->
+          tts.sent <- true;
+          t.reft <- next_free;
+          pop_time_interval t tts top rest
+        | Channel.Clash { survivor; _ } -> (
+          match survivor with
+          | Some _ ->
+            (* Arbitrated medium: the collision slot carried the
+               smallest-keyed frame, so re-probe the same interval —
+               the remaining contenders re-arbitrate and drain one per
+               slot, in absolute-deadline order (CAN-style).  Splitting
+               would only add empty probes of emptied leaves. *)
+            tts.sent <- true;
+            t.reft <- next_free
+          | None ->
+            if w > 1 then
+              tts.t_stack <- split t.params.Ddcr_params.time_m top @ rest
+            else begin
+              t.rank <- 0;
+              t.phase <-
+                Sts
+                  ( { s_stack = [ (0, t.params.Ddcr_params.static_leaves) ]; time_leaf = lo },
+                    tts )
+            end)))
+    | Sts (sts, tts) -> (
+      match sts.s_stack with
+      | [] -> raise (Protocol_violation "observe: empty static-tree stack")
+      | ((_, w) as top) :: rest -> (
+        match resolution with
+        | Channel.Idle ->
+          sts.s_stack <- rest;
+          finish_sts_if_done t sts tts ~next_free
+        | Channel.Garbled _ -> ()
+        | Channel.Tx { src; _ } ->
+          if src = t.source then t.rank <- t.rank + 1;
+          tts.sent <- true;
+          sts.s_stack <- rest;
+          finish_sts_if_done t sts tts ~next_free
+        | Channel.Clash { survivor; _ } -> (
+          match survivor with
+          | Some (src, _, _) ->
+            (* Arbitrated medium: carried frame, re-probe in place. *)
+            if src = t.source then t.rank <- t.rank + 1;
+            tts.sent <- true
+          | None ->
+            if w > 1 then
+              sts.s_stack <- split t.params.Ddcr_params.static_m top @ rest
+            else
+              raise
+                (Protocol_violation
+                   "collision on a static tree leaf: static indices are not \
+                    disjoint"))))
+
+  let pp_stack fmt stack =
+    List.iter (fun (lo, w) -> Format.fprintf fmt "[%d+%d)" lo w) stack
+
+  let fingerprint t =
+    match t.phase with
+    | Free -> Printf.sprintf "free reft=%d" t.reft
+    | Attempt -> Printf.sprintf "attempt reft=%d" t.reft
+    | Tts tts ->
+      Format.asprintf "tts reft=%d f*=%d sent=%b %a" t.reft tts.f_star tts.sent
+        pp_stack tts.t_stack
+    | Sts (sts, tts) ->
+      Format.asprintf "sts reft=%d leaf=%d f*=%d sent=%b %a / %a" t.reft
+        sts.time_leaf tts.f_star tts.sent pp_stack sts.s_stack pp_stack
+        tts.t_stack
+
+  let phase_name t =
+    match t.phase with
+    | Free -> "free"
+    | Attempt -> "attempt"
+    | Tts _ -> "tts"
+    | Sts _ -> "sts"
+
+  let reft t = t.reft
+
+  let last_tts_sent t = t.last_out
+
+  let sts_leaf t =
+    match t.phase with
+    | Sts (sts, _) -> Some sts.time_leaf
+    | Free | Attempt | Tts _ -> None
+end
+
+let run_trace ?(check_lockstep = false) ?on_event ?fault params inst trace
+    ~horizon =
+  (match Ddcr_params.validate params ~num_sources:inst.Instance.num_sources with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Ddcr.run_trace: " ^ e));
+  let z = inst.Instance.num_sources in
+  let autos = Array.init z (fun source -> Automaton.create params ~source) in
+  let emit = match on_event with Some f -> f | None -> fun _ -> () in
+  let via_of_phase = function
+    | "free" -> Ddcr_trace.Free_csma
+    | "attempt" -> Ddcr_trace.Open_attempt
+    | "tts" -> Ddcr_trace.Time_tree
+    | "sts" -> Ddcr_trace.Static_tree
+    | other -> invalid_arg ("Ddcr.run_trace: unknown phase " ^ other)
+  in
+  let decide services ~now:_ =
+    Array.to_list autos
+    |> List.filter_map (fun a ->
+           Automaton.decide a
+             ~msg_star:(services.Rtnet_mac.Harness.peek a.Automaton.source))
+  in
+  (* Packet bursting (Section 5): the acquiring source may append
+     further EDF-ranked frames while they fit in the budget. *)
+  let do_burst services src start0 =
+    let open Rtnet_mac.Harness in
+    let rec go start budget =
+      (* Section 5: the burst carries "the first k messages (EDF
+         ranked) waiting in Q" — the live queue, so arrivals during the
+         acquisition participate in the ranking. *)
+      services.deliver_until start;
+      match services.peek src with
+      | Some m
+        when budget > 0
+             && Phy.tx_bits inst.Instance.phy m.Message.cls.Message.cls_bits
+                <= budget -> (
+        match services.pop src with
+        | Some m ->
+          let on_wire, _ =
+            Channel.burst services.channel ~src ~tag:m.Message.uid
+              ~bits:m.Message.cls.Message.cls_bits
+          in
+          services.complete m ~start ~finish:(start + on_wire);
+          emit
+            (Ddcr_trace.Frame_sent
+               {
+                 time = start;
+                 finish = start + on_wire;
+                 source = src;
+                 uid = m.Message.uid;
+                 via = Ddcr_trace.Bursting;
+               });
+          go (start + on_wire) (budget - on_wire)
+        | None -> start)
+      | Some _ | None -> start
+    in
+    go start0 params.Ddcr_params.burst_bits
+  in
+  let after services ~now ~resolution ~next_free =
+    let pre_phase = Automaton.phase_name autos.(0) in
+    let slot = Channel.slot_bits services.Rtnet_mac.Harness.channel in
+    (* Slot events, classified by the phase the slot was spent in. *)
+    (match resolution with
+    | Channel.Idle ->
+      emit (Ddcr_trace.Idle_slot { time = now; phase = pre_phase })
+    | Channel.Garbled { on_wire } ->
+      emit (Ddcr_trace.Garbled_slot { time = now; on_wire })
+    | Channel.Tx { src; tag; on_wire } ->
+      emit
+        (Ddcr_trace.Frame_sent
+           {
+             time = now;
+             finish = now + on_wire;
+             source = src;
+             uid = tag;
+             via = via_of_phase pre_phase;
+           })
+    | Channel.Clash { survivor; contenders } ->
+      emit
+        (Ddcr_trace.Collision_slot
+           { time = now; phase = pre_phase; contenders = List.length contenders });
+      (match survivor with
+      | Some (src, tag, on_wire) ->
+        emit
+          (Ddcr_trace.Frame_sent
+             {
+               time = now + slot;
+               finish = now + slot + on_wire;
+               source = src;
+               uid = tag;
+               via = via_of_phase pre_phase;
+             })
+      | None -> ()));
+    let next_free =
+      match resolution with
+      | Channel.Tx { src; on_wire; _ } -> do_burst services src (now + on_wire)
+      | Channel.Clash { survivor = Some (src, _, on_wire); _ } ->
+        do_burst services src (now + slot + on_wire)
+      | Channel.Idle | Channel.Garbled _ | Channel.Clash { survivor = None; _ }
+        ->
+        next_free
+    in
+    Array.iter (fun a -> Automaton.observe a ~resolution ~next_free) autos;
+    (match on_event with
+    | None -> ()
+    | Some _ ->
+      (* Phase-transition events, derived from the reference replica. *)
+      let post_phase = Automaton.phase_name autos.(0) in
+      let a0 = autos.(0) in
+      (match (pre_phase, post_phase) with
+      | ("free" | "attempt"), "tts" ->
+        emit (Ddcr_trace.Tts_begin { time = next_free; reft = Automaton.reft a0 })
+      | "tts", "sts" ->
+        let leaf = Option.value ~default:(-1) (Automaton.sts_leaf a0) in
+        emit (Ddcr_trace.Sts_begin { time = next_free; time_leaf = leaf })
+      | "sts", "tts" -> emit (Ddcr_trace.Sts_end { time = next_free })
+      | "sts", "attempt" ->
+        emit (Ddcr_trace.Sts_end { time = next_free });
+        emit
+          (Ddcr_trace.Tts_end
+             { time = next_free; sent = Automaton.last_tts_sent a0 })
+      | "tts", "attempt" ->
+        emit
+          (Ddcr_trace.Tts_end
+             { time = next_free; sent = Automaton.last_tts_sent a0 })
+      | _, _ -> ()));
+    if check_lockstep then begin
+      let reference = Automaton.fingerprint autos.(0) in
+      Array.iter
+        (fun a ->
+          if Automaton.fingerprint a <> reference then
+            raise
+              (Protocol_violation
+                 (Printf.sprintf "lockstep broken at t=%d: %s vs %s" now
+                    reference (Automaton.fingerprint a))))
+        autos
+    end;
+    next_free
+  in
+  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ~phy:inst.Instance.phy
+    ~num_sources:z ~horizon ~decide ~after trace
+
+let run ?check_lockstep ?on_event ?fault ?(seed = 1) params inst ~horizon =
+  run_trace ?check_lockstep ?on_event ?fault params inst
+    (Instance.trace inst ~seed ~horizon)
+    ~horizon

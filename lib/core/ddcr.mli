@@ -1,0 +1,113 @@
+(** The CSMA/DDCR protocol — Carrier Sense Multi Access / Deadline
+    Driven Collision Resolution (Section 3.2).
+
+    Every source runs the same deterministic automaton and keeps a
+    replica of the shared protocol state (current phase, reference time
+    [reft], tree-search stacks, highest searched leaf [f*]) updated
+    {b only from channel feedback}, plus its private EDF queue.  The
+    interpretation choices for the paper's informal description are
+    listed in DESIGN.md §4.
+
+    Phases:
+    - {b free CSMA-CD}: no unresolved collision pending; any source
+      with a non-empty queue attempts its [msg*]; the first collision
+      starts CSMA/DDCR;
+    - {b time tree search} ({i TTs}): a balanced [time_m]-ary search
+      over the [F] deadline-class leaves; a source participates in the
+      probed interval iff
+      [f(reft, msg★) = max(⌊(DM − α − reft)/c⌋, f★ + 1)]
+      falls inside it (and is [<= F − 1]);
+    - {b static tree search} ({i STs}): entered on a time-tree leaf
+      collision; sources walk their statically owned indices, at most
+      [ν_i] transmissions each, with unsearched-index joins for late
+      messages;
+    - {b open attempt}: after each TTs, one à-la-CSMA-CD attempt slot;
+      its collision resets [reft] and starts the next TTs; silence
+      returns the channel to free CSMA-CD.  A TTs that transmitted
+      nothing first advances [reft] by [θ(c)] (compressed time). *)
+
+exception Protocol_violation of string
+(** Raised if the channel feedback is inconsistent with the protocol's
+    invariants (e.g. a collision on a static tree leaf, which disjoint
+    index ownership makes impossible). *)
+
+(** The per-source protocol automaton, exposed for unit tests and for
+    the lockstep-replication property test. *)
+module Automaton : sig
+  type t
+  (** Replicated protocol state of one source. *)
+
+  val create : Ddcr_params.t -> source:int -> t
+  (** [create params ~source] is the automaton of source [source] in
+      its initial (free CSMA-CD) state. *)
+
+  val decide :
+    t -> msg_star:Rtnet_workload.Message.t option -> Rtnet_channel.Channel.attempt option
+  (** [decide a ~msg_star] is the source's action for the next
+      contention slot, given the head of its local EDF queue: [Some
+      attempt] to transmit, [None] to stay silent. *)
+
+  val observe :
+    t ->
+    resolution:Rtnet_channel.Channel.resolution ->
+    next_free:int ->
+    unit
+  (** [observe a ~resolution ~next_free] advances the replica with the
+      channel feedback of the slot; [next_free] is the start of the
+      next contention slot ("local physical time" at which the next
+      decision is taken). *)
+
+  val fingerprint : t -> string
+  (** [fingerprint a] digests the {b shared} replica state (phase,
+      stacks, [reft], [f*]) — equal across all sources after every slot
+      iff replication is in lockstep.  Private state (the static-index
+      rank) is excluded. *)
+
+  val phase_name : t -> string
+  (** [phase_name a] is ["free"], ["attempt"], ["tts"] or ["sts"]. *)
+
+  val reft : t -> int
+  (** [reft a] is the replica's current reference time. *)
+
+  val last_tts_sent : t -> bool
+  (** [last_tts_sent a] is the [out] flag of the most recently
+      completed time tree search ([false] before the first one). *)
+
+  val sts_leaf : t -> int option
+  (** [sts_leaf a] is the colliding deadline class of the static tree
+      search in progress, if any. *)
+end
+
+val run_trace :
+  ?check_lockstep:bool ->
+  ?on_event:(Ddcr_trace.event -> unit) ->
+  ?fault:Rtnet_channel.Channel.fault ->
+  Ddcr_params.t ->
+  Rtnet_workload.Instance.t ->
+  Rtnet_workload.Message.t list ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run_trace params inst trace ~horizon] simulates CSMA/DDCR for the
+    given arrival trace on [inst]'s medium until [horizon] (bit-times)
+    and reports the outcome (completions carry exact start/finish
+    times; the channel's safety log is embedded in the statistics).
+    With [check_lockstep] (default [false]) every slot asserts that all
+    sources' replicas agree — O(z) extra work per slot.  [on_event]
+    receives one {!Ddcr_trace.event} per slot plus phase transitions
+    (see {!Ddcr_trace.collector}).  [fault] injects channel noise
+    (garbled frames); the protocol retries garbled frames and remains
+    safe, at the cost of latency.
+    @raise Invalid_argument if [params] fail validation for [inst].
+    @raise Protocol_violation on inconsistent channel feedback. *)
+
+val run :
+  ?check_lockstep:bool ->
+  ?on_event:(Ddcr_trace.event -> unit) ->
+  ?fault:Rtnet_channel.Channel.fault ->
+  ?seed:int ->
+  Ddcr_params.t ->
+  Rtnet_workload.Instance.t ->
+  horizon:int ->
+  Rtnet_stats.Run.outcome
+(** [run params inst ~horizon] is {!run_trace} on
+    [Instance.trace inst ~seed ~horizon] (default seed 1). *)

@@ -1,0 +1,96 @@
+(** CSMA/DDCR protocol parameters (Section 3.2).
+
+    A configuration fixes the two tree shapes and the deadline
+    equivalence classes:
+
+    - the {b time tree}: [time_leaves = F] leaves (a power of
+      [time_m]), each leaf a deadline equivalence class of width
+      [class_width = c] bit-times, covering the scheduling horizon
+      [c·F];
+    - the class-mapping offset [alpha = α] (messages are steered into a
+      class slightly before it is "too late");
+    - the compressed-time increment [theta = θ(c)] applied to [reft]
+      when a time tree search ends without any transmission (0 turns
+      the mode off);
+    - the {b static tree}: [static_leaves = q] leaves (a power of
+      [static_m]), with each source [s_i] owning the disjoint,
+      ascending index set [static_indices.(i)] ([ν_i] indices — the
+      maximum number of messages [s_i] can transmit per static
+      search). *)
+
+type t = {
+  time_m : int;  (** branching degree of time trees *)
+  time_leaves : int;  (** [F], a power of [time_m] *)
+  class_width : int;  (** [c], bit-times *)
+  alpha : int;  (** [α], bit-times *)
+  theta : int;  (** [θ(c)], bit-times; [0] = compressed time off *)
+  static_m : int;  (** branching degree of static trees *)
+  static_leaves : int;  (** [q], a power of [static_m] *)
+  static_indices : int array array;  (** per-source static indices *)
+  burst_bits : int;
+      (** packet-bursting budget (Section 5): once a source acquires
+          the channel it may send further EDF-ranked frames from its
+          queue as long as their cumulative on-wire length fits within
+          this budget; [0] disables bursting *)
+}
+
+val validate : t -> num_sources:int -> (unit, string) result
+(** [validate p ~num_sources] checks: tree shapes are powers of their
+    branching degrees; [c > 0], [α >= 0], [θ >= 0]; there is one
+    non-empty ascending index set per source; all indices lie in
+    [\[0, q)] and are disjoint across sources. *)
+
+val nu : t -> int -> int
+(** [nu p i] is [ν_i], the number of static indices of source [i]. *)
+
+type allocation =
+  | Round_robin
+      (** source [i] owns indices [i, z+i, 2z+i, …] — each source's
+          indices spread across every static subtree *)
+  | Contiguous
+      (** source [i] owns one block of consecutive leaves — a lone
+          bursting source keeps its search localised in one subtree *)
+  | Weighted
+      (** leaves divided in proportion to each source's peak offered
+          load (largest-remainder rounding, at least one each) — heavy
+          sources drain more of a burst per static search *)
+
+val default :
+  ?indices_per_source:int ->
+  ?time_leaves:int ->
+  ?branching:int ->
+  ?allocation:allocation ->
+  Rtnet_workload.Instance.t ->
+  t
+(** [default inst] derives a workable configuration for [inst]:
+    [branching]-ary trees (default quaternary — the better branching
+    per Fig. 2; [time_leaves] is rounded up to the next power of
+    [branching]), the static tree sized
+    for at least [indices_per_source] (default 1) indices per source
+    and then {b filled} — every source receives [max(requested, q/z)]
+    round-robin indices, since idle static leaves cost search slots
+    while extra indices let a source drain more of a burst per static
+    search — [α = c] and compressed time off.  [allocation] (default
+    {!Round_robin}) chooses how the [q] static leaves are divided among
+    the sources; the paper's mapping model is unrestricted (Section
+    3.2: "not all q integers need be allocated"), and the choice is an
+    ablation dimension (experiment E17).  [c] is sized both to
+    a typical static-search duration and so that the scheduling horizon
+    [c·F] covers the largest relative deadline (otherwise fresh
+    messages are shut out of time trees — the idleness pathology that
+    compressed time works around). *)
+
+val with_burst : t -> int -> t
+(** [with_burst p bits] is [p] with the packet-bursting budget
+    replaced — the IEEE 802.3z-style extension of Section 5. *)
+
+val with_theta : t -> int -> t
+(** [with_theta p th] is [p] with the compressed-time increment
+    replaced — used by the ablation experiments. *)
+
+val horizon_classes : t -> int
+(** [horizon_classes p] is the scheduling horizon [c·F] in
+    bit-times. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt p] prints a one-line parameter summary. *)

@@ -1,0 +1,114 @@
+type via = Free_csma | Open_attempt | Time_tree | Static_tree | Bursting
+
+type event =
+  | Idle_slot of { time : int; phase : string }
+  | Collision_slot of { time : int; phase : string; contenders : int }
+  | Garbled_slot of { time : int; on_wire : int }
+  | Frame_sent of {
+      time : int;
+      finish : int;
+      source : int;
+      uid : int;
+      via : via;
+    }
+  | Tts_begin of { time : int; reft : int }
+  | Tts_end of { time : int; sent : bool }
+  | Sts_begin of { time : int; time_leaf : int }
+  | Sts_end of { time : int }
+
+type summary = {
+  idle_by_phase : (string * int) list;
+  collision_slots : int;
+  garbled_slots : int;
+  frames : int;
+  frames_by_via : (via * int) list;
+  tts_count : int;
+  tts_productive : int;
+  sts_count : int;
+}
+
+let collector () =
+  let events = ref [] in
+  let record e = events := e :: !events in
+  let finish () = List.rev !events in
+  (record, finish)
+
+let bump assoc key =
+  let rec go = function
+    | (k, n) :: rest when k = key -> (k, n + 1) :: rest
+    | pair :: rest -> pair :: go rest
+    | [] -> [ (key, 1) ]
+  in
+  go assoc
+
+let summarize events =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Idle_slot { phase; _ } ->
+        { acc with idle_by_phase = bump acc.idle_by_phase phase }
+      | Collision_slot _ -> { acc with collision_slots = acc.collision_slots + 1 }
+      | Garbled_slot _ -> { acc with garbled_slots = acc.garbled_slots + 1 }
+      | Frame_sent { via; _ } ->
+        {
+          acc with
+          frames = acc.frames + 1;
+          frames_by_via = bump acc.frames_by_via via;
+        }
+      | Tts_begin _ -> { acc with tts_count = acc.tts_count + 1 }
+      | Tts_end { sent; _ } ->
+        if sent then { acc with tts_productive = acc.tts_productive + 1 }
+        else acc
+      | Sts_begin _ -> { acc with sts_count = acc.sts_count + 1 }
+      | Sts_end _ -> acc)
+    {
+      idle_by_phase = [];
+      collision_slots = 0;
+      garbled_slots = 0;
+      frames = 0;
+      frames_by_via = [];
+      tts_count = 0;
+      tts_productive = 0;
+      sts_count = 0;
+    }
+    events
+
+let via_name = function
+  | Free_csma -> "free-csma"
+  | Open_attempt -> "open-attempt"
+  | Time_tree -> "time-tree"
+  | Static_tree -> "static-tree"
+  | Bursting -> "bursting"
+
+let pp_via fmt v = Format.pp_print_string fmt (via_name v)
+
+let pp_event fmt = function
+  | Idle_slot { time; phase } -> Format.fprintf fmt "%10d idle (%s)" time phase
+  | Collision_slot { time; phase; contenders } ->
+    Format.fprintf fmt "%10d collision of %d (%s)" time contenders phase
+  | Garbled_slot { time; on_wire } ->
+    Format.fprintf fmt "%10d garbled frame (%d bits)" time on_wire
+  | Frame_sent { time; finish; source; uid; via } ->
+    Format.fprintf fmt "%10d frame src=%d uid=%d via %a (ends %d)" time source
+      uid pp_via via finish
+  | Tts_begin { time; reft } ->
+    Format.fprintf fmt "%10d TTs begin (reft=%d)" time reft
+  | Tts_end { time; sent } ->
+    Format.fprintf fmt "%10d TTs end (out=%b)" time sent
+  | Sts_begin { time; time_leaf } ->
+    Format.fprintf fmt "%10d STs begin (class %d)" time time_leaf
+  | Sts_end { time } -> Format.fprintf fmt "%10d STs end" time
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<v>frames: %d (" s.frames;
+  List.iteri
+    (fun i (via, n) ->
+      Format.fprintf fmt "%s%a %d" (if i > 0 then ", " else "") pp_via via n)
+    s.frames_by_via;
+  Format.fprintf fmt ")@,collision slots: %d, garbled: %d@,idle slots:"
+    s.collision_slots s.garbled_slots;
+  List.iter
+    (fun (phase, n) -> Format.fprintf fmt " %s=%d" phase n)
+    s.idle_by_phase;
+  Format.fprintf fmt "@,time tree searches: %d (%d productive), static: %d@]"
+    s.tts_count s.tts_productive s.sts_count

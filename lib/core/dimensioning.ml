@@ -1,0 +1,44 @@
+type verdict = Feasible of Ddcr_params.t | Infeasible of Ddcr_params.t * float
+
+let margin p inst = (Feasibility.check p inst).Feasibility.worst_margin
+
+let dimension ?(time_leaf_candidates = [ 16; 64; 256 ])
+    ?(indices_candidates = [ 1; 2; 4 ]) inst =
+  if time_leaf_candidates = [] || indices_candidates = [] then
+    invalid_arg "Dimensioning.dimension: empty candidate list";
+  let candidates =
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun ipc ->
+            Ddcr_params.default ~indices_per_source:ipc ~time_leaves:f inst)
+          indices_candidates)
+      time_leaf_candidates
+  in
+  let scored = List.map (fun p -> (p, margin p inst)) candidates in
+  let feasible = List.filter (fun (_, m) -> m <= 1.) scored in
+  match feasible with
+  | _ :: _ ->
+    let best =
+      List.fold_left
+        (fun (bp, bm) (p, m) ->
+          if Ddcr_params.horizon_classes p < Ddcr_params.horizon_classes bp
+          then (p, m)
+          else (bp, bm))
+        (List.hd feasible) (List.tl feasible)
+    in
+    Feasible (fst best)
+  | [] ->
+    let best =
+      List.fold_left
+        (fun (bp, bm) (p, m) -> if m < bm then (p, m) else (bp, bm))
+        (List.hd scored) (List.tl scored)
+    in
+    Infeasible (fst best, snd best)
+
+let pp_verdict fmt = function
+  | Feasible p ->
+    Format.fprintf fmt "feasible with %a" Ddcr_params.pp p
+  | Infeasible (p, m) ->
+    Format.fprintf fmt "infeasible; best candidate %a (margin %.3f)"
+      Ddcr_params.pp p m

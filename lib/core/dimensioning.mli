@@ -1,0 +1,36 @@
+(** Network dimensioning: choosing CSMA/DDCR parameters from the FCs.
+
+    Section 2.2 presents the feasibility conditions as "an essential
+    tool for an end user or a technology provider who has to assign
+    numerical values".  This module turns them into a search: given an
+    instance, explore protocol configurations (time-tree size, static
+    branching, indices per source) and return one under which the
+    instance is provably feasible — or the closest candidate with its
+    margin when none is. *)
+
+type verdict =
+  | Feasible of Ddcr_params.t
+      (** a configuration with worst margin [<= 1] (paper FC holds) *)
+  | Infeasible of Ddcr_params.t * float
+      (** best candidate found and its worst margin [> 1] *)
+
+val dimension :
+  ?time_leaf_candidates:int list ->
+  ?indices_candidates:int list ->
+  Rtnet_workload.Instance.t ->
+  verdict
+(** [dimension inst] searches the candidate grid (time-tree leaf
+    counts, default [\[16; 64; 256\]]; indices per source, default
+    [\[1; 2; 4\]]) with the derived defaults for the remaining
+    parameters and returns the configuration with the smallest worst
+    margin.  Preference among feasible configurations goes to the
+    smallest scheduling horizon (tightest deadline classes, fewest
+    inversions). *)
+
+val margin :
+  Ddcr_params.t -> Rtnet_workload.Instance.t -> float
+(** [margin p inst] is the worst ratio [B_DDCR(M)/d(M)] over classes —
+    [<= 1] iff the FCs hold. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** [pp_verdict fmt v] prints the chosen configuration and margin. *)

@@ -1,0 +1,180 @@
+module Int_math = Rtnet_util.Int_math
+module Message = Rtnet_workload.Message
+module Instance = Rtnet_workload.Instance
+module Phy = Rtnet_channel.Phy
+
+let member inst m_cls =
+  List.exists
+    (fun c -> c.Message.cls_id = m_cls.Message.cls_id)
+    (Instance.classes inst)
+
+let require_member inst m_cls =
+  if not (member inst m_cls) then
+    invalid_arg "Feasibility: class does not belong to the instance"
+
+let rank_bound inst m_cls =
+  require_member inst m_cls;
+  let own = Instance.classes_of_source inst m_cls.Message.cls_source in
+  List.fold_left
+    (fun acc c ->
+      acc
+      + (Int_math.cdiv m_cls.Message.cls_deadline c.Message.cls_window
+        * c.Message.cls_burst))
+    (-1) own
+
+let interference_bound inst m_cls =
+  require_member inst m_cls;
+  let wire_m = Phy.tx_bits inst.Instance.phy m_cls.Message.cls_bits in
+  List.fold_left
+    (fun acc c ->
+      let numerator =
+        m_cls.Message.cls_deadline + c.Message.cls_deadline - wire_m
+      in
+      let count = max 0 (Int_math.cdiv numerator c.Message.cls_window) in
+      acc + (count * c.Message.cls_burst))
+    0 (Instance.classes inst)
+
+let static_trees_bound p inst m_cls =
+  require_member inst m_cls;
+  let nu = Ddcr_params.nu p m_cls.Message.cls_source in
+  1 + (rank_bound inst m_cls / nu)
+
+let s1 p ~u ~v =
+  Multi_tree.bound ~m:p.Ddcr_params.static_m ~t:p.Ddcr_params.static_leaves ~u ~v
+
+let s2 p ~v =
+  float_of_int
+    (Int_math.cdiv v 2
+    * Xi.eq5 ~m:p.Ddcr_params.time_m ~t:p.Ddcr_params.time_leaves)
+
+let search_slot_bound p inst m_cls =
+  let u = interference_bound inst m_cls in
+  let v = static_trees_bound p inst m_cls in
+  s1 p ~u ~v +. s2 p ~v
+
+(* Arbitrated medium with the re-probing discipline the automaton uses:
+   every collision slot carries the smallest-keyed frame, so each of
+   the u(M) interfering messages costs at most one collision slot, and
+   the only other costly slots are the empty epoch probes — bounded by
+   the paper's own epoch count ⌈v/2⌉ (Section 4.3's S₂ accounting). *)
+let search_slot_bound_arbitrated p inst m_cls =
+  let u = interference_bound inst m_cls in
+  let v = static_trees_bound p inst m_cls in
+  float_of_int (u + Int_math.cdiv v 2)
+
+(* Transmission time of the u(M) interfering messages: the same
+   per-class counts as u(M), weighted by each class's on-wire time. *)
+let transmission_time inst m_cls =
+  let wire_m = Phy.tx_bits inst.Instance.phy m_cls.Message.cls_bits in
+  List.fold_left
+    (fun acc c ->
+      let numerator =
+        m_cls.Message.cls_deadline + c.Message.cls_deadline - wire_m
+      in
+      let count = max 0 (Int_math.cdiv numerator c.Message.cls_window) in
+      acc + (count * c.Message.cls_burst * Phy.tx_bits inst.Instance.phy c.Message.cls_bits))
+    0 (Instance.classes inst)
+
+let latency_bound p inst m_cls =
+  require_member inst m_cls;
+  let x = float_of_int inst.Instance.phy.Phy.slot_bits in
+  float_of_int (transmission_time inst m_cls)
+  +. (x *. search_slot_bound p inst m_cls)
+
+let latency_bound_arbitrated p inst m_cls =
+  require_member inst m_cls;
+  let x = float_of_int inst.Instance.phy.Phy.slot_bits in
+  float_of_int (transmission_time inst m_cls)
+  +. (x *. search_slot_bound_arbitrated p inst m_cls)
+
+let latency_bound_impl p inst m_cls =
+  let x = float_of_int inst.Instance.phy.Phy.slot_bits in
+  let v = static_trees_bound p inst m_cls in
+  let epochs = Int_math.cdiv v 2 + 1 in
+  let max_wire =
+    List.fold_left
+      (fun acc c -> max acc (Phy.tx_bits inst.Instance.phy c.Message.cls_bits))
+      0 (Instance.classes inst)
+  in
+  latency_bound p inst m_cls
+  +. (2. *. x *. float_of_int epochs)
+  +. float_of_int (max_wire + p.Ddcr_params.burst_bits)
+
+type class_report = {
+  cr_cls : Message.cls;
+  cr_r : int;
+  cr_u : int;
+  cr_v : int;
+  cr_search_slots : float;
+  cr_bound : float;
+  cr_bound_impl : float;
+  cr_feasible : bool;
+}
+
+type report = {
+  per_class : class_report list;
+  feasible : bool;
+  worst_margin : float;
+}
+
+let check p inst =
+  (match Ddcr_params.validate p ~num_sources:inst.Instance.num_sources with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Feasibility.check: " ^ e));
+  (* The medium decides which analysis applies: destructive searches
+     are bounded by the ξ machinery, wired-OR arbitration by the
+     re-probe accounting. *)
+  let arbitrated =
+    inst.Instance.phy.Phy.semantics = Phy.Arbitration
+  in
+  let bound_of c =
+    if arbitrated then latency_bound_arbitrated p inst c
+    else latency_bound p inst c
+  in
+  let slots_of c =
+    if arbitrated then search_slot_bound_arbitrated p inst c
+    else search_slot_bound p inst c
+  in
+  let per_class =
+    List.map
+      (fun c ->
+        let bound = bound_of c in
+        {
+          cr_cls = c;
+          cr_r = rank_bound inst c;
+          cr_u = interference_bound inst c;
+          cr_v = static_trees_bound p inst c;
+          cr_search_slots = slots_of c;
+          cr_bound = bound;
+          cr_bound_impl =
+            latency_bound_impl p inst c
+            -. latency_bound p inst c +. bound;
+          cr_feasible = bound <= float_of_int c.Message.cls_deadline;
+        })
+      (Instance.classes inst)
+  in
+  let worst_margin =
+    List.fold_left
+      (fun acc cr ->
+        max acc (cr.cr_bound /. float_of_int cr.cr_cls.Message.cls_deadline))
+      0. per_class
+  in
+  {
+    per_class;
+    feasible = List.for_all (fun cr -> cr.cr_feasible) per_class;
+    worst_margin;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%-12s %6s %6s %4s %10s %12s %12s %s@,"
+    "class" "r(M)" "u(M)" "v(M)" "S slots" "B_DDCR" "d(M)" "ok";
+  List.iter
+    (fun cr ->
+      Format.fprintf fmt "%-12s %6d %6d %4d %10.1f %12.0f %12d %s@,"
+        cr.cr_cls.Message.cls_name cr.cr_r cr.cr_u cr.cr_v cr.cr_search_slots
+        cr.cr_bound cr.cr_cls.Message.cls_deadline
+        (if cr.cr_feasible then "yes" else "NO");
+    )
+    r.per_class;
+  Format.fprintf fmt "feasible: %b (worst margin %.3f)@]" r.feasible
+    r.worst_margin

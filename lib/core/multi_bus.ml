@@ -1,0 +1,154 @@
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Phy = Rtnet_channel.Phy
+module Channel = Rtnet_channel.Channel
+module Run = Rtnet_stats.Run
+
+type assignment = {
+  original : Instance.t;
+  buses : Instance.t array;
+  bus_of_class : (int * int) list;
+}
+
+let class_load phy (c, _) =
+  float_of_int (c.Message.cls_burst * Phy.tx_bits phy c.Message.cls_bits)
+  /. float_of_int c.Message.cls_window
+
+let partition inst ~buses =
+  if buses < 1 then Error "need at least one bus"
+  else begin
+    let classes = Array.to_list inst.Instance.classes in
+    if List.length classes < buses then
+      Error "fewer classes than busses"
+    else begin
+      let phy = inst.Instance.phy in
+      let heaviest_first =
+        List.sort
+          (fun a b -> compare (class_load phy b) (class_load phy a))
+          classes
+      in
+      let loads = Array.make buses 0. in
+      let members = Array.make buses [] in
+      let assigned =
+        List.map
+          (fun ((c, _) as cl) ->
+            let lightest = ref 0 in
+            Array.iteri
+              (fun i l -> if l < loads.(!lightest) then lightest := i)
+              loads;
+            loads.(!lightest) <- loads.(!lightest) +. class_load phy cl;
+            members.(!lightest) <- cl :: members.(!lightest);
+            (c.Message.cls_id, !lightest))
+          heaviest_first
+      in
+      let bus_instances =
+        Array.mapi
+          (fun i cls ->
+            Instance.create_exn
+              ~name:(Printf.sprintf "%s/bus%d" inst.Instance.name i)
+              ~phy ~num_sources:inst.Instance.num_sources (List.rev cls))
+          members
+      in
+      Ok
+        {
+          original = inst;
+          buses = bus_instances;
+          bus_of_class = List.sort compare assigned;
+        }
+    end
+  end
+
+let partition_exn inst ~buses =
+  match partition inst ~buses with
+  | Ok a -> a
+  | Error e -> invalid_arg ("Multi_bus.partition_exn: " ^ e)
+
+type report = {
+  per_bus : (Ddcr_params.t * Feasibility.report) array;
+  feasible : bool;
+  worst_margin : float;
+}
+
+let check a =
+  let per_bus =
+    Array.map
+      (fun bus ->
+        let params = Ddcr_params.default bus in
+        (params, Feasibility.check params bus))
+      a.buses
+  in
+  {
+    per_bus;
+    feasible = Array.for_all (fun (_, r) -> r.Feasibility.feasible) per_bus;
+    worst_margin =
+      Array.fold_left
+        (fun acc (_, r) -> max acc r.Feasibility.worst_margin)
+        0. per_bus;
+  }
+
+let merge_stats a b =
+  {
+    Channel.idle_slots = a.Channel.idle_slots + b.Channel.idle_slots;
+    collision_slots = a.Channel.collision_slots + b.Channel.collision_slots;
+    tx_count = a.Channel.tx_count + b.Channel.tx_count;
+    garbled_count = a.Channel.garbled_count + b.Channel.garbled_count;
+    busy_bits = a.Channel.busy_bits + b.Channel.busy_bits;
+    total_bits = a.Channel.total_bits + b.Channel.total_bits;
+  }
+
+let run ?check_lockstep ?(seed = 1) a ~horizon =
+  let outcomes =
+    Array.map
+      (fun bus ->
+        let params = Ddcr_params.default bus in
+        Ddcr.run ?check_lockstep ~seed params bus ~horizon)
+      a.buses
+  in
+  let completions =
+    List.sort
+      (fun c1 c2 -> compare c1.Run.c_finish c2.Run.c_finish)
+      (List.concat_map (fun o -> o.Run.completions) (Array.to_list outcomes))
+  in
+  let channel =
+    Array.fold_left
+      (fun acc o ->
+        match (acc, o.Run.channel) with
+        | None, s -> s
+        | Some s, None -> Some s
+        | Some s, Some s' -> Some (merge_stats s s'))
+      None outcomes
+  in
+  {
+    Run.protocol = Printf.sprintf "csma-ddcr/%d-bus" (Array.length a.buses);
+    completions;
+    unfinished =
+      List.concat_map (fun o -> o.Run.unfinished) (Array.to_list outcomes);
+    dropped = List.concat_map (fun o -> o.Run.dropped) (Array.to_list outcomes);
+    horizon;
+    channel;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i (params, rep) ->
+      Format.fprintf fmt "bus %d: margin %.3f (%a)@," i
+        rep.Feasibility.worst_margin Ddcr_params.pp params)
+    r.per_bus;
+  Format.fprintf fmt "all busses feasible: %b (worst margin %.3f)@]" r.feasible
+    r.worst_margin
+
+let dimension ?(max_buses = 4) inst =
+  if max_buses < 1 then invalid_arg "Multi_bus.dimension: max_buses < 1";
+  let classes = Array.length inst.Instance.classes in
+  let rec try_n n =
+    if n > max_buses || n > classes then None
+    else begin
+      match partition inst ~buses:n with
+      | Error _ -> None
+      | Ok a ->
+        let r = check a in
+        if r.feasible then Some (a, r) else try_n (n + 1)
+    end
+  in
+  try_n 1

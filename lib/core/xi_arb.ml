@@ -1,0 +1,103 @@
+module Int_math = Rtnet_util.Int_math
+
+let check_tree ~m ~t =
+  if m < 2 then invalid_arg "Xi_arb: branching degree m must be >= 2";
+  if t < m || not (Int_math.is_power_of m t) then
+    invalid_arg "Xi_arb: t must be a positive power of m, t >= m"
+
+(* One DP level: from the child vector Z (size s) to the parent vector
+   (size s·m).  For k >= 2 the probe collides, carries the winner away
+   from one child (adversary's choice), and the children are searched:
+
+     parent.(k) = 1 + max over compositions, max over winner child c.
+
+   Computed as: A = max-plus convolution of (m-1) unshifted children,
+   then combine with one winner child whose count is reduced by 1. *)
+let step child s_child m =
+  let neg = min_int / 2 in
+  let maxconv a ~bound_b =
+    let la = Array.length a - 1 in
+    let reach = la + bound_b in
+    let out = Array.make (reach + 1) neg in
+    for total = 0 to reach do
+      for q = max 0 (total - la) to min bound_b total do
+        if a.(total - q) > neg then begin
+          let v = a.(total - q) + child.(q) in
+          if v > out.(total) then out.(total) <- v
+        end
+      done
+    done;
+    out
+  in
+  (* A = best sum over (m-1) ordinary children. *)
+  let a = ref [| 0 |] in
+  for _ = 1 to m - 1 do
+    a := maxconv !a ~bound_b:s_child
+  done;
+  let a = !a in
+  let t_next = s_child * m in
+  Array.init (t_next + 1) (fun k ->
+      if k = 0 then 1
+      else if k = 1 then 0
+      else begin
+        (* winner child holds kc >= 1 leaves, searched with kc - 1. *)
+        let best = ref min_int in
+        for kc = 1 to min s_child k do
+          if k - kc <= Array.length a - 1 then begin
+            let v = a.(k - kc) + child.(kc - 1) in
+            if v > !best then best := v
+          end
+        done;
+        1 + !best
+      end)
+
+let table ~m ~t =
+  check_tree ~m ~t;
+  let rec go z size = if size = t then z else go (step z size m) (size * m) in
+  go [| 1; 0 |] 1
+
+let exact ~m ~t ~k =
+  let z = table ~m ~t in
+  if k < 0 || k > t then invalid_arg "Xi_arb.exact: k out of [0, t]";
+  z.(k)
+
+let rec of_recursion ~m ~t ~k =
+  if t = 1 then begin
+    match k with
+    | 0 -> 1
+    | 1 -> 0
+    | _ -> invalid_arg "Xi_arb.of_recursion: k > leaves"
+  end
+  else if k = 0 then 1
+  else if k = 1 then 0
+  else begin
+    let child = t / m in
+    (* Enumerate compositions of k into m parts bounded by child. *)
+    let best = ref min_int in
+    let parts = Array.make m 0 in
+    let rec fill i remaining =
+      if i = m - 1 then begin
+        if remaining <= child then begin
+          parts.(i) <- remaining;
+          (* Try every child as the winner's subtree. *)
+          for c = 0 to m - 1 do
+            if parts.(c) >= 1 then begin
+              let sum = ref 0 in
+              for j = 0 to m - 1 do
+                let kj = if j = c then parts.(j) - 1 else parts.(j) in
+                sum := !sum + of_recursion ~m ~t:child ~k:kj
+              done;
+              if !sum > !best then best := !sum
+            end
+          done
+        end
+      end
+      else
+        for v = 0 to min child remaining do
+          parts.(i) <- v;
+          fill (i + 1) (remaining - v)
+        done
+    in
+    fill 0 k;
+    1 + !best
+  end

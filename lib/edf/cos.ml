@@ -1,0 +1,49 @@
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+
+type scheme = { floor_value : int; boundaries : int array }
+
+let design ~levels inst =
+  if levels < 1 then invalid_arg "Cos.design: levels < 1";
+  let deadlines =
+    List.map (fun c -> c.Message.cls_deadline) (Instance.classes inst)
+  in
+  let lo = List.fold_left min max_int deadlines in
+  let hi = List.fold_left max 1 deadlines in
+  let ratio = float_of_int hi /. float_of_int lo in
+  let boundaries =
+    Array.init levels (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int levels in
+        let edge = float_of_int lo *. (ratio ** frac) in
+        max lo (int_of_float (ceil edge)))
+  in
+  (* Guarantee the top bucket covers the largest deadline despite any
+     floating-point shortfall. *)
+  boundaries.(levels - 1) <- max boundaries.(levels - 1) hi;
+  { floor_value = lo; boundaries }
+
+let levels s = Array.length s.boundaries
+
+let priority s d =
+  let n = Array.length s.boundaries in
+  let rec go i = if i >= n - 1 || d <= s.boundaries.(i) then i else go (i + 1) in
+  go 0
+
+let representative s d =
+  let level = priority s d in
+  (* The smallest deadline of the bucket: one past the previous edge,
+     so the value stays inside its own bucket (idempotence). *)
+  if level = 0 then min s.floor_value d else s.boundaries.(level - 1) + 1
+
+let quantize_instance s inst =
+  let classes =
+    Array.to_list
+      (Array.map
+         (fun (c, law) ->
+           ( { c with Message.cls_deadline = representative s c.Message.cls_deadline },
+             law ))
+         inst.Instance.classes)
+  in
+  Instance.create_exn
+    ~name:(inst.Instance.name ^ "/cos" ^ string_of_int (levels s))
+    ~phy:inst.Instance.phy ~num_sources:inst.Instance.num_sources classes

@@ -1,0 +1,45 @@
+(** Class-of-Service deadline quantization (Section 5).
+
+    IEEE 802.1Q carries an explicit priority field in packet headers;
+    the paper proposes passing message deadlines to the CSMA/DDCR layer
+    through it ("Classes-of-Service are naturally defined via task
+    deadlines D, transformed into message deadlines d, which can be
+    passed on ... via the standard conformant priority field").  The
+    field is small — 8 levels in 802.1p — so the deadline reaches the
+    MAC {i quantized}.
+
+    A {!scheme} maps the instance's deadline range onto [levels]
+    log-spaced buckets.  Quantization is {b conservative}: a deadline
+    is replaced by its bucket's lower edge, which never exceeds the
+    true deadline, so a schedule feasible for the quantized instance is
+    feasible for the real one.  The cost of the coarser information is
+    measured in experiment E14. *)
+
+type scheme = private {
+  floor_value : int;  (** the smallest deadline the scheme covers *)
+  boundaries : int array;  (** ascending bucket upper edges *)
+}
+
+val design : levels:int -> Rtnet_workload.Instance.t -> scheme
+(** [design ~levels inst] builds a scheme with [levels] log-spaced
+    buckets spanning the instance's smallest to largest class deadline
+    (802.1p: [levels = 8]).
+    @raise Invalid_argument if [levels < 1]. *)
+
+val levels : scheme -> int
+(** [levels s] is the number of priority levels. *)
+
+val priority : scheme -> int -> int
+(** [priority s d] is the priority level of deadline [d]: [0] is the
+    most urgent bucket; deadlines above the top boundary saturate at
+    the last level.  Monotone in [d]. *)
+
+val representative : scheme -> int -> int
+(** [representative s d] is the quantized deadline: the lower edge of
+    [d]'s bucket.  Always [<= d] (conservative) and idempotent. *)
+
+val quantize_instance :
+  scheme -> Rtnet_workload.Instance.t -> Rtnet_workload.Instance.t
+(** [quantize_instance s inst] replaces every class's relative deadline
+    by its representative — the instance as the MAC layer sees it
+    through an 8-level priority field. *)

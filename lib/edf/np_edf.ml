@@ -1,0 +1,53 @@
+module Message = Rtnet_workload.Message
+module Phy = Rtnet_channel.Phy
+
+module Run = Rtnet_stats.Run
+
+let run phy trace ~horizon =
+  let arrivals =
+    List.sort (fun a b -> compare a.Message.arrival b.Message.arrival) trace
+  in
+  let rec go now pending arrivals completions =
+    (* Admit everything that has arrived by [now]. *)
+    let admitted, arrivals =
+      let rec split q = function
+        | m :: rest when m.Message.arrival <= now ->
+          split (Edf_queue.insert q m) rest
+        | rest -> (q, rest)
+      in
+      split pending arrivals
+    in
+    match Edf_queue.pop admitted with
+    | Some (m, pending) ->
+      if now >= horizon then
+        (* Run ends: everything still queued is unfinished. *)
+        (completions, Edf_queue.insert pending m, arrivals)
+      else begin
+        let finish = now + Phy.tx_bits phy m.Message.cls.Message.cls_bits in
+        let c = { Run.c_msg = m; c_start = now; c_finish = finish } in
+        go finish pending arrivals (c :: completions)
+      end
+    | None -> (
+      match arrivals with
+      | [] -> (completions, Edf_queue.empty, [])
+      | m :: _ when m.Message.arrival < horizon ->
+        go m.Message.arrival admitted arrivals completions
+      | _ :: _ -> (completions, admitted, arrivals))
+  in
+  let completions, pending, not_arrived = go 0 Edf_queue.empty arrivals [] in
+  {
+    Run.protocol = "np-edf-oracle";
+    completions = List.rev completions;
+    unfinished = Edf_queue.to_sorted_list pending @ not_arrived;
+    dropped = [];
+    horizon;
+    channel = None;
+  }
+
+let schedulable phy trace =
+  let horizon =
+    List.fold_left (fun acc m -> max acc (Message.abs_deadline m)) 1 trace + 1
+  in
+  let outcome = run phy trace ~horizon in
+  outcome.Run.unfinished = []
+  && List.for_all (fun c -> not (Run.missed c)) outcome.Run.completions

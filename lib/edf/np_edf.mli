@@ -1,0 +1,22 @@
+(** Centralized Non-Preemptive EDF oracle.
+
+    The paper chooses CSMA/DDCR because it {i emulates a distributed
+    NP-EDF scheduler}, and centralized NP-EDF is optimal for the
+    centralized variant of HRTDM (Section 3.1, refs [20, 21]).  This
+    module schedules a trace on an ideal single server with complete
+    knowledge and zero contention overhead: transmitting a message
+    costs exactly its on-wire time [l'].  Its outcome is the
+    lower-bound reference every distributed protocol is compared
+    against. *)
+
+val run :
+  Rtnet_channel.Phy.t -> Rtnet_workload.Message.t list -> horizon:int -> Rtnet_stats.Run.outcome
+(** [run phy trace ~horizon] schedules [trace] (any order) under
+    non-preemptive EDF on an ideal server of medium [phy] and reports
+    the outcome.  Messages whose service has not started by [horizon]
+    are reported unfinished. *)
+
+val schedulable : Rtnet_channel.Phy.t -> Rtnet_workload.Message.t list -> bool
+(** [schedulable phy trace] is [true] iff the ideal NP-EDF schedule of
+    this trace meets every deadline — a necessary condition for any
+    distributed protocol on the same medium to meet them. *)

@@ -1,0 +1,103 @@
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Phy = Rtnet_channel.Phy
+
+let wire inst c = Phy.tx_bits inst.Instance.phy c.Message.cls_bits
+
+let utilization inst =
+  List.fold_left
+    (fun acc c ->
+      acc
+      +. float_of_int (c.Message.cls_burst * wire inst c)
+         /. float_of_int c.Message.cls_window)
+    0. (Instance.classes inst)
+
+let dbf_class inst c t =
+  let d = c.Message.cls_deadline and w = c.Message.cls_window in
+  if t < d then 0
+  else c.Message.cls_burst * (((t - d) / w) + 1) * wire inst c
+
+let demand_bound inst t =
+  List.fold_left (fun acc c -> acc + dbf_class inst c t) 0 (Instance.classes inst)
+
+let blocking inst t =
+  List.fold_left
+    (fun acc c ->
+      if c.Message.cls_deadline > t then max acc (wire inst c) else acc)
+    0 (Instance.classes inst)
+
+let max_blocking inst =
+  List.fold_left (fun acc c -> max acc (wire inst c)) 0 (Instance.classes inst)
+
+let busy_period inst =
+  if utilization inst >= 1. then None
+  else begin
+    (* Fixpoint of L = B + Σ a·⌈L/w⌉·l', the synchronous busy period
+       under peak-load arrivals plus worst blocking. *)
+    let next l =
+      List.fold_left
+        (fun acc c ->
+          acc
+          + (c.Message.cls_burst
+            * Rtnet_util.Int_math.cdiv l c.Message.cls_window
+            * wire inst c))
+        (max_blocking inst) (Instance.classes inst)
+    in
+    let rec iterate l guard =
+      if guard = 0 then Some l
+      else begin
+        let l' = next l in
+        if l' = l then Some l else iterate l' (guard - 1)
+      end
+    in
+    iterate (max 1 (max_blocking inst)) 10_000
+  end
+
+type verdict = { np_feasible : bool; np_margin : float; critical_t : int }
+
+let checkpoints inst ~upto =
+  (* All instants where some class's demand steps: t = d + k·w. *)
+  let points =
+    List.concat_map
+      (fun c ->
+        let d = c.Message.cls_deadline and w = c.Message.cls_window in
+        let rec go t acc = if t > upto then acc else go (t + w) (t :: acc) in
+        go d [])
+      (Instance.classes inst)
+  in
+  List.sort_uniq compare points
+
+let check inst =
+  match busy_period inst with
+  | None ->
+    { np_feasible = false; np_margin = utilization inst; critical_t = 0 }
+  | Some busy -> (
+    (* The busy period suffices for exactness, but when every deadline
+       exceeds it there would be no checkpoint at all; extending the
+       range past each class's first demand step keeps the condition
+       (which is necessary at every t) and yields a meaningful
+       margin. *)
+    let first_steps =
+      List.fold_left
+        (fun acc c -> max acc (c.Message.cls_deadline + c.Message.cls_window))
+        1 (Instance.classes inst)
+    in
+    let upto = max busy first_steps in
+    let score t =
+      float_of_int (blocking inst t + demand_bound inst t) /. float_of_int t
+    in
+    match checkpoints inst ~upto with
+    | [] -> { np_feasible = true; np_margin = 0.; critical_t = 0 }
+    | t0 :: rest ->
+      let critical, margin =
+        List.fold_left
+          (fun (bt, bm) t ->
+            let s = score t in
+            if s > bm then (t, s) else (bt, bm))
+          (t0, score t0) rest
+      in
+      { np_feasible = margin <= 1.; np_margin = margin; critical_t = critical })
+
+let price_of_distribution ~distributed_margin inst =
+  let oracle = (check inst).np_margin in
+  if oracle <= 0. then infinity else distributed_margin /. oracle

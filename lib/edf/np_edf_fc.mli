@@ -1,0 +1,63 @@
+(** Feasibility conditions for the {e centralized} NP-EDF oracle.
+
+    Section 3.1 justifies CSMA/DDCR by the optimality of centralized
+    non-preemptive EDF (ref [20], Jeffay, Stanat & Martel 1991).  This
+    module implements the corresponding schedulability test, extended
+    from sporadic tasks to the paper's unimodal arbitrary arrival model
+    through demand-bound functions:
+
+    - the {b demand} of class [m] over any interval of length [t] is at
+      most [dbf_m(t) = a·(⌊(t − d)/w⌋ + 1)·l'] for [t ≥ d] (the
+      adversary releases [a] messages at the start of every window, as
+      early as density permits);
+    - non-preemption adds a {b blocking} term: one already-started
+      frame of any class with a larger deadline;
+    - the oracle meets all deadlines iff for every checkpoint [t]
+      (the absolute-deadline instants where some [dbf] steps),
+      [blocking(t) + Σ_m dbf_m(t) <= t].
+
+    Checkpoints are enumerated up to the synchronous busy-period bound
+    (fixpoint of [L = B + Σ a·⌈L/w⌉·l']), so the test is exact for
+    peak-load arrivals.  Comparing this margin with
+    {!Rtnet_core.Feasibility}'s quantifies the {e provable price of
+    distribution} — how much of the deadline budget CSMA/DDCR's
+    contention resolution consumes beyond what any centralized
+    scheduler would. *)
+
+val utilization : Rtnet_workload.Instance.t -> float
+(** [utilization inst] is [Σ a·l'/w] — demand per unit time; above 1
+    nothing is schedulable. *)
+
+val demand_bound : Rtnet_workload.Instance.t -> int -> int
+(** [demand_bound inst t] is [Σ_m dbf_m(t)] in bit-times. *)
+
+val blocking : Rtnet_workload.Instance.t -> int -> int
+(** [blocking inst t] is the worst head-of-line blocking at deadline
+    horizon [t]: the largest on-wire length among classes whose
+    relative deadline exceeds [t] (a longer-deadline frame that just
+    started cannot be preempted). *)
+
+val busy_period : Rtnet_workload.Instance.t -> int option
+(** [busy_period inst] is the synchronous busy-period length (fixpoint
+    iteration), or [None] when [utilization inst >= 1]. *)
+
+type verdict = {
+  np_feasible : bool;  (** every checkpoint satisfied *)
+  np_margin : float;
+      (** max over checkpoints of [(blocking + demand)/t]; [<= 1] iff
+          feasible *)
+  critical_t : int;  (** the checkpoint attaining the margin *)
+}
+
+val check : Rtnet_workload.Instance.t -> verdict
+(** [check inst] runs the test over all checkpoints up to the busy
+    period.  An instance with [utilization >= 1] is reported infeasible
+    with the utilization as margin. *)
+
+val price_of_distribution :
+  distributed_margin:float -> Rtnet_workload.Instance.t -> float
+(** [price_of_distribution ~distributed_margin inst] is the ratio of
+    the distributed protocol's FC margin (e.g.
+    [Rtnet_core.Feasibility]'s worst margin) to the centralized
+    oracle's margin — the provable cost of resolving contention on a
+    broadcast medium rather than in a central queue. *)

@@ -1,0 +1,109 @@
+module Message = Rtnet_workload.Message
+module Channel = Rtnet_channel.Channel
+module Edf_queue = Rtnet_edf.Edf_queue
+module Run = Rtnet_stats.Run
+module Engine = Rtnet_sim.Engine
+
+type services = {
+  channel : Channel.t;
+  peek : int -> Message.t option;
+  pop : int -> Message.t option;
+  complete : Message.t -> start:int -> finish:int -> unit;
+  drop : Message.t -> unit;
+  deliver_until : int -> unit;
+}
+
+exception Mismatch of string
+
+let run ~protocol ?fault ~phy ~num_sources ~horizon ~decide ~after trace =
+  let channel = Channel.create ?fault phy in
+  let queues = Array.make num_sources Edf_queue.empty in
+  let completions = ref [] in
+  let dropped = ref [] in
+  let arrivals =
+    ref
+      (List.sort
+         (fun a b ->
+           compare
+             (a.Message.arrival, a.Message.uid)
+             (b.Message.arrival, b.Message.uid))
+         trace)
+  in
+  let deliver now =
+    let rec go = function
+      | m :: rest when m.Message.arrival <= now ->
+        let s = m.Message.cls.Message.cls_source in
+        queues.(s) <- Edf_queue.insert queues.(s) m;
+        go rest
+      | rest -> arrivals := rest
+    in
+    go !arrivals
+  in
+  let services =
+    {
+      channel;
+      peek = (fun src -> Edf_queue.peek queues.(src));
+      pop =
+        (fun src ->
+          match Edf_queue.pop queues.(src) with
+          | Some (m, q) ->
+            queues.(src) <- q;
+            Some m
+          | None -> None);
+      complete =
+        (fun m ~start ~finish ->
+          completions :=
+            { Run.c_msg = m; c_start = start; c_finish = finish }
+            :: !completions);
+      drop = (fun m -> dropped := m :: !dropped);
+      deliver_until = (fun time -> deliver time);
+    }
+  in
+  let take src tag =
+    match services.pop src with
+    | Some m when m.Message.uid = tag -> m
+    | Some m ->
+      raise
+        (Mismatch
+           (Printf.sprintf
+              "source %d transmitted uid %d but its EDF head is uid %d" src tag
+              m.Message.uid))
+    | None ->
+      raise (Mismatch (Printf.sprintf "source %d transmitted from an empty queue" src))
+  in
+  let engine = Engine.create () in
+  let rec slot eng =
+    let now = Engine.now eng in
+    deliver now;
+    let attempts = decide services ~now in
+    let resolution, next_free = Channel.contend channel ~now attempts in
+    (match resolution with
+    | Channel.Idle | Channel.Garbled _ | Channel.Clash { survivor = None; _ } ->
+      ()
+    | Channel.Tx { src; tag; on_wire } ->
+      let m = take src tag in
+      services.complete m ~start:now ~finish:(now + on_wire)
+    | Channel.Clash { survivor = Some (src, tag, on_wire); _ } ->
+      let m = take src tag in
+      let start = now + Channel.slot_bits channel in
+      services.complete m ~start ~finish:(start + on_wire));
+    let next_free = after services ~now ~resolution ~next_free in
+    if next_free < horizon then Engine.schedule_at eng ~time:next_free slot
+  in
+  Engine.schedule_at engine ~time:0 slot;
+  Engine.run engine;
+  (match Channel.check_safety channel with
+  | Ok () -> ()
+  | Error reason -> failwith ("MAC safety violated: " ^ reason));
+  let unfinished =
+    Array.fold_left (fun acc q -> acc @ Edf_queue.to_sorted_list q) [] queues
+    @ List.filter (fun m -> m.Message.arrival < horizon) !arrivals
+  in
+  {
+    Run.protocol;
+    completions = List.rev !completions;
+    unfinished;
+    dropped = List.rev !dropped;
+    horizon;
+    channel = Some (Channel.stats channel);
+  }

@@ -1,0 +1,74 @@
+(** Common harness for slotted MAC-protocol simulations.
+
+    Every contention protocol in this repository (CSMA/DDCR, CSMA/DCR,
+    CSMA-CD/BEB) shares the same skeleton: deliver arrivals into
+    per-source EDF queues at each slot boundary, collect the sources'
+    transmission attempts, resolve the slot on the {!Rtnet_channel}
+    medium, record the carried frame (if any) as a completion, let the
+    protocol update its state from the feedback, and repeat until the
+    horizon.  This module owns that skeleton — driven by the
+    {!Rtnet_sim.Engine} discrete-event kernel — so a protocol only
+    supplies two callbacks:
+
+    - [decide]: the attempts for the next contention slot;
+    - [after]: protocol-state update from the slot's resolution, with
+      the option to extend the acquisition (packet bursting) by
+      returning a later [next_free].
+
+    The harness asserts the channel-level safety property (mutual
+    exclusion) when the run ends and assembles the {!Rtnet_stats.Run}
+    outcome (completions, unfinished, dropped, channel statistics). *)
+
+type services = {
+  channel : Rtnet_channel.Channel.t;  (** the medium (e.g. for {!Rtnet_channel.Channel.burst}) *)
+  peek : int -> Rtnet_workload.Message.t option;
+      (** [peek src] is the head ([msg*]) of [src]'s EDF queue *)
+  pop : int -> Rtnet_workload.Message.t option;
+      (** [pop src] removes and returns the head *)
+  complete : Rtnet_workload.Message.t -> start:int -> finish:int -> unit;
+      (** record a carried frame (used by the harness itself for the
+          slot's main frame, and by protocols for burst frames) *)
+  drop : Rtnet_workload.Message.t -> unit;
+      (** record a message the protocol abandoned (counts as missed) *)
+  deliver_until : int -> unit;
+      (** make arrivals with [T <= time] visible in the queues; the
+          harness already does this at every slot boundary, but a
+          protocol extending an acquisition (packet bursting) must call
+          it before choosing each continuation frame so the EDF ranking
+          sees messages that arrived mid-acquisition *)
+}
+
+exception Mismatch of string
+(** Raised when the channel reports a transmission whose tag is not the
+    head of the sender's queue — a protocol-implementation error. *)
+
+val run :
+  protocol:string ->
+  ?fault:Rtnet_channel.Channel.fault ->
+  phy:Rtnet_channel.Phy.t ->
+  num_sources:int ->
+  horizon:int ->
+  decide:(services -> now:int -> Rtnet_channel.Channel.attempt list) ->
+  after:
+    (services ->
+    now:int ->
+    resolution:Rtnet_channel.Channel.resolution ->
+    next_free:int ->
+    int) ->
+  Rtnet_workload.Message.t list ->
+  Rtnet_stats.Run.outcome
+(** [run ~protocol ~phy ~num_sources ~horizon ~decide ~after trace]
+    simulates the protocol on [trace].  Per slot, the harness:
+
+    + delivers arrivals with [T <= now] into the EDF queues,
+    + calls [decide] and resolves the slot on the channel,
+    + on a carried frame ([Tx] or an arbitrated survivor) pops the
+      sender's head (verifying the tag — {!Mismatch} otherwise) and
+      records the completion,
+    + calls [after], whose return value becomes the next slot boundary
+      (return [next_free] unchanged unless bursting extended the
+      acquisition),
+    + asserts, at the end, that no two carried frames overlapped.
+
+    @raise Mismatch on tag/queue-head disagreement.
+    @raise Failure if the channel safety check fails. *)

@@ -1,0 +1,47 @@
+type t = {
+  mutable clock : int;
+  queue : (t -> unit) Event_queue.t;
+  mutable processed : int;
+}
+
+let create () = { clock = 0; queue = Event_queue.create (); processed = 0 }
+
+let now eng = eng.clock
+
+let schedule_at eng ~time k =
+  if time < eng.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add eng.queue ~time k
+
+let schedule eng ~delay k =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.add eng.queue ~time:(eng.clock + delay) k
+
+let step eng =
+  match Event_queue.pop eng.queue with
+  | None -> false
+  | Some (time, k) ->
+    eng.clock <- time;
+    eng.processed <- eng.processed + 1;
+    k eng;
+    true
+
+let run ?until eng =
+  let within t = match until with None -> true | Some u -> t <= u in
+  let rec go () =
+    match Event_queue.peek_time eng.queue with
+    | Some t when within t ->
+      if step eng then go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  match until with
+  | Some u when u > eng.clock -> eng.clock <- u
+  | Some _ | None -> ()
+
+let stop eng =
+  let rec drain () =
+    match Event_queue.pop eng.queue with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let events_processed eng = eng.processed

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    A simulation is a set of callbacks scheduled on a virtual clock.
+    Time is a non-negative integer; the protocol layers use one unit
+    per bit-time so that every duration in the paper (slot time [x],
+    transmission time [l'/ψ]) is exact.
+
+    The engine is single-threaded and deterministic: callbacks run in
+    (time, scheduling-order) order, and a callback may schedule further
+    events (including at the current instant). *)
+
+type t
+(** Engine state: clock plus pending-event queue. *)
+
+val create : unit -> t
+(** [create ()] is an engine at time 0 with no pending events. *)
+
+val now : t -> int
+(** [now eng] is the current virtual time. *)
+
+val schedule_at : t -> time:int -> (t -> unit) -> unit
+(** [schedule_at eng ~time k] runs [k] at virtual [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val schedule : t -> delay:int -> (t -> unit) -> unit
+(** [schedule eng ~delay k] runs [k] after [delay] time units.
+    @raise Invalid_argument if [delay < 0]. *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until eng] processes events in order until the queue is empty
+    or the next event is strictly later than [until]; the clock is left
+    at the last processed event's time (or [until] if given and
+    greater). *)
+
+val step : t -> bool
+(** [step eng] processes the single earliest event; [false] if none. *)
+
+val stop : t -> unit
+(** [stop eng] discards all pending events, ending [run] early. *)
+
+val events_processed : t -> int
+(** [events_processed eng] counts callbacks run so far. *)

@@ -1,0 +1,32 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Events are ordered by timestamp; ties are broken by insertion order
+    so that simulations are fully deterministic (two events scheduled
+    for the same instant fire in the order they were scheduled). *)
+
+type 'a t
+(** Queue of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [true] iff [q] holds no event. *)
+
+val length : 'a t -> int
+(** [length q] is the number of pending events. *)
+
+val add : 'a t -> time:int -> 'a -> unit
+(** [add q ~time payload] schedules [payload] at [time].
+    @raise Invalid_argument if [time < 0]. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time q] is the timestamp of the earliest event, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes and returns the earliest event as
+    [(time, payload)]. *)
+
+val drain_until : 'a t -> time:int -> (int * 'a) list
+(** [drain_until q ~time] pops every event with timestamp [<= time], in
+    order, and returns them oldest first. *)

@@ -1,0 +1,102 @@
+module Message = Rtnet_workload.Message
+module Channel = Rtnet_channel.Channel
+
+type completion = { c_msg : Message.t; c_start : int; c_finish : int }
+
+let latency c = c.c_finish - c.c_msg.Message.arrival
+
+let lateness c = c.c_finish - Message.abs_deadline c.c_msg
+
+let missed c = lateness c > 0
+
+type outcome = {
+  protocol : string;
+  completions : completion list;
+  unfinished : Message.t list;
+  dropped : Message.t list;
+  horizon : int;
+  channel : Channel.stats option;
+}
+
+type metrics = {
+  delivered : int;
+  deadline_misses : int;
+  miss_ratio : float;
+  worst_latency : int;
+  mean_latency : float;
+  worst_lateness : int;
+  inversions : int;
+  utilization : float;
+}
+
+let inversions cs =
+  let arr = Array.of_list cs in
+  let n = Array.length arr in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        b.c_msg.Message.arrival <= a.c_start
+        && Message.abs_deadline a.c_msg > Message.abs_deadline b.c_msg
+      then incr count
+    done
+  done;
+  !count
+
+let metrics o =
+  let delivered = List.length o.completions in
+  let late = List.length (List.filter missed o.completions) in
+  let due_unfinished =
+    List.length
+      (List.filter (fun m -> Message.abs_deadline m <= o.horizon) o.unfinished)
+  in
+  let drops = List.length o.dropped in
+  let misses = late + drops + due_unfinished in
+  let accountable = delivered + drops + due_unfinished in
+  let latencies = List.map latency o.completions in
+  let worst_latency = List.fold_left max 0 latencies in
+  let mean_latency =
+    if delivered = 0 then 0.
+    else float_of_int (List.fold_left ( + ) 0 latencies) /. float_of_int delivered
+  in
+  let worst_lateness =
+    match o.completions with
+    | [] -> 0
+    | c :: cs -> List.fold_left (fun acc c -> max acc (lateness c)) (lateness c) cs
+  in
+  {
+    delivered;
+    deadline_misses = misses;
+    miss_ratio =
+      (if accountable = 0 then 0. else float_of_int misses /. float_of_int accountable);
+    worst_latency;
+    mean_latency;
+    worst_lateness;
+    inversions = inversions o.completions;
+    utilization =
+      (match o.channel with
+      | None -> 0.
+      | Some st ->
+        if st.Channel.total_bits = 0 then 0.
+        else float_of_int st.Channel.busy_bits /. float_of_int st.Channel.total_bits);
+  }
+
+let per_class_worst_latency o =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let id = c.c_msg.Message.cls.Message.cls_id in
+      let l = latency c in
+      match Hashtbl.find_opt tbl id with
+      | Some best when best >= l -> ()
+      | Some _ | None -> Hashtbl.replace tbl id l)
+    o.completions;
+  List.sort compare (Hashtbl.fold (fun id l acc -> (id, l) :: acc) tbl [])
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "delivered=%d misses=%d (%.2f%%) worst-lat=%d mean-lat=%.0f \
+     worst-late=%d inv=%d util=%.3f"
+    m.delivered m.deadline_misses (100. *. m.miss_ratio) m.worst_latency
+    m.mean_latency m.worst_lateness m.inversions m.utilization

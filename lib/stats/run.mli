@@ -1,0 +1,67 @@
+(** Common result representation for every protocol run.
+
+    All protocol simulators (CSMA/DDCR, the baselines and the
+    centralized NP-EDF oracle) report their run as an {!outcome}; all
+    experiment harnesses consume {!metrics} computed from it, so
+    protocols are compared on identical terms. *)
+
+type completion = {
+  c_msg : Rtnet_workload.Message.t;  (** the transmitted message *)
+  c_start : int;  (** first bit on the wire, bit-times *)
+  c_finish : int;  (** last bit on the wire, bit-times *)
+}
+
+val latency : completion -> int
+(** [latency c] is [c_finish − T(msg)] — the successful transmission
+    latency bounded by [B_DDCR] in Section 4.3. *)
+
+val lateness : completion -> int
+(** [lateness c] is [c_finish − DM(msg)]; positive means the timeliness
+    property was violated. *)
+
+val missed : completion -> bool
+(** [missed c] is [lateness c > 0]. *)
+
+type outcome = {
+  protocol : string;  (** protocol label *)
+  completions : completion list;  (** in completion order *)
+  unfinished : Rtnet_workload.Message.t list;
+      (** messages still queued when the run ended (not counted as
+          misses if their deadline is beyond the horizon) *)
+  dropped : Rtnet_workload.Message.t list;
+      (** messages abandoned by the protocol (e.g. BEB's 16-attempt
+          limit) — always counted as misses *)
+  horizon : int;  (** end of simulated time, bit-times *)
+  channel : Rtnet_channel.Channel.stats option;  (** medium counters, if simulated *)
+}
+
+type metrics = {
+  delivered : int;  (** messages completed *)
+  deadline_misses : int;  (** completions after [DM], plus drops, plus
+                              unfinished whose deadline fell within the
+                              horizon *)
+  miss_ratio : float;  (** misses / (delivered + dropped + due) *)
+  worst_latency : int;  (** max latency (0 if nothing delivered) *)
+  mean_latency : float;  (** mean latency *)
+  worst_lateness : int;  (** max lateness; negative = min slack *)
+  inversions : int;  (** deadline inversions, see {!inversions} *)
+  utilization : float;  (** carried bits / elapsed bits, if known *)
+}
+
+val inversions : completion list -> int
+(** [inversions cs] counts pairs [(a, b)] where [a] started
+    transmission while [b] was already pending ([T(b) <= c_start a])
+    yet [DM(a) > DM(b)] and [b] completed after [a] — the
+    deadline-inversion count that CSMA/DDCR's deadline equivalence
+    classes are designed to keep small. *)
+
+val metrics : outcome -> metrics
+(** [metrics o] computes the scoreboard for one run. *)
+
+val per_class_worst_latency : outcome -> (int * int) list
+(** [per_class_worst_latency o] maps each class id (that completed at
+    least one message) to its worst observed latency — compared against
+    [B_DDCR] per class in the validation experiments. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+(** [pp_metrics fmt m] prints a one-line scoreboard. *)

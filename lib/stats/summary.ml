@@ -1,0 +1,89 @@
+type t = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  stddev : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let of_list samples =
+  match samples with
+  | [] -> None
+  | _ :: _ ->
+    let arr = Array.of_list samples in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let fn = float_of_int n in
+    let sum = Array.fold_left ( + ) 0 arr in
+    let mean = float_of_int sum /. fn in
+    let var =
+      Array.fold_left
+        (fun acc v ->
+          let d = float_of_int v -. mean in
+          acc +. (d *. d))
+        0. arr
+      /. fn
+    in
+    Some
+      {
+        count = n;
+        min = arr.(0);
+        max = arr.(n - 1);
+        mean;
+        stddev = sqrt var;
+        p50 = percentile arr 50.;
+        p90 = percentile arr 90.;
+        p99 = percentile arr 99.;
+      }
+
+let of_list_exn samples =
+  match of_list samples with
+  | Some s -> s
+  | None -> invalid_arg "Summary.of_list_exn: empty"
+
+let pp fmt s =
+  Format.fprintf fmt
+    "n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f sd=%.1f" s.count s.min
+    s.p50 s.p90 s.p99 s.max s.mean s.stddev
+
+module Histogram = struct
+  type h = { lo : int; hi : int; width : int; tally : int array }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo then invalid_arg "Histogram.create: empty range";
+    if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
+    let width = max 1 ((hi - lo + buckets - 1) / buckets) in
+    { lo; hi; width; tally = Array.make buckets 0 }
+
+  let add h v =
+    let b = (v - h.lo) / h.width in
+    let b = max 0 (min (Array.length h.tally - 1) b) in
+    h.tally.(b) <- h.tally.(b) + 1
+
+  let counts h = Array.copy h.tally
+
+  let render h =
+    let buf = Buffer.create 256 in
+    let peak = Array.fold_left max 1 h.tally in
+    Array.iteri
+      (fun i c ->
+        let lo = h.lo + (i * h.width) in
+        let bar = 50 * c / peak in
+        Buffer.add_string buf
+          (Printf.sprintf "%12d..%-12d |%s %d\n" lo
+             (lo + h.width - 1)
+             (String.make bar '#')
+             c))
+      h.tally;
+    Buffer.contents buf
+end

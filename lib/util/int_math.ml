@@ -1,0 +1,52 @@
+let mul_checked a b =
+  (* Detects wrap-around on 63-bit native ints before it happens. *)
+  if a <> 0 && b <> 0 && (abs a > max_int / abs b) then
+    invalid_arg "Int_math.pow: overflow";
+  a * b
+
+let pow m e =
+  if e < 0 then invalid_arg "Int_math.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul_checked acc base else acc in
+      if e <= 1 then acc else go acc (mul_checked base base) (e lsr 1)
+    end
+  in
+  go 1 m e
+
+let is_power_of m t =
+  if m < 2 then invalid_arg "Int_math.is_power_of: m < 2";
+  let rec go v = if v = 1 then true else if v mod m <> 0 then false else go (v / m) in
+  t >= 1 && go t
+
+let log_floor m v =
+  if m < 2 then invalid_arg "Int_math.log_floor: m < 2";
+  if v < 1 then invalid_arg "Int_math.log_floor: v < 1";
+  (* Count how many times [m] divides into [v] before exceeding it;
+     [p] tracks m^e and is kept <= v to avoid overflow. *)
+  let rec go e p = if p > v / m then e else go (e + 1) (p * m) in
+  go 0 1
+
+let log_ceil m v =
+  let e = log_floor m v in
+  if pow m e = v then e else e + 1
+
+let fdiv a b =
+  if b <= 0 then invalid_arg "Int_math.fdiv: b <= 0";
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let cdiv a b =
+  if b <= 0 then invalid_arg "Int_math.cdiv: b <= 0";
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let isqrt v =
+  if v < 0 then invalid_arg "Int_math.isqrt: negative";
+  if v < 2 then v
+  else begin
+    let r = int_of_float (sqrt (float_of_int v)) in
+    (* Fix any floating-point rounding in either direction. *)
+    let rec down r = if r * r > v then down (r - 1) else r in
+    let rec up r = if (r + 1) * (r + 1) <= v then up (r + 1) else r in
+    up (down r)
+  end

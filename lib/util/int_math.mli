@@ -1,0 +1,32 @@
+(** Exact integer arithmetic helpers.
+
+    The closed forms of Section 4 of the paper are expressed with
+    [floor]/[ceil] of base-[m] logarithms and integer powers.  Computing
+    them through floating point is unsound for the tree sizes we sweep
+    (rounding can shift a floor across an integer boundary), so every
+    function here is implemented with integer arithmetic only. *)
+
+val pow : int -> int -> int
+(** [pow m e] is [m{^e}] computed exactly.
+    @raise Invalid_argument if [e < 0] or the result overflows [int]. *)
+
+val is_power_of : int -> int -> bool
+(** [is_power_of m t] is [true] iff [t = m{^e}] for some [e >= 0].
+    Requires [m >= 2]. *)
+
+val log_floor : int -> int -> int
+(** [log_floor m v] is [⌊log_m v⌋] for [v >= 1], [m >= 2]. *)
+
+val log_ceil : int -> int -> int
+(** [log_ceil m v] is [⌈log_m v⌉] for [v >= 1], [m >= 2]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [⌈a / b⌉] for [b > 0] and any [a] (exact for negative
+    [a] as well, e.g. [cdiv (-1) 2 = 0]). *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is [⌊a / b⌋] for [b > 0] and any [a] (exact for negative
+    [a] as well, e.g. [fdiv (-1) 2 = -1]). *)
+
+val isqrt : int -> int
+(** [isqrt v] is [⌊sqrt v⌋] for [v >= 0]. *)

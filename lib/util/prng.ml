@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = s }
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: n <= 0";
+  (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)
+  let mask = max_int in
+  let rec go () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land mask in
+    let r = v mod n in
+    if v - r + (n - 1) >= 0 then r else go ()
+  in
+  go ()
+
+let float g x =
+  if x <= 0. then invalid_arg "Prng.float: x <= 0";
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let exponential g rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate <= 0";
+  let u = 1.0 -. float g 1.0 in
+  -.log u /. rate
+
+let shuffle g arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

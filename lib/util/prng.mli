@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic workload generators and randomized baselines draw
+    from this generator so that every simulation is exactly
+    reproducible from its seed — a prerequisite for the
+    bound-domination tests, which must be re-runnable on failure. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** [bits64 g] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)].  Requires [x > 0.]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val exponential : t -> float -> float
+(** [exponential g rate] draws from Exp([rate]).  Requires [rate > 0.]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g arr] permutes [arr] in place, uniformly. *)

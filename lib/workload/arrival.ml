@@ -1,0 +1,159 @@
+module Prng = Rtnet_util.Prng
+module Int_math = Rtnet_util.Int_math
+
+type law =
+  | Periodic of { offset : int }
+  | Sporadic of { mean_slack : float }
+  | Greedy_burst
+  | Poisson of { intensity : float }
+  | Staggered_burst of { phase : float }
+  | On_off of { on_windows : int; off_windows : int }
+
+let pp_law fmt = function
+  | Periodic { offset } -> Format.fprintf fmt "periodic(offset=%d)" offset
+  | Sporadic { mean_slack } -> Format.fprintf fmt "sporadic(slack=%.2f)" mean_slack
+  | Greedy_burst -> Format.fprintf fmt "greedy-burst"
+  | Poisson { intensity } -> Format.fprintf fmt "poisson(%.2f)" intensity
+  | Staggered_burst { phase } -> Format.fprintf fmt "staggered-burst(%.2f)" phase
+  | On_off { on_windows; off_windows } ->
+    Format.fprintf fmt "on-off(%d/%d)" on_windows off_windows
+
+(* Admit raw candidate times in order, delaying any candidate that
+   would put more than [a] arrivals in a sliding window of [w]:
+   arrival [i] may not precede arrival [i-a] by less than [w]. *)
+let clamp_to_density cls raw ~horizon =
+  let a = cls.Message.cls_burst and w = cls.Message.cls_window in
+  let recent = Queue.create () in
+  (* [recent] holds the last [a] admitted times, oldest first. *)
+  let admit acc t =
+    let t =
+      if Queue.length recent < a then t
+      else max t (Queue.peek recent + w)
+    in
+    if t >= horizon then None
+    else begin
+      if Queue.length recent >= a then ignore (Queue.pop recent);
+      Queue.push t recent;
+      Some (t :: acc)
+    end
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: rest -> (
+      match admit acc t with
+      | None -> List.rev acc (* later candidates only get later *)
+      | Some acc -> go acc rest)
+  in
+  go [] raw
+
+let spacing cls =
+  Int_math.cdiv cls.Message.cls_window cls.Message.cls_burst
+
+let raw_periodic cls ~offset ~horizon =
+  let step = spacing cls in
+  let rec go acc t = if t >= horizon then List.rev acc else go (t :: acc) (t + step) in
+  go [] offset
+
+let raw_sporadic rng cls ~mean_slack ~horizon =
+  let step = spacing cls in
+  let rec go acc t =
+    if t >= horizon then List.rev acc
+    else begin
+      let slack =
+        if mean_slack <= 0. then 0
+        else
+          int_of_float (Prng.exponential rng (1.0 /. (mean_slack *. float_of_int step)))
+      in
+      go (t :: acc) (t + step + slack)
+    end
+  in
+  go [] 0
+
+let raw_bursts cls ~start_of_window ~horizon =
+  let a = cls.Message.cls_burst and w = cls.Message.cls_window in
+  let rec go acc s =
+    let t = start_of_window s in
+    if t >= horizon then List.rev acc
+    else begin
+      let rec burst acc i = if i = a then acc else burst (t :: acc) (i + 1) in
+      go (burst acc 0) (s + w)
+    end
+  in
+  go [] 0
+
+let raw_on_off cls ~on_windows ~off_windows ~horizon =
+  let a = cls.Message.cls_burst and w = cls.Message.cls_window in
+  let period = on_windows + off_windows in
+  let rec go acc window =
+    let t = window * w in
+    if t >= horizon then List.rev acc
+    else if window mod period < on_windows then begin
+      let rec burst acc i = if i = a then acc else burst (t :: acc) (i + 1) in
+      go (burst acc 0) (window + 1)
+    end
+    else go acc (window + 1)
+  in
+  go [] 0
+
+let raw_poisson rng cls ~intensity ~horizon =
+  let rate =
+    intensity *. float_of_int cls.Message.cls_burst
+    /. float_of_int cls.Message.cls_window
+  in
+  if rate <= 0. then []
+  else begin
+    let rec go acc t =
+      let gap = Prng.exponential rng rate in
+      let t = t +. gap in
+      if t >= float_of_int horizon then List.rev acc
+      else go (int_of_float t :: acc) t
+    in
+    go [] 0.
+  end
+
+let generate rng cls law ~horizon =
+  if horizon <= 0 then invalid_arg "Arrival.generate: non-positive horizon";
+  let raw =
+    match law with
+    | Periodic { offset } -> raw_periodic cls ~offset ~horizon
+    | Sporadic { mean_slack } -> raw_sporadic rng cls ~mean_slack ~horizon
+    | Greedy_burst -> raw_bursts cls ~start_of_window:(fun s -> s) ~horizon
+    | Poisson { intensity } -> raw_poisson rng cls ~intensity ~horizon
+    | Staggered_burst { phase } ->
+      if phase < 0. || phase >= 1. then
+        invalid_arg "Arrival.generate: phase out of [0,1)";
+      let w = cls.Message.cls_window in
+      let shift = int_of_float (phase *. float_of_int w) in
+      raw_bursts cls ~start_of_window:(fun s -> s + shift) ~horizon
+    | On_off { on_windows; off_windows } ->
+      if on_windows < 1 || off_windows < 0 then
+        invalid_arg "Arrival.generate: on/off windows";
+      raw_on_off cls ~on_windows ~off_windows ~horizon
+  in
+  clamp_to_density cls raw ~horizon
+
+let respects_density cls times =
+  let arr = Array.of_list times in
+  let a = cls.Message.cls_burst and w = cls.Message.cls_window in
+  let n = Array.length arr in
+  let rec sorted i = i >= n || (arr.(i - 1) <= arr.(i) && sorted (i + 1)) in
+  let rec spaced i = i + a >= n || (arr.(i + a) - arr.(i) >= w && spaced (i + 1)) in
+  (n < 2 || sorted 1) && spaced 0
+
+let to_trace rng classes ~horizon =
+  let streams =
+    List.map
+      (fun (cls, law) ->
+        let rng = Prng.split rng in
+        List.map (fun t -> (t, cls)) (generate rng cls law ~horizon))
+      classes
+  in
+  let all = List.concat streams in
+  let sorted =
+    List.sort
+      (fun (t1, c1) (t2, c2) ->
+        let by_t = compare t1 t2 in
+        if by_t <> 0 then by_t else compare c1.Message.cls_id c2.Message.cls_id)
+      all
+  in
+  List.mapi (fun i (t, cls) -> { Message.uid = i; cls; arrival = t }) sorted

@@ -1,0 +1,59 @@
+(** Arrival-law generators for the unimodal arbitrary arrival model.
+
+    The paper's adversary is any arrival stream that respects the
+    density bound: at most [a] arrivals of a class within any sliding
+    window of [w] time units.  Feasibility conditions are established
+    against that adversary, so the simulator must be able to produce
+    both {i well-behaved} streams (periodic, sporadic, Poisson — the
+    models the paper argues are too optimistic) and the {i worst-case}
+    stream (greedy back-to-back bursts saturating [a/w]).
+
+    Every generator {b clamps} its raw stream to the class's declared
+    [a/w] bound, so by construction no generated trace can violate the
+    model — a property the test suite checks. *)
+
+type law =
+  | Periodic of { offset : int }
+      (** one arrival every [w/a] time units, first at [offset] *)
+  | Sporadic of { mean_slack : float }
+      (** gaps of [w/a] plus an Exp-distributed slack with the given
+          mean (in units of [w/a]) *)
+  | Greedy_burst
+      (** the paper's adversary at peak load: [a] back-to-back arrivals
+          at the start of every window of size [w] *)
+  | Poisson of { intensity : float }
+      (** Poisson process with rate [intensity · a/w], clamped to the
+          density bound *)
+  | Staggered_burst of { phase : float }
+      (** like [Greedy_burst] but each window's burst is delayed by
+          [phase·w] — exercises mid-window bursts ([0 <= phase < 1]) *)
+  | On_off of { on_windows : int; off_windows : int }
+      (** alternates activity phases: [on_windows] windows at the full
+          density bound, then [off_windows] windows of silence — the
+          long-range burstiness of measured LAN traffic that the paper
+          cites against Poisson modelling (refs [11–13]); still clamped
+          to the [a/w] bound *)
+
+val pp_law : Format.formatter -> law -> unit
+(** [pp_law fmt law] prints the law name and parameters. *)
+
+val generate :
+  Rtnet_util.Prng.t -> Message.cls -> law -> horizon:int -> int list
+(** [generate rng c law ~horizon] is the sorted list of arrival times
+    of class [c] in [\[0, horizon)], clamped to [c]'s [a/w] bound. *)
+
+val respects_density : Message.cls -> int list -> bool
+(** [respects_density c times] is [true] iff the sorted stream [times]
+    satisfies [c]'s sliding-window bound: every [a+1] consecutive
+    arrivals span strictly more than... precisely, arrivals [i] and
+    [i+a] are at least [w] apart (at most [a] in any half-open window
+    [\[t, t+w)]). *)
+
+val to_trace :
+  Rtnet_util.Prng.t ->
+  (Message.cls * law) list ->
+  horizon:int ->
+  Message.t list
+(** [to_trace rng classes ~horizon] generates every class's stream,
+    merges them into one arrival trace sorted by time (ties by class
+    id) and assigns unique message ids in that order. *)

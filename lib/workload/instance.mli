@@ -1,0 +1,65 @@
+(** A quantified instantiation of the HRTDM problem.
+
+    Bundles the medium, the number of sources [z], the message set
+    [MSG] with its source mapping, and an arrival law per class — i.e.
+    everything [<m.HRTDM>] leaves to the end user.  Feasibility
+    conditions (Section 4.3) and simulations are both computed from a
+    value of this type. *)
+
+type t = private {
+  name : string;  (** instance label *)
+  phy : Rtnet_channel.Phy.t;  (** broadcast medium *)
+  num_sources : int;  (** [z] *)
+  classes : (Message.cls * Arrival.law) array;  (** [MSG] with laws *)
+}
+
+val create :
+  name:string ->
+  phy:Rtnet_channel.Phy.t ->
+  num_sources:int ->
+  (Message.cls * Arrival.law) list ->
+  (t, string) result
+(** [create ~name ~phy ~num_sources classes] validates and builds an
+    instance: classes must be non-empty with unique ids, every class's
+    source must lie in [\[0, num_sources)], and every class must pass
+    {!Message.cls_validate}. *)
+
+val create_exn :
+  name:string ->
+  phy:Rtnet_channel.Phy.t ->
+  num_sources:int ->
+  (Message.cls * Arrival.law) list ->
+  t
+(** [create_exn] is {!create} but raises [Invalid_argument] on
+    rejection — for statically known instances. *)
+
+val classes : t -> Message.cls list
+(** [classes inst] is [MSG], in id order. *)
+
+val classes_of_source : t -> int -> Message.cls list
+(** [classes_of_source inst i] is [MSG_i], the subset mapped onto
+    source [i]. *)
+
+val trace : t -> seed:int -> horizon:int -> Message.t list
+(** [trace inst ~seed ~horizon] generates one deterministic arrival
+    trace over [\[0, horizon)] from the per-class laws. *)
+
+val peak_utilization : t -> float
+(** [peak_utilization inst] is the worst-case offered load
+    [Σ a(m)·l'(m) / w(m)] as a fraction of channel capacity — above 1.0
+    no protocol can be feasible. *)
+
+val with_law : t -> Arrival.law -> t
+(** [with_law inst law] replaces every class's arrival law (e.g. to
+    re-run the same instance under the greedy adversary). *)
+
+val scale_deadlines : t -> float -> t
+(** [scale_deadlines inst k] multiplies every relative deadline by [k]
+    (rounded, min 1) — used for feasibility sweeps. *)
+
+val scale_windows : t -> float -> t
+(** [scale_windows inst k] multiplies every window [w] by [k] (rounded,
+    min 1): [k < 1] increases offered load, [k > 1] decreases it. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt inst] prints a multi-line instance summary. *)

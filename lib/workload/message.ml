@@ -1,0 +1,36 @@
+type cls = {
+  cls_id : int;
+  cls_name : string;
+  cls_source : int;
+  cls_bits : int;
+  cls_deadline : int;
+  cls_burst : int;
+  cls_window : int;
+}
+
+let cls_validate c =
+  if c.cls_bits <= 0 then Error "class bit length must be positive"
+  else if c.cls_deadline <= 0 then Error "class deadline must be positive"
+  else if c.cls_burst < 1 then Error "class burst a must be >= 1"
+  else if c.cls_window <= 0 then Error "class window w must be positive"
+  else if c.cls_source < 0 then Error "class source must be >= 0"
+  else Ok ()
+
+let pp_cls fmt c =
+  Format.fprintf fmt "%s(id=%d src=%d l=%db d=%d a/w=%d/%d)" c.cls_name
+    c.cls_id c.cls_source c.cls_bits c.cls_deadline c.cls_burst c.cls_window
+
+type t = { uid : int; cls : cls; arrival : int }
+
+let abs_deadline m = m.arrival + m.cls.cls_deadline
+
+let compare_edf a b =
+  let by_dm = compare (abs_deadline a) (abs_deadline b) in
+  if by_dm <> 0 then by_dm
+  else
+    let by_arrival = compare a.arrival b.arrival in
+    if by_arrival <> 0 then by_arrival else compare a.uid b.uid
+
+let pp fmt m =
+  Format.fprintf fmt "msg#%d[%s T=%d DM=%d]" m.uid m.cls.cls_name m.arrival
+    (abs_deadline m)

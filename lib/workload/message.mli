@@ -1,0 +1,45 @@
+(** Message model of the HRTDM problem ([<m.HRTDM>], Section 2.2).
+
+    A {!cls} is one element of the message set [MSG]: it belongs to
+    exactly one source (the mapping model), carries a bit length
+    [l(msg)], a strict relative deadline [d(msg)] and a unimodal
+    arbitrary arrival-density bound [a(msg)/w(msg)] — at most [a]
+    arrivals within any sliding window of [w] time units.
+
+    A {!t} is one concrete arrival of a class: the pair
+    [(class, T(msg))], from which the absolute deadline
+    [DM = T + d] follows.  All times are in bit-times. *)
+
+type cls = {
+  cls_id : int;  (** unique id within the instance *)
+  cls_name : string;  (** human-readable label *)
+  cls_source : int;  (** owning source [s_i] (mapping model) *)
+  cls_bits : int;  (** Data-Link length [l(msg)], bits *)
+  cls_deadline : int;  (** relative deadline [d(msg)], bit-times *)
+  cls_burst : int;  (** arrival-density numerator [a(msg)] *)
+  cls_window : int;  (** sliding-window size [w(msg)], bit-times *)
+}
+
+val cls_validate : cls -> (unit, string) result
+(** [cls_validate c] checks the positivity constraints of the model
+    ([l > 0], [d > 0], [a >= 1], [w > 0], [source >= 0]). *)
+
+val pp_cls : Format.formatter -> cls -> unit
+(** [pp_cls fmt c] prints a one-line class summary. *)
+
+type t = {
+  uid : int;  (** unique id of this arrival within a run *)
+  cls : cls;  (** the class it instantiates *)
+  arrival : int;  (** arrival time [T(msg)], bit-times *)
+}
+
+val abs_deadline : t -> int
+(** [abs_deadline m] is [DM(msg) = T(msg) + d(msg)]. *)
+
+val compare_edf : t -> t -> int
+(** [compare_edf a b] orders by absolute deadline, then by arrival
+    time, then by [uid] — a total order, so EDF ranking is
+    deterministic and identical at every source. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt m] prints a one-line arrival summary. *)

@@ -1,0 +1,173 @@
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Prng = Rtnet_util.Prng
+
+let cls ?(id = 0) ?(burst = 3) ?(window = 1000) () =
+  {
+    Message.cls_id = id;
+    cls_name = "c" ^ string_of_int id;
+    cls_source = 0;
+    cls_bits = 1000;
+    cls_deadline = 500;
+    cls_burst = burst;
+    cls_window = window;
+  }
+
+let laws =
+  [
+    ("periodic", Arrival.Periodic { offset = 0 });
+    ("periodic-offset", Arrival.Periodic { offset = 137 });
+    ("sporadic", Arrival.Sporadic { mean_slack = 0.7 });
+    ("greedy", Arrival.Greedy_burst);
+    ("poisson", Arrival.Poisson { intensity = 2.5 });
+    ("staggered", Arrival.Staggered_burst { phase = 0.4 });
+    ("on-off", Arrival.On_off { on_windows = 3; off_windows = 5 });
+  ]
+
+let test_all_laws_respect_density () =
+  let rng = Prng.create 1 in
+  List.iter
+    (fun (name, law) ->
+      let c = cls () in
+      let times = Arrival.generate rng c law ~horizon:50_000 in
+      Alcotest.(check bool) (name ^ " respects a/w") true
+        (Arrival.respects_density c times))
+    laws
+
+let test_periodic_spacing () =
+  let rng = Prng.create 1 in
+  let c = cls ~burst:1 ~window:100 () in
+  let times = Arrival.generate rng c (Arrival.Periodic { offset = 0 }) ~horizon:1000 in
+  Alcotest.(check (list int)) "every w"
+    [ 0; 100; 200; 300; 400; 500; 600; 700; 800; 900 ]
+    times
+
+let test_greedy_saturates () =
+  let rng = Prng.create 1 in
+  let c = cls ~burst:3 ~window:100 () in
+  let times = Arrival.generate rng c Arrival.Greedy_burst ~horizon:300 in
+  Alcotest.(check (list int)) "a back-to-back per window"
+    [ 0; 0; 0; 100; 100; 100; 200; 200; 200 ]
+    times
+
+let test_staggered_phase () =
+  let rng = Prng.create 1 in
+  let c = cls ~burst:2 ~window:100 () in
+  let times =
+    Arrival.generate rng c (Arrival.Staggered_burst { phase = 0.5 }) ~horizon:250
+  in
+  Alcotest.(check (list int)) "mid-window bursts" [ 50; 50; 150; 150 ] times
+
+let test_horizon_respected () =
+  let rng = Prng.create 2 in
+  List.iter
+    (fun (name, law) ->
+      let times = Arrival.generate rng (cls ()) law ~horizon:10_000 in
+      Alcotest.(check bool) (name ^ " within horizon") true
+        (List.for_all (fun t -> t >= 0 && t < 10_000) times))
+    laws
+
+let test_invalid_args () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Arrival.generate: non-positive horizon") (fun () ->
+      ignore (Arrival.generate rng (cls ()) Arrival.Greedy_burst ~horizon:0));
+  Alcotest.check_raises "bad phase"
+    (Invalid_argument "Arrival.generate: phase out of [0,1)") (fun () ->
+      ignore
+        (Arrival.generate rng (cls ())
+           (Arrival.Staggered_burst { phase = 1.0 })
+           ~horizon:100))
+
+let test_on_off_structure () =
+  let rng = Prng.create 1 in
+  let c = cls ~burst:2 ~window:100 () in
+  let times =
+    Arrival.generate rng c
+      (Arrival.On_off { on_windows = 2; off_windows = 3 })
+      ~horizon:1000
+  in
+  (* Windows 0,1 on; 2,3,4 off; 5,6 on; 7,8,9 off. *)
+  Alcotest.(check (list int)) "bursts only in on-phases"
+    [ 0; 0; 100; 100; 500; 500; 600; 600 ]
+    times;
+  Alcotest.check_raises "bad phases"
+    (Invalid_argument "Arrival.generate: on/off windows") (fun () ->
+      ignore
+        (Arrival.generate rng c
+           (Arrival.On_off { on_windows = 0; off_windows = 1 })
+           ~horizon:100))
+
+let test_to_trace_merges () =
+  let rng = Prng.create 3 in
+  let c0 = cls ~id:0 ~burst:1 ~window:100 () in
+  let c1 = cls ~id:1 ~burst:1 ~window:150 () in
+  let trace =
+    Arrival.to_trace rng
+      [ (c0, Arrival.Periodic { offset = 10 }); (c1, Arrival.Periodic { offset = 0 }) ]
+      ~horizon:1000
+  in
+  let sorted_by_time =
+    List.for_all2
+      (fun a b -> a.Message.arrival <= b.Message.arrival)
+      (List.filteri (fun i _ -> i < List.length trace - 1) trace)
+      (List.tl trace)
+  in
+  Alcotest.(check bool) "sorted by arrival" true sorted_by_time;
+  let uids = List.map (fun m -> m.Message.uid) trace in
+  Alcotest.(check (list int)) "uids sequential"
+    (List.init (List.length trace) Fun.id)
+    uids
+
+let prop_density_random_laws =
+  let law_gen =
+    QCheck.Gen.oneofl
+      [
+        Arrival.Periodic { offset = 13 };
+        Arrival.Sporadic { mean_slack = 1.5 };
+        Arrival.Greedy_burst;
+        Arrival.Poisson { intensity = 4.0 };
+        Arrival.Staggered_burst { phase = 0.25 };
+        Arrival.On_off { on_windows = 2; off_windows = 4 };
+      ]
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        tup4 law_gen (int_range 1 5) (int_range 10 2000) (int_range 1 1000))
+  in
+  QCheck.Test.make ~name:"every law respects density (random classes)"
+    ~count:200 arb
+    (fun (law, burst, window, seed) ->
+      let c = cls ~burst ~window () in
+      let rng = Prng.create seed in
+      let times = Arrival.generate rng c law ~horizon:(window * 20) in
+      Arrival.respects_density c times)
+
+let prop_greedy_count =
+  QCheck.Test.make ~name:"greedy emits a per window" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 50 500))
+    (fun (burst, window) ->
+      let c = cls ~burst ~window () in
+      let rng = Prng.create 1 in
+      let horizon = window * 7 in
+      let times = Arrival.generate rng c Arrival.Greedy_burst ~horizon in
+      List.length times = burst * 7)
+
+let suite =
+  [
+    ( "arrival",
+      [
+        Alcotest.test_case "laws respect density" `Quick
+          test_all_laws_respect_density;
+        Alcotest.test_case "periodic spacing" `Quick test_periodic_spacing;
+        Alcotest.test_case "greedy saturates" `Quick test_greedy_saturates;
+        Alcotest.test_case "staggered phase" `Quick test_staggered_phase;
+        Alcotest.test_case "horizon" `Quick test_horizon_respected;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        Alcotest.test_case "on-off structure" `Quick test_on_off_structure;
+        Alcotest.test_case "to_trace merge" `Quick test_to_trace_merges;
+        QCheck_alcotest.to_alcotest prop_density_random_laws;
+        QCheck_alcotest.to_alcotest prop_greedy_count;
+      ] );
+  ]

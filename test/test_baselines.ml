@@ -1,0 +1,156 @@
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Run = Rtnet_stats.Run
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Beb = Rtnet_baselines.Csma_cd_beb
+module Dcr = Rtnet_baselines.Csma_dcr
+module Tdma = Rtnet_baselines.Tdma
+module Np_edf = Rtnet_edf.Np_edf
+
+let ms = 1_000_000
+
+let conservation o trace =
+  List.length o.Run.completions
+  + List.length o.Run.unfinished
+  + List.length o.Run.dropped
+  = List.length trace
+
+let test_beb_runs_and_conserves () =
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 10 * ms in
+  let trace = Instance.trace inst ~seed:2 ~horizon in
+  let o = Beb.run_trace ~seed:2 inst trace ~horizon in
+  Alcotest.(check bool) "conservation" true (conservation o trace);
+  Alcotest.(check bool) "delivers" true (List.length o.Run.completions > 100)
+
+let test_beb_deterministic_per_seed () =
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 5 * ms in
+  let key o =
+    List.map (fun c -> (c.Run.c_msg.Message.uid, c.Run.c_start)) o.Run.completions
+  in
+  let o1 = Beb.run ~seed:17 inst ~horizon and o2 = Beb.run ~seed:17 inst ~horizon in
+  Alcotest.(check (list (pair int int))) "same seed same run" (key o1) (key o2);
+  let o3 = Beb.run ~seed:18 inst ~horizon in
+  Alcotest.(check bool) "different seed differs" true (key o1 <> key o3)
+
+let test_beb_drops_under_extreme_contention () =
+  (* Many sources bursting simultaneously: BEB's 16-attempt limit bites
+     (with a pathological 1-slot cap to force repeated collisions). *)
+  let inst =
+    Instance.with_law
+      (Scenarios.uniform ~sources:12 ~classes_per_source:2 ~load:0.9
+         ~deadline_windows:1.0)
+      Arrival.Greedy_burst
+  in
+  let horizon = 20 * ms in
+  let params = { Beb.max_attempts = 4; max_backoff_exp = 1 } in
+  let o = Beb.run ~params ~seed:5 inst ~horizon in
+  Alcotest.(check bool) "drops happen" true (List.length o.Run.dropped > 0)
+
+let test_dcr_bounded_and_conserves () =
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 10 * ms in
+  let trace = Instance.trace inst ~seed:4 ~horizon in
+  let o = Dcr.run_trace (Dcr.default inst) inst trace ~horizon in
+  Alcotest.(check bool) "conservation" true (conservation o trace);
+  Alcotest.(check int) "never drops" 0 (List.length o.Run.dropped)
+
+let test_dcr_more_inversions_than_ddcr () =
+  (* The whole point of the time-tree layer: deadline-blind static
+     resolution produces more deadline inversions. *)
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 30 * ms in
+  let trace = Instance.trace inst ~seed:3 ~horizon in
+  let params = Ddcr_params.default inst in
+  let ddcr = Run.metrics (Ddcr.run_trace params inst trace ~horizon) in
+  let dcr =
+    Run.metrics (Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ddcr %d < dcr %d" ddcr.Run.inversions dcr.Run.inversions)
+    true
+    (ddcr.Run.inversions < dcr.Run.inversions)
+
+let test_tdma_no_collisions () =
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 10 * ms in
+  let o = Tdma.run ~seed:6 inst ~horizon in
+  match o.Run.channel with
+  | Some st ->
+    Alcotest.(check int) "zero collisions" 0 st.Rtnet_channel.Channel.collision_slots
+  | None -> Alcotest.fail "expected channel stats"
+
+let test_tdma_rejects_oversized_frames () =
+  let inst = Scenarios.videoconference ~stations:3 in
+  let horizon = ms in
+  let trace = Instance.trace inst ~seed:1 ~horizon in
+  let tiny = { Tdma.slot_bits = 100 } in
+  Alcotest.check_raises "oversize"
+    (Invalid_argument "Tdma.run_trace: frame larger than the TDMA slot")
+    (fun () -> ignore (Tdma.run_trace ~params:tiny inst trace ~horizon))
+
+let test_protocol_ordering_on_shared_trace () =
+  (* The paper's qualitative claim on one trace: the oracle lower-bounds
+     DDCR, and DDCR beats the deadline-blind baselines on worst
+     latency. *)
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 30 * ms in
+  let trace = Instance.trace inst ~seed:3 ~horizon in
+  let params = Ddcr_params.default inst in
+  let worst o = (Run.metrics o).Run.worst_latency in
+  let oracle = worst (Np_edf.run inst.Instance.phy trace ~horizon) in
+  let ddcr = worst (Ddcr.run_trace params inst trace ~horizon) in
+  let dcr = worst (Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon) in
+  let tdma = worst (Tdma.run_trace inst trace ~horizon) in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle %d <= ddcr %d" oracle ddcr)
+    true (oracle <= ddcr);
+  Alcotest.(check bool)
+    (Printf.sprintf "ddcr %d < dcr %d" ddcr dcr)
+    true (ddcr < dcr);
+  Alcotest.(check bool)
+    (Printf.sprintf "ddcr %d < tdma %d" ddcr tdma)
+    true (ddcr < tdma)
+
+let test_all_protocols_safe () =
+  (* Every channel-based protocol ends with a consistent safety log
+     (contend would have raised otherwise); spot-check stats sanity. *)
+  let inst = Scenarios.trading ~gateways:3 in
+  let horizon = 5 * ms in
+  let trace = Instance.trace inst ~seed:8 ~horizon in
+  let params = Ddcr_params.default inst in
+  List.iter
+    (fun o ->
+      match o.Run.channel with
+      | Some st ->
+        Alcotest.(check bool)
+          (o.Run.protocol ^ " carried = completions")
+          true
+          (st.Rtnet_channel.Channel.tx_count = List.length o.Run.completions)
+      | None -> Alcotest.fail "expected stats")
+    [
+      Ddcr.run_trace params inst trace ~horizon;
+      Beb.run_trace ~seed:8 inst trace ~horizon;
+      Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon;
+    ]
+
+let suite =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "beb conserves" `Quick test_beb_runs_and_conserves;
+        Alcotest.test_case "beb deterministic" `Quick test_beb_deterministic_per_seed;
+        Alcotest.test_case "beb drops" `Slow test_beb_drops_under_extreme_contention;
+        Alcotest.test_case "dcr conserves" `Quick test_dcr_bounded_and_conserves;
+        Alcotest.test_case "dcr inversions" `Slow test_dcr_more_inversions_than_ddcr;
+        Alcotest.test_case "tdma no collisions" `Quick test_tdma_no_collisions;
+        Alcotest.test_case "tdma oversize" `Quick test_tdma_rejects_oversized_frames;
+        Alcotest.test_case "protocol ordering" `Slow
+          test_protocol_ordering_on_shared_trace;
+        Alcotest.test_case "all safe" `Quick test_all_protocols_safe;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+module Cos = Rtnet_edf.Cos
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+
+let inst = Scenarios.videoconference ~stations:4 (* deadlines 5/10/50 ms *)
+
+let scheme = Cos.design ~levels:8 inst
+
+let deadlines i = List.map (fun c -> c.Message.cls_deadline) (Instance.classes i)
+
+let test_levels () = Alcotest.(check int) "8 levels" 8 (Cos.levels scheme)
+
+let test_priority_monotone () =
+  let lo = List.fold_left min max_int (deadlines inst) in
+  let hi = List.fold_left max 1 (deadlines inst) in
+  let rec go d prev =
+    if d > hi then ()
+    else begin
+      let p = Cos.priority scheme d in
+      Alcotest.(check bool) "monotone" true (p >= prev);
+      Alcotest.(check bool) "within range" true (p >= 0 && p < 8);
+      go (d + ((hi - lo) / 50)) p
+    end
+  in
+  go lo 0
+
+let test_representative_conservative_and_idempotent () =
+  List.iter
+    (fun d ->
+      let r = Cos.representative scheme d in
+      Alcotest.(check bool) (Printf.sprintf "rep %d <= %d" r d) true (r <= d);
+      Alcotest.(check int) "same bucket" (Cos.priority scheme d)
+        (Cos.priority scheme r);
+      Alcotest.(check int) "idempotent" r (Cos.representative scheme r))
+    (deadlines inst @ [ 5_000_000; 7_777_777; 50_000_000; 49_999_999 ])
+
+let test_quantized_instance_valid () =
+  let q = Cos.quantize_instance scheme inst in
+  Alcotest.(check int) "same classes"
+    (List.length (Instance.classes inst))
+    (List.length (Instance.classes q));
+  List.iter2
+    (fun original quantized ->
+      Alcotest.(check bool) "deadline only shrinks" true
+        (quantized.Message.cls_deadline <= original.Message.cls_deadline);
+      Alcotest.(check int) "nothing else changed" original.Message.cls_bits
+        quantized.Message.cls_bits)
+    (Instance.classes inst) (Instance.classes q);
+  (* Quantizing an already-quantized instance is the identity. *)
+  let q2 = Cos.quantize_instance scheme q in
+  Alcotest.(check (list int)) "fixpoint" (deadlines q) (deadlines q2)
+
+let test_spread_instances_use_levels () =
+  (* Deadlines spanning 5..50 ms across 8 log buckets occupy at least
+     three distinct levels. *)
+  let used =
+    List.sort_uniq compare
+      (List.map (Cos.priority scheme) (deadlines inst))
+  in
+  Alcotest.(check bool) "several levels used" true (List.length used >= 3)
+
+let test_single_deadline_instance () =
+  let one =
+    Scenarios.uniform ~sources:2 ~classes_per_source:1 ~load:0.1
+      ~deadline_windows:2.0
+  in
+  let s = Cos.design ~levels:8 one in
+  let d = List.hd (deadlines one) in
+  Alcotest.(check int) "priority 0" 0 (Cos.priority s d);
+  Alcotest.(check int) "identity representative" d (Cos.representative s d)
+
+let test_design_rejects () =
+  Alcotest.check_raises "levels" (Invalid_argument "Cos.design: levels < 1")
+    (fun () -> ignore (Cos.design ~levels:0 inst))
+
+let prop_priority_sorted =
+  QCheck.Test.make ~name:"smaller deadline never lower priority" ~count:300
+    QCheck.(pair (int_range 1 100_000_000) (int_range 1 100_000_000))
+    (fun (d1, d2) ->
+      let lo = min d1 d2 and hi = max d1 d2 in
+      Cos.priority scheme lo <= Cos.priority scheme hi)
+
+let suite =
+  [
+    ( "cos",
+      [
+        Alcotest.test_case "levels" `Quick test_levels;
+        Alcotest.test_case "priority monotone" `Quick test_priority_monotone;
+        Alcotest.test_case "representative" `Quick
+          test_representative_conservative_and_idempotent;
+        Alcotest.test_case "quantized instance" `Quick test_quantized_instance_valid;
+        Alcotest.test_case "levels used" `Quick test_spread_instances_use_levels;
+        Alcotest.test_case "degenerate instance" `Quick test_single_deadline_instance;
+        Alcotest.test_case "design rejects" `Quick test_design_rejects;
+        QCheck_alcotest.to_alcotest prop_priority_sorted;
+      ] );
+  ]

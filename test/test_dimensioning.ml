@@ -1,0 +1,71 @@
+module Dimensioning = Rtnet_core.Dimensioning
+module Feasibility = Rtnet_core.Feasibility
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+
+let test_easy_instance_feasible () =
+  let inst = Scenarios.videoconference ~stations:6 in
+  match Dimensioning.dimension inst with
+  | Dimensioning.Feasible p ->
+    Alcotest.(check bool) "params valid" true
+      (Ddcr_params.validate p ~num_sources:inst.Instance.num_sources = Ok ());
+    Alcotest.(check bool) "FC holds" true
+      (Feasibility.check p inst).Feasibility.feasible
+  | Dimensioning.Infeasible (_, m) ->
+    Alcotest.fail (Printf.sprintf "expected feasible, margin %.3f" m)
+
+let test_impossible_instance_reports_margin () =
+  let inst =
+    Scenarios.uniform ~sources:8 ~classes_per_source:2 ~load:0.99
+      ~deadline_windows:0.8
+  in
+  match Dimensioning.dimension inst with
+  | Dimensioning.Feasible _ -> Alcotest.fail "cannot be feasible"
+  | Dimensioning.Infeasible (p, m) ->
+    Alcotest.(check bool) "margin above 1" true (m > 1.);
+    Alcotest.(check (float 1e-9)) "margin is the best candidate's"
+      (Dimensioning.margin p inst) m
+
+let test_extra_indices_help () =
+  (* More static indices per source reduce v(M) and hence the bound. *)
+  let inst = Scenarios.trading ~gateways:4 in
+  let p1 = Ddcr_params.default ~indices_per_source:1 inst in
+  let p4 = Ddcr_params.default ~indices_per_source:4 inst in
+  Alcotest.(check bool) "nu=4 strictly better" true
+    (Dimensioning.margin p4 inst < Dimensioning.margin p1 inst)
+
+let test_custom_candidate_grid () =
+  let inst = Scenarios.videoconference ~stations:4 in
+  (* A singleton grid still works and respects the candidates. *)
+  (match
+     Dimensioning.dimension ~time_leaf_candidates:[ 256 ]
+       ~indices_candidates:[ 2 ] inst
+   with
+  | Dimensioning.Feasible p ->
+    Alcotest.(check int) "uses the only F offered" 256 p.Ddcr_params.time_leaves
+  | Dimensioning.Infeasible _ -> Alcotest.fail "easy instance");
+  Alcotest.check_raises "empty grid"
+    (Invalid_argument "Dimensioning.dimension: empty candidate list")
+    (fun () ->
+      ignore (Dimensioning.dimension ~time_leaf_candidates:[] inst))
+
+let test_verdict_printing () =
+  let inst = Scenarios.videoconference ~stations:4 in
+  let v = Dimensioning.dimension inst in
+  let s = Format.asprintf "%a" Dimensioning.pp_verdict v in
+  Alcotest.(check bool) "mentions feasibility" true
+    (Astring_contains.contains s "feasible")
+
+let suite =
+  [
+    ( "dimensioning",
+      [
+        Alcotest.test_case "easy instance" `Quick test_easy_instance_feasible;
+        Alcotest.test_case "impossible instance" `Quick
+          test_impossible_instance_reports_margin;
+        Alcotest.test_case "extra indices help" `Quick test_extra_indices_help;
+        Alcotest.test_case "custom grid" `Quick test_custom_candidate_grid;
+        Alcotest.test_case "verdict printing" `Quick test_verdict_printing;
+      ] );
+  ]

@@ -1,0 +1,78 @@
+module Message = Rtnet_workload.Message
+module Edf_queue = Rtnet_edf.Edf_queue
+
+let cls =
+  {
+    Message.cls_id = 0;
+    cls_name = "c";
+    cls_source = 0;
+    cls_bits = 1000;
+    cls_deadline = 100;
+    cls_window = 1000;
+    cls_burst = 1;
+  }
+
+let msg uid arrival deadline =
+  { Message.uid; cls = { cls with Message.cls_deadline = deadline }; arrival }
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (Edf_queue.is_empty Edf_queue.empty);
+  Alcotest.(check int) "size" 0 (Edf_queue.size Edf_queue.empty);
+  Alcotest.(check bool) "peek" true (Edf_queue.peek Edf_queue.empty = None);
+  Alcotest.(check bool) "pop" true (Edf_queue.pop Edf_queue.empty = None)
+
+let test_edf_head () =
+  let q =
+    Edf_queue.of_list [ msg 1 0 500; msg 2 0 100; msg 3 0 300 ]
+  in
+  (match Edf_queue.peek q with
+  | Some m -> Alcotest.(check int) "earliest DM first" 2 m.Message.uid
+  | None -> Alcotest.fail "expected head");
+  Alcotest.(check int) "size" 3 (Edf_queue.size q)
+
+let test_pop_order () =
+  let q = Edf_queue.of_list [ msg 1 0 500; msg 2 0 100; msg 3 0 300 ] in
+  let order = List.map (fun m -> m.Message.uid) (Edf_queue.to_sorted_list q) in
+  Alcotest.(check (list int)) "EDF order" [ 2; 3; 1 ] order
+
+let test_insert_preserves () =
+  let q = Edf_queue.of_list [ msg 1 0 500 ] in
+  let q = Edf_queue.insert q (msg 2 0 50) in
+  match Edf_queue.pop q with
+  | Some (m, rest) ->
+    Alcotest.(check int) "new min surfaces" 2 m.Message.uid;
+    Alcotest.(check int) "rest" 1 (Edf_queue.size rest)
+  | None -> Alcotest.fail "expected pop"
+
+let prop_matches_sort =
+  QCheck.Test.make ~name:"heap order = sorted order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 40) (pair (int_range 0 1000) (int_range 1 1000)))
+    (fun pairs ->
+      let msgs = List.mapi (fun i (a, d) -> msg i a d) pairs in
+      let heap_order = Edf_queue.to_sorted_list (Edf_queue.of_list msgs) in
+      let sorted = List.sort Message.compare_edf msgs in
+      List.map (fun m -> m.Message.uid) heap_order
+      = List.map (fun m -> m.Message.uid) sorted)
+
+let prop_persistent =
+  QCheck.Test.make ~name:"queue is persistent (pop does not mutate)" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_range 1 1000))
+    (fun deadlines ->
+      let msgs = List.mapi (fun i d -> msg i 0 d) deadlines in
+      let q = Edf_queue.of_list msgs in
+      let before = Edf_queue.size q in
+      ignore (Edf_queue.pop q);
+      Edf_queue.size q = before)
+
+let suite =
+  [
+    ( "edf_queue",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "edf head" `Quick test_edf_head;
+        Alcotest.test_case "pop order" `Quick test_pop_order;
+        Alcotest.test_case "insert" `Quick test_insert_preserves;
+        QCheck_alcotest.to_alcotest prop_matches_sort;
+        QCheck_alcotest.to_alcotest prop_persistent;
+      ] );
+  ]

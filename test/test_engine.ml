@@ -1,0 +1,80 @@
+module Engine = Rtnet_sim.Engine
+
+let test_run_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at eng ~time:30 (fun _ -> log := 30 :: !log);
+  Engine.schedule_at eng ~time:10 (fun _ -> log := 10 :: !log);
+  Engine.schedule_at eng ~time:20 (fun _ -> log := 20 :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "chronological" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now eng);
+  Alcotest.(check int) "three processed" 3 (Engine.events_processed eng)
+
+let test_schedule_relative () =
+  let eng = Engine.create () in
+  let seen = ref (-1) in
+  Engine.schedule_at eng ~time:5 (fun eng ->
+      Engine.schedule eng ~delay:7 (fun eng -> seen := Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check int) "5 + 7" 12 !seen
+
+let test_same_instant_cascade () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at eng ~time:4 (fun eng ->
+      log := "outer" :: !log;
+      Engine.schedule eng ~delay:0 (fun _ -> log := "inner" :: !log));
+  Engine.run eng;
+  Alcotest.(check (list string)) "cascade at same time" [ "outer"; "inner" ]
+    (List.rev !log)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at eng ~time:t (fun _ -> fired := t :: !fired))
+    [ 1; 5; 9 ];
+  Engine.run ~until:5 eng;
+  Alcotest.(check (list int)) "only up to 5" [ 1; 5 ] (List.rev !fired);
+  Alcotest.(check int) "clock forced to until" 5 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "resumes" [ 1; 5; 9 ] (List.rev !fired)
+
+let test_past_rejected () =
+  let eng = Engine.create () in
+  Engine.schedule_at eng ~time:10 (fun eng ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+          Engine.schedule_at eng ~time:3 (fun _ -> ())));
+  Engine.run eng
+
+let test_stop () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  Engine.schedule_at eng ~time:1 (fun eng ->
+      incr count;
+      Engine.stop eng);
+  Engine.schedule_at eng ~time:2 (fun _ -> incr count);
+  Engine.run eng;
+  Alcotest.(check int) "second event discarded" 1 !count
+
+let test_step () =
+  let eng = Engine.create () in
+  Engine.schedule_at eng ~time:2 (fun _ -> ());
+  Alcotest.(check bool) "steps" true (Engine.step eng);
+  Alcotest.(check bool) "exhausted" false (Engine.step eng)
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "run order" `Quick test_run_order;
+        Alcotest.test_case "relative schedule" `Quick test_schedule_relative;
+        Alcotest.test_case "same-instant cascade" `Quick test_same_instant_cascade;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "past rejected" `Quick test_past_rejected;
+        Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "step" `Quick test_step;
+      ] );
+  ]

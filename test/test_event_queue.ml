@@ -1,0 +1,99 @@
+module Event_queue = Rtnet_sim.Event_queue
+
+let test_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Event_queue.length q);
+  Alcotest.(check (option int)) "peek" None (Event_queue.peek_time q);
+  Alcotest.(check bool) "pop" true (Event_queue.pop q = None)
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.add q ~time:t t) [ 5; 1; 9; 3; 7; 2 ];
+  let rec drain acc =
+    match Event_queue.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 9 ] (drain [])
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.add q ~time:4 v) [ "a"; "b"; "c" ];
+  Event_queue.add q ~time:1 "first";
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "a"; "b"; "c" ] (List.rev !order)
+
+let test_negative_time () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Event_queue.add: negative time") (fun () ->
+      Event_queue.add q ~time:(-1) ())
+
+let test_drain_until () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.add q ~time:t t) [ 10; 20; 30; 40 ];
+  let early = Event_queue.drain_until q ~time:25 in
+  Alcotest.(check (list (pair int int))) "drained" [ (10, 10); (20, 20) ] early;
+  Alcotest.(check int) "rest pending" 2 (Event_queue.length q)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts any input" ~count:200
+    QCheck.(list (int_range 0 10000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.add q ~time:t t) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare times)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved add/pop keeps min-order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      let last = ref (-1) in
+      let ok = ref true in
+      List.iteri
+        (fun i t ->
+          Event_queue.add q ~time:t t;
+          if i mod 3 = 2 then
+            match Event_queue.pop q with
+            | Some (pt, _) ->
+              (* Popped times must never go below a previously popped
+                 time unless a smaller event was added afterwards; we
+                 only check the heap's own invariant: pop returns the
+                 current minimum. *)
+              (match Event_queue.peek_time q with
+              | Some nt -> if nt < pt then ok := false
+              | None -> ());
+              last := pt
+            | None -> ok := false)
+        times;
+      !ok)
+
+let suite =
+  [
+    ( "event_queue",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "time order" `Quick test_time_order;
+        Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+        Alcotest.test_case "negative time" `Quick test_negative_time;
+        Alcotest.test_case "drain_until" `Quick test_drain_until;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+        QCheck_alcotest.to_alcotest prop_interleaved;
+      ] );
+  ]

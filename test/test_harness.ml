@@ -1,0 +1,162 @@
+module Harness = Rtnet_mac.Harness
+module Channel = Rtnet_channel.Channel
+module Phy = Rtnet_channel.Phy
+module Message = Rtnet_workload.Message
+module Run = Rtnet_stats.Run
+
+let phy = Phy.classic_ethernet
+
+let cls src =
+  {
+    Message.cls_id = src;
+    cls_name = "c" ^ string_of_int src;
+    cls_source = src;
+    cls_bits = 1000;
+    cls_deadline = 50_000;
+    cls_burst = 1;
+    cls_window = 50_000;
+  }
+
+let msg uid src arrival = { Message.uid; cls = cls src; arrival }
+
+(* The simplest protocol: everyone with a message attempts every slot. *)
+let aloha_decide services ~now:_ =
+  List.filter_map
+    (fun src ->
+      Option.map
+        (fun m ->
+          {
+            Channel.att_source = src;
+            att_tag = m.Message.uid;
+            att_bits = m.Message.cls.Message.cls_bits;
+            att_key = (0, src);
+          })
+        (services.Harness.peek src))
+    [ 0; 1 ]
+
+let passthrough_after _services ~now:_ ~resolution:_ ~next_free = next_free
+
+let test_single_source_drains () =
+  let trace = [ msg 0 0 0; msg 1 0 0; msg 2 0 5_000 ] in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~phy ~num_sources:2 ~horizon:50_000
+      ~decide:aloha_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check string) "label" "test-aloha" o.Run.protocol;
+  Alcotest.(check int) "all delivered" 3 (List.length o.Run.completions);
+  Alcotest.(check int) "nothing pending" 0 (List.length o.Run.unfinished);
+  (* Frames are back-to-back: 1-persistent sender, 1160-bit frames. *)
+  match o.Run.completions with
+  | [ a; b; _ ] ->
+    Alcotest.(check int) "first at 0" 0 a.Run.c_start;
+    Alcotest.(check int) "second immediately after" 1160 b.Run.c_start
+  | _ -> Alcotest.fail "expected three completions"
+
+let test_two_sources_livelock_without_backoff () =
+  (* Both sources always attempt: every slot collides, nothing is ever
+     delivered — and the harness reports it all as unfinished. *)
+  let trace = [ msg 0 0 0; msg 1 1 0 ] in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~phy ~num_sources:2 ~horizon:20_000
+      ~decide:aloha_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check int) "nothing delivered" 0 (List.length o.Run.completions);
+  Alcotest.(check int) "both unfinished" 2 (List.length o.Run.unfinished);
+  match o.Run.channel with
+  | Some st ->
+    Alcotest.(check bool) "collisions all the way" true
+      (st.Channel.collision_slots > 30)
+  | None -> Alcotest.fail "expected stats"
+
+let test_mismatch_detected () =
+  (* A protocol that attempts a tag that is not the queue head. *)
+  let bad_decide services ~now:_ =
+    match services.Harness.peek 0 with
+    | Some m ->
+      [
+        {
+          Channel.att_source = 0;
+          att_tag = m.Message.uid + 999;
+          att_bits = 1000;
+          att_key = (0, 0);
+        };
+      ]
+    | None -> []
+  in
+  Alcotest.(check bool) "raises Mismatch" true
+    (try
+       ignore
+         (Harness.run ~protocol:"bad" ~phy ~num_sources:1 ~horizon:10_000
+            ~decide:bad_decide ~after:passthrough_after [ msg 0 0 0 ]);
+       false
+     with Harness.Mismatch _ -> true)
+
+let test_drop_accounting () =
+  (* A protocol that drops every message it sees instead of sending. *)
+  let drop_decide services ~now:_ =
+    (match services.Harness.pop 0 with
+    | Some m -> services.Harness.drop m
+    | None -> ());
+    []
+  in
+  let trace = [ msg 0 0 0; msg 1 0 100 ] in
+  let o =
+    Harness.run ~protocol:"dropper" ~phy ~num_sources:1 ~horizon:10_000
+      ~decide:drop_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check int) "both dropped" 2 (List.length o.Run.dropped);
+  Alcotest.(check int) "none delivered" 0 (List.length o.Run.completions);
+  Alcotest.(check int) "all count as misses" 2
+    (Run.metrics o).Run.deadline_misses
+
+let test_arrivals_beyond_horizon_excluded () =
+  let trace = [ msg 0 0 0; msg 1 0 999_999 ] in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~phy ~num_sources:2 ~horizon:10_000
+      ~decide:aloha_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check int) "late arrival not reported" 1
+    (List.length o.Run.completions + List.length o.Run.unfinished)
+
+let test_after_may_extend_acquisition () =
+  (* A bursting protocol: after each Tx it appends the next frame. *)
+  let burst_after services ~now:_ ~resolution ~next_free =
+    match resolution with
+    | Channel.Tx { src; _ } -> (
+      match services.Harness.pop src with
+      | Some m ->
+        let on_wire, free =
+          Channel.burst services.Harness.channel ~src ~tag:m.Message.uid
+            ~bits:m.Message.cls.Message.cls_bits
+        in
+        services.Harness.complete m ~start:(free - on_wire) ~finish:free;
+        free
+      | None -> next_free)
+    | Channel.Idle | Channel.Garbled _ | Channel.Clash _ -> next_free
+  in
+  let trace = [ msg 0 0 0; msg 1 0 0 ] in
+  let o =
+    Harness.run ~protocol:"burster" ~phy ~num_sources:2 ~horizon:50_000
+      ~decide:aloha_decide ~after:burst_after trace
+  in
+  Alcotest.(check int) "both delivered" 2 (List.length o.Run.completions);
+  match o.Run.completions with
+  | [ a; b ] ->
+    Alcotest.(check int) "burst frame contiguous" a.Run.c_finish b.Run.c_start
+  | _ -> Alcotest.fail "expected two completions"
+
+let suite =
+  [
+    ( "mac_harness",
+      [
+        Alcotest.test_case "single source drains" `Quick test_single_source_drains;
+        Alcotest.test_case "livelock reported" `Quick
+          test_two_sources_livelock_without_backoff;
+        Alcotest.test_case "mismatch detected" `Quick test_mismatch_detected;
+        Alcotest.test_case "drop accounting" `Quick test_drop_accounting;
+        Alcotest.test_case "horizon exclusion" `Quick
+          test_arrivals_beyond_horizon_excluded;
+        Alcotest.test_case "burst extension" `Quick
+          test_after_may_extend_acquisition;
+      ] );
+  ]

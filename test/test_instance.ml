@@ -1,0 +1,117 @@
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Instance = Rtnet_workload.Instance
+module Phy = Rtnet_channel.Phy
+
+let cls ?(id = 0) ?(source = 0) ?(bits = 8000) ?(deadline = 100_000)
+    ?(burst = 1) ?(window = 100_000) () =
+  {
+    Message.cls_id = id;
+    cls_name = "c" ^ string_of_int id;
+    cls_source = source;
+    cls_bits = bits;
+    cls_deadline = deadline;
+    cls_burst = burst;
+    cls_window = window;
+  }
+
+let law = Arrival.Periodic { offset = 0 }
+
+let test_create_ok () =
+  match
+    Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:2
+      [ (cls ~id:0 ~source:0 (), law); (cls ~id:1 ~source:1 (), law) ]
+  with
+  | Ok inst ->
+    Alcotest.(check int) "sources" 2 inst.Instance.num_sources;
+    Alcotest.(check int) "classes" 2 (List.length (Instance.classes inst))
+  | Error e -> Alcotest.fail e
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected create to fail"
+
+let test_create_errors () =
+  expect_error
+    (Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1 []);
+  expect_error
+    (Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:0
+       [ (cls (), law) ]);
+  expect_error
+    (Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:2
+       [ (cls ~id:0 (), law); (cls ~id:0 (), law) ]);
+  expect_error
+    (Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+       [ (cls ~source:5 (), law) ]);
+  expect_error
+    (Instance.create ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+       [ (cls ~bits:0 (), law) ])
+
+let test_classes_of_source () =
+  let inst =
+    Instance.create_exn ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:2
+      [
+        (cls ~id:0 ~source:0 (), law);
+        (cls ~id:1 ~source:1 (), law);
+        (cls ~id:2 ~source:0 (), law);
+      ]
+  in
+  Alcotest.(check int) "MSG_0" 2 (List.length (Instance.classes_of_source inst 0));
+  Alcotest.(check int) "MSG_1" 1 (List.length (Instance.classes_of_source inst 1))
+
+let test_peak_utilization () =
+  let inst =
+    Instance.create_exn ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+      [ (cls ~bits:8_000 ~burst:2 ~window:100_000 (), law) ]
+  in
+  (* l' = 8160, a = 2, w = 100000 -> 0.1632 *)
+  Alcotest.(check (float 1e-9)) "peak" 0.1632 (Instance.peak_utilization inst)
+
+let test_scaling () =
+  let inst =
+    Instance.create_exn ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+      [ (cls ~deadline:1000 ~window:2000 (), law) ]
+  in
+  let d2 = Instance.scale_deadlines inst 2.5 in
+  let w2 = Instance.scale_windows inst 0.5 in
+  let dl i = (List.hd (Instance.classes i)).Message.cls_deadline in
+  let wd i = (List.hd (Instance.classes i)).Message.cls_window in
+  Alcotest.(check int) "deadline scaled" 2500 (dl d2);
+  Alcotest.(check int) "window scaled" 1000 (wd w2);
+  Alcotest.(check (float 1e-9)) "halving windows doubles load"
+    (2. *. Instance.peak_utilization inst)
+    (Instance.peak_utilization w2)
+
+let test_trace_deterministic () =
+  let inst =
+    Instance.create_exn ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+      [ (cls (), Arrival.Sporadic { mean_slack = 1.0 }) ]
+  in
+  let t1 = Instance.trace inst ~seed:9 ~horizon:1_000_000 in
+  let t2 = Instance.trace inst ~seed:9 ~horizon:1_000_000 in
+  Alcotest.(check (list int)) "same seed, same trace"
+    (List.map (fun m -> m.Message.arrival) t1)
+    (List.map (fun m -> m.Message.arrival) t2)
+
+let test_with_law () =
+  let inst =
+    Instance.create_exn ~name:"t" ~phy:Phy.gigabit_ethernet ~num_sources:1
+      [ (cls (), law) ]
+  in
+  let adv = Instance.with_law inst Arrival.Greedy_burst in
+  Alcotest.(check bool) "law replaced" true
+    (snd adv.Instance.classes.(0) = Arrival.Greedy_burst)
+
+let suite =
+  [
+    ( "instance",
+      [
+        Alcotest.test_case "create ok" `Quick test_create_ok;
+        Alcotest.test_case "create errors" `Quick test_create_errors;
+        Alcotest.test_case "classes of source" `Quick test_classes_of_source;
+        Alcotest.test_case "peak utilization" `Quick test_peak_utilization;
+        Alcotest.test_case "scaling" `Quick test_scaling;
+        Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+        Alcotest.test_case "with_law" `Quick test_with_law;
+      ] );
+  ]

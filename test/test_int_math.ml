@@ -1,0 +1,112 @@
+module Int_math = Rtnet_util.Int_math
+
+let check = Alcotest.(check int)
+
+let test_pow () =
+  check "2^0" 1 (Int_math.pow 2 0);
+  check "2^10" 1024 (Int_math.pow 2 10);
+  check "3^4" 81 (Int_math.pow 3 4);
+  check "7^1" 7 (Int_math.pow 7 1);
+  check "1^100" 1 (Int_math.pow 1 100);
+  check "0^0" 1 (Int_math.pow 0 0);
+  check "0^5" 0 (Int_math.pow 0 5);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Int_math.pow: negative exponent") (fun () ->
+      ignore (Int_math.pow 2 (-1)))
+
+let test_pow_overflow () =
+  Alcotest.check_raises "overflow" (Invalid_argument "Int_math.pow: overflow")
+    (fun () -> ignore (Int_math.pow 2 63))
+
+let test_is_power_of () =
+  Alcotest.(check bool) "1 is 2^0" true (Int_math.is_power_of 2 1);
+  Alcotest.(check bool) "64 = 2^6" true (Int_math.is_power_of 2 64);
+  Alcotest.(check bool) "64 = 4^3" true (Int_math.is_power_of 4 64);
+  Alcotest.(check bool) "64 not power of 3" false (Int_math.is_power_of 3 64);
+  Alcotest.(check bool) "0 is not" false (Int_math.is_power_of 2 0);
+  Alcotest.(check bool) "-8 is not" false (Int_math.is_power_of 2 (-8));
+  Alcotest.(check bool) "12 not power of 2" false (Int_math.is_power_of 2 12)
+
+let test_log_floor () =
+  check "log2 1" 0 (Int_math.log_floor 2 1);
+  check "log2 2" 1 (Int_math.log_floor 2 2);
+  check "log2 63" 5 (Int_math.log_floor 2 63);
+  check "log2 64" 6 (Int_math.log_floor 2 64);
+  check "log3 80" 3 (Int_math.log_floor 3 80);
+  check "log3 81" 4 (Int_math.log_floor 3 81);
+  check "log10 999" 2 (Int_math.log_floor 10 999)
+
+let test_log_ceil () =
+  check "clog2 1" 0 (Int_math.log_ceil 2 1);
+  check "clog2 3" 2 (Int_math.log_ceil 2 3);
+  check "clog2 4" 2 (Int_math.log_ceil 2 4);
+  check "clog2 5" 3 (Int_math.log_ceil 2 5);
+  check "clog4 64" 3 (Int_math.log_ceil 4 64);
+  check "clog4 65" 4 (Int_math.log_ceil 4 65)
+
+let test_divisions () =
+  check "cdiv 7 2" 4 (Int_math.cdiv 7 2);
+  check "cdiv 8 2" 4 (Int_math.cdiv 8 2);
+  check "cdiv 0 5" 0 (Int_math.cdiv 0 5);
+  check "cdiv -1 2" 0 (Int_math.cdiv (-1) 2);
+  check "cdiv -4 2" (-2) (Int_math.cdiv (-4) 2);
+  check "fdiv 7 2" 3 (Int_math.fdiv 7 2);
+  check "fdiv -1 2" (-1) (Int_math.fdiv (-1) 2);
+  check "fdiv -4 2" (-2) (Int_math.fdiv (-4) 2);
+  check "fdiv -5 3" (-2) (Int_math.fdiv (-5) 3)
+
+let test_isqrt () =
+  check "isqrt 0" 0 (Int_math.isqrt 0);
+  check "isqrt 1" 1 (Int_math.isqrt 1);
+  check "isqrt 15" 3 (Int_math.isqrt 15);
+  check "isqrt 16" 4 (Int_math.isqrt 16);
+  check "isqrt big" 1_000_000 (Int_math.isqrt 1_000_000_000_000)
+
+(* Properties *)
+
+let prop_pow_log =
+  QCheck.Test.make ~name:"log_floor inverts pow" ~count:500
+    QCheck.(pair (int_range 2 10) (int_range 0 15))
+    (fun (m, e) ->
+      QCheck.assume (e * Int_math.log_ceil 2 m < 60);
+      Int_math.log_floor m (Int_math.pow m e) = e)
+
+let prop_log_floor_bounds =
+  QCheck.Test.make ~name:"m^⌊log⌋ <= v < m^(⌊log⌋+1)" ~count:1000
+    QCheck.(pair (int_range 2 10) (int_range 1 1_000_000))
+    (fun (m, v) ->
+      let e = Int_math.log_floor m v in
+      Int_math.pow m e <= v && v < Int_math.pow m (e + 1))
+
+let prop_divisions =
+  QCheck.Test.make ~name:"cdiv/fdiv vs float" ~count:1000
+    QCheck.(pair (int_range (-100000) 100000) (int_range 1 1000))
+    (fun (a, b) ->
+      let fa = float_of_int a and fb = float_of_int b in
+      Int_math.cdiv a b = int_of_float (ceil (fa /. fb))
+      && Int_math.fdiv a b = int_of_float (floor (fa /. fb)))
+
+let prop_isqrt =
+  QCheck.Test.make ~name:"isqrt bounds" ~count:1000
+    QCheck.(int_range 0 1_000_000_000)
+    (fun v ->
+      let r = Int_math.isqrt v in
+      r * r <= v && (r + 1) * (r + 1) > v)
+
+let suite =
+  [
+    ( "int_math",
+      [
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "pow overflow" `Quick test_pow_overflow;
+        Alcotest.test_case "is_power_of" `Quick test_is_power_of;
+        Alcotest.test_case "log_floor" `Quick test_log_floor;
+        Alcotest.test_case "log_ceil" `Quick test_log_ceil;
+        Alcotest.test_case "cdiv/fdiv" `Quick test_divisions;
+        Alcotest.test_case "isqrt" `Quick test_isqrt;
+        QCheck_alcotest.to_alcotest prop_pow_log;
+        QCheck_alcotest.to_alcotest prop_log_floor_bounds;
+        QCheck_alcotest.to_alcotest prop_divisions;
+        QCheck_alcotest.to_alcotest prop_isqrt;
+      ] );
+  ]

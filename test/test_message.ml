@@ -1,0 +1,74 @@
+module Message = Rtnet_workload.Message
+
+let cls ?(id = 0) ?(source = 0) ?(bits = 1000) ?(deadline = 500) ?(burst = 1)
+    ?(window = 1000) name =
+  {
+    Message.cls_id = id;
+    cls_name = name;
+    cls_source = source;
+    cls_bits = bits;
+    cls_deadline = deadline;
+    cls_burst = burst;
+    cls_window = window;
+  }
+
+let msg ?(uid = 0) ?(arrival = 0) c = { Message.uid; cls = c; arrival }
+
+let test_validate_ok () =
+  Alcotest.(check bool) "valid" true (Message.cls_validate (cls "ok") = Ok ())
+
+let expect_error c =
+  match Message.cls_validate c with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_validate_errors () =
+  expect_error (cls ~bits:0 "bits");
+  expect_error (cls ~deadline:0 "deadline");
+  expect_error (cls ~burst:0 "burst");
+  expect_error (cls ~window:0 "window");
+  expect_error (cls ~source:(-1) "source")
+
+let test_abs_deadline () =
+  let m = msg ~arrival:100 (cls ~deadline:400 "c") in
+  Alcotest.(check int) "DM = T + d" 500 (Message.abs_deadline m)
+
+let test_edf_order () =
+  let c = cls ~deadline:100 "c" in
+  let early = msg ~uid:1 ~arrival:0 c in
+  let late = msg ~uid:2 ~arrival:50 c in
+  Alcotest.(check bool) "earlier DM first" true
+    (Message.compare_edf early late < 0);
+  (* Same DM: break by arrival then uid. *)
+  let c2 = cls ~deadline:150 "c2" in
+  let a = msg ~uid:3 ~arrival:0 c2 (* DM 150 *) in
+  let b = msg ~uid:4 ~arrival:50 c (* DM 150 *) in
+  Alcotest.(check bool) "arrival breaks DM tie" true
+    (Message.compare_edf a b < 0);
+  let x = msg ~uid:5 ~arrival:0 c2 and y = msg ~uid:6 ~arrival:0 c2 in
+  Alcotest.(check bool) "uid breaks full tie" true (Message.compare_edf x y < 0)
+
+let prop_edf_total_order =
+  let arb =
+    QCheck.(triple (int_range 0 20) (int_range 1 100) (int_range 0 100))
+  in
+  QCheck.Test.make ~name:"compare_edf is antisymmetric and transitive-ish"
+    ~count:300 (QCheck.pair arb arb)
+    (fun ((u1, d1, a1), (u2, d2, a2)) ->
+      let m1 = msg ~uid:u1 ~arrival:a1 (cls ~deadline:d1 "x") in
+      let m2 = msg ~uid:u2 ~arrival:a2 (cls ~deadline:d2 "x") in
+      let c12 = Message.compare_edf m1 m2 and c21 = Message.compare_edf m2 m1 in
+      if u1 = u2 && d1 = d2 && a1 = a2 then c12 = 0 && c21 = 0
+      else c12 = -c21 && c12 <> 0)
+
+let suite =
+  [
+    ( "message",
+      [
+        Alcotest.test_case "validate ok" `Quick test_validate_ok;
+        Alcotest.test_case "validate errors" `Quick test_validate_errors;
+        Alcotest.test_case "absolute deadline" `Quick test_abs_deadline;
+        Alcotest.test_case "edf order" `Quick test_edf_order;
+        QCheck_alcotest.to_alcotest prop_edf_total_order;
+      ] );
+  ]

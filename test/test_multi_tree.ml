@@ -1,0 +1,108 @@
+module Xi = Rtnet_core.Xi
+module Multi_tree = Rtnet_core.Multi_tree
+
+let test_single_tree_reduces_to_tilde () =
+  (* v = 1: the bound is just ξ̃_u^t. *)
+  List.iter
+    (fun (m, t) ->
+      for u = 2 to t do
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "v=1 m=%d t=%d u=%d" m t u)
+          (Xi.tilde ~m ~t (float_of_int u))
+          (Multi_tree.bound ~m ~t ~u ~v:1)
+      done)
+    [ (2, 8); (4, 16) ]
+
+let test_eq18_identity () =
+  (* v·ξ̃_{u/v}^t = ξ̃_u^{tv} − (v−1)/(m−1). *)
+  List.iter
+    (fun (m, t, v) ->
+      for u = 2 * v to t * v do
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "eq18 m=%d t=%d u=%d v=%d" m t u v)
+          (Multi_tree.bound ~m ~t ~u ~v)
+          (Multi_tree.bound_eq19 ~m ~t ~u ~v)
+      done)
+    [ (2, 8, 2); (2, 8, 5); (3, 9, 3); (4, 16, 2); (4, 64, 4) ]
+
+let test_bound_dominates_exhaustive () =
+  (* Eq. 19: the analytic bound dominates the exact optimisation. *)
+  List.iter
+    (fun (m, t, v) ->
+      for u = 2 * v to t * v do
+        let exact = Multi_tree.worst_exact ~m ~t ~u ~v in
+        let bound = Multi_tree.bound ~m ~t ~u ~v in
+        Alcotest.(check bool)
+          (Printf.sprintf "eq19 m=%d t=%d u=%d v=%d (%d <= %.3f)" m t u v exact
+             bound)
+          true
+          (float_of_int exact <= bound +. 1e-9)
+      done)
+    [ (2, 4, 2); (2, 8, 3); (2, 16, 2); (3, 9, 4); (4, 16, 2); (4, 16, 3) ]
+
+let test_bound_tight_at_anchor () =
+  (* When u/v hits an anchor 2m^i on every tree, the equal split is
+     realisable exactly, so bound and exhaustive coincide. *)
+  let m = 2 and t = 8 and v = 3 in
+  let u = 3 * 4 (* per-tree share 4 = 2·2^1 *) in
+  let exact = Multi_tree.worst_exact ~m ~t ~u ~v in
+  let bound = Multi_tree.bound ~m ~t ~u ~v in
+  Alcotest.(check (float 1e-6)) "tight at anchors" (float_of_int exact) bound
+
+let test_small_u_clamp () =
+  (* u < 2v: the per-tree share is clamped up to 2; the result must
+     still dominate scheduling u <= v singletons (ξ_1 = 0 each). *)
+  let b = Multi_tree.bound ~m:2 ~t:8 ~u:3 ~v:4 in
+  Alcotest.(check bool) "positive and finite" true (b > 0. && b < 1000.);
+  Alcotest.(check (float 1e-9)) "u=0 is free" 0. (Multi_tree.bound ~m:2 ~t:8 ~u:0 ~v:4)
+
+let test_overflow_folds_into_extra_trees () =
+  (* u > t·v: more messages than tree leaves — extra trees appear. *)
+  let b = Multi_tree.bound ~m:2 ~t:8 ~u:100 ~v:2 in
+  let explicit = Multi_tree.bound ~m:2 ~t:8 ~u:100 ~v:13 in
+  Alcotest.(check (float 1e-9)) "v raised to ceil(u/t)" explicit b
+
+let test_invalid_args () =
+  Alcotest.check_raises "v < 1" (Invalid_argument "Multi_tree.bound: v < 1")
+    (fun () -> ignore (Multi_tree.bound ~m:2 ~t:8 ~u:4 ~v:0));
+  Alcotest.check_raises "worst_exact range"
+    (Invalid_argument "Multi_tree.worst_exact: u out of [2v, tv]") (fun () ->
+      ignore (Multi_tree.worst_exact ~m:2 ~t:8 ~u:3 ~v:2))
+
+let prop_bound_dominates_random_partitions =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        int_range 2 4 >>= fun m ->
+        oneofl [ 1; 2 ] >>= fun n ->
+        let t = int_of_float (float_of_int m ** float_of_int n) in
+        int_range 1 6 >>= fun v ->
+        list_size (return v) (int_range 2 t) >>= fun parts ->
+        return (m, t, v, parts))
+  in
+  QCheck.Test.make ~name:"bound dominates any explicit partition" ~count:500
+    arb
+    (fun (m, t, v, parts) ->
+      let u = List.fold_left ( + ) 0 parts in
+      let total =
+        List.fold_left (fun acc k -> acc + Xi.exact ~m ~t ~k) 0 parts
+      in
+      float_of_int total <= Multi_tree.bound ~m ~t ~u ~v +. 1e-9)
+
+let suite =
+  [
+    ( "multi_tree",
+      [
+        Alcotest.test_case "v=1 reduces to tilde" `Quick
+          test_single_tree_reduces_to_tilde;
+        Alcotest.test_case "eq18 identity" `Quick test_eq18_identity;
+        Alcotest.test_case "eq19 dominates exhaustive" `Quick
+          test_bound_dominates_exhaustive;
+        Alcotest.test_case "tight at anchors" `Quick test_bound_tight_at_anchor;
+        Alcotest.test_case "small u clamp" `Quick test_small_u_clamp;
+        Alcotest.test_case "overflow folds" `Quick
+          test_overflow_folds_into_extra_trees;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        QCheck_alcotest.to_alcotest prop_bound_dominates_random_partitions;
+      ] );
+  ]

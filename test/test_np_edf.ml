@@ -1,0 +1,98 @@
+module Message = Rtnet_workload.Message
+module Phy = Rtnet_channel.Phy
+module Np_edf = Rtnet_edf.Np_edf
+module Run = Rtnet_stats.Run
+
+let phy = Phy.classic_ethernet (* l' = l + 160, min 512 *)
+
+let cls id deadline =
+  {
+    Message.cls_id = id;
+    cls_name = "c" ^ string_of_int id;
+    cls_source = 0;
+    cls_bits = 1000;
+    cls_deadline = deadline;
+    cls_burst = 1;
+    cls_window = 10_000;
+  }
+
+let msg uid arrival deadline = { Message.uid; cls = cls uid deadline; arrival }
+
+let test_serves_in_edf_order () =
+  let trace = [ msg 0 0 9000; msg 1 0 3000; msg 2 0 6000 ] in
+  let o = Np_edf.run phy trace ~horizon:100_000 in
+  let order = List.map (fun c -> c.Run.c_msg.Message.uid) o.Run.completions in
+  Alcotest.(check (list int)) "EDF order" [ 1; 2; 0 ] order
+
+let test_back_to_back_service () =
+  let trace = [ msg 0 0 5000; msg 1 0 6000 ] in
+  let o = Np_edf.run phy trace ~horizon:100_000 in
+  match o.Run.completions with
+  | [ c0; c1 ] ->
+    Alcotest.(check int) "first starts at arrival" 0 c0.Run.c_start;
+    Alcotest.(check int) "on-wire time" 1160 (c0.Run.c_finish - c0.Run.c_start);
+    Alcotest.(check int) "no gap" c0.Run.c_finish c1.Run.c_start
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_non_preemptive () =
+  (* A long low-priority frame starts; an urgent one arriving during
+     service must wait for completion. *)
+  let long_cls =
+    { (cls 0 50_000) with Message.cls_bits = 10_000; cls_name = "long" }
+  in
+  let long = { Message.uid = 0; cls = long_cls; arrival = 0 } in
+  let urgent = msg 1 100 1500 in
+  let o = Np_edf.run phy [ long; urgent ] ~horizon:100_000 in
+  (match o.Run.completions with
+  | [ c0; c1 ] ->
+    Alcotest.(check int) "long first" 0 c0.Run.c_msg.Message.uid;
+    Alcotest.(check bool) "urgent waited" true (c1.Run.c_start >= c0.Run.c_finish)
+  | _ -> Alcotest.fail "expected two completions");
+  Alcotest.(check int) "urgent missed (blocking)" 1
+    (Run.metrics o).Run.deadline_misses
+
+let test_idle_jump () =
+  let trace = [ msg 0 5_000 2000; msg 1 50_000 2000 ] in
+  let o = Np_edf.run phy trace ~horizon:100_000 in
+  match o.Run.completions with
+  | [ c0; c1 ] ->
+    Alcotest.(check int) "starts at arrival" 5_000 c0.Run.c_start;
+    Alcotest.(check int) "jumps idle period" 50_000 c1.Run.c_start
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_horizon_unfinished () =
+  let trace = [ msg 0 0 2000; msg 1 0 9000 ] in
+  (* The first frame occupies [0, 1160); service of the second may not
+     start once the horizon (1100) has passed. *)
+  let o = Np_edf.run phy trace ~horizon:1100 in
+  Alcotest.(check int) "one finished" 1 (List.length o.Run.completions);
+  Alcotest.(check int) "one unfinished" 1 (List.length o.Run.unfinished)
+
+let test_schedulable () =
+  Alcotest.(check bool) "loose deadlines" true
+    (Np_edf.schedulable phy [ msg 0 0 10_000; msg 1 0 10_000 ]);
+  Alcotest.(check bool) "impossible deadlines" false
+    (Np_edf.schedulable phy [ msg 0 0 1200; msg 1 0 1300 ])
+
+let prop_conservation =
+  QCheck.Test.make ~name:"completions + unfinished = trace" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_range 0 50_000) (int_range 500 50_000)))
+    (fun pairs ->
+      let trace = List.mapi (fun i (a, d) -> msg i a d) pairs in
+      let o = Np_edf.run phy trace ~horizon:60_000 in
+      List.length o.Run.completions + List.length o.Run.unfinished
+      = List.length trace)
+
+let suite =
+  [
+    ( "np_edf",
+      [
+        Alcotest.test_case "edf order" `Quick test_serves_in_edf_order;
+        Alcotest.test_case "back to back" `Quick test_back_to_back_service;
+        Alcotest.test_case "non-preemptive" `Quick test_non_preemptive;
+        Alcotest.test_case "idle jump" `Quick test_idle_jump;
+        Alcotest.test_case "horizon" `Quick test_horizon_unfinished;
+        Alcotest.test_case "schedulable" `Quick test_schedulable;
+        QCheck_alcotest.to_alcotest prop_conservation;
+      ] );
+  ]

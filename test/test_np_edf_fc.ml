@@ -1,0 +1,181 @@
+module Np_edf_fc = Rtnet_edf.Np_edf_fc
+module Np_edf = Rtnet_edf.Np_edf
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Arrival = Rtnet_workload.Arrival
+module Phy = Rtnet_channel.Phy
+
+let ms = 1_000_000
+
+let cls ?(id = 0) ?(source = 0) ~bits ~deadline ~burst ~window () =
+  {
+    Message.cls_id = id;
+    cls_name = "c" ^ string_of_int id;
+    cls_source = source;
+    cls_bits = bits;
+    cls_deadline = deadline;
+    cls_burst = burst;
+    cls_window = window;
+  }
+
+let law = Arrival.Greedy_burst
+
+let mk classes =
+  Instance.create_exn ~name:"np-fc" ~phy:Phy.classic_ethernet
+    ~num_sources:
+      (1 + List.fold_left (fun a (c, _) -> max a c.Message.cls_source) 0 classes)
+    classes
+
+let test_utilization () =
+  (* one class: a=2, l'=1160, w=10000 -> 0.232 *)
+  let inst = mk [ (cls ~bits:1000 ~deadline:5000 ~burst:2 ~window:10_000 (), law) ] in
+  Alcotest.(check (float 1e-9)) "utilization" 0.232 (Np_edf_fc.utilization inst)
+
+let test_dbf_steps () =
+  let inst = mk [ (cls ~bits:1000 ~deadline:5000 ~burst:2 ~window:10_000 (), law) ] in
+  Alcotest.(check int) "before deadline" 0 (Np_edf_fc.demand_bound inst 4999);
+  Alcotest.(check int) "at deadline" (2 * 1160) (Np_edf_fc.demand_bound inst 5000);
+  Alcotest.(check int) "next window" (4 * 1160) (Np_edf_fc.demand_bound inst 15_000)
+
+let test_blocking () =
+  let inst =
+    mk
+      [
+        (cls ~id:0 ~bits:1000 ~deadline:5000 ~burst:1 ~window:50_000 (), law);
+        (cls ~id:1 ~source:1 ~bits:8000 ~deadline:40_000 ~burst:1 ~window:50_000 (), law);
+      ]
+  in
+  Alcotest.(check int) "short horizon blocked by long frame" 8160
+    (Np_edf_fc.blocking inst 5000);
+  Alcotest.(check int) "past every deadline: none" 0
+    (Np_edf_fc.blocking inst 40_000)
+
+let test_overload_infeasible () =
+  let inst = mk [ (cls ~bits:10_000 ~deadline:5000 ~burst:2 ~window:10_000 (), law) ] in
+  Alcotest.(check bool) "U > 1" true (Np_edf_fc.utilization inst > 1.);
+  let v = Np_edf_fc.check inst in
+  Alcotest.(check bool) "infeasible" false v.Np_edf_fc.np_feasible;
+  Alcotest.(check bool) "no busy period" true (Np_edf_fc.busy_period inst = None)
+
+let test_light_load_feasible () =
+  let inst = mk [ (cls ~bits:1000 ~deadline:50_000 ~burst:1 ~window:100_000 (), law) ] in
+  let v = Np_edf_fc.check inst in
+  Alcotest.(check bool) "feasible" true v.Np_edf_fc.np_feasible;
+  Alcotest.(check bool) "margin sane" true
+    (v.Np_edf_fc.np_margin > 0. && v.Np_edf_fc.np_margin <= 1.)
+
+let test_tight_deadline_infeasible_despite_low_load () =
+  (* A frame that cannot even fit before its own deadline. *)
+  let inst = mk [ (cls ~bits:8000 ~deadline:4000 ~burst:1 ~window:1_000_000 (), law) ] in
+  Alcotest.(check bool) "U tiny" true (Np_edf_fc.utilization inst < 0.01);
+  let v = Np_edf_fc.check inst in
+  Alcotest.(check bool) "still infeasible" false v.Np_edf_fc.np_feasible;
+  Alcotest.(check int) "critical point is the deadline" 4000 v.Np_edf_fc.critical_t
+
+let test_verdict_agrees_with_oracle_simulation () =
+  (* The analytical test and the simulated oracle must agree under the
+     peak-load adversary on a grid of loads. *)
+  List.iter
+    (fun load ->
+      let inst =
+        Instance.with_law
+          (Scenarios.uniform ~sources:4 ~classes_per_source:2 ~load
+             ~deadline_windows:1.2)
+          Arrival.Greedy_burst
+      in
+      let v = Np_edf_fc.check inst in
+      let horizon = 30 * ms in
+      let trace = Instance.trace inst ~seed:3 ~horizon in
+      let o = Np_edf.run inst.Instance.phy trace ~horizon in
+      let missed =
+        List.exists Rtnet_stats.Run.missed o.Rtnet_stats.Run.completions
+      in
+      if v.Np_edf_fc.np_feasible then
+        Alcotest.(check bool)
+          (Printf.sprintf "feasible at %.2f -> no simulated miss" load)
+          false missed)
+    [ 0.2; 0.4; 0.6; 0.8 ]
+
+let test_price_of_distribution () =
+  let inst = Scenarios.videoconference ~stations:5 in
+  let ddcr_margin =
+    (Rtnet_core.Feasibility.check (Rtnet_core.Ddcr_params.default inst) inst)
+      .Rtnet_core.Feasibility.worst_margin
+  in
+  let price = Np_edf_fc.price_of_distribution ~distributed_margin:ddcr_margin inst in
+  Alcotest.(check bool) "distribution costs something" true (price > 1.);
+  Alcotest.(check bool) "but bounded" true (price < 1000.)
+
+let prop_dbf_dominates_greedy_trace =
+  (* Necessity side: the demand the greedy adversary actually releases
+     with absolute deadlines within [0, t) never exceeds dbf(t). *)
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        tup4 (int_range 1 3) (int_range 5_000 60_000) (int_range 3_000 50_000)
+          (int_range 500 4_000))
+  in
+  QCheck.Test.make ~name:"greedy trace demand <= dbf" ~count:100 arb
+    (fun (burst, w, d, bits) ->
+      let c =
+        {
+          Message.cls_id = 0;
+          cls_name = "g";
+          cls_source = 0;
+          cls_bits = bits;
+          cls_deadline = d;
+          cls_burst = burst;
+          cls_window = w;
+        }
+      in
+      let inst = mk [ (c, Arrival.Greedy_burst) ] in
+      let horizon = 5 * w in
+      let trace = Instance.trace inst ~seed:1 ~horizon in
+      let wire = Phy.tx_bits Phy.classic_ethernet bits in
+      let rec check t =
+        t > horizon
+        ||
+        let released =
+          List.fold_left
+            (fun acc m ->
+              if Message.abs_deadline m <= t then acc + wire else acc)
+            0 trace
+        in
+        released <= Np_edf_fc.demand_bound inst t && check (t + 1709)
+      in
+      check 1)
+
+let prop_dbf_monotone =
+  QCheck.Test.make ~name:"dbf is monotone in t" ~count:200
+    QCheck.(triple (int_range 1000 100_000) (int_range 1 4) (int_range 1000 100_000))
+    (fun (w, a, d) ->
+      let inst = mk [ (cls ~bits:1000 ~deadline:d ~burst:a ~window:w (), law) ] in
+      let rec go t prev =
+        if t > 300_000 then true
+        else begin
+          let v = Np_edf_fc.demand_bound inst t in
+          v >= prev && go (t + 7919) v
+        end
+      in
+      go 1 0)
+
+let suite =
+  [
+    ( "np_edf_fc",
+      [
+        Alcotest.test_case "utilization" `Quick test_utilization;
+        Alcotest.test_case "dbf steps" `Quick test_dbf_steps;
+        Alcotest.test_case "blocking" `Quick test_blocking;
+        Alcotest.test_case "overload" `Quick test_overload_infeasible;
+        Alcotest.test_case "light load" `Quick test_light_load_feasible;
+        Alcotest.test_case "tight deadline" `Quick
+          test_tight_deadline_infeasible_despite_low_load;
+        Alcotest.test_case "agrees with oracle sim" `Slow
+          test_verdict_agrees_with_oracle_simulation;
+        Alcotest.test_case "price of distribution" `Quick
+          test_price_of_distribution;
+        QCheck_alcotest.to_alcotest prop_dbf_dominates_greedy_trace;
+        QCheck_alcotest.to_alcotest prop_dbf_monotone;
+      ] );
+  ]

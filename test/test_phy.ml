@@ -1,0 +1,50 @@
+module Phy = Rtnet_channel.Phy
+
+let test_tx_bits_overhead () =
+  let phy = Phy.gigabit_ethernet in
+  Alcotest.(check int) "big frame gets overhead" (12_000 + 160)
+    (Phy.tx_bits phy 12_000)
+
+let test_tx_bits_min_frame () =
+  let phy = Phy.gigabit_ethernet in
+  Alcotest.(check int) "small frame padded to carrier extension" 4096
+    (Phy.tx_bits phy 100)
+
+let test_tx_bits_invalid () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Phy.tx_bits: non-positive length") (fun () ->
+      ignore (Phy.tx_bits Phy.gigabit_ethernet 0))
+
+let test_classic_ethernet () =
+  let phy = Phy.classic_ethernet in
+  Alcotest.(check int) "slot 512" 512 phy.Phy.slot_bits;
+  Alcotest.(check int) "min frame" 512 (Phy.tx_bits phy 64)
+
+let test_atm_bus () =
+  let phy = Phy.atm_bus in
+  Alcotest.(check int) "cell size" 424 (Phy.tx_bits phy 384);
+  Alcotest.(check bool) "arbitrated" true (phy.Phy.semantics = Phy.Arbitration);
+  Alcotest.(check bool) "tiny slot" true (phy.Phy.slot_bits <= 16)
+
+let test_seconds_of_bits () =
+  Alcotest.(check (float 1e-12)) "1 Gbit/s" 1e-6
+    (Phy.seconds_of_bits Phy.gigabit_ethernet 1000)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Phy.pp Phy.gigabit_ethernet in
+  Alcotest.(check bool) "mentions name" true
+    (Astring_contains.contains s "gigabit-ethernet")
+
+let suite =
+  [
+    ( "phy",
+      [
+        Alcotest.test_case "overhead" `Quick test_tx_bits_overhead;
+        Alcotest.test_case "min frame" `Quick test_tx_bits_min_frame;
+        Alcotest.test_case "invalid length" `Quick test_tx_bits_invalid;
+        Alcotest.test_case "classic ethernet" `Quick test_classic_ethernet;
+        Alcotest.test_case "atm bus" `Quick test_atm_bus;
+        Alcotest.test_case "seconds" `Quick test_seconds_of_bits;
+        Alcotest.test_case "pp" `Quick test_pp;
+      ] );
+  ]

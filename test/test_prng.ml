@@ -1,0 +1,102 @@
+module Prng = Rtnet_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let test_int_range () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Prng.int: n <= 0")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_covers () =
+  let g = Prng.create 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 8) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true
+    (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 3.5 in
+    Alcotest.(check bool) "0 <= v < 3.5" true (v >= 0. && v < 3.5)
+  done
+
+let test_exponential_positive () =
+  let g = Prng.create 17 in
+  let sum = ref 0. in
+  for _ = 1 to 2000 do
+    let v = Prng.exponential g 2.0 in
+    Alcotest.(check bool) "positive" true (v >= 0.);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. 2000. in
+  Alcotest.(check bool) "mean near 1/rate" true (mean > 0.4 && mean < 0.6)
+
+let test_split_independent () =
+  let g = Prng.create 23 in
+  let h = Prng.split g in
+  let overlap = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 g = Prng.bits64 h then incr overlap
+  done;
+  Alcotest.(check bool) "split stream differs" true (!overlap < 4)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 29 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let prop_bool_balanced =
+  QCheck.Test.make ~name:"bool roughly balanced" ~count:20 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let heads = ref 0 in
+      for _ = 1 to 1000 do
+        if Prng.bool g then incr heads
+      done;
+      !heads > 400 && !heads < 600)
+
+let suite =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int covers" `Quick test_int_covers;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "exponential" `Quick test_exponential_positive;
+        Alcotest.test_case "split" `Quick test_split_independent;
+        Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        QCheck_alcotest.to_alcotest prop_bool_balanced;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+module Message = Rtnet_workload.Message
+module Run = Rtnet_stats.Run
+
+let cls id deadline =
+  {
+    Message.cls_id = id;
+    cls_name = "c" ^ string_of_int id;
+    cls_source = 0;
+    cls_bits = 1000;
+    cls_deadline = deadline;
+    cls_burst = 1;
+    cls_window = 10_000;
+  }
+
+let msg uid arrival deadline = { Message.uid; cls = cls uid deadline; arrival }
+
+let completion uid arrival deadline start finish =
+  { Run.c_msg = msg uid arrival deadline; c_start = start; c_finish = finish }
+
+let outcome ?(unfinished = []) ?(dropped = []) ?(horizon = 100_000) completions =
+  { Run.protocol = "test"; completions; unfinished; dropped; horizon; channel = None }
+
+let test_latency_lateness () =
+  let c = completion 0 100 1000 (* DM 1100 *) 200 900 in
+  Alcotest.(check int) "latency" 800 (Run.latency c);
+  Alcotest.(check int) "lateness" (-200) (Run.lateness c);
+  Alcotest.(check bool) "on time" false (Run.missed c);
+  let late = completion 1 0 500 600 1200 in
+  Alcotest.(check bool) "late" true (Run.missed late)
+
+let test_metrics_accounting () =
+  let o =
+    outcome
+      ~unfinished:[ msg 10 0 500 (* due before horizon: a miss *) ]
+      ~dropped:[ msg 11 0 500 ]
+      [ completion 0 0 10_000 0 1000; completion 1 0 500 600 1200 (* late *) ]
+  in
+  let m = Run.metrics o in
+  Alcotest.(check int) "delivered" 2 m.Run.delivered;
+  Alcotest.(check int) "misses = late + dropped + due-unfinished" 3
+    m.Run.deadline_misses;
+  Alcotest.(check int) "worst latency" 1200 m.Run.worst_latency;
+  Alcotest.(check (float 1e-9)) "miss ratio" 0.75 m.Run.miss_ratio
+
+let test_unfinished_beyond_horizon_not_missed () =
+  let o =
+    outcome ~horizon:1000
+      ~unfinished:[ msg 5 900 5000 (* DM 5900 > horizon *) ]
+      [ completion 0 0 10_000 0 500 ]
+  in
+  Alcotest.(check int) "no miss" 0 (Run.metrics o).Run.deadline_misses
+
+let test_inversions () =
+  (* b (DM 500) was pending when a (DM 9000) started: one inversion. *)
+  let a = completion 0 0 9_000 100 300 in
+  let b = completion 1 50 500 300 400 in
+  Alcotest.(check int) "one inversion" 1 (Run.inversions [ a; b ]);
+  (* EDF-consistent order: none. *)
+  let c = completion 2 0 400 0 100 in
+  Alcotest.(check int) "none when EDF" 0 (Run.inversions [ c; a ]);
+  (* b arrived after a started: not an inversion. *)
+  let late_b = completion 3 200 500 300 400 in
+  Alcotest.(check int) "arrival after start" 0 (Run.inversions [ a; late_b ])
+
+let test_per_class_worst () =
+  let o =
+    outcome
+      [
+        completion 0 0 10_000 0 500;
+        completion 1 0 10_000 0 900;
+        completion 2 0 10_000 0 100;
+      ]
+  in
+  (* all three share cls ids 0,1,2 distinct -> three entries *)
+  Alcotest.(check int) "three classes" 3
+    (List.length (Run.per_class_worst_latency o))
+
+let test_empty_outcome () =
+  let m = Run.metrics (outcome []) in
+  Alcotest.(check int) "nothing delivered" 0 m.Run.delivered;
+  Alcotest.(check (float 1e-9)) "ratio 0" 0. m.Run.miss_ratio
+
+let suite =
+  [
+    ( "run",
+      [
+        Alcotest.test_case "latency/lateness" `Quick test_latency_lateness;
+        Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+        Alcotest.test_case "horizon exemption" `Quick
+          test_unfinished_beyond_horizon_not_missed;
+        Alcotest.test_case "inversions" `Quick test_inversions;
+        Alcotest.test_case "per-class worst" `Quick test_per_class_worst;
+        Alcotest.test_case "empty outcome" `Quick test_empty_outcome;
+      ] );
+  ]

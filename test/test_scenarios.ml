@@ -1,0 +1,67 @@
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+
+let test_all_valid () =
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun c ->
+          match Message.cls_validate c with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (name ^ ": " ^ e))
+        (Instance.classes inst))
+    Scenarios.all
+
+let test_loads_below_capacity () =
+  List.iter
+    (fun (name, inst) ->
+      let u = Instance.peak_utilization inst in
+      Alcotest.(check bool) (name ^ " load < 1") true (u > 0. && u < 1.0))
+    Scenarios.all
+
+let test_uniform_load_targets () =
+  List.iter
+    (fun load ->
+      let inst =
+        Scenarios.uniform ~sources:6 ~classes_per_source:2 ~load
+          ~deadline_windows:2.0
+      in
+      let u = Instance.peak_utilization inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "load %.2f within 5%%" load)
+        true
+        (abs_float (u -. load) /. load < 0.05))
+    [ 0.1; 0.3; 0.5; 0.7 ]
+
+let test_sizes_scale () =
+  let small = Scenarios.videoconference ~stations:2 in
+  let large = Scenarios.videoconference ~stations:8 in
+  Alcotest.(check int) "3 classes per station" 6
+    (List.length (Instance.classes small));
+  Alcotest.(check int) "scales" 24 (List.length (Instance.classes large))
+
+let test_atm_uses_atm_bus () =
+  let inst = Scenarios.atm_fabric ~ports:3 in
+  Alcotest.(check string) "atm bus" "atm-bus"
+    inst.Instance.phy.Rtnet_channel.Phy.name
+
+let test_invalid_sizes () =
+  Alcotest.check_raises "zero stations"
+    (Invalid_argument "Scenarios.videoconference") (fun () ->
+      ignore (Scenarios.videoconference ~stations:0))
+
+let suite =
+  [
+    ( "scenarios",
+      [
+        Alcotest.test_case "all valid" `Quick test_all_valid;
+        Alcotest.test_case "loads below capacity" `Quick
+          test_loads_below_capacity;
+        Alcotest.test_case "uniform hits target load" `Quick
+          test_uniform_load_targets;
+        Alcotest.test_case "sizes scale" `Quick test_sizes_scale;
+        Alcotest.test_case "atm medium" `Quick test_atm_uses_atm_bus;
+        Alcotest.test_case "invalid sizes" `Quick test_invalid_sizes;
+      ] );
+  ]

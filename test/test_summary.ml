@@ -1,0 +1,64 @@
+module Summary = Rtnet_stats.Summary
+
+let test_empty () =
+  Alcotest.(check bool) "none on empty" true (Summary.of_list [] = None);
+  Alcotest.check_raises "exn variant"
+    (Invalid_argument "Summary.of_list_exn: empty") (fun () ->
+      ignore (Summary.of_list_exn []))
+
+let test_basic () =
+  let s = Summary.of_list_exn [ 5; 1; 3; 2; 4 ] in
+  Alcotest.(check int) "count" 5 s.Summary.count;
+  Alcotest.(check int) "min" 1 s.Summary.min;
+  Alcotest.(check int) "max" 5 s.Summary.max;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Summary.mean;
+  Alcotest.(check int) "median" 3 s.Summary.p50
+
+let test_percentiles () =
+  let sorted = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "p50 of 1..100" 50 (Summary.percentile sorted 50.);
+  Alcotest.(check int) "p99" 99 (Summary.percentile sorted 99.);
+  Alcotest.(check int) "p100" 100 (Summary.percentile sorted 100.);
+  Alcotest.(check int) "p1" 1 (Summary.percentile sorted 1.)
+
+let test_stddev () =
+  let s = Summary.of_list_exn [ 2; 2; 2; 2 ] in
+  Alcotest.(check (float 1e-9)) "constant has zero sd" 0. s.Summary.stddev;
+  let s2 = Summary.of_list_exn [ 0; 10 ] in
+  Alcotest.(check (float 1e-9)) "sd of {0,10}" 5. s2.Summary.stddev
+
+let test_histogram () =
+  let h = Summary.Histogram.create ~lo:0 ~hi:100 ~buckets:10 in
+  List.iter (Summary.Histogram.add h) [ 5; 15; 15; 95; 200; -3 ];
+  let counts = Summary.Histogram.counts h in
+  Alcotest.(check int) "bucket 0 (incl. clamped -3)" 2 counts.(0);
+  Alcotest.(check int) "bucket 1" 2 counts.(1);
+  Alcotest.(check int) "last bucket (incl. clamped 200)" 2 counts.(9);
+  let rendering = Summary.Histogram.render h in
+  Alcotest.(check bool) "renders bars" true
+    (Astring_contains.contains rendering "#")
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"min <= p50 <= p90 <= p99 <= max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range (-1000) 1000))
+    (fun samples ->
+      let s = Summary.of_list_exn samples in
+      s.Summary.min <= s.Summary.p50
+      && s.Summary.p50 <= s.Summary.p90
+      && s.Summary.p90 <= s.Summary.p99
+      && s.Summary.p99 <= s.Summary.max
+      && s.Summary.mean >= float_of_int s.Summary.min
+      && s.Summary.mean <= float_of_int s.Summary.max)
+
+let suite =
+  [
+    ( "summary",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "basic" `Quick test_basic;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        QCheck_alcotest.to_alcotest prop_summary_bounds;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+module Tree_search = Rtnet_core.Tree_search
+module Xi = Rtnet_core.Xi
+
+let cost ~m ~t active = Tree_search.cost (Tree_search.run ~m ~t ~active)
+
+let test_empty_tree () =
+  let tr = Tree_search.run ~m:2 ~t:8 ~active:[] in
+  Alcotest.(check int) "one empty slot" 1 (Tree_search.cost tr);
+  Alcotest.(check int) "single probe" 1 (List.length tr)
+
+let test_single_active () =
+  let tr = Tree_search.run ~m:2 ~t:8 ~active:[ 5 ] in
+  Alcotest.(check int) "free transmission" 0 (Tree_search.cost tr);
+  Alcotest.(check (list int)) "isolated" [ 5 ] (Tree_search.isolated tr)
+
+let test_two_adjacent_worst () =
+  (* Both actives under the deepest common subtree: full descent. *)
+  Alcotest.(check int) "adjacent leaves cost eq5" (Xi.eq5 ~m:2 ~t:8)
+    (cost ~m:2 ~t:8 [ 0; 1 ]);
+  Alcotest.(check int) "far apart is cheap" 1 (cost ~m:2 ~t:8 [ 0; 7 ])
+
+let test_left_to_right_order () =
+  let tr = Tree_search.run ~m:2 ~t:8 ~active:[ 6; 1; 4 ] in
+  Alcotest.(check (list int)) "transmissions left to right" [ 1; 4; 6 ]
+    (Tree_search.isolated tr)
+
+let test_probe_trace_structure () =
+  let tr = Tree_search.run ~m:2 ~t:4 ~active:[ 0; 1 ] in
+  (* root collision, left subtree collision, leaf 0, leaf 1, right
+     subtree empty. *)
+  let outcomes =
+    List.map
+      (fun s ->
+        match s.Tree_search.outcome with
+        | Tree_search.Empty -> "e"
+        | Tree_search.Isolated _ -> "i"
+        | Tree_search.Split -> "s"
+        | Tree_search.Leaf_collision _ -> "c")
+      tr
+  in
+  Alcotest.(check (list string)) "dfs order" [ "s"; "s"; "i"; "i"; "e" ] outcomes
+
+let test_leaf_collision_counts_once () =
+  (* Two occupants of one leaf: the leaf probe collides and is
+     abandoned (ties go to the static search in the protocol). *)
+  let tr = Tree_search.run ~m:2 ~t:4 ~active:[ 2; 2 ] in
+  let collisions =
+    List.filter
+      (fun s ->
+        match s.Tree_search.outcome with
+        | Tree_search.Leaf_collision _ -> true
+        | Tree_search.Empty | Tree_search.Isolated _ | Tree_search.Split -> false)
+      tr
+  in
+  Alcotest.(check int) "one leaf collision" 1 (List.length collisions);
+  Alcotest.(check (list int)) "nobody isolated" [] (Tree_search.isolated tr)
+
+let test_invalid () =
+  Alcotest.check_raises "bad m" (Invalid_argument "Tree_search.run: m < 2")
+    (fun () -> ignore (Tree_search.run ~m:1 ~t:4 ~active:[]));
+  Alcotest.check_raises "bad t"
+    (Invalid_argument "Tree_search.run: t must be a power of m") (fun () ->
+      ignore (Tree_search.run ~m:2 ~t:6 ~active:[]));
+  Alcotest.check_raises "leaf range"
+    (Invalid_argument "Tree_search.run: leaf out of range") (fun () ->
+      ignore (Tree_search.run ~m:2 ~t:4 ~active:[ 4 ]))
+
+let test_exhaustive_brute_force_matches_xi () =
+  (* Ground truth for P1: over every subset of a small tree, the worst
+     search cost is exactly ξ. *)
+  let rec subsets lo t k =
+    if k = 0 then [ [] ]
+    else if lo >= t then []
+    else
+      List.map (fun s -> lo :: s) (subsets (lo + 1) t (k - 1))
+      @ subsets (lo + 1) t k
+  in
+  List.iter
+    (fun (m, t) ->
+      let tab = Xi.table ~m ~t in
+      for k = 0 to t do
+        let worst =
+          List.fold_left
+            (fun acc s -> max acc (cost ~m ~t s))
+            0 (subsets 0 t k)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "brute m=%d t=%d k=%d" m t k)
+          tab.(k) worst
+      done)
+    [ (2, 8); (2, 16); (3, 9); (4, 16) ]
+
+let prop_isolates_everyone =
+  QCheck.Test.make ~name:"search isolates every distinct active leaf"
+    ~count:300
+    QCheck.(pair (int_range 0 100000) (int_range 0 16))
+    (fun (seed, k) ->
+      let t = 16 and m = 2 in
+      let rng = Rtnet_util.Prng.create seed in
+      let leaves = Array.init t Fun.id in
+      Rtnet_util.Prng.shuffle rng leaves;
+      let active = List.sort compare (Array.to_list (Array.sub leaves 0 k)) in
+      let tr = Tree_search.run ~m ~t ~active in
+      Tree_search.isolated tr = active)
+
+let prop_cost_invariant_under_m =
+  (* For any subset, quaternary search never beats... rather: cost is
+     bounded by xi for every branching degree. *)
+  QCheck.Test.make ~name:"cost <= xi for m in {2,4}" ~count:300
+    QCheck.(pair (int_range 0 100000) (int_range 0 64))
+    (fun (seed, k) ->
+      let t = 64 in
+      let rng = Rtnet_util.Prng.create seed in
+      let leaves = Array.init t Fun.id in
+      Rtnet_util.Prng.shuffle rng leaves;
+      let active = Array.to_list (Array.sub leaves 0 k) in
+      cost ~m:2 ~t active <= Xi.exact ~m:2 ~t ~k
+      && cost ~m:4 ~t active <= Xi.exact ~m:4 ~t ~k)
+
+let suite =
+  [
+    ( "tree_search",
+      [
+        Alcotest.test_case "empty tree" `Quick test_empty_tree;
+        Alcotest.test_case "single active" `Quick test_single_active;
+        Alcotest.test_case "adjacent worst" `Quick test_two_adjacent_worst;
+        Alcotest.test_case "left-to-right" `Quick test_left_to_right_order;
+        Alcotest.test_case "probe structure" `Quick test_probe_trace_structure;
+        Alcotest.test_case "leaf collision" `Quick test_leaf_collision_counts_once;
+        Alcotest.test_case "invalid args" `Quick test_invalid;
+        Alcotest.test_case "brute force = xi" `Slow
+          test_exhaustive_brute_force_matches_xi;
+        QCheck_alcotest.to_alcotest prop_isolates_everyone;
+        QCheck_alcotest.to_alcotest prop_cost_invariant_under_m;
+      ] );
+  ]

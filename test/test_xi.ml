@@ -1,0 +1,369 @@
+module Xi = Rtnet_core.Xi
+module Tree_search = Rtnet_core.Tree_search
+module Int_math = Rtnet_util.Int_math
+
+(* The (m, t) grid used by the exhaustive identities. *)
+let grid = [ (2, 4); (2, 8); (2, 32); (2, 64); (3, 9); (3, 27); (4, 16); (4, 64); (5, 25); (8, 64) ]
+
+let test_base_values () =
+  (* Eq. 4: the t = m base tree. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "xi_0^m" 1 (Xi.exact ~m ~t:m ~k:0);
+      Alcotest.(check int) "xi_1^m" 0 (Xi.exact ~m ~t:m ~k:1);
+      for p = 1 to m / 2 do
+        Alcotest.(check int)
+          (Printf.sprintf "xi_2p^%d p=%d" m p)
+          (1 + m - (2 * p))
+          (Xi.exact ~m ~t:m ~k:(2 * p))
+      done)
+    [ 2; 3; 4; 5; 7; 8 ]
+
+let test_three_implementations_agree () =
+  List.iter
+    (fun (m, t) ->
+      let tab = Xi.table ~m ~t in
+      for k = 0 to t do
+        let closed = Xi.exact ~m ~t ~k in
+        let defining = Xi.of_recursion ~m ~t ~k in
+        Alcotest.(check int)
+          (Printf.sprintf "m=%d t=%d k=%d closed=dc" m t k)
+          tab.(k) closed;
+        Alcotest.(check int)
+          (Printf.sprintf "m=%d t=%d k=%d closed=eq1" m t k)
+          closed defining
+      done)
+    grid
+
+let test_eq5_eq6_eq7 () =
+  List.iter
+    (fun (m, t) ->
+      Alcotest.(check int) "eq5 = xi_2" (Xi.exact ~m ~t ~k:2) (Xi.eq5 ~m ~t);
+      Alcotest.(check int) "eq6 = xi_{2t/m}"
+        (Xi.exact ~m ~t ~k:(2 * t / m))
+        (Xi.eq6 ~m ~t);
+      Alcotest.(check int) "eq7 = xi_t" (Xi.exact ~m ~t ~k:t) (Xi.eq7 ~m ~t))
+    grid
+
+let test_eq8_derivative () =
+  List.iter
+    (fun (m, t) ->
+      if t > m then
+        for p = 1 to (t / 2) - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "eq8 m=%d t=%d p=%d" m t p)
+            (Xi.exact ~m ~t ~k:((2 * p) + 2) - Xi.exact ~m ~t ~k:(2 * p))
+            (Xi.derivative ~m ~t ~p)
+        done)
+    grid
+
+let test_eq15_linear_tail () =
+  List.iter
+    (fun (m, t) ->
+      for k = 2 * t / m to t do
+        Alcotest.(check int)
+          (Printf.sprintf "eq15 m=%d t=%d k=%d" m t k)
+          (Xi.exact ~m ~t ~k)
+          (Xi.linear_tail ~m ~t ~k)
+      done)
+    grid
+
+let test_odd_k_is_even_minus_one () =
+  (* Eq. 3. *)
+  List.iter
+    (fun (m, t) ->
+      let p_hi = Int_math.cdiv t 2 - 1 in
+      for p = 0 to p_hi do
+        if (2 * p) + 1 <= t then
+          Alcotest.(check int)
+            (Printf.sprintf "eq3 m=%d t=%d p=%d" m t p)
+            (Xi.exact ~m ~t ~k:(2 * p) - 1)
+            (Xi.exact ~m ~t ~k:((2 * p) + 1))
+      done)
+    grid
+
+let test_tilde_dominates_everywhere () =
+  List.iter
+    (fun (m, t) ->
+      for k = 2 to t do
+        let gap = Xi.tilde ~m ~t (float_of_int k) -. float_of_int (Xi.exact ~m ~t ~k) in
+        Alcotest.(check bool)
+          (Printf.sprintf "tilde >= xi m=%d t=%d k=%d" m t k)
+          true (gap >= -1e-9)
+      done)
+    grid
+
+let test_tilde_exact_at_anchors () =
+  List.iter
+    (fun (m, t) ->
+      let rec anchors i acc =
+        let k = 2 * Int_math.pow m i in
+        if k > t then List.rev acc else anchors (i + 1) (k :: acc)
+      in
+      List.iter
+        (fun k ->
+          if k <= t then begin
+            Alcotest.(check bool) "flagged as anchor" true
+              (Xi.tilde_is_exact_at ~m ~t ~k);
+            Alcotest.(check (float 1e-6))
+              (Printf.sprintf "tilde exact m=%d t=%d k=%d" m t k)
+              (float_of_int (Xi.exact ~m ~t ~k))
+              (Xi.tilde ~m ~t (float_of_int k))
+          end)
+        (anchors 0 [])
+    )
+    grid
+
+let test_tilde_concavity () =
+  List.iter
+    (fun (m, t) ->
+      let f k = Xi.tilde ~m ~t k in
+      let rec go k =
+        if k +. 2. > float_of_int t then ()
+        else begin
+          let second = f (k +. 2.) -. (2. *. f (k +. 1.)) +. f k in
+          Alcotest.(check bool)
+            (Printf.sprintf "concave m=%d t=%d k=%.0f" m t k)
+            true (second <= 1e-9);
+          go (k +. 1.)
+        end
+      in
+      go 2.)
+    grid
+
+let test_gap_bounds () =
+  (* Eq. 13 per m, and Eq. 14 universally (over the even abscissas the
+     bound is derived for). *)
+  List.iter
+    (fun (m, t) ->
+      let gap = Xi.max_gap ~m ~t in
+      Alcotest.(check bool)
+        (Printf.sprintf "eq13 m=%d t=%d" m t)
+        true
+        (gap <= (Xi.gap_bound ~m *. float_of_int t) +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "eq14 m=%d t=%d" m t)
+        true
+        (gap <= (Xi.gap_bound_universal *. float_of_int t) +. 1e-9))
+    grid
+
+let test_gap_bound_universal_value () =
+  (* 9.54 % (Eq. 14). *)
+  Alcotest.(check bool) "about 0.0954" true
+    (abs_float (Xi.gap_bound_universal -. 0.0954) < 5e-4);
+  (* Eq. 14 coefficient equals Eq. 13 at m = 9 and dominates small m. *)
+  Alcotest.(check (float 1e-9)) "= gap_bound 9" (Xi.gap_bound ~m:9)
+    Xi.gap_bound_universal;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "eq13(%d) <= eq14" m)
+        true
+        (Xi.gap_bound ~m <= Xi.gap_bound_universal +. 1e-9))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 16; 32; 64 ]
+
+let test_argmax_location () =
+  (* Eq. 12: the even-k maximum of the gap lies in [2t/m^2, 2t/m]. *)
+  List.iter
+    (fun (m, t) ->
+      if t >= m * m then begin
+        let tab = Xi.table ~m ~t in
+        let gap k = Xi.tilde ~m ~t (float_of_int k) -. float_of_int tab.(k) in
+        let max_over lo hi =
+          let best = ref neg_infinity in
+          let k = ref (if lo mod 2 = 0 then lo else lo + 1) in
+          while !k <= hi do
+            if gap !k > !best then best := gap !k;
+            k := !k + 2
+          done;
+          !best
+        in
+        let full = max_over 2 (2 * t / m) in
+        let inner = max_over (2 * t / (m * m)) (2 * t / m) in
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "max attained in [2t/m^2, 2t/m] m=%d t=%d" m t)
+          full inner
+      end)
+    grid
+
+let test_fig2_quaternary_beats_binary () =
+  let binary = Xi.table ~m:2 ~t:64 and quaternary = Xi.table ~m:4 ~t:64 in
+  for k = 2 to 64 do
+    Alcotest.(check bool)
+      (Printf.sprintf "4-ary <= 2-ary at k=%d" k)
+      true
+      (quaternary.(k) <= binary.(k))
+  done
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "m=1" (Invalid_argument "Xi: branching degree m must be >= 2")
+    (fun () -> ignore (Xi.exact ~m:1 ~t:4 ~k:2));
+  Alcotest.check_raises "t not power"
+    (Invalid_argument "Xi: t must be a positive power of m, t >= m") (fun () ->
+      ignore (Xi.exact ~m:2 ~t:12 ~k:2));
+  Alcotest.check_raises "k too big" (Invalid_argument "Xi: k out of [0, t]")
+    (fun () -> ignore (Xi.exact ~m:2 ~t:8 ~k:9))
+
+let test_best_branching () =
+  (* For 64 leaves, Fig. 2's conclusion: quaternary beats binary. *)
+  let m = Xi.best_branching ~min_leaves:64 ~candidates:[ 2; 4 ] in
+  Alcotest.(check int) "prefers 4" 4 m
+
+let test_expected_degenerate_cases () =
+  Alcotest.(check (float 1e-9)) "k=0 is one empty slot" 1. (Xi.expected ~m:2 ~t:8 ~k:0);
+  Alcotest.(check (float 1e-9)) "k=1 is free" 0. (Xi.expected ~m:2 ~t:8 ~k:1);
+  (* k = t: every subset is the full set, so the expectation equals the
+     deterministic cost xi_t^t. *)
+  Alcotest.(check (float 1e-6)) "k=t deterministic"
+    (float_of_int (Xi.exact ~m:2 ~t:16 ~k:16))
+    (Xi.expected ~m:2 ~t:16 ~k:16);
+  (* Hand value: m=2, t=4, k=2: root collision always; the two leaves
+     land in the same half with probability 1/3 (cost 1+1+1) and in
+     different halves with 2/3 (cost 1): E = 5/3. *)
+  Alcotest.(check (float 1e-9)) "hand computed 5/3" (5. /. 3.)
+    (Xi.expected ~m:2 ~t:4 ~k:2)
+
+let test_expected_below_worst () =
+  List.iter
+    (fun (m, t) ->
+      for k = 2 to t do
+        Alcotest.(check bool)
+          (Printf.sprintf "E <= worst m=%d t=%d k=%d" m t k)
+          true
+          (Xi.expected ~m ~t ~k <= float_of_int (Xi.exact ~m ~t ~k) +. 1e-9)
+      done)
+    [ (2, 32); (4, 64); (3, 27) ]
+
+let test_expected_efficiency_bounds () =
+  let e = Xi.expected_efficiency ~m:4 ~t:64 ~k:16 ~frame_slots:3.0 in
+  Alcotest.(check bool) "in (0,1)" true (e > 0. && e < 1.);
+  (* Longer frames amortize the search better. *)
+  let e_long = Xi.expected_efficiency ~m:4 ~t:64 ~k:16 ~frame_slots:30.0 in
+  Alcotest.(check bool) "longer frames more efficient" true (e_long > e)
+
+let prop_expected_matches_monte_carlo =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        oneofl [ (2, 16); (2, 32); (4, 16); (3, 27) ] >>= fun (m, t) ->
+        int_range 2 t >>= fun k ->
+        int_bound 10_000 >>= fun seed -> return (m, t, k, seed))
+  in
+  QCheck.Test.make ~name:"expected matches Monte Carlo within 5 sigma-ish"
+    ~count:15 arb
+    (fun (m, t, k, seed) ->
+      let exact = Xi.expected ~m ~t ~k in
+      let rng = Rtnet_util.Prng.create seed in
+      let n = 4000 in
+      let sum = ref 0 in
+      for _ = 1 to n do
+        let leaves = Array.init t Fun.id in
+        Rtnet_util.Prng.shuffle rng leaves;
+        let active = Array.to_list (Array.sub leaves 0 k) in
+        sum := !sum + Tree_search.cost (Tree_search.run ~m ~t ~active)
+      done;
+      let mc = float_of_int !sum /. float_of_int n in
+      abs_float (mc -. exact) < 0.08 *. (exact +. 1.))
+
+let test_closed_form_on_big_trees () =
+  (* The closed form is O(log t); the divide-and-conquer table is an
+     independent derivation — compare them on trees far beyond the
+     brute-force range. *)
+  List.iter
+    (fun (m, t) ->
+      let tab = Xi.table ~m ~t in
+      for k = 0 to t do
+        Alcotest.(check int)
+          (Printf.sprintf "m=%d t=%d k=%d" m t k)
+          tab.(k) (Xi.exact ~m ~t ~k)
+      done)
+    [ (2, 4096); (4, 1024); (3, 729); (8, 512) ]
+
+let test_total_over_ks () =
+  let tab = Xi.table ~m:2 ~t:8 in
+  let expected = tab.(2) + tab.(3) + tab.(4) + tab.(5) + tab.(6) + tab.(7) + tab.(8) in
+  Alcotest.(check int) "sum" expected (Xi.total_over_ks ~m:2 ~t:8)
+
+(* Properties *)
+
+let tree_gen =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun m ->
+    int_range 1 (match m with 2 -> 6 | 3 -> 4 | _ -> 3) >>= fun n ->
+    return (m, Int_math.pow m n))
+
+let prop_witness_achieves_xi =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        tree_gen >>= fun (m, t) ->
+        int_range 0 t >>= fun k -> return (m, t, k))
+  in
+  QCheck.Test.make ~name:"worst_case_subset achieves xi" ~count:300 arb
+    (fun (m, t, k) ->
+      let w = Xi.worst_case_subset ~m ~t ~k in
+      List.length w = k
+      && List.sort_uniq compare w = w
+      && Tree_search.cost (Tree_search.run ~m ~t ~active:w) = Xi.exact ~m ~t ~k)
+
+let prop_random_subset_below_xi =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        tree_gen >>= fun (m, t) ->
+        int_range 0 t >>= fun k ->
+        int_bound 1_000_000 >>= fun seed -> return (m, t, k, seed))
+  in
+  QCheck.Test.make ~name:"any subset's search cost <= xi" ~count:500 arb
+    (fun (m, t, k, seed) ->
+      let rng = Rtnet_util.Prng.create seed in
+      let leaves = Array.init t Fun.id in
+      Rtnet_util.Prng.shuffle rng leaves;
+      let active = Array.to_list (Array.sub leaves 0 k) in
+      Tree_search.cost (Tree_search.run ~m ~t ~active) <= Xi.exact ~m ~t ~k)
+
+let prop_monotone_after_peak =
+  (* xi is non-increasing on the linear tail [2t/m, t] with slope -1. *)
+  QCheck.Test.make ~name:"linear tail slope -1" ~count:100
+    (QCheck.make tree_gen)
+    (fun (m, t) ->
+      let ok = ref true in
+      for k = (2 * t / m) + 1 to t do
+        if Xi.exact ~m ~t ~k <> Xi.exact ~m ~t ~k:(k - 1) - 1 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "xi",
+      [
+        Alcotest.test_case "eq4 base values" `Quick test_base_values;
+        Alcotest.test_case "three implementations agree" `Quick
+          test_three_implementations_agree;
+        Alcotest.test_case "eq5/6/7" `Quick test_eq5_eq6_eq7;
+        Alcotest.test_case "eq8 derivative" `Quick test_eq8_derivative;
+        Alcotest.test_case "eq15 linear tail" `Quick test_eq15_linear_tail;
+        Alcotest.test_case "eq3 odd k" `Quick test_odd_k_is_even_minus_one;
+        Alcotest.test_case "tilde dominates" `Quick test_tilde_dominates_everywhere;
+        Alcotest.test_case "tilde exact at 2m^i" `Quick test_tilde_exact_at_anchors;
+        Alcotest.test_case "tilde concave" `Quick test_tilde_concavity;
+        Alcotest.test_case "eq13/14 gap bounds" `Quick test_gap_bounds;
+        Alcotest.test_case "eq14 constant" `Quick test_gap_bound_universal_value;
+        Alcotest.test_case "eq12 argmax location" `Quick test_argmax_location;
+        Alcotest.test_case "fig2 claim" `Quick test_fig2_quaternary_beats_binary;
+        Alcotest.test_case "invalid args" `Quick test_invalid_arguments;
+        Alcotest.test_case "best branching" `Quick test_best_branching;
+        Alcotest.test_case "closed form big trees" `Slow
+          test_closed_form_on_big_trees;
+        Alcotest.test_case "total over ks" `Quick test_total_over_ks;
+        Alcotest.test_case "expected: degenerate" `Quick
+          test_expected_degenerate_cases;
+        Alcotest.test_case "expected <= worst" `Quick test_expected_below_worst;
+        Alcotest.test_case "expected efficiency" `Quick
+          test_expected_efficiency_bounds;
+        QCheck_alcotest.to_alcotest prop_expected_matches_monte_carlo;
+        QCheck_alcotest.to_alcotest prop_witness_achieves_xi;
+        QCheck_alcotest.to_alcotest prop_random_subset_below_xi;
+        QCheck_alcotest.to_alcotest prop_monotone_after_peak;
+      ] );
+  ]

@@ -1,0 +1,150 @@
+module Xi = Rtnet_core.Xi
+module Xi_arb = Rtnet_core.Xi_arb
+module Tree_search = Rtnet_core.Tree_search
+module Multi_tree = Rtnet_core.Multi_tree
+module Feasibility = Rtnet_core.Feasibility
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Run = Rtnet_stats.Run
+module Prng = Rtnet_util.Prng
+
+let grid = [ (2, 4); (2, 8); (2, 16); (3, 9); (3, 27); (4, 16); (4, 64) ]
+
+let test_base_values () =
+  List.iter
+    (fun (m, t) ->
+      let z = Xi_arb.table ~m ~t in
+      Alcotest.(check int) "zeta_0 = 1" 1 z.(0);
+      Alcotest.(check int) "zeta_1 = 0" 0 z.(1);
+      (* The winner is carried at the root; the survivor's subtree
+         resolves free while the other m−1 probes are empty. *)
+      Alcotest.(check int) (Printf.sprintf "zeta_2 = m (m=%d t=%d)" m t) m z.(2))
+    grid
+
+let test_dp_matches_reference () =
+  List.iter
+    (fun (m, t) ->
+      let z = Xi_arb.table ~m ~t in
+      for k = 0 to t do
+        Alcotest.(check int)
+          (Printf.sprintf "m=%d t=%d k=%d" m t k)
+          (Xi_arb.of_recursion ~m ~t ~k)
+          z.(k)
+      done)
+    [ (2, 4); (2, 8); (3, 9); (4, 16) ]
+
+let test_low_contention_dominance () =
+  (* Up to half the leaves, arbitration never costs more slots than the
+     destructive search — and strictly fewer at k = 2 for deep trees. *)
+  List.iter
+    (fun (m, t) ->
+      let z = Xi_arb.table ~m ~t and x = Xi.table ~m ~t in
+      for k = 0 to t / 2 do
+        if m = 2 then
+          Alcotest.(check bool)
+            (Printf.sprintf "zeta <= xi m=%d t=%d k=%d" m t k)
+            true (z.(k) <= x.(k))
+      done;
+      if t > m then
+        Alcotest.(check bool) "strict win at k=2" true (z.(2) < x.(2)))
+    grid
+
+let test_crossover_exists () =
+  (* The honest finding: splitting after a carried winner probes
+     emptied leaves, so high contention can cost MORE than the
+     destructive search. *)
+  let z = Xi_arb.table ~m:2 ~t:16 and x = Xi.table ~m:2 ~t:16 in
+  Alcotest.(check bool) "zeta_t > xi_t for m=2 t=16" true (z.(16) > x.(16))
+
+let prop_simulation_within_zeta =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        oneofl [ (2, 8); (2, 16); (4, 16); (3, 9) ] >>= fun (m, t) ->
+        int_range 0 t >>= fun k ->
+        int_bound 100_000 >>= fun seed -> return (m, t, k, seed))
+  in
+  QCheck.Test.make ~name:"arbitrated search cost <= zeta; all delivered"
+    ~count:400 arb
+    (fun (m, t, k, seed) ->
+      let rng = Prng.create seed in
+      let leaves = Array.init t Fun.id in
+      Prng.shuffle rng leaves;
+      let keys = Array.init k Fun.id in
+      Prng.shuffle rng keys;
+      let active = List.init k (fun i -> (leaves.(i), keys.(i))) in
+      let cost, order = Tree_search.run_arbitrated ~m ~t ~active in
+      cost <= (Xi_arb.table ~m ~t).(k) && List.length order = k)
+
+let test_multi_tree_dp_with_zeta () =
+  (* worst_exact_of specialises back to worst_exact on the xi table. *)
+  let m = 2 and t = 8 in
+  for v = 1 to 3 do
+    for u = 2 * v to t * v do
+      Alcotest.(check int)
+        (Printf.sprintf "u=%d v=%d" u v)
+        (Multi_tree.worst_exact ~m ~t ~u ~v)
+        (Multi_tree.worst_exact_of ~xi:(Xi.table ~m ~t) ~t ~u ~v)
+    done
+  done;
+  (* And with zeta it is computable and bounded by per-tree sums. *)
+  let zeta = Xi_arb.table ~m ~t in
+  let w = Multi_tree.worst_exact_of ~xi:zeta ~t ~u:8 ~v:2 in
+  Alcotest.(check bool) "sane" true (w >= 0 && w <= 2 * zeta.(8))
+
+let test_arbitrated_bound_dominates_atm_simulation () =
+  (* The Section 3.2 "straightforward derivation": on the ATM fabric,
+     observed worst latencies stay below the arbitrated bound. *)
+  let inst = Scenarios.atm_fabric ~ports:4 in
+  let params = Ddcr_params.default inst in
+  let o = Ddcr.run ~seed:2 params inst ~horizon:4_000_000 in
+  List.iter
+    (fun (cls_id, worst) ->
+      let c =
+        List.find (fun c -> c.Message.cls_id = cls_id) (Instance.classes inst)
+      in
+      let bound = Feasibility.latency_bound_arbitrated params inst c in
+      Alcotest.(check bool)
+        (Printf.sprintf "class %d: %d <= %.0f" cls_id worst bound)
+        true
+        (float_of_int worst <= bound))
+    (Run.per_class_worst_latency o);
+  (* The arbitrated bound is tighter than the destructive one here
+     (tiny slots, low per-class contention). *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "arb <= destructive bound" true
+        (Feasibility.latency_bound_arbitrated params inst c
+        <= Feasibility.latency_bound params inst c))
+    (Instance.classes inst)
+
+let test_invalid () =
+  Alcotest.check_raises "bad tree"
+    (Invalid_argument "Xi_arb: t must be a positive power of m, t >= m")
+    (fun () -> ignore (Xi_arb.table ~m:2 ~t:12));
+  Alcotest.check_raises "k range" (Invalid_argument "Xi_arb.exact: k out of [0, t]")
+    (fun () -> ignore (Xi_arb.exact ~m:2 ~t:8 ~k:9));
+  Alcotest.check_raises "duplicate leaves"
+    (Invalid_argument "Tree_search.run_arbitrated: duplicate leaves")
+    (fun () ->
+      ignore (Tree_search.run_arbitrated ~m:2 ~t:4 ~active:[ (1, 0); (1, 1) ]))
+
+let suite =
+  [
+    ( "xi_arb",
+      [
+        Alcotest.test_case "base values" `Quick test_base_values;
+        Alcotest.test_case "dp = reference" `Quick test_dp_matches_reference;
+        Alcotest.test_case "low-contention dominance" `Quick
+          test_low_contention_dominance;
+        Alcotest.test_case "crossover exists" `Quick test_crossover_exists;
+        Alcotest.test_case "multi-tree DP" `Quick test_multi_tree_dp_with_zeta;
+        Alcotest.test_case "ATM bound domination" `Slow
+          test_arbitrated_bound_dominates_atm_simulation;
+        Alcotest.test_case "invalid args" `Quick test_invalid;
+        QCheck_alcotest.to_alcotest prop_simulation_within_zeta;
+      ] );
+  ]
