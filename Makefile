@@ -1,0 +1,23 @@
+# Convenience wrapper around dune.  `make check` is the whole gate:
+# build everything, run the static-analysis lint over every shipped
+# scenario (config lint + trace invariant check + bounded exhaustive
+# checker), then the test suite.
+
+.PHONY: all build lint test check clean
+
+all: build
+
+build:
+	dune build @all
+
+lint:
+	dune build @lint
+
+test:
+	dune runtest
+
+check:
+	dune build @all @lint && dune runtest
+
+clean:
+	dune clean

@@ -13,7 +13,6 @@ module Tree_search = Rtnet_core.Tree_search
 module Ddcr = Rtnet_core.Ddcr
 module Ddcr_params = Rtnet_core.Ddcr_params
 module Feasibility = Rtnet_core.Feasibility
-module Dimensioning = Rtnet_core.Dimensioning
 module Multi_bus = Rtnet_core.Multi_bus
 module Instance = Rtnet_workload.Instance
 module Message = Rtnet_workload.Message

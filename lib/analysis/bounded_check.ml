@@ -1,0 +1,153 @@
+module Tree_search = Rtnet_core.Tree_search
+module Xi = Rtnet_core.Xi
+module Xi_arb = Rtnet_core.Xi_arb
+module D = Diagnostic
+
+let p1_ref = "problem P1, Section 4.1"
+let safety_ref = "safety property, Section 4.2"
+let arb_ref = "arbitrated search, Section 3.2"
+
+(* All permutations of a list — used to enumerate key assignments. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let subset_of_mask ~t mask =
+  List.filter (fun leaf -> mask land (1 lsl leaf) <> 0) (List.init t Fun.id)
+
+let pp_subset leaves =
+  "{" ^ String.concat "," (List.map string_of_int leaves) ^ "}"
+
+(* Beyond this cardinality only two deterministic key orders are tried
+   (k! explodes); below it, all of them, so the worst case is attained. *)
+let perm_limit = 4
+
+let check_shape ~m ~leaves =
+  let t = leaves in
+  let xi = Xi.table ~m ~t in
+  let zeta = Xi_arb.table ~m ~t in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let shape = Printf.sprintf "m=%d t=%d" m t in
+  (* Closed form vs the independent recursion, at every k. *)
+  Array.iteri
+    (fun k v ->
+      let closed = Xi.exact ~m ~t ~k in
+      if closed <> v then
+        emit
+          (D.error ~rule_id:"BND-XI-IMPL"
+             ~subject:(Printf.sprintf "%s k=%d" shape k)
+             ~paper_ref:"Eq. 10 vs Eq. 2-3, Section 4.1"
+             (Printf.sprintf "closed form gives %d, recursion gives %d" closed
+                v)))
+    xi;
+  let max_cost = Array.make (t + 1) 0 in
+  let max_arb = Array.make (t + 1) 0 in
+  let searches = ref 0 in
+  for mask = 0 to (1 lsl t) - 1 do
+    let active = subset_of_mask ~t mask in
+    let k = List.length active in
+    let subject = Printf.sprintf "%s k=%d subset=%s" shape k (pp_subset active) in
+    let trace = Tree_search.run ~m ~t ~active in
+    incr searches;
+    (* Determinism: the search procedure is a pure function of the
+       active set — the replicas of Section 3.2 rely on it. *)
+    if Tree_search.run ~m ~t ~active <> trace then
+      emit
+        (D.error ~rule_id:"BND-DETERMINISM" ~subject
+           ~paper_ref:"replicated automaton, Section 3.2"
+           "re-running the search produced a different trace");
+    (* Mutual exclusion: every active leaf isolated exactly once, in
+       left-to-right order. *)
+    if Tree_search.isolated trace <> active then
+      emit
+        (D.error ~rule_id:"BND-MUTEX" ~subject ~paper_ref:safety_ref
+           (Printf.sprintf "isolated %s instead of every active leaf once"
+              (pp_subset (Tree_search.isolated trace))));
+    let cost = Tree_search.cost trace in
+    if cost > xi.(k) then
+      emit
+        (D.error ~rule_id:"BND-XI" ~subject ~paper_ref:p1_ref
+           (Printf.sprintf "search took %d non-transmission slots, xi = %d"
+              cost xi.(k)));
+    if cost > max_cost.(k) then max_cost.(k) <- cost;
+    (* Arbitrated medium: every key assignment (all k! orders for small
+       k) delivers each contender exactly once within zeta. *)
+    let key_orders =
+      let idx = List.init k Fun.id in
+      if k <= perm_limit then permutations idx
+      else [ idx; List.rev idx ]
+    in
+    List.iter
+      (fun keys ->
+        let keyed = List.combine active keys in
+        let cost, delivered = Tree_search.run_arbitrated ~m ~t ~active:keyed in
+        incr searches;
+        if List.sort compare delivered <> active then
+          emit
+            (D.error ~rule_id:"BND-ARB-MUTEX" ~subject ~paper_ref:safety_ref
+               (Printf.sprintf "arbitrated search delivered %s"
+                  (pp_subset delivered)));
+        if cost > zeta.(k) then
+          emit
+            (D.error ~rule_id:"BND-ZETA" ~subject ~paper_ref:arb_ref
+               (Printf.sprintf "arbitrated search cost %d slots, zeta = %d"
+                  cost zeta.(k)));
+        if cost > max_arb.(k) then max_arb.(k) <- cost)
+      key_orders
+  done;
+  (* Tightness: the worst subset of each cardinality attains xi, and the
+     analytic witness reproduces it. *)
+  for k = 0 to t do
+    if max_cost.(k) <> xi.(k) then
+      emit
+        (D.error ~rule_id:"BND-TIGHT"
+           ~subject:(Printf.sprintf "%s k=%d" shape k)
+           ~paper_ref:p1_ref
+           (Printf.sprintf
+              "worst observed search cost %d does not attain xi = %d"
+              max_cost.(k) xi.(k)));
+    if k <= perm_limit && max_arb.(k) <> zeta.(k) then
+      emit
+        (D.error ~rule_id:"BND-ZETA"
+           ~subject:(Printf.sprintf "%s k=%d" shape k)
+           ~paper_ref:arb_ref
+           (Printf.sprintf
+              "worst observed arbitrated cost %d does not attain zeta = %d"
+              max_arb.(k) zeta.(k)));
+    if k >= 2 then begin
+      let witness = Xi.worst_case_subset ~m ~t ~k in
+      let cost = Tree_search.cost (Tree_search.run ~m ~t ~active:witness) in
+      if cost <> xi.(k) then
+        emit
+          (D.error ~rule_id:"BND-TIGHT"
+             ~subject:(Printf.sprintf "%s k=%d witness=%s" shape k
+                         (pp_subset witness))
+             ~paper_ref:p1_ref
+             (Printf.sprintf "witness subset costs %d, xi = %d" cost xi.(k)))
+    end
+  done;
+  if not (D.has_errors !diags) then
+    emit
+      (D.info ~rule_id:"BND-OK" ~subject:shape ~paper_ref:p1_ref
+         (Printf.sprintf
+            "verified %d subsets (%d searches): deterministic, mutually \
+             exclusive, within and attaining xi/zeta"
+            (1 lsl t) !searches));
+  List.rev !diags
+
+let sweep ?(max_m = 3) ?(max_leaves = 9) () =
+  let rec shapes_of m t acc =
+    if t > max_leaves then List.rev acc else shapes_of m (t * m) (t :: acc)
+  in
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun leaves -> check_shape ~m ~leaves)
+        (shapes_of m m []))
+    (List.filter (fun m -> m >= 2) (List.init (max_m + 1) Fun.id))

@@ -1,0 +1,171 @@
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Feasibility = Rtnet_core.Feasibility
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Phy = Rtnet_channel.Phy
+module Np_edf_fc = Rtnet_edf.Np_edf_fc
+module D = Diagnostic
+
+let s32 = "Section 3.2"
+let s43 = "Section 4.3"
+
+let structural p inst =
+  match
+    Ddcr_params.validate p ~num_sources:inst.Instance.num_sources
+  with
+  | Ok () -> []
+  | Error e -> [ D.error ~rule_id:"CFG-PARAMS" ~subject:"params" ~paper_ref:s32 e ]
+
+let horizon p inst =
+  let horizon = Ddcr_params.horizon_classes p in
+  let worst =
+    List.fold_left
+      (fun acc (c : Message.cls) -> max acc c.Message.cls_deadline)
+      0 (Instance.classes inst)
+  in
+  if worst <= horizon then []
+  else
+    let msg =
+      Printf.sprintf
+        "scheduling horizon c*F = %d bit-times does not cover the largest \
+         relative deadline %d: fresh messages of that class are shut out of \
+         time trees%s"
+        horizon worst
+        (if p.Ddcr_params.theta > 0 then
+           " (compressed time is on, so reft eventually catches up)"
+         else " and compressed time is off (theta = 0)")
+    in
+    let mk = if p.Ddcr_params.theta > 0 then D.warning else D.error in
+    [ mk ~rule_id:"CFG-HORIZON" ~subject:"time tree" ~paper_ref:s32 msg ]
+
+let alpha p =
+  let { Ddcr_params.alpha; class_width; _ } = p in
+  let horizon = Ddcr_params.horizon_classes p in
+  if alpha >= horizon && horizon > 0 then
+    [
+      D.error ~rule_id:"CFG-ALPHA" ~subject:"alpha" ~paper_ref:s32
+        (Printf.sprintf
+           "class-mapping offset alpha = %d is at least the scheduling \
+            horizon %d: every message maps below deadline class 0"
+           alpha horizon);
+    ]
+  else if alpha > class_width then
+    [
+      D.warning ~rule_id:"CFG-ALPHA" ~subject:"alpha" ~paper_ref:s32
+        (Printf.sprintf
+           "alpha = %d exceeds the class width c = %d: messages are steered \
+            more than one full class early"
+           alpha class_width);
+    ]
+  else []
+
+let slot p inst =
+  let x = inst.Instance.phy.Phy.slot_bits in
+  if p.Ddcr_params.class_width < x then
+    [
+      D.warning ~rule_id:"CFG-SLOT" ~subject:"class width" ~paper_ref:s43
+        (Printf.sprintf
+           "deadline-class width c = %d bit-times is finer than the medium's \
+            contention slot x = %d: classes are indistinguishable at slot \
+            granularity"
+           p.Ddcr_params.class_width x);
+    ]
+  else []
+
+let burst p inst =
+  let b = p.Ddcr_params.burst_bits in
+  if b <= 0 then []
+  else
+    let smallest =
+      List.fold_left
+        (fun acc (c : Message.cls) ->
+          min acc (Phy.tx_bits inst.Instance.phy c.Message.cls_bits))
+        max_int (Instance.classes inst)
+    in
+    if smallest > b then
+      [
+        D.warning ~rule_id:"CFG-BURST" ~subject:"burst budget"
+          ~paper_ref:"Section 5"
+          (Printf.sprintf
+             "bursting budget %d bits is smaller than the smallest on-wire \
+              frame (%d bits): the budget can never carry a frame"
+             b smallest);
+      ]
+    else []
+
+let overload inst =
+  let u = Instance.peak_utilization inst in
+  if u > 1.0 then
+    [
+      D.error ~rule_id:"CFG-OVERLOAD" ~subject:inst.Instance.name
+        ~paper_ref:"Section 2.2"
+        (Printf.sprintf
+           "peak offered load %.3f exceeds channel capacity: no protocol can \
+            be feasible"
+           u);
+    ]
+  else []
+
+let feasibility ~strict ~oracle_ok p inst =
+  let report = Feasibility.check p inst in
+  if report.Feasibility.feasible then
+    [
+      D.info ~rule_id:"FEAS-MARGIN" ~subject:inst.Instance.name ~paper_ref:s43
+        (Printf.sprintf
+           "provably feasible: B_DDCR <= d(M) for every class (worst margin \
+            %.3f)"
+           report.Feasibility.worst_margin);
+    ]
+  else
+    let mk =
+      (* The paper bound is conservative (peak-load adversary, worst-case
+         tree searches).  A workload the centralized NP-EDF oracle can
+         schedule may still fail it; that gap is the provable price of
+         distribution, a warning unless the caller demands proof. *)
+      if strict || not oracle_ok then D.error else D.warning
+    in
+    List.filter_map
+      (fun cr ->
+        if cr.Feasibility.cr_feasible then None
+        else
+          let cls = cr.Feasibility.cr_cls in
+          Some
+            (mk ~rule_id:"FEAS-BDDCR" ~subject:cls.Message.cls_name
+               ~paper_ref:s43
+               (Printf.sprintf
+                  "B_DDCR = %.0f bit-times exceeds d(M) = %d (r=%d u=%d v=%d, \
+                   %.1f search slots)%s"
+                  cr.Feasibility.cr_bound cls.Message.cls_deadline
+                  cr.Feasibility.cr_r cr.Feasibility.cr_u cr.Feasibility.cr_v
+                  cr.Feasibility.cr_search_slots
+                  (if oracle_ok && not strict then
+                     "; the centralized oracle schedules this workload, so \
+                      the gap is the price of distribution"
+                   else ""))))
+      report.Feasibility.per_class
+
+let check ?(strict = false) p inst =
+  let structural = structural p inst in
+  let shared = overload inst in
+  if structural <> [] then structural @ shared
+  else
+    let oracle = Np_edf_fc.check inst in
+    let oracle_diag =
+      if oracle.Np_edf_fc.np_feasible then []
+      else if Instance.peak_utilization inst > 1.0 then
+        (* CFG-OVERLOAD already reports the root cause. *)
+        []
+      else
+        [
+          D.error ~rule_id:"CFG-ORACLE" ~subject:inst.Instance.name
+            ~paper_ref:"Section 3.1"
+            (Printf.sprintf
+               "even the centralized NP-EDF oracle misses deadlines (margin \
+                %.3f at t = %d): the workload is infeasible for any protocol \
+                on this medium"
+               oracle.Np_edf_fc.np_margin oracle.Np_edf_fc.critical_t);
+        ]
+    in
+    shared @ horizon p inst @ alpha p @ slot p inst @ burst p inst
+    @ oracle_diag
+    @ feasibility ~strict ~oracle_ok:oracle.Np_edf_fc.np_feasible p inst

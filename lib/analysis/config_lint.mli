@@ -1,0 +1,42 @@
+(** Pass 1: static configuration linter.
+
+    Validates a [Ddcr_params.t] × [Instance.t] pair {e before} any
+    simulation, turning the preconditions scattered through Sections
+    3.2 and 4.3 into named, citable rules:
+
+    - ["CFG-PARAMS"]: structural parameter validity (tree shapes are
+      powers of their branching degree, one non-empty ascending static
+      index set per source, disjointness) — Section 3.2;
+    - ["CFG-HORIZON"]: the scheduling horizon [c·F] covers the largest
+      relative deadline; a shut-out class with compressed time off
+      ([θ = 0]) is an error (the idleness pathology, Section 3.2),
+      with [θ > 0] a warning;
+    - ["CFG-ALPHA"]: the class-mapping offset [α] is sane relative to
+      the class width and the horizon — Section 3.2;
+    - ["CFG-SLOT"]: the deadline-class width [c] is no finer than the
+      medium's contention-slot resolution [x] — Section 4.3;
+    - ["CFG-BURST"]: a non-zero packet-bursting budget can actually
+      carry at least one frame of the instance — Section 5;
+    - ["CFG-OVERLOAD"]: peak offered load within channel capacity
+      (above 1.0 {e no} protocol can be feasible) — Section 2.2;
+    - ["CFG-ORACLE"]: the centralized NP-EDF oracle schedules the
+      workload (a necessary condition for any medium-access protocol)
+      — Section 3.1;
+    - ["FEAS-BDDCR"]: the full [B_DDCR(s_i, M) ≤ d(M)] feasibility
+      conditions of Section 4.3, one diagnostic per violating class.
+      Because the paper bound is conservative, a violation on a
+      workload the oracle {e can} schedule is reported as a warning
+      (the provable price of distribution) unless [strict] is set;
+    - ["FEAS-MARGIN"]: informational worst margin when all classes
+      pass. *)
+
+val check :
+  ?strict:bool ->
+  Rtnet_core.Ddcr_params.t ->
+  Rtnet_workload.Instance.t ->
+  Diagnostic.t list
+(** [check p inst] lints the configuration; [strict] (default [false])
+    promotes ["FEAS-BDDCR"] violations to errors even when the
+    centralized oracle accepts the workload.  Never raises: parameter
+    sets that [Ddcr_params.validate] rejects produce ["CFG-PARAMS"]
+    errors and skip the passes that presuppose validity. *)

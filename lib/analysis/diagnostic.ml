@@ -1,0 +1,50 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule_id : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  paper_ref : string;
+}
+
+let make ~rule_id ~severity ~subject ~paper_ref message =
+  { rule_id; severity; subject; message; paper_ref }
+
+let error ~rule_id ~subject ~paper_ref message =
+  make ~rule_id ~severity:Error ~subject ~paper_ref message
+
+let warning ~rule_id ~subject ~paper_ref message =
+  make ~rule_id ~severity:Warning ~subject ~paper_ref message
+
+let info ~rule_id ~subject ~paper_ref message =
+  make ~rule_id ~severity:Info ~subject ~paper_ref message
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let count s ds = List.length (List.filter (fun d -> d.severity = s) ds)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let exit_code ds = if has_errors ds then 1 else 0
+
+let pp_severity fmt s =
+  Format.pp_print_string fmt
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp fmt d =
+  Format.fprintf fmt "%a [%s] %s: %s (%s)" pp_severity d.severity d.rule_id
+    d.subject d.message d.paper_ref
+
+let pp_report fmt ds =
+  let by_severity =
+    (* Stable: most severe first, emission order within a severity. *)
+    List.stable_sort
+      (fun a b -> compare (severity_rank b.severity) (severity_rank a.severity))
+      ds
+  in
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) by_severity;
+  Format.fprintf fmt "%d error(s), %d warning(s), %d info@." (count Error ds)
+    (count Warning ds) (count Info ds)

@@ -1,0 +1,50 @@
+(** Pass 2: trace invariant checker.
+
+    Mechanically verifies a {!Rtnet_core.Ddcr_trace} event stream
+    against the proof obligations of Section 4 — the checks a referee
+    would run over an execution, applied to every simulated one:
+
+    - ["TRC-ORDER"]: event timestamps are non-decreasing (the slotted
+      medium model, Section 2.1);
+    - ["TRC-SAFETY"]: no two [Frame_sent] intervals overlap on the wire
+      — the mutual-exclusion safety property of [<p.HRTDM>]
+      (Section 4.2);
+    - ["TRC-DEADLINE"]: every frame finishes by its absolute deadline
+      [DM = T + d] — the timeliness property (Section 4.3); requires
+      the workload (or an explicit uid → deadline map); frames whose
+      uid is unknown raise ["TRC-UID"] warnings;
+    - ["TRC-NESTING"]: [Tts_begin]/[Tts_end] are balanced and
+      unnested, [Sts_*] brackets lie strictly inside a TTs
+      (Section 3.2's automaton structure); brackets left open by a
+      horizon-truncated run are reported as ["TRC-TRUNCATED"] warnings;
+    - ["TRC-PHASE"]: idle and collision slots carry a legal phase name
+      consistent with the bracket they occur in ("tts" only inside a
+      TTs, "sts" only inside an STs, "free"/"attempt" outside both);
+    - ["TRC-VIA"]: each frame's transmission path matches its bracket
+      context (e.g. a [Static_tree] frame inside an STs);
+    - ["TRC-ACCOUNT"]: the trace's slot accounting reconciles exactly
+      with the channel statistics (idle, collision, garbled and frame
+      counts, busy bit-times) and, when given, the completion count
+      (Section 4.1's accounting of the medium). *)
+
+val check :
+  ?workload:Rtnet_workload.Message.t list ->
+  ?deadlines:(int * int) list ->
+  ?stats:Rtnet_channel.Channel.stats ->
+  ?completions:int ->
+  Rtnet_core.Ddcr_trace.event list ->
+  Diagnostic.t list
+(** [check events] runs every structural invariant; [workload] (or raw
+    [deadlines], [(uid, absolute_deadline)] pairs — both may be given,
+    [workload] wins on clashes) enables the timeliness check, [stats]
+    the channel reconciliation and [completions] the completion-count
+    reconciliation. *)
+
+val check_run :
+  workload:Rtnet_workload.Message.t list ->
+  outcome:Rtnet_stats.Run.outcome ->
+  Rtnet_core.Ddcr_trace.event list ->
+  Diagnostic.t list
+(** [check_run ~workload ~outcome events] is {!check} wired to a
+    completed simulation: deadlines from the workload, channel
+    statistics and completion count from the outcome. *)

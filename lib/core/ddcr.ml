@@ -2,8 +2,6 @@ module Message = Rtnet_workload.Message
 module Instance = Rtnet_workload.Instance
 module Channel = Rtnet_channel.Channel
 module Phy = Rtnet_channel.Phy
-module Edf_queue = Rtnet_edf.Edf_queue
-module Run = Rtnet_stats.Run
 
 exception Protocol_violation of string
 
@@ -225,7 +223,8 @@ module Automaton = struct
     | Free | Attempt | Tts _ -> None
 end
 
-let run_trace ?(check_lockstep = false) ?on_event ?fault params inst trace
+let run_trace ?(check_lockstep = false) ?on_event ?fault ?analyze params inst
+    trace
     ~horizon =
   (match Ddcr_params.validate params ~num_sources:inst.Instance.num_sources with
   | Ok () -> ()
@@ -363,10 +362,11 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault params inst trace
     end;
     next_free
   in
-  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ~phy:inst.Instance.phy
-    ~num_sources:z ~horizon ~decide ~after trace
+  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?analyze
+    ~phy:inst.Instance.phy ~num_sources:z ~horizon ~decide ~after trace
 
-let run ?check_lockstep ?on_event ?fault ?(seed = 1) params inst ~horizon =
-  run_trace ?check_lockstep ?on_event ?fault params inst
+let run ?check_lockstep ?on_event ?fault ?analyze ?(seed = 1) params inst
+    ~horizon =
+  run_trace ?check_lockstep ?on_event ?fault ?analyze params inst
     (Instance.trace inst ~seed ~horizon)
     ~horizon

@@ -82,6 +82,7 @@ val run_trace :
   ?check_lockstep:bool ->
   ?on_event:(Ddcr_trace.event -> unit) ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?analyze:bool ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->
   Rtnet_workload.Message.t list ->
@@ -96,7 +97,10 @@ val run_trace :
     receives one {!Ddcr_trace.event} per slot plus phase transitions
     (see {!Ddcr_trace.collector}).  [fault] injects channel noise
     (garbled frames); the protocol retries garbled frames and remains
-    safe, at the cost of latency.
+    safe, at the cost of latency.  [analyze] is forwarded to
+    {!Rtnet_mac.Harness.run} (default [true]): the completion list is
+    reconciled against the channel's transmission log when the run
+    ends.
     @raise Invalid_argument if [params] fail validation for [inst].
     @raise Protocol_violation on inconsistent channel feedback. *)
 
@@ -104,6 +108,7 @@ val run :
   ?check_lockstep:bool ->
   ?on_event:(Ddcr_trace.event -> unit) ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?analyze:bool ->
   ?seed:int ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->

@@ -15,7 +15,57 @@ type services = {
 
 exception Mismatch of string
 
-let run ~protocol ?fault ~phy ~num_sources ~horizon ~decide ~after trace =
+(* Post-run invariant check (the [?analyze] flag): the completion list
+   the harness assembled must reconcile exactly with the channel's
+   transmission log — same multiset of (source, uid, start, finish) —
+   and no two completions may overlap on the wire.  [Channel.check_safety]
+   already re-examines the channel's own log; this pass catches
+   bookkeeping divergence between the protocol layer and the medium. *)
+let reconcile completions channel =
+  let of_completion c =
+    ( c.Run.c_msg.Message.cls.Message.cls_source,
+      c.Run.c_msg.Message.uid,
+      c.Run.c_start,
+      c.Run.c_finish )
+  in
+  let ours = List.sort compare (List.map of_completion completions) in
+  let theirs = List.sort compare (Channel.carried channel) in
+  let problems = ref [] in
+  if List.length ours <> List.length theirs then
+    problems :=
+      Printf.sprintf "%d completions recorded but the channel carried %d"
+        (List.length ours) (List.length theirs)
+      :: !problems
+  else
+    List.iter2
+      (fun ((s1, u1, t1, f1) as a) b ->
+        if a <> b then
+          let s2, u2, t2, f2 = b in
+          problems :=
+            Printf.sprintf
+              "completion (src %d uid %d [%d, %d)) disagrees with the channel \
+               log entry (src %d uid %d [%d, %d))"
+              s1 u1 t1 f1 s2 u2 t2 f2
+            :: !problems)
+      ours theirs;
+  let by_start =
+    List.sort (fun a b -> compare a.Run.c_start b.Run.c_start) completions
+  in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) ->
+      if b.Run.c_start < a.Run.c_finish then
+        problems :=
+          Printf.sprintf "completions uid %d and uid %d overlap on the wire"
+            a.Run.c_msg.Message.uid b.Run.c_msg.Message.uid
+          :: !problems;
+      overlaps rest
+    | [ _ ] | [] -> ()
+  in
+  overlaps by_start;
+  List.rev !problems
+
+let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
+    ~after trace =
   let channel = Channel.create ?fault phy in
   let queues = Array.make num_sources Edf_queue.empty in
   let completions = ref [] in
@@ -95,6 +145,12 @@ let run ~protocol ?fault ~phy ~num_sources ~horizon ~decide ~after trace =
   (match Channel.check_safety channel with
   | Ok () -> ()
   | Error reason -> failwith ("MAC safety violated: " ^ reason));
+  if analyze then begin
+    match reconcile !completions channel with
+    | [] -> ()
+    | problems ->
+      failwith ("harness analyze: " ^ String.concat "; " problems)
+  end;
   let unfinished =
     Array.fold_left (fun acc q -> acc @ Edf_queue.to_sorted_list q) [] queues
     @ List.filter (fun m -> m.Message.arrival < horizon) !arrivals

@@ -45,6 +45,7 @@ exception Mismatch of string
 val run :
   protocol:string ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?analyze:bool ->
   phy:Rtnet_channel.Phy.t ->
   num_sources:int ->
   horizon:int ->
@@ -70,5 +71,16 @@ val run :
       acquisition),
     + asserts, at the end, that no two carried frames overlapped.
 
+    With [analyze] (default [true] — every harness run is
+    invariant-checked unless explicitly opted out) the run additionally
+    reconciles its completion list against the channel's transmission
+    log when it ends: the two must agree entry for entry on
+    (source, uid, start, finish), and no two completions may overlap on
+    the wire.  This is the MAC-layer half of the [rtnet.analysis]
+    safety net; the richer protocol-trace obligations (nesting,
+    timeliness, ξ bounds) live in [Rtnet_analysis.Trace_check], which
+    sits above this library.
+
     @raise Mismatch on tag/queue-head disagreement.
-    @raise Failure if the channel safety check fails. *)
+    @raise Failure if the channel safety check or the [analyze]
+    reconciliation fails. *)

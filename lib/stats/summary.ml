@@ -57,13 +57,13 @@ let pp fmt s =
     s.p50 s.p90 s.p99 s.max s.mean s.stddev
 
 module Histogram = struct
-  type h = { lo : int; hi : int; width : int; tally : int array }
+  type h = { lo : int; width : int; tally : int array }
 
   let create ~lo ~hi ~buckets =
     if hi <= lo then invalid_arg "Histogram.create: empty range";
     if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
     let width = max 1 ((hi - lo + buckets - 1) / buckets) in
-    { lo; hi; width; tally = Array.make buckets 0 }
+    { lo; width; tally = Array.make buckets 0 }
 
   let add h v =
     let b = (v - h.lo) / h.width in
