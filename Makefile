@@ -1,9 +1,11 @@
 # Convenience wrapper around dune.  `make check` is the whole gate:
 # build everything, run the static-analysis lint over every shipped
 # scenario (config lint + trace invariant check + bounded exhaustive
-# checker), then the test suite.
+# checker), then the test suite (which includes the campaign smoke
+# gate), then an explicit 2-worker campaign smoke run compared against
+# the committed golden report.
 
-.PHONY: all build lint test check clean
+.PHONY: all build lint test check clean campaign-smoke campaign-baseline
 
 all: build
 
@@ -16,8 +18,23 @@ lint:
 test:
 	dune runtest
 
+# Run the smoke campaign with 2 workers and gate it against the
+# committed golden report; exits non-zero on any metric regression.
+campaign-smoke: build
+	dune exec bin/ddcr_campaign.exe -- compare smoke -j 2 --quiet \
+	  -o _build/BENCH_smoke.current.json \
+	  --baseline test/fixtures/BENCH_smoke_golden.json
+
+# Refresh the committed campaign baselines after an intentional
+# behaviour change (review the diff before committing!).
+campaign-baseline: build
+	dune exec bin/ddcr_campaign.exe -- run campaign_v1 -j 2 --quiet \
+	  -o BENCH_campaign_v1.json
+	dune exec bin/ddcr_campaign.exe -- run smoke -j 2 --quiet \
+	  -o test/fixtures/BENCH_smoke_golden.json
+
 check:
-	dune build @all @lint && dune runtest
+	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke
 
 clean:
 	dune clean

@@ -229,7 +229,12 @@ let protocol_comparison () =
             ])
         runs)
     [ 0.1; 0.3; 0.5; 0.7; 0.85 ];
-  Table.print out
+  Table.print out;
+  (* The same sweep, replicated and machine-readable:
+     `ddcr_campaign run load_sweep` writes BENCH_load_sweep.json with
+     per-cell metrics for all five protocols over these loads. *)
+  Printf.printf
+    "(machine-readable replicated form: ddcr_campaign run load_sweep)\n"
 
 (* E8: the "optimal m" remark at the end of Sec. 4.1. *)
 let optimal_m () =

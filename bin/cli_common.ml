@@ -1,26 +1,22 @@
 (* Shared cmdliner terms for the rtnet command-line tools. *)
 
-module Scenarios = Rtnet_workload.Scenarios
-module Instance = Rtnet_workload.Instance
-
 open Cmdliner
 
 let scenario_doc =
   "Workload scenario: videoconference, atc, trading, atm, manufacturing, \
    skewed, uniform."
 
+(* One source of truth for scenario naming: the campaign spec's
+   scenario decoder, so `ddcr_sim -s trading -n 4` and a campaign cell
+   build byte-identical instances. *)
 let instance_of ~scenario ~size ~load ~deadline_windows =
-  match scenario with
-  | "videoconference" -> Scenarios.videoconference ~stations:size
-  | "atc" -> Scenarios.air_traffic_control ~radars:size
-  | "trading" -> Scenarios.trading ~gateways:size
-  | "atm" -> Scenarios.atm_fabric ~ports:size
-  | "manufacturing" -> Scenarios.manufacturing ~cells:size
-  | "skewed" -> Scenarios.skewed ~sources:size ~heavy_fraction:0.7
-  | "uniform" ->
-    Scenarios.uniform ~sources:size ~classes_per_source:2 ~load
-      ~deadline_windows
-  | other -> failwith (Printf.sprintf "unknown scenario %S" other)
+  Rtnet_campaign.Spec.instance
+    {
+      Rtnet_campaign.Spec.sc_kind = scenario;
+      sc_size = size;
+      sc_load = load;
+      sc_deadline_windows = deadline_windows;
+    }
 
 let scenario =
   Arg.(

@@ -1,0 +1,100 @@
+module Json = Rtnet_util.Json
+
+let ( let* ) = Result.bind
+
+let schema_version = 1
+
+let journal_path ~out = out ^ ".ckpt"
+
+let header_json spec =
+  Json.Obj
+    [
+      ("campaign", Json.String spec.Spec.name);
+      ("spec_hash", Json.String (Spec.hash spec));
+      ("schema_version", Json.Int schema_version);
+    ]
+
+let check_header spec j =
+  let* name = Result.bind (Json.field "campaign" j) Json.get_string in
+  let* h = Result.bind (Json.field "spec_hash" j) Json.get_string in
+  let* v = Result.bind (Json.field "schema_version" j) Json.get_int in
+  if v <> schema_version then
+    Error (Printf.sprintf "unsupported checkpoint schema version %d" v)
+  else if name <> spec.Spec.name || h <> Spec.hash spec then
+    Error
+      (Printf.sprintf
+         "checkpoint was written for campaign %s (spec %s), not %s (spec %s) \
+          — delete it or pass a different journal path"
+         name h spec.Spec.name (Spec.hash spec))
+  else Ok ()
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let entry_of_json j =
+  let* index = Result.bind (Json.field "cell" j) Json.get_int in
+  let* result = Json.field "result" j in
+  Ok (index, result)
+
+let load ~path ~spec =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match read_lines path with
+    | [] -> Ok []
+    | header :: entries -> (
+      match Json.parse header with
+      | Error e -> Error (Printf.sprintf "%s: corrupt header: %s" path e)
+      | Ok hj ->
+        let* () =
+          Result.map_error (fun e -> Printf.sprintf "%s: %s" path e)
+            (check_header spec hj)
+        in
+        let total = List.length entries in
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+            match Result.bind (Json.parse line) entry_of_json with
+            | Ok entry -> go (i + 1) (entry :: acc) rest
+            | Error e ->
+              if i = total - 1 then
+                (* Torn final line: the kill landed mid-append. *)
+                Ok (List.rev acc)
+              else
+                Error
+                  (Printf.sprintf "%s: corrupt entry on line %d: %s" path
+                     (i + 2) e))
+        in
+        go 0 [] entries)
+
+let open_for_append ~path ~spec =
+  let fresh = (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0 in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then begin
+    output_string oc (Json.to_string (header_json spec));
+    output_char oc '\n';
+    flush oc
+  end;
+  oc
+
+let append oc ~index ~key result =
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("cell", Json.Int index);
+            ("key", Json.String key);
+            ("result", result);
+          ]));
+  output_char oc '\n';
+  flush oc
+
+let remove ~path = if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,44 @@
+(** Append-only checkpoint journal for interrupted campaigns.
+
+    The coordinator appends one line per completed cell as results
+    arrive (and flushes), so a campaign killed at any point can be
+    re-invoked and resume from the journal without recomputing
+    finished cells.  The file is line-oriented JSON:
+
+    - line 1 (header): [{"campaign": name, "spec_hash": h,
+      "schema_version": 1}]
+    - each further line: [{"cell": index, "key": k, "result": {...}}]
+
+    A partially written final line (the kill landed mid-write) is
+    tolerated and dropped on load; corruption anywhere else is an
+    error.  The header's spec hash guards against resuming a journal
+    under a different spec — cell indices would silently mean
+    different configurations. *)
+
+val journal_path : out:string -> string
+(** [journal_path ~out] is the default journal location for a report
+    written to [out]: [out ^ ".ckpt"]. *)
+
+val load :
+  path:string ->
+  spec:Spec.t ->
+  ((int * Rtnet_util.Json.t) list, string) result
+(** [load ~path ~spec] returns the completed [(cell index, result)]
+    pairs recorded so far, oldest first ([\[\]] if the file does not
+    exist), or [Error] on a header/spec-hash mismatch or a corrupt
+    interior line. *)
+
+val open_for_append : path:string -> spec:Spec.t -> out_channel
+(** [open_for_append ~path ~spec] opens the journal for appending,
+    writing the header first if the file is new or empty.  Call
+    {!load} first when resuming — this function does not validate an
+    existing header. *)
+
+val append :
+  out_channel -> index:int -> key:string -> Rtnet_util.Json.t -> unit
+(** [append oc ~index ~key result] writes one completed-cell line and
+    flushes, so the line survives a subsequent kill. *)
+
+val remove : path:string -> unit
+(** [remove ~path] deletes the journal (after the final report has
+    been written); missing files are ignored. *)

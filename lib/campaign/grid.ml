@@ -1,0 +1,158 @@
+module Json = Rtnet_util.Json
+module Instance = Rtnet_workload.Instance
+module Channel = Rtnet_channel.Channel
+module Run = Rtnet_stats.Run
+module Run_json = Rtnet_stats.Run_json
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Beb = Rtnet_baselines.Csma_cd_beb
+module Dcr = Rtnet_baselines.Csma_dcr
+module Tdma = Rtnet_baselines.Tdma
+module Np_edf = Rtnet_edf.Np_edf
+module Config_lint = Rtnet_analysis.Config_lint
+module Diagnostic = Rtnet_analysis.Diagnostic
+
+let ( let* ) = Result.bind
+
+type cell = {
+  index : int;
+  protocol : Spec.protocol;
+  scenario : Spec.scenario;
+  variant : Spec.variant;
+  replicate : int;
+  trace_seed : int;
+  protocol_seed : int;
+}
+
+(* Fixed nesting order: scenario, variant, replicate, protocol.  The
+   seeds depend only on the coordinates (not on the index), so
+   reordering the spec's axes renumbers cells but never changes what a
+   given configuration computes. *)
+let cells spec =
+  let acc = ref [] in
+  let index = ref 0 in
+  List.iteri
+    (fun si scenario ->
+      List.iteri
+        (fun vi variant ->
+          for r = 0 to spec.Spec.replicates - 1 do
+            List.iteri
+              (fun pi protocol ->
+                let base = spec.Spec.base_seed in
+                acc :=
+                  {
+                    index = !index;
+                    protocol;
+                    scenario;
+                    variant;
+                    replicate = r;
+                    trace_seed =
+                      Seeding.trace_seed ~base ~scenario:si ~variant:vi
+                        ~replicate:r;
+                    protocol_seed =
+                      Seeding.protocol_seed ~base ~scenario:si ~variant:vi
+                        ~replicate:r ~protocol:pi;
+                  }
+                  :: !acc;
+                incr index)
+              spec.Spec.protocols
+          done)
+        spec.Spec.variants)
+    spec.Spec.scenarios;
+  Array.of_list (List.rev !acc)
+
+let key c =
+  Printf.sprintf "%s/%s/%s/r%d"
+    (Spec.protocol_label c.protocol)
+    (Spec.scenario_label c.scenario)
+    (Spec.variant_label c.variant)
+    c.replicate
+
+type result_ = {
+  r_metrics : Run.metrics;
+  r_channel : Channel.stats option;
+  r_elapsed_s : float;
+}
+
+let params_for variant inst =
+  Ddcr_params.with_theta
+    (Ddcr_params.with_burst (Ddcr_params.default inst)
+       variant.Spec.v_burst_bits)
+    variant.Spec.v_theta
+
+let run_cell spec c =
+  let t0 = Unix.gettimeofday () in
+  let inst = Spec.instance c.scenario in
+  let horizon = spec.Spec.horizon_ms * 1_000_000 in
+  let trace = Instance.trace inst ~seed:c.trace_seed ~horizon in
+  let fault =
+    if c.variant.Spec.v_fault_rate > 0. then
+      Some
+        {
+          Channel.fault_rate = c.variant.Spec.v_fault_rate;
+          fault_seed = c.protocol_seed;
+        }
+    else None
+  in
+  let outcome =
+    match c.protocol with
+    | Spec.Ddcr ->
+      Ddcr.run_trace ?fault (params_for c.variant inst) inst trace ~horizon
+    | Spec.Beb -> Beb.run_trace ?fault ~seed:c.protocol_seed inst trace ~horizon
+    | Spec.Dcr ->
+      Dcr.run_trace (Dcr.of_ddcr (params_for c.variant inst)) inst trace ~horizon
+    | Spec.Tdma -> Tdma.run_trace inst trace ~horizon
+    | Spec.Oracle -> Np_edf.run inst.Instance.phy trace ~horizon
+  in
+  {
+    r_metrics = Run.metrics outcome;
+    r_channel = outcome.Run.channel;
+    r_elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("metrics", Run_json.metrics_to_json r.r_metrics);
+      ( "channel",
+        match r.r_channel with
+        | None -> Json.Null
+        | Some st -> Run_json.channel_stats_to_json st );
+      ("elapsed_s", Json.Float r.r_elapsed_s);
+    ]
+
+let result_of_json j =
+  let* mj = Json.field "metrics" j in
+  let* metrics = Run_json.metrics_of_json mj in
+  let* channel =
+    match Json.member "channel" j with
+    | None | Some Json.Null -> Ok None
+    | Some cj -> Result.map Option.some (Run_json.channel_stats_of_json cj)
+  in
+  let* elapsed =
+    match Json.member "elapsed_s" j with
+    | None -> Ok 0.
+    | Some v -> Json.get_float v
+  in
+  Ok { r_metrics = metrics; r_channel = channel; r_elapsed_s = elapsed }
+
+(* The fail-fast gate: lint every (scenario, variant) DDCR configuration
+   of the sweep before forking any worker.  The linter's oracle-aware
+   severities apply (a conservative-bound violation the NP-EDF oracle
+   forgives is a warning); an [Error] rejects the whole campaign. *)
+let lint spec =
+  List.concat_map
+    (fun scenario ->
+      let inst = Spec.instance scenario in
+      List.concat_map
+        (fun variant ->
+          let label =
+            Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
+              (Spec.variant_label variant)
+          in
+          List.map
+            (fun d ->
+              { d with Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject })
+            (Config_lint.check (params_for variant inst) inst))
+        spec.Spec.variants)
+    spec.Spec.scenarios

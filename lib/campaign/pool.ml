@@ -1,0 +1,148 @@
+type 'b event = Result of int * 'b | Failed of int * string
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* -------------------- framing -------------------- *)
+
+(* Each message is [8-byte little-endian length][Marshal payload]; the
+   coordinator reassembles frames from whatever chunk boundaries the
+   pipe delivers. *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let frame v =
+  let payload = Marshal.to_string v [] in
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int64_le b 0 (Int64.of_int len);
+  Bytes.blit_string payload 0 b 8 len;
+  b
+
+(* Per-pipe reassembly buffer: concatenated unread bytes. *)
+type inbox = { fd : Unix.file_descr; pid : int; mutable pending : Bytes.t }
+
+let drain_frames inbox emit =
+  let continue = ref true in
+  while !continue do
+    let avail = Bytes.length inbox.pending in
+    if avail < 8 then continue := false
+    else
+      let len = Int64.to_int (Bytes.get_int64_le inbox.pending 0) in
+      if avail < 8 + len then continue := false
+      else begin
+        let payload = Bytes.sub_string inbox.pending 8 len in
+        inbox.pending <-
+          Bytes.sub inbox.pending (8 + len) (avail - 8 - len);
+        emit (Marshal.from_string payload 0)
+      end
+  done
+
+(* -------------------- worker -------------------- *)
+
+let run_worker ~tasks ~jobs ~rank ~fd f =
+  let n = Array.length tasks in
+  let i = ref rank in
+  while !i < n do
+    let ev =
+      match f tasks.(!i) with
+      | v -> Result (!i, v)
+      | exception e -> Failed (!i, Printexc.to_string e)
+    in
+    write_all fd (frame ev);
+    i := !i + jobs
+  done;
+  Unix.close fd
+
+(* -------------------- coordinator -------------------- *)
+
+let map ~jobs ?max_results ~on_event f tasks =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  let n = Array.length tasks in
+  if n = 0 then 0
+  else begin
+    let jobs = min jobs n in
+    (* Flush before forking so buffered output is not duplicated into
+       the children. *)
+    flush stdout;
+    flush stderr;
+    let inboxes =
+      List.init jobs (fun rank ->
+          let r, w = Unix.pipe ~cloexec:false () in
+          match Unix.fork () with
+          | 0 ->
+            (* Child: only its own write end matters.  [Unix._exit]
+               skips at_exit handlers and buffered channels inherited
+               from the coordinator. *)
+            Unix.close r;
+            (match run_worker ~tasks ~jobs ~rank ~fd:w f with
+            | () -> Unix._exit 0
+            | exception _ -> Unix._exit 2)
+          | pid ->
+            Unix.close w;
+            { fd = r; pid; pending = Bytes.empty })
+    in
+    (* Children inherit the read (and not-yet-created write) ends of
+       pipes forked before them; that is harmless — they never read,
+       and EOF detection only needs the coordinator's copies closed,
+       which happens below, plus each child's copies vanishing when it
+       exits. *)
+    let collected = ref 0 in
+    let expected = n in
+    let stopped = ref false in
+    let open_inboxes = ref inboxes in
+    let chunk = Bytes.create 65536 in
+    let target =
+      match max_results with None -> expected | Some m -> min m expected
+    in
+    while !open_inboxes <> [] && not !stopped do
+      let fds = List.map (fun ib -> ib.fd) !open_inboxes in
+      let readable, _, _ = Unix.select fds [] [] (-1.) in
+      List.iter
+        (fun ib ->
+          if (not !stopped) && List.mem ib.fd readable then begin
+            match Unix.read ib.fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              Unix.close ib.fd;
+              open_inboxes := List.filter (fun o -> o != ib) !open_inboxes
+            | r ->
+              ib.pending <- Bytes.cat ib.pending (Bytes.sub chunk 0 r);
+              drain_frames ib (fun ev ->
+                  if not !stopped then begin
+                    incr collected;
+                    on_event ev;
+                    if !collected >= target then stopped := true
+                  end)
+          end)
+        !open_inboxes
+    done;
+    if !stopped && !collected < expected then
+      (* Early stop: kill whatever is still running. *)
+      List.iter
+        (fun ib ->
+          (try Unix.kill ib.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try Unix.close ib.fd with Unix.Unix_error _ -> ())
+        !open_inboxes;
+    let failures = ref [] in
+    List.iter
+      (fun ib ->
+        match Unix.waitpid [] ib.pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+          failures := ib.pid :: !failures
+        | exception Unix.Unix_error _ -> ())
+      inboxes;
+    if (not !stopped) && !collected < expected then
+      failwith
+        (Printf.sprintf
+           "Pool.map: collected %d of %d results (worker death? pids: %s)"
+           !collected expected
+           (String.concat ", " (List.map string_of_int !failures)));
+    !collected
+  end

@@ -1,0 +1,50 @@
+(** Multi-process worker pool ([Unix.fork] + pipes).
+
+    The coordinator forks [jobs] workers; worker [w] executes the
+    tasks whose array position is congruent to [w] modulo [jobs]
+    (static round-robin — no coordinator→worker protocol needed) and
+    streams each result back over its pipe as a length-prefixed
+    [Marshal] frame.  The coordinator multiplexes the pipes with
+    [Unix.select], decoding frames as they complete and invoking
+    [on_event] for each — which is where the campaign runner
+    checkpoints and reports progress.
+
+    Task results must be marshal-safe plain data (no closures).
+    Because work assignment is static and results carry their task
+    position, the outcome is independent of scheduling: any [jobs]
+    produces the same result set.
+
+    An exception inside a worker's task is caught in the worker and
+    reported as {!Failed} for that task; the worker carries on with
+    its remaining tasks.  A worker that dies without delivering all
+    its results (crash, signal) raises [Failure] in the coordinator
+    after the other workers are drained. *)
+
+type 'b event =
+  | Result of int * 'b  (** task position, worker's return value *)
+  | Failed of int * string  (** task position, exception text *)
+
+val default_jobs : unit -> int
+(** [default_jobs ()] is the machine's recommended parallelism
+    ([Domain.recommended_domain_count]). *)
+
+val map :
+  jobs:int ->
+  ?max_results:int ->
+  on_event:('b event -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  int
+(** [map ~jobs ~on_event f tasks] runs [f] on every task across [jobs]
+    worker processes and returns the number of events collected.
+    [on_event] runs in the coordinator, in frame-arrival order (an
+    arbitrary interleaving of the workers' per-worker task order).
+
+    [max_results] stops collection early after that many events: the
+    workers are killed, remaining results are discarded, and [map]
+    returns the count collected — the hook the checkpoint/resume tests
+    use to simulate an interrupted campaign.
+
+    [jobs] is clamped to [\[1, Array.length tasks\]]; with an empty
+    task array no worker is forked and [map] returns 0.
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -1,0 +1,9 @@
+module Prng = Rtnet_util.Prng
+
+(* Leading path components 0/1 domain-separate the two seed families. *)
+
+let trace_seed ~base ~scenario ~variant ~replicate =
+  List.fold_left Prng.derive base [ 0; scenario; variant; replicate ]
+
+let protocol_seed ~base ~scenario ~variant ~replicate ~protocol =
+  List.fold_left Prng.derive base [ 1; scenario; variant; replicate; protocol ]

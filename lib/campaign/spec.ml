@@ -1,0 +1,279 @@
+module Json = Rtnet_util.Json
+module Scenarios = Rtnet_workload.Scenarios
+
+let ( let* ) = Result.bind
+
+type protocol = Ddcr | Beb | Dcr | Tdma | Oracle
+
+let all_protocols = [ Ddcr; Beb; Dcr; Tdma; Oracle ]
+
+let protocol_label = function
+  | Ddcr -> "ddcr"
+  | Beb -> "beb"
+  | Dcr -> "dcr"
+  | Tdma -> "tdma"
+  | Oracle -> "oracle"
+
+let protocol_of_string = function
+  | "ddcr" -> Ok Ddcr
+  | "beb" -> Ok Beb
+  | "dcr" -> Ok Dcr
+  | "tdma" -> Ok Tdma
+  | "oracle" -> Ok Oracle
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+type scenario = {
+  sc_kind : string;
+  sc_size : int;
+  sc_load : float;
+  sc_deadline_windows : float;
+}
+
+let scenario_kinds =
+  [
+    "videoconference"; "atc"; "trading"; "atm"; "manufacturing"; "skewed";
+    "uniform";
+  ]
+
+let scenario_label sc =
+  if sc.sc_kind = "uniform" then
+    Printf.sprintf "uniform-%d-%.2f" sc.sc_size sc.sc_load
+  else Printf.sprintf "%s-%d" sc.sc_kind sc.sc_size
+
+let instance sc =
+  match sc.sc_kind with
+  | "videoconference" -> Scenarios.videoconference ~stations:sc.sc_size
+  | "atc" -> Scenarios.air_traffic_control ~radars:sc.sc_size
+  | "trading" -> Scenarios.trading ~gateways:sc.sc_size
+  | "atm" -> Scenarios.atm_fabric ~ports:sc.sc_size
+  | "manufacturing" -> Scenarios.manufacturing ~cells:sc.sc_size
+  | "skewed" -> Scenarios.skewed ~sources:sc.sc_size ~heavy_fraction:0.7
+  | "uniform" ->
+    Scenarios.uniform ~sources:sc.sc_size ~classes_per_source:2
+      ~load:sc.sc_load ~deadline_windows:sc.sc_deadline_windows
+  | other -> failwith (Printf.sprintf "unknown scenario %S" other)
+
+type variant = { v_fault_rate : float; v_burst_bits : int; v_theta : int }
+
+let default_variant = { v_fault_rate = 0.; v_burst_bits = 0; v_theta = 0 }
+
+let variant_label v =
+  Printf.sprintf "f%.2f-b%d-t%d" v.v_fault_rate v.v_burst_bits v.v_theta
+
+type t = {
+  name : string;
+  base_seed : int;
+  replicates : int;
+  horizon_ms : int;
+  protocols : protocol list;
+  scenarios : scenario list;
+  variants : variant list;
+}
+
+let cell_count spec =
+  List.length spec.protocols * List.length spec.scenarios
+  * List.length spec.variants * spec.replicates
+
+let rec find_dup = function
+  | [] -> None
+  | x :: rest -> if List.mem x rest then Some x else find_dup rest
+
+let validate spec =
+  if spec.name = "" then Error "campaign name is empty"
+  else if String.exists (fun c -> c = '/' || c = ' ') spec.name then
+    Error "campaign name must not contain '/' or spaces"
+  else if spec.replicates < 1 then Error "replicates < 1"
+  else if spec.horizon_ms < 1 then Error "horizon_ms < 1"
+  else if spec.protocols = [] then Error "no protocols"
+  else if spec.scenarios = [] then Error "no scenarios"
+  else if spec.variants = [] then Error "no variants"
+  else
+    let* () =
+      match find_dup (List.map protocol_label spec.protocols) with
+      | Some p -> Error (Printf.sprintf "duplicate protocol %S" p)
+      | None -> Ok ()
+    in
+    let* () =
+      match find_dup (List.map scenario_label spec.scenarios) with
+      | Some s -> Error (Printf.sprintf "duplicate scenario %S" s)
+      | None -> Ok ()
+    in
+    let* () =
+      match find_dup (List.map variant_label spec.variants) with
+      | Some v -> Error (Printf.sprintf "duplicate variant %S" v)
+      | None -> Ok ()
+    in
+    let* () =
+      List.fold_left
+        (fun acc sc ->
+          let* () = acc in
+          if not (List.mem sc.sc_kind scenario_kinds) then
+            Error (Printf.sprintf "unknown scenario kind %S" sc.sc_kind)
+          else if sc.sc_size < 1 then
+            Error (Printf.sprintf "%s: size < 1" (scenario_label sc))
+          else if sc.sc_kind = "skewed" && sc.sc_size < 2 then
+            Error "skewed: size < 2"
+          else if
+            sc.sc_kind = "uniform"
+            && (sc.sc_load <= 0. || sc.sc_deadline_windows <= 0.)
+          then Error "uniform: load and deadline_windows must be positive"
+          else Ok ())
+        (Ok ()) spec.scenarios
+    in
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        if v.v_fault_rate < 0. || v.v_fault_rate > 1. then
+          Error (Printf.sprintf "%s: fault rate out of [0, 1]" (variant_label v))
+        else if v.v_burst_bits < 0 then Error "negative burst budget"
+        else if v.v_theta < 0 then Error "negative theta"
+        else Ok ())
+      (Ok ()) spec.variants
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec.  [to_json] is canonical (fixed key order, all fields   *)
+(* explicit): [hash] and the determinism guarantee depend on it.      *)
+
+let scenario_to_json sc =
+  Json.Obj
+    [
+      ("kind", Json.String sc.sc_kind);
+      ("size", Json.Int sc.sc_size);
+      ("load", Json.Float sc.sc_load);
+      ("deadline_windows", Json.Float sc.sc_deadline_windows);
+    ]
+
+let variant_to_json v =
+  Json.Obj
+    [
+      ("fault_rate", Json.Float v.v_fault_rate);
+      ("burst_bits", Json.Int v.v_burst_bits);
+      ("theta", Json.Int v.v_theta);
+    ]
+
+let to_json spec =
+  Json.Obj
+    [
+      ("name", Json.String spec.name);
+      ("base_seed", Json.Int spec.base_seed);
+      ("replicates", Json.Int spec.replicates);
+      ("horizon_ms", Json.Int spec.horizon_ms);
+      ( "protocols",
+        Json.List
+          (List.map (fun p -> Json.String (protocol_label p)) spec.protocols)
+      );
+      ("scenarios", Json.List (List.map scenario_to_json spec.scenarios));
+      ("variants", Json.List (List.map variant_to_json spec.variants));
+    ]
+
+let opt_field j key decode default =
+  match Json.member key j with
+  | None -> Ok default
+  | Some v -> decode v
+
+let scenario_of_json j =
+  let* kind = Result.bind (Json.field "kind" j) Json.get_string in
+  let* size = Result.bind (Json.field "size" j) Json.get_int in
+  let* load = opt_field j "load" Json.get_float 0.3 in
+  let* dw = opt_field j "deadline_windows" Json.get_float 2.0 in
+  Ok { sc_kind = kind; sc_size = size; sc_load = load; sc_deadline_windows = dw }
+
+let variant_of_json j =
+  let* fault = opt_field j "fault_rate" Json.get_float 0. in
+  let* burst = opt_field j "burst_bits" Json.get_int 0 in
+  let* theta = opt_field j "theta" Json.get_int 0 in
+  Ok { v_fault_rate = fault; v_burst_bits = burst; v_theta = theta }
+
+let list_field j key decode_one =
+  let* v = Json.field key j in
+  let* items = Json.get_list v in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* x = decode_one item in
+      Ok (x :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let of_json j =
+  let* name = Result.bind (Json.field "name" j) Json.get_string in
+  let* base_seed = opt_field j "base_seed" Json.get_int 1 in
+  let* replicates = opt_field j "replicates" Json.get_int 1 in
+  let* horizon_ms = opt_field j "horizon_ms" Json.get_int 10 in
+  let* protocols =
+    list_field j "protocols" (fun v ->
+        Result.bind (Json.get_string v) protocol_of_string)
+  in
+  let* scenarios = list_field j "scenarios" scenario_of_json in
+  let* variants =
+    match Json.member "variants" j with
+    | None -> Ok [ default_variant ]
+    | Some _ -> list_field j "variants" variant_of_json
+  in
+  Ok { name; base_seed; replicates; horizon_ms; protocols; scenarios; variants }
+
+let load_file path =
+  let* j = Json.parse_file path in
+  let* spec =
+    Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (of_json j)
+  in
+  let* () =
+    Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (validate spec)
+  in
+  Ok spec
+
+let hash spec = Digest.to_hex (Digest.string (Json.to_string (to_json spec)))
+
+(* ---------------------------------------------------------------- *)
+(* Shipped campaigns.  Scenario sizes track [Scenarios.all] (the      *)
+(* sizes the ddcr_lint gate keeps green) scaled down where runtime    *)
+(* matters.                                                           *)
+
+let scenario ?(load = 0.3) ?(deadline_windows = 2.0) kind size =
+  { sc_kind = kind; sc_size = size; sc_load = load; sc_deadline_windows = deadline_windows }
+
+let smoke =
+  {
+    name = "smoke";
+    base_seed = 7;
+    replicates = 1;
+    horizon_ms = 1;
+    protocols = [ Ddcr; Tdma ];
+    scenarios = [ scenario "trading" 3; scenario "videoconference" 3 ];
+    variants = [ default_variant ];
+  }
+
+let campaign_v1 =
+  {
+    name = "campaign_v1";
+    base_seed = 42;
+    replicates = 2;
+    horizon_ms = 2;
+    protocols = all_protocols;
+    scenarios =
+      [
+        scenario "trading" 4;
+        scenario "videoconference" 6;
+        scenario "uniform" 8 ~load:0.3 ~deadline_windows:2.0;
+      ];
+    variants = [ default_variant; { default_variant with v_fault_rate = 0.05 } ];
+  }
+
+let load_sweep =
+  {
+    name = "load_sweep";
+    base_seed = 42;
+    replicates = 3;
+    horizon_ms = 10;
+    protocols = all_protocols;
+    scenarios =
+      List.map
+        (fun load -> scenario "uniform" 8 ~load ~deadline_windows:2.0)
+        [ 0.1; 0.3; 0.5; 0.7; 0.85; 0.95 ];
+    variants = [ default_variant ];
+  }
+
+let builtins =
+  [ ("smoke", smoke); ("campaign_v1", campaign_v1); ("load_sweep", load_sweep) ]
+
+let find_builtin name = List.assoc_opt name builtins

@@ -26,6 +26,7 @@ type metrics = {
   mean_latency : float;
   worst_lateness : int;
   inversions : int;
+  garbled : int;
   utilization : float;
 }
 
@@ -74,6 +75,10 @@ let metrics o =
     mean_latency;
     worst_lateness;
     inversions = inversions o.completions;
+    garbled =
+      (match o.channel with
+      | None -> 0
+      | Some st -> st.Channel.garbled_count);
     utilization =
       (match o.channel with
       | None -> 0.
@@ -97,6 +102,6 @@ let per_class_worst_latency o =
 let pp_metrics fmt m =
   Format.fprintf fmt
     "delivered=%d misses=%d (%.2f%%) worst-lat=%d mean-lat=%.0f \
-     worst-late=%d inv=%d util=%.3f"
+     worst-late=%d inv=%d garbled=%d util=%.3f"
     m.delivered m.deadline_misses (100. *. m.miss_ratio) m.worst_latency
-    m.mean_latency m.worst_lateness m.inversions m.utilization
+    m.mean_latency m.worst_lateness m.inversions m.garbled m.utilization

@@ -45,6 +45,10 @@ type metrics = {
   mean_latency : float;  (** mean latency *)
   worst_lateness : int;  (** max lateness; negative = min slack *)
   inversions : int;  (** deadline inversions, see {!inversions} *)
+  garbled : int;  (** frames destroyed by injected channel noise
+                      ({!Rtnet_channel.Channel.stats}[.garbled_count];
+                      0 when no medium was simulated) — surfaces fault
+                      injection in every scoreboard and campaign JSON *)
   utilization : float;  (** carried bits / elapsed bits, if known *)
 }
 

@@ -1,0 +1,114 @@
+module Json = Rtnet_util.Json
+module Message = Rtnet_workload.Message
+module Channel = Rtnet_channel.Channel
+
+let ( let* ) = Result.bind
+
+let metrics_to_json (m : Run.metrics) =
+  Json.Obj
+    [
+      ("delivered", Json.Int m.Run.delivered);
+      ("deadline_misses", Json.Int m.Run.deadline_misses);
+      ("miss_ratio", Json.Float m.Run.miss_ratio);
+      ("worst_latency", Json.Int m.Run.worst_latency);
+      ("mean_latency", Json.Float m.Run.mean_latency);
+      ("worst_lateness", Json.Int m.Run.worst_lateness);
+      ("inversions", Json.Int m.Run.inversions);
+      ("garbled", Json.Int m.Run.garbled);
+      ("utilization", Json.Float m.Run.utilization);
+    ]
+
+let int_field j key =
+  let* v = Json.field key j in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" key e) (Json.get_int v)
+
+let float_field j key =
+  let* v = Json.field key j in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" key e) (Json.get_float v)
+
+let metrics_of_json j =
+  let* delivered = int_field j "delivered" in
+  let* deadline_misses = int_field j "deadline_misses" in
+  let* miss_ratio = float_field j "miss_ratio" in
+  let* worst_latency = int_field j "worst_latency" in
+  let* mean_latency = float_field j "mean_latency" in
+  let* worst_lateness = int_field j "worst_lateness" in
+  let* inversions = int_field j "inversions" in
+  let* garbled = int_field j "garbled" in
+  let* utilization = float_field j "utilization" in
+  Ok
+    {
+      Run.delivered;
+      deadline_misses;
+      miss_ratio;
+      worst_latency;
+      mean_latency;
+      worst_lateness;
+      inversions;
+      garbled;
+      utilization;
+    }
+
+let channel_stats_to_json (st : Channel.stats) =
+  Json.Obj
+    [
+      ("idle_slots", Json.Int st.Channel.idle_slots);
+      ("collision_slots", Json.Int st.Channel.collision_slots);
+      ("tx_count", Json.Int st.Channel.tx_count);
+      ("garbled_count", Json.Int st.Channel.garbled_count);
+      ("busy_bits", Json.Int st.Channel.busy_bits);
+      ("total_bits", Json.Int st.Channel.total_bits);
+    ]
+
+let channel_stats_of_json j =
+  let* idle_slots = int_field j "idle_slots" in
+  let* collision_slots = int_field j "collision_slots" in
+  let* tx_count = int_field j "tx_count" in
+  let* garbled_count = int_field j "garbled_count" in
+  let* busy_bits = int_field j "busy_bits" in
+  let* total_bits = int_field j "total_bits" in
+  Ok
+    {
+      Channel.idle_slots;
+      collision_slots;
+      tx_count;
+      garbled_count;
+      busy_bits;
+      total_bits;
+    }
+
+let message_to_json (m : Message.t) =
+  Json.Obj
+    [
+      ("uid", Json.Int m.Message.uid);
+      ("cls", Json.Int m.Message.cls.Message.cls_id);
+      ("arrival", Json.Int m.Message.arrival);
+      ("deadline", Json.Int (Message.abs_deadline m));
+    ]
+
+let completion_to_json (c : Run.completion) =
+  Json.Obj
+    [
+      ("uid", Json.Int c.Run.c_msg.Message.uid);
+      ("cls", Json.Int c.Run.c_msg.Message.cls.Message.cls_id);
+      ("src", Json.Int c.Run.c_msg.Message.cls.Message.cls_source);
+      ("arrival", Json.Int c.Run.c_msg.Message.arrival);
+      ("deadline", Json.Int (Message.abs_deadline c.Run.c_msg));
+      ("start", Json.Int c.Run.c_start);
+      ("finish", Json.Int c.Run.c_finish);
+    ]
+
+let outcome_to_json (o : Run.outcome) =
+  Json.Obj
+    [
+      ("protocol", Json.String o.Run.protocol);
+      ("horizon", Json.Int o.Run.horizon);
+      ("completions", Json.List (List.map completion_to_json o.Run.completions));
+      ("unfinished", Json.List (List.map message_to_json o.Run.unfinished));
+      ("dropped", Json.List (List.map message_to_json o.Run.dropped));
+      ( "channel",
+        match o.Run.channel with
+        | None -> Json.Null
+        | Some st -> channel_stats_to_json st );
+      ("metrics", metrics_to_json (Run.metrics o));
+    ]

@@ -1,0 +1,417 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Canonical float rendering: the shortest of %.12g / %.17g that
+   round-trips, forced to contain a '.' or exponent so the token parses
+   back as a Float (not an Int). *)
+let float_repr f =
+  (match Float.classify_float f with
+  | FP_nan | FP_infinite ->
+    invalid_arg "Json: non-finite floats have no JSON representation"
+  | FP_normal | FP_subnormal | FP_zero -> ());
+  let s =
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+  in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pretty buf v =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth = function
+    | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+    | List [] -> Buffer.add_string buf "[]"
+    | List vs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          go (depth + 1) v)
+        vs;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          go (depth + 1) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v
+
+let pp fmt v =
+  let buf = Buffer.create 256 in
+  pretty buf v;
+  Format.pp_print_string fmt (Buffer.contents buf)
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      pretty buf v;
+      Buffer.add_char buf '\n';
+      output_string oc (Buffer.contents buf))
+
+(* ---------------------------------------------------------------- *)
+(* Parser: plain recursive descent over a string.                    *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> advance cur
+  | Some d -> fail cur (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail cur (Printf.sprintf "expected %C, found end of input" c)
+
+let literal cur word v =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.src
+    && String.sub cur.src cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+(* Encode one Unicode scalar value as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 cur =
+  let digit () =
+    match peek cur with
+    | Some c ->
+      advance cur;
+      (match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail cur "invalid \\u escape")
+    | None -> fail cur "truncated \\u escape"
+  in
+  let a = digit () in
+  let b = digit () in
+  let c = digit () in
+  let d = digit () in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | None -> fail cur "unterminated escape"
+      | Some c ->
+        advance cur;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          let cp = hex4 cur in
+          let cp =
+            (* Combine a surrogate pair when one follows. *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              if
+                cur.pos + 1 < String.length cur.src
+                && cur.src.[cur.pos] = '\\'
+                && cur.src.[cur.pos + 1] = 'u'
+              then begin
+                cur.pos <- cur.pos + 2;
+                let lo = hex4 cur in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                else fail cur "invalid low surrogate"
+              end
+              else fail cur "unpaired surrogate"
+            end
+            else cp
+          in
+          add_utf8 buf cp
+        | c -> fail cur (Printf.sprintf "invalid escape \\%c" c)));
+      go ()
+    | Some c when Char.code c < 0x20 -> fail cur "control character in string"
+    | Some c ->
+      advance cur;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  (match peek cur with Some '-' -> advance cur | _ -> ());
+  let rec digits () =
+    match peek cur with
+    | Some '0' .. '9' ->
+      advance cur;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match peek cur with
+  | Some '.' ->
+    is_float := true;
+    advance cur;
+    digits ()
+  | _ -> ());
+  (match peek cur with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance cur;
+    (match peek cur with Some ('+' | '-') -> advance cur | _ -> ());
+    digits ()
+  | _ -> ());
+  let tok = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail cur (Printf.sprintf "invalid number %S" tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      (* Out of int range: degrade to float rather than failing. *)
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail cur (Printf.sprintf "invalid number %S" tok))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let binding () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let rec items acc =
+        let kv = binding () in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items (kv :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev (kv :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (items [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let cur = { src = s; pos = 0 } in
+  match
+    let v = parse_value cur in
+    skip_ws cur;
+    if cur.pos <> String.length s then fail cur "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let get_int = function
+  | Int i -> Ok i
+  | v -> Error (Printf.sprintf "expected int, found %s" (type_name v))
+
+let get_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | v -> Error (Printf.sprintf "expected float, found %s" (type_name v))
+
+let get_bool = function
+  | Bool b -> Ok b
+  | v -> Error (Printf.sprintf "expected bool, found %s" (type_name v))
+
+let get_string = function
+  | String s -> Ok s
+  | v -> Error (Printf.sprintf "expected string, found %s" (type_name v))
+
+let get_list = function
+  | List vs -> Ok vs
+  | v -> Error (Printf.sprintf "expected list, found %s" (type_name v))
+
+let get_obj = function
+  | Obj kvs -> Ok kvs
+  | v -> Error (Printf.sprintf "expected object, found %s" (type_name v))
+
+let field key v =
+  match member key v with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)

@@ -19,6 +19,17 @@ let split g =
   let s = bits64 g in
   { state = s }
 
+let derive seed i =
+  if i < 0 then invalid_arg "Prng.derive: negative index";
+  (* Two finalizer rounds keep child seeds statistically independent of
+     both the parent seed and neighbouring indices (SplitMix64's
+     stream-splitting construction). *)
+  let z = mix (Int64.add (Int64.of_int seed) golden_gamma) in
+  let z = mix (Int64.logxor z (Int64.mul (Int64.of_int (i + 1)) 0x94D049BB133111EBL)) in
+  Int64.to_int (mix z) land max_int
+
+let stream ~seed ~path = create (List.fold_left derive seed path)
+
 let int g n =
   if n <= 0 then invalid_arg "Prng.int: n <= 0";
   (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)

@@ -19,6 +19,24 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of [g]'s subsequent output. *)
 
+val derive : int -> int -> int
+(** [derive seed i] is a child seed for index [i >= 0], a pure function
+    of [(seed, i)].  Child seeds for distinct indices (and the streams
+    they generate) are statistically independent of each other and of
+    [create seed]'s own stream — the campaign runner derives one
+    per-cell seed this way, so a sweep's cells can be executed in any
+    order, serially or in parallel, with bit-identical results, and
+    cannot collide with the scenario seeds users pass directly.
+    Results are non-negative.
+    @raise Invalid_argument if [i < 0]. *)
+
+val stream : seed:int -> path:int list -> t
+(** [stream ~seed ~path] is a generator for the hierarchical stream
+    reached by folding {!derive} over [path] — e.g.
+    [stream ~seed ~path:[scenario; variant; replicate]].  Distinct
+    paths yield independent streams; the empty path is
+    [create seed]. *)
+
 val bits64 : t -> int64
 (** [bits64 g] is the next raw 64-bit output. *)
 

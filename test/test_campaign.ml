@@ -1,0 +1,410 @@
+(* rtnet.campaign: spec codec, grid seeding, worker pool, checkpoint
+   resume, report determinism and the regression gate.
+
+   The load-bearing property throughout is determinism: a campaign's
+   report (minus wall-clock timing fields) must be a pure function of
+   its spec — independent of worker count and of interrupt/resume
+   splits. *)
+
+module Json = Rtnet_util.Json
+module Spec = Rtnet_campaign.Spec
+module Seeding = Rtnet_campaign.Seeding
+module Grid = Rtnet_campaign.Grid
+module Pool = Rtnet_campaign.Pool
+module Checkpoint = Rtnet_campaign.Checkpoint
+module Report = Rtnet_campaign.Report
+module Runner = Rtnet_campaign.Runner
+
+let tiny =
+  {
+    Spec.name = "tiny";
+    base_seed = 3;
+    replicates = 2;
+    horizon_ms = 1;
+    protocols = [ Spec.Ddcr; Spec.Tdma ];
+    scenarios =
+      [
+        { Spec.sc_kind = "trading"; sc_size = 3; sc_load = 0.3;
+          sc_deadline_windows = 2.0 };
+      ];
+    variants = [ Spec.default_variant ];
+  }
+
+let overloaded =
+  {
+    tiny with
+    Spec.name = "hot";
+    protocols = [ Spec.Ddcr ];
+    scenarios =
+      [
+        { Spec.sc_kind = "uniform"; sc_size = 8; sc_load = 5.0;
+          sc_deadline_windows = 2.0 };
+      ];
+  }
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "rtnet_campaign" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let run_exn ?(jobs = 1) ?journal ?(resume = false) ?max_cells spec ~out =
+  let options =
+    {
+      (Runner.default_options ~out) with
+      Runner.jobs;
+      journal;
+      resume;
+      max_cells;
+    }
+  in
+  match Runner.run options spec with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Runner.pp_error e)
+
+let complete_exn ?jobs ?journal ?resume ?max_cells spec ~out =
+  match run_exn ?jobs ?journal ?resume ?max_cells spec ~out with
+  | Runner.Complete report -> report
+  | Runner.Interrupted _ -> Alcotest.fail "unexpected interruption"
+
+(* -------------------- spec -------------------- *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun (name, spec) ->
+      match Spec.of_json (Spec.to_json spec) with
+      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Ok spec' ->
+        Alcotest.(check bool) (name ^ " round-trips") true (spec = spec');
+        Alcotest.(check string)
+          (name ^ " hash stable")
+          (Spec.hash spec) (Spec.hash spec'))
+    Spec.builtins
+
+let test_spec_validate () =
+  let expect_error what spec =
+    match Spec.validate spec with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail ("validate accepted " ^ what)
+  in
+  Alcotest.(check bool) "builtins validate" true
+    (List.for_all
+       (fun (_, s) -> Spec.validate s = Ok ())
+       Spec.builtins);
+  expect_error "empty protocols" { tiny with Spec.protocols = [] };
+  expect_error "zero replicates" { tiny with Spec.replicates = 0 };
+  expect_error "duplicate protocol"
+    { tiny with Spec.protocols = [ Spec.Ddcr; Spec.Ddcr ] };
+  expect_error "bad fault rate"
+    { tiny with
+      Spec.variants = [ { Spec.default_variant with v_fault_rate = 1.5 } ] };
+  expect_error "unknown kind"
+    { tiny with
+      Spec.scenarios =
+        [ { Spec.sc_kind = "nope"; sc_size = 2; sc_load = 0.3;
+            sc_deadline_windows = 2.0 } ] }
+
+let test_spec_load_file () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "spec.json" in
+      Json.to_file path (Spec.to_json tiny);
+      (match Spec.load_file path with
+      | Ok s -> Alcotest.(check bool) "file round-trip" true (s = tiny)
+      | Error e -> Alcotest.fail e);
+      (* Optional fields default. *)
+      let oc = open_out path in
+      output_string oc
+        {|{"name":"mini","protocols":["tdma"],
+           "scenarios":[{"kind":"trading","size":3}]}|};
+      close_out oc;
+      match Spec.load_file path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        Alcotest.(check int) "default replicates" 1 s.Spec.replicates;
+        Alcotest.(check bool) "default variant" true
+          (s.Spec.variants = [ Spec.default_variant ]))
+
+(* -------------------- grid & seeding -------------------- *)
+
+let test_grid_cells () =
+  let cells = Grid.cells tiny in
+  Alcotest.(check int) "cell count" (Spec.cell_count tiny)
+    (Array.length cells);
+  Array.iteri
+    (fun i c -> Alcotest.(check int) "dense indices" i c.Grid.index)
+    cells;
+  let keys = Array.to_list (Array.map Grid.key cells) in
+  Alcotest.(check int) "keys unique"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_trace_seed_protocol_blind () =
+  (* Protocols compare on identical traces: the trace seed must not
+     depend on the protocol coordinate, while the protocol seed must. *)
+  let cells = Array.to_list (Grid.cells tiny) in
+  let ddcr = List.filter (fun c -> c.Grid.protocol = Spec.Ddcr) cells in
+  let tdma = List.filter (fun c -> c.Grid.protocol = Spec.Tdma) cells in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same trace seed" a.Grid.trace_seed
+        b.Grid.trace_seed;
+      Alcotest.(check bool) "distinct protocol seed" true
+        (a.Grid.protocol_seed <> b.Grid.protocol_seed))
+    ddcr tdma;
+  (* Replicates draw distinct traces. *)
+  match ddcr with
+  | r0 :: r1 :: _ ->
+    Alcotest.(check bool) "replicates differ" true
+      (r0.Grid.trace_seed <> r1.Grid.trace_seed)
+  | _ -> Alcotest.fail "expected two ddcr replicates"
+
+let test_seeding_domains_separated () =
+  let t = Seeding.trace_seed ~base:5 ~scenario:0 ~variant:0 ~replicate:0 in
+  let p =
+    Seeding.protocol_seed ~base:5 ~scenario:0 ~variant:0 ~replicate:0
+      ~protocol:0
+  in
+  Alcotest.(check bool) "trace and protocol domains disjoint" true (t <> p)
+
+(* -------------------- pool -------------------- *)
+
+let collect_events ~jobs ?max_results f tasks =
+  let events = ref [] in
+  let n =
+    Pool.map ~jobs ?max_results ~on_event:(fun e -> events := e :: !events) f
+      tasks
+  in
+  (n, List.rev !events)
+
+let test_pool_matches_serial () =
+  let tasks = Array.init 23 (fun i -> i) in
+  let f x = x * x in
+  let normalize evs =
+    List.sort compare
+      (List.map
+         (function
+           | Pool.Result (i, v) -> (i, v)
+           | Pool.Failed (i, msg) -> Alcotest.fail (Printf.sprintf "task %d: %s" i msg))
+         evs)
+  in
+  let n1, e1 = collect_events ~jobs:1 f tasks in
+  let n3, e3 = collect_events ~jobs:3 f tasks in
+  Alcotest.(check int) "serial count" 23 n1;
+  Alcotest.(check int) "parallel count" 23 n3;
+  Alcotest.(check bool) "same result set" true (normalize e1 = normalize e3);
+  Alcotest.(check bool) "results correct" true
+    (List.for_all (fun (i, v) -> v = i * i) (normalize e1))
+
+let test_pool_task_exception_reported () =
+  let tasks = Array.init 5 (fun i -> i) in
+  let f x = if x = 2 then failwith "boom" else x in
+  let n, events = collect_events ~jobs:2 f tasks in
+  Alcotest.(check int) "every task produced an event" 5 n;
+  let failed =
+    List.filter_map
+      (function Pool.Failed (i, msg) -> Some (i, msg) | Pool.Result _ -> None)
+      events
+  in
+  match failed with
+  | [ (2, msg) ] ->
+    Alcotest.(check bool) "exception text carried" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected exactly task 2 to fail"
+
+let test_pool_max_results_stops_early () =
+  let tasks = Array.init 50 (fun i -> i) in
+  let n, events = collect_events ~jobs:1 ~max_results:7 Fun.id tasks in
+  Alcotest.(check int) "stopped at cap" 7 n;
+  (* jobs=1 makes the surviving prefix deterministic: tasks 0..6. *)
+  Alcotest.(check (list int)) "deterministic prefix"
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.map
+       (function Pool.Result (i, _) -> i | Pool.Failed _ -> -1)
+       events)
+
+let test_pool_empty_and_bad_jobs () =
+  let n, events = collect_events ~jobs:4 Fun.id [||] in
+  Alcotest.(check int) "empty task array" 0 n;
+  Alcotest.(check int) "no events" 0 (List.length events);
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Pool.map: jobs < 1")
+    (fun () -> ignore (Pool.map ~jobs:0 ~on_event:ignore Fun.id [| 1 |]))
+
+(* -------------------- runner determinism -------------------- *)
+
+let stripped_bytes report =
+  Json.to_string (Report.strip_timings (Report.to_json report))
+
+let test_parallel_serial_identical () =
+  with_tmp_dir (fun dir ->
+      let r1 = complete_exn tiny ~jobs:1 ~out:(Filename.concat dir "j1.json") in
+      let r4 = complete_exn tiny ~jobs:4 ~out:(Filename.concat dir "j4.json") in
+      Alcotest.(check string) "fingerprints agree" (Report.fingerprint r1)
+        (Report.fingerprint r4);
+      Alcotest.(check string) "timing-stripped bytes identical"
+        (stripped_bytes r1) (stripped_bytes r4);
+      (* And the on-disk reports reload to the same fingerprint. *)
+      match Report.load ~path:(Filename.concat dir "j4.json") with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        Alcotest.(check string) "disk round-trip" (Report.fingerprint r1)
+          (Report.fingerprint r))
+
+let test_interrupt_and_resume () =
+  with_tmp_dir (fun dir ->
+      let out = Filename.concat dir "bench.json" in
+      let fresh =
+        complete_exn tiny ~jobs:1 ~out:(Filename.concat dir "fresh.json")
+      in
+      (match run_exn tiny ~jobs:1 ~max_cells:2 ~out with
+      | Runner.Interrupted { completed; total } ->
+        Alcotest.(check int) "partial progress" 2 completed;
+        Alcotest.(check int) "total known" (Spec.cell_count tiny) total
+      | Runner.Complete _ -> Alcotest.fail "expected interruption");
+      Alcotest.(check bool) "journal kept" true
+        (Sys.file_exists (Checkpoint.journal_path ~out));
+      Alcotest.(check bool) "no report yet" false (Sys.file_exists out);
+      let resumed = complete_exn tiny ~jobs:1 ~resume:true ~out in
+      Alcotest.(check string) "resume reproduces the fresh run"
+        (Report.fingerprint fresh) (Report.fingerprint resumed);
+      Alcotest.(check bool) "journal removed on completion" false
+        (Sys.file_exists (Checkpoint.journal_path ~out)))
+
+let test_checkpoint_rejects_other_spec () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "x.ckpt" in
+      let oc = Checkpoint.open_for_append ~path ~spec:tiny in
+      Checkpoint.append oc ~index:0 ~key:"k" Json.Null;
+      close_out oc;
+      (match Checkpoint.load ~path ~spec:tiny with
+      | Ok [ (0, Json.Null) ] -> ()
+      | Ok _ -> Alcotest.fail "journal content lost"
+      | Error e -> Alcotest.fail e);
+      match Checkpoint.load ~path ~spec:{ tiny with Spec.base_seed = 99 } with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "journal accepted under a different spec")
+
+let test_checkpoint_tolerates_torn_tail () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "torn.ckpt" in
+      let oc = Checkpoint.open_for_append ~path ~spec:tiny in
+      Checkpoint.append oc ~index:0 ~key:"a" (Json.Int 1);
+      close_out oc;
+      (* Simulate a kill mid-append: half a JSON line at the tail. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc {|{"cell":1,"key":"b","res|};
+      close_out oc;
+      match Checkpoint.load ~path ~spec:tiny with
+      | Ok [ (0, Json.Int 1) ] -> ()
+      | Ok _ -> Alcotest.fail "torn tail mishandled"
+      | Error e -> Alcotest.fail e)
+
+let test_lint_gate_rejects_overload () =
+  with_tmp_dir (fun dir ->
+      let options =
+        Runner.default_options ~out:(Filename.concat dir "hot.json")
+      in
+      match Runner.run { options with Runner.jobs = 1 } overloaded with
+      | Error (Runner.Lint_rejected diags) ->
+        Alcotest.(check bool) "diagnostics carried" true (diags <> [])
+      | Error e ->
+        Alcotest.fail (Format.asprintf "wrong error: %a" Runner.pp_error e)
+      | Ok _ -> Alcotest.fail "overloaded campaign accepted")
+
+(* -------------------- regression gate -------------------- *)
+
+let inject_regression report =
+  match report.Report.cells with
+  | first :: rest ->
+    let m = first.Report.ce_result.Grid.r_metrics in
+    let worse =
+      { m with Rtnet_stats.Run.miss_ratio = m.Rtnet_stats.Run.miss_ratio +. 0.4 }
+    in
+    {
+      report with
+      Report.cells =
+        { first with
+          Report.ce_result =
+            { first.Report.ce_result with Grid.r_metrics = worse } }
+        :: rest;
+    }
+  | [] -> Alcotest.fail "empty report"
+
+let test_compare_gate () =
+  with_tmp_dir (fun dir ->
+      let r = complete_exn tiny ~jobs:1 ~out:(Filename.concat dir "b.json") in
+      let tol = Report.default_tolerance in
+      (match Report.compare_reports ~tolerance:tol ~baseline:r ~current:r with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "self-comparison regressed"
+      | Error e -> Alcotest.fail e);
+      let bad = inject_regression r in
+      (match Report.compare_reports ~tolerance:tol ~baseline:r ~current:bad with
+      | Ok [ reg ] ->
+        Alcotest.(check string) "metric named" "miss_ratio"
+          reg.Report.reg_metric
+      | Ok regs ->
+        Alcotest.fail
+          (Printf.sprintf "expected 1 regression, found %d" (List.length regs))
+      | Error e -> Alcotest.fail e);
+      (* An improvement is not a regression. *)
+      (match Report.compare_reports ~tolerance:tol ~baseline:bad ~current:r with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "improvement flagged"
+      | Error e -> Alcotest.fail e);
+      (* A loose tolerance forgives the same delta. *)
+      let loose = { tol with Report.tol_miss_ratio = 0.5 } in
+      match Report.compare_reports ~tolerance:loose ~baseline:r ~current:bad with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "tolerance ignored"
+      | Error e -> Alcotest.fail e)
+
+let test_compare_rejects_mismatched_specs () =
+  with_tmp_dir (fun dir ->
+      let a = complete_exn tiny ~jobs:1 ~out:(Filename.concat dir "a.json") in
+      let other = { tiny with Spec.base_seed = 99 } in
+      let b = complete_exn other ~jobs:1 ~out:(Filename.concat dir "b.json") in
+      match
+        Report.compare_reports ~tolerance:Report.default_tolerance ~baseline:a
+          ~current:b
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "cross-spec comparison accepted")
+
+let suite =
+  [
+    ( "campaign",
+      [
+        Alcotest.test_case "spec json round-trip" `Quick test_spec_roundtrip;
+        Alcotest.test_case "spec validation" `Quick test_spec_validate;
+        Alcotest.test_case "spec file loading" `Quick test_spec_load_file;
+        Alcotest.test_case "grid cells" `Quick test_grid_cells;
+        Alcotest.test_case "trace seed protocol-blind" `Quick
+          test_trace_seed_protocol_blind;
+        Alcotest.test_case "seeding domains" `Quick
+          test_seeding_domains_separated;
+        Alcotest.test_case "pool parallel = serial" `Quick
+          test_pool_matches_serial;
+        Alcotest.test_case "pool task exception" `Quick
+          test_pool_task_exception_reported;
+        Alcotest.test_case "pool early stop" `Quick
+          test_pool_max_results_stops_early;
+        Alcotest.test_case "pool edge cases" `Quick test_pool_empty_and_bad_jobs;
+        Alcotest.test_case "-j1 = -j4" `Quick test_parallel_serial_identical;
+        Alcotest.test_case "interrupt and resume" `Quick
+          test_interrupt_and_resume;
+        Alcotest.test_case "checkpoint spec guard" `Quick
+          test_checkpoint_rejects_other_spec;
+        Alcotest.test_case "checkpoint torn tail" `Quick
+          test_checkpoint_tolerates_torn_tail;
+        Alcotest.test_case "lint gate" `Quick test_lint_gate_rejects_overload;
+        Alcotest.test_case "regression gate" `Quick test_compare_gate;
+        Alcotest.test_case "cross-spec compare" `Quick
+          test_compare_rejects_mismatched_specs;
+      ] );
+  ]

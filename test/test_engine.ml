@@ -59,6 +59,64 @@ let test_stop () =
   Engine.run eng;
   Alcotest.(check int) "second event discarded" 1 !count
 
+let test_until_boundary () =
+  (* An event exactly at [until] fires; one bit-time later does not. *)
+  let eng = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at eng ~time:t (fun _ -> fired := t :: !fired))
+    [ 5; 6 ];
+  Engine.run ~until:5 eng;
+  Alcotest.(check (list int)) "inclusive boundary" [ 5 ] (List.rev !fired);
+  Alcotest.(check int) "clock at until" 5 (Engine.now eng);
+  (* Re-running with the same bound is a no-op. *)
+  Engine.run ~until:5 eng;
+  Alcotest.(check (list int)) "idempotent" [ 5 ] (List.rev !fired);
+  Engine.run eng;
+  Alcotest.(check (list int)) "remainder fires" [ 5; 6 ] (List.rev !fired)
+
+let test_until_empty_queue () =
+  (* With nothing scheduled the clock is still forced to [until], and
+     scheduling before it afterwards is scheduling in the past. *)
+  let eng = Engine.create () in
+  Engine.run ~until:42 eng;
+  Alcotest.(check int) "clock forced" 42 (Engine.now eng);
+  Alcotest.(check int) "nothing processed" 0 (Engine.events_processed eng);
+  Alcotest.check_raises "past after until"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at eng ~time:41 (fun _ -> ()))
+
+let test_stop_inside_callback () =
+  (* [stop] discards even same-instant events queued after the stopping
+     callback; the clock stays at the stopping event's time and the
+     engine remains usable. *)
+  let eng = Engine.create () in
+  let count = ref 0 in
+  Engine.schedule_at eng ~time:3 (fun eng ->
+      incr count;
+      Engine.schedule eng ~delay:0 (fun _ -> incr count);
+      Engine.stop eng);
+  Engine.schedule_at eng ~time:3 (fun _ -> incr count);
+  Engine.schedule_at eng ~time:7 (fun _ -> incr count);
+  Engine.run eng;
+  Alcotest.(check int) "only the stopper ran" 1 !count;
+  Alcotest.(check int) "clock at stop time" 3 (Engine.now eng);
+  Alcotest.(check int) "processed counts the stopper" 1
+    (Engine.events_processed eng);
+  Engine.schedule_at eng ~time:10 (fun _ -> incr count);
+  Engine.run eng;
+  Alcotest.(check int) "engine reusable after stop" 2 !count;
+  Alcotest.(check int) "clock resumes" 10 (Engine.now eng)
+
+let test_stop_under_until_still_advances_clock () =
+  (* An early [stop] inside [run ~until] empties the queue, but the
+     documented clock contract still holds: the clock ends at [until]. *)
+  let eng = Engine.create () in
+  Engine.schedule_at eng ~time:2 (fun eng -> Engine.stop eng);
+  Engine.schedule_at eng ~time:50 (fun _ -> Alcotest.fail "discarded");
+  Engine.run ~until:100 eng;
+  Alcotest.(check int) "clock forced past stop" 100 (Engine.now eng)
+
 let test_step () =
   let eng = Engine.create () in
   Engine.schedule_at eng ~time:2 (fun _ -> ());
@@ -75,6 +133,12 @@ let suite =
         Alcotest.test_case "run until" `Quick test_run_until;
         Alcotest.test_case "past rejected" `Quick test_past_rejected;
         Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "until boundary" `Quick test_until_boundary;
+        Alcotest.test_case "until empty queue" `Quick test_until_empty_queue;
+        Alcotest.test_case "stop inside callback" `Quick
+          test_stop_inside_callback;
+        Alcotest.test_case "stop under until" `Quick
+          test_stop_under_until_still_advances_clock;
         Alcotest.test_case "step" `Quick test_step;
       ] );
   ]

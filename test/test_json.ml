@@ -1,0 +1,137 @@
+(* The hand-rolled JSON codec underlying the campaign reports.  The
+   determinism guarantee of the campaign runner leans on [to_string]
+   being canonical and [parse] round-tripping it exactly, so both
+   directions are exercised here. *)
+
+module Json = Rtnet_util.Json
+
+let sample =
+  Json.Obj
+    [
+      ("name", Json.String "smoke");
+      ("count", Json.Int 42);
+      ("ratio", Json.Float 0.25);
+      ("neg", Json.Int (-7));
+      ("ok", Json.Bool true);
+      ("off", Json.Bool false);
+      ("nothing", Json.Null);
+      ("items", Json.List [ Json.Int 1; Json.Float 1.5; Json.String "x" ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ("nested", Json.Obj [ ("deep", Json.List [ Json.Obj [ ("k", Json.Int 0) ] ]) ]);
+    ]
+
+let roundtrip v =
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip () =
+  Alcotest.(check bool) "structure survives" true (roundtrip sample = sample);
+  (* Canonical: a second render of the re-parsed value is byte-equal. *)
+  Alcotest.(check string) "canonical" (Json.to_string sample)
+    (Json.to_string (roundtrip sample))
+
+let test_pretty_roundtrip () =
+  let pretty = Format.asprintf "%a" Json.pp sample in
+  match Json.parse pretty with
+  | Ok v -> Alcotest.(check bool) "pretty parses back" true (v = sample)
+  | Error e -> Alcotest.fail e
+
+let test_int_float_split () =
+  let check_tok tok expected =
+    match Json.parse tok with
+    | Ok v -> Alcotest.(check bool) (tok ^ " kind") true (v = expected)
+    | Error e -> Alcotest.fail e
+  in
+  check_tok "1" (Json.Int 1);
+  check_tok "-3" (Json.Int (-3));
+  check_tok "1.0" (Json.Float 1.0);
+  check_tok "1e3" (Json.Float 1000.);
+  check_tok "-2.5E-1" (Json.Float (-0.25))
+
+let test_float_repr_roundtrips () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h survives" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Ok _ -> Alcotest.fail "float token parsed as non-float"
+      | Error e -> Alcotest.fail e)
+    [ 0.; 1.; -1.; 0.1; 1. /. 3.; 1e-300; 1.7976931348623157e308;
+      4.9e-324; 243098.3492063492; 0.26103597856596072 ]
+
+let test_non_finite_rejected () =
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.fail ("non-finite float rendered as " ^ s))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_string_escapes () =
+  let v = Json.String "a\"b\\c\nd\te\r\x01" in
+  Alcotest.(check bool) "escapes survive" true (roundtrip v = v);
+  (match Json.parse {|"\u0041\u00e9"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape parse");
+  match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "surrogate pair to UTF-8" "\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "surrogate pair parse"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted malformed input " ^ s)
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,"; "{\"a\" 1}"; "\"unterminated"; "tru"; "1 2";
+      "{\"a\":1,}"; "\"\\ud83d\""; "nullx";
+    ]
+
+let test_accessors () =
+  let j = roundtrip sample in
+  Alcotest.(check int) "field int" 42
+    (Result.get_ok (Result.bind (Json.field "count" j) Json.get_int));
+  Alcotest.(check (float 0.)) "int widens to float" 42.
+    (Result.get_ok (Result.bind (Json.field "count" j) Json.get_float));
+  Alcotest.(check bool) "member missing" true (Json.member "nope" j = None);
+  (match Json.field "nope" j with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "field on missing key");
+  match Result.bind (Json.field "name" j) Json.get_int with
+  | Error msg ->
+    Alcotest.(check bool) "type error names types" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "string accepted as int"
+
+let test_to_file_parse_file () =
+  let path = Filename.temp_file "rtnet_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.to_file path sample;
+      match Json.parse_file path with
+      | Ok v -> Alcotest.(check bool) "file round-trip" true (v = sample)
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    ( "json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "pretty round-trip" `Quick test_pretty_roundtrip;
+        Alcotest.test_case "int/float split" `Quick test_int_float_split;
+        Alcotest.test_case "float repr" `Quick test_float_repr_roundtrips;
+        Alcotest.test_case "non-finite rejected" `Quick test_non_finite_rejected;
+        Alcotest.test_case "string escapes" `Quick test_string_escapes;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "file io" `Quick test_to_file_parse_file;
+      ] );
+  ]

@@ -66,6 +66,42 @@ let test_split_independent () =
   done;
   Alcotest.(check bool) "split stream differs" true (!overlap < 4)
 
+let test_derive_deterministic () =
+  Alcotest.(check int) "pure function" (Prng.derive 42 3) (Prng.derive 42 3);
+  Alcotest.(check bool) "indices separate" true
+    (Prng.derive 42 0 <> Prng.derive 42 1);
+  Alcotest.(check bool) "seeds separate" true
+    (Prng.derive 1 0 <> Prng.derive 2 0);
+  Alcotest.(check bool) "non-negative" true (Prng.derive 42 5 >= 0);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.derive: negative index") (fun () ->
+      ignore (Prng.derive 42 (-1)))
+
+let test_derive_streams_independent () =
+  (* Streams created from sibling derived seeds should not overlap. *)
+  let a = Prng.create (Prng.derive 42 0) in
+  let b = Prng.create (Prng.derive 42 1) in
+  let overlap = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr overlap
+  done;
+  Alcotest.(check bool) "derived streams differ" true (!overlap < 4)
+
+let test_stream_path () =
+  let draw g = Prng.bits64 g in
+  Alcotest.(check int64) "same path, same stream"
+    (draw (Prng.stream ~seed:7 ~path:[ 1; 2; 3 ]))
+    (draw (Prng.stream ~seed:7 ~path:[ 1; 2; 3 ]));
+  Alcotest.(check int64) "empty path is the root stream"
+    (draw (Prng.create 7))
+    (draw (Prng.stream ~seed:7 ~path:[]));
+  Alcotest.(check bool) "path order matters" true
+    (draw (Prng.stream ~seed:7 ~path:[ 1; 2 ])
+    <> draw (Prng.stream ~seed:7 ~path:[ 2; 1 ]));
+  Alcotest.(check bool) "prefix differs from extension" true
+    (draw (Prng.stream ~seed:7 ~path:[ 1 ])
+    <> draw (Prng.stream ~seed:7 ~path:[ 1; 0 ]))
+
 let test_shuffle_permutation () =
   let g = Prng.create 29 in
   let arr = Array.init 50 Fun.id in
@@ -96,6 +132,10 @@ let suite =
         Alcotest.test_case "float range" `Quick test_float_range;
         Alcotest.test_case "exponential" `Quick test_exponential_positive;
         Alcotest.test_case "split" `Quick test_split_independent;
+        Alcotest.test_case "derive" `Quick test_derive_deterministic;
+        Alcotest.test_case "derive streams" `Quick
+          test_derive_streams_independent;
+        Alcotest.test_case "stream path" `Quick test_stream_path;
         Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
         QCheck_alcotest.to_alcotest prop_bool_balanced;
       ] );

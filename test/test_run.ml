@@ -1,5 +1,7 @@
 module Message = Rtnet_workload.Message
 module Run = Rtnet_stats.Run
+module Run_json = Rtnet_stats.Run_json
+module Channel = Rtnet_channel.Channel
 
 let cls id deadline =
   {
@@ -80,6 +82,64 @@ let test_empty_outcome () =
   Alcotest.(check int) "nothing delivered" 0 m.Run.delivered;
   Alcotest.(check (float 1e-9)) "ratio 0" 0. m.Run.miss_ratio
 
+let channel_stats =
+  {
+    Channel.idle_slots = 3;
+    collision_slots = 2;
+    tx_count = 9;
+    garbled_count = 4;
+    busy_bits = 11_000;
+    total_bits = 40_000;
+  }
+
+let test_garbled_surfaced () =
+  (* The channel's noise counter must flow into the metrics record so
+     fault campaigns can gate on it. *)
+  let o =
+    { (outcome [ completion 0 0 10_000 0 1000 ]) with
+      channel = Some channel_stats }
+  in
+  Alcotest.(check int) "garbled from channel" 4 (Run.metrics o).Run.garbled;
+  Alcotest.(check int) "zero without channel" 0
+    (Run.metrics (outcome [])).Run.garbled
+
+let test_metrics_json_roundtrip () =
+  let o =
+    { (outcome
+         ~unfinished:[ msg 10 0 500 ]
+         ~dropped:[ msg 11 0 500 ]
+         [ completion 0 0 10_000 0 1000; completion 1 0 500 600 1200 ])
+      with channel = Some channel_stats }
+  in
+  let m = Run.metrics o in
+  (match Run_json.metrics_of_json (Run_json.metrics_to_json m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    Alcotest.(check bool) "metrics round-trip exactly" true (m = m'));
+  match Run_json.channel_stats_of_json (Run_json.channel_stats_to_json channel_stats)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok st -> Alcotest.(check bool) "channel stats round-trip" true
+               (st = channel_stats)
+
+let test_outcome_json_shape () =
+  let module Json = Rtnet_util.Json in
+  let o =
+    { (outcome ~unfinished:[ msg 10 0 500 ] [ completion 0 0 10_000 0 1000 ])
+      with channel = Some channel_stats }
+  in
+  let j = Run_json.outcome_to_json o in
+  let get k = match Json.member k j with Some v -> v | None ->
+    Alcotest.fail ("missing " ^ k)
+  in
+  Alcotest.(check string) "protocol" "test"
+    (Result.get_ok (Json.get_string (get "protocol")));
+  Alcotest.(check int) "one completion" 1
+    (List.length (Result.get_ok (Json.get_list (get "completions"))));
+  Alcotest.(check int) "one unfinished" 1
+    (List.length (Result.get_ok (Json.get_list (get "unfinished"))));
+  Alcotest.(check bool) "metrics embedded" true (Json.member "metrics" j <> None)
+
 let suite =
   [
     ( "run",
@@ -91,5 +151,9 @@ let suite =
         Alcotest.test_case "inversions" `Quick test_inversions;
         Alcotest.test_case "per-class worst" `Quick test_per_class_worst;
         Alcotest.test_case "empty outcome" `Quick test_empty_outcome;
+        Alcotest.test_case "garbled surfaced" `Quick test_garbled_surfaced;
+        Alcotest.test_case "metrics json round-trip" `Quick
+          test_metrics_json_roundtrip;
+        Alcotest.test_case "outcome json shape" `Quick test_outcome_json_shape;
       ] );
   ]
