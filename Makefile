@@ -2,10 +2,12 @@
 # build everything, run the static-analysis lint over every shipped
 # scenario (config lint + trace invariant check + bounded exhaustive
 # checker), then the test suite (which includes the campaign smoke
-# gate), then an explicit 2-worker campaign smoke run compared against
-# the committed golden report.
+# gate), then explicit 2-worker campaign runs — the clean smoke
+# campaign and the fault-injection sweep — each compared against its
+# committed golden report.
 
-.PHONY: all build lint test check clean campaign-smoke campaign-baseline
+.PHONY: all build lint test check clean campaign-smoke campaign-baseline \
+  faults-smoke
 
 all: build
 
@@ -25,6 +27,13 @@ campaign-smoke: build
 	  -o _build/BENCH_smoke.current.json \
 	  --baseline test/fixtures/BENCH_smoke_golden.json
 
+# Run the fault-injection sweep (burst noise, misperception, crash
+# windows over DDCR) and gate it against the committed golden report.
+faults-smoke: build
+	dune exec bin/ddcr_campaign.exe -- compare fault_sweep -j 2 --quiet \
+	  -o _build/BENCH_fault_sweep.current.json \
+	  --baseline test/fixtures/BENCH_fault_sweep.json
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -32,9 +41,12 @@ campaign-baseline: build
 	  -o BENCH_campaign_v1.json
 	dune exec bin/ddcr_campaign.exe -- run smoke -j 2 --quiet \
 	  -o test/fixtures/BENCH_smoke_golden.json
+	dune exec bin/ddcr_campaign.exe -- run fault_sweep -j 2 --quiet \
+	  -o test/fixtures/BENCH_fault_sweep.json
 
 check:
-	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke
+	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
+	  && $(MAKE) faults-smoke
 
 clean:
 	dune clean

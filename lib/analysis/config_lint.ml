@@ -169,3 +169,41 @@ let check ?(strict = false) p inst =
     shared @ horizon p inst @ alpha p @ slot p inst @ burst p inst
     @ oracle_diag
     @ feasibility ~strict ~oracle_ok:oracle.Np_edf_fc.np_feasible p inst
+
+(* Fault-plan lint ("CFG-FAULT"): campaign specs carrying a fault plan
+   are checked against the horizon before any worker runs, plus
+   heuristics for plans that are legal but probably not what the author
+   meant. *)
+let check_fault ?horizon plan =
+  let subject = Rtnet_channel.Fault_plan.label plan in
+  let ref_ = "fault model; Section 2.1 assumptions" in
+  let validity =
+    match Rtnet_channel.Fault_plan.validate ?horizon plan with
+    | Ok () -> []
+    | Error e -> [ D.error ~rule_id:"CFG-FAULT" ~subject ~paper_ref:ref_ e ]
+  in
+  let heuristics =
+    (match plan.Rtnet_channel.Fault_plan.sp_garble with
+    | Some (Rtnet_channel.Fault_plan.Gilbert_elliott { rate_good; rate_bad; _ })
+      when rate_bad < rate_good ->
+      [
+        D.warning ~rule_id:"CFG-FAULT" ~subject ~paper_ref:ref_
+          (Printf.sprintf
+             "Gilbert–Elliott bad-state rate %.2f is below the good-state \
+              rate %.2f — states are probably swapped"
+             rate_bad rate_good);
+      ]
+    | _ -> [])
+    @
+    if plan.Rtnet_channel.Fault_plan.sp_misperception > 0.5 then
+      [
+        D.warning ~rule_id:"CFG-FAULT" ~subject ~paper_ref:ref_
+          (Printf.sprintf
+             "misperception rate %.2f makes the majority view wrong more \
+              often than right; divergence recovery will follow the \
+              misperceived consensus"
+             plan.Rtnet_channel.Fault_plan.sp_misperception);
+      ]
+    else []
+  in
+  validity @ heuristics

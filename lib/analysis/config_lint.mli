@@ -28,7 +28,10 @@
       workload the oracle {e can} schedule is reported as a warning
       (the provable price of distribution) unless [strict] is set;
     - ["FEAS-MARGIN"]: informational worst margin when all classes
-      pass. *)
+      pass;
+    - ["CFG-FAULT"]: fault-plan validity against the run horizon
+      ({!check_fault}) plus heuristics for legal-but-suspicious plans
+      (Gilbert–Elliott states swapped, majority misperception). *)
 
 val check :
   ?strict:bool ->
@@ -40,3 +43,11 @@ val check :
     centralized oracle accepts the workload.  Never raises: parameter
     sets that [Ddcr_params.validate] rejects produce ["CFG-PARAMS"]
     errors and skip the passes that presuppose validity. *)
+
+val check_fault :
+  ?horizon:int -> Rtnet_channel.Fault_plan.spec -> Diagnostic.t list
+(** [check_fault ?horizon plan] lints a fault plan (rule
+    ["CFG-FAULT"]): {!Rtnet_channel.Fault_plan.validate} failures as
+    errors — including crash windows extending past [horizon]
+    (bit-times), whose station would never rejoin — plus warnings for
+    suspicious parameterizations. *)

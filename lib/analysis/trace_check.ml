@@ -17,7 +17,46 @@ let time_of = function
   | Trace.Tts_begin { time; _ }
   | Trace.Tts_end { time; _ }
   | Trace.Sts_begin { time; _ }
-  | Trace.Sts_end { time; _ } -> time
+  | Trace.Sts_end { time; _ }
+  | Trace.Crash { time; _ }
+  | Trace.Rejoin { time; _ }
+  | Trace.Desync { time; _ }
+  | Trace.Resync { time; _ } -> time
+
+(* Fault epochs derivable from the trace itself: a source is degraded
+   from its crash/desync until its resync (a rejoin keeps it degraded —
+   it is listen-only until recovery).  Spans still open when the trace
+   ends run to just past the last event. *)
+let epochs_of_events events =
+  let open_at = Hashtbl.create 4 in
+  let spans = ref [] in
+  let last = List.fold_left (fun acc e -> max acc (time_of e)) 0 events in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Crash { time; source }
+      | Trace.Desync { time; source }
+      | Trace.Rejoin { time; source } ->
+        if not (Hashtbl.mem open_at source) then
+          Hashtbl.replace open_at source time
+      | Trace.Resync { time; source } -> (
+        match Hashtbl.find_opt open_at source with
+        | Some s ->
+          Hashtbl.remove open_at source;
+          spans := (s, time) :: !spans
+        | None -> ())
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ s -> spans := (s, last + 1) :: !spans) open_at;
+  List.sort compare !spans
+
+(* A deadline miss is excused (degradation, not a violation) iff a
+   fault epoch overlaps the window from the earlier of frame start and
+   deadline up to the frame's finish: a fault entirely after the frame
+   finished cannot have delayed it. *)
+let inside_epoch ~epochs ~t0 ~dm ~finish =
+  let lo = min t0 dm in
+  List.exists (fun (s, e) -> s < finish && lo < e) epochs
 
 let subject_of_event i e = Format.asprintf "event %d (%a)" i Trace.pp_event e
 
@@ -71,24 +110,35 @@ let check_safety events =
   in
   scan [] sorted
 
-let check_deadlines ~deadlines events =
+let check_deadlines ~deadlines ~epochs events =
   if deadlines = [] then []
   else
     let tbl = Hashtbl.create (List.length deadlines) in
     List.iter (fun (uid, dm) -> Hashtbl.replace tbl uid dm) deadlines;
     List.filter_map
       (function
-        | Trace.Frame_sent { finish; source; uid; _ } -> (
+        | Trace.Frame_sent { time; finish; source; uid; _ } -> (
           match Hashtbl.find_opt tbl uid with
           | Some dm when finish > dm ->
-            Some
-              (D.error ~rule_id:"TRC-DEADLINE"
-                 ~subject:(Printf.sprintf "uid=%d" uid)
-                 ~paper_ref:timeliness_ref
-                 (Printf.sprintf
-                    "source %d's frame finishes at %d, %d bit-times after \
-                     its absolute deadline %d"
-                    source finish (finish - dm) dm))
+            let lateness =
+              Printf.sprintf
+                "source %d's frame finishes at %d, %d bit-times after its \
+                 absolute deadline %d"
+                source finish (finish - dm) dm
+            in
+            if inside_epoch ~epochs ~t0:time ~dm ~finish then
+              Some
+                (D.warning ~rule_id:"TRC-DEGRADED"
+                   ~subject:(Printf.sprintf "uid=%d" uid)
+                   ~paper_ref:timeliness_ref
+                   (lateness
+                  ^ " — inside a fault epoch, so degradation, not a \
+                     timeliness violation"))
+            else
+              Some
+                (D.error ~rule_id:"TRC-DEADLINE"
+                   ~subject:(Printf.sprintf "uid=%d" uid)
+                   ~paper_ref:timeliness_ref lateness)
           | Some _ -> None
           | None ->
             Some
@@ -164,6 +214,11 @@ let check_structure events =
           bad_phase i e
             (Printf.sprintf "collision slot with %d contender(s)" contenders)
       | Trace.Garbled_slot _ -> ()
+      (* Fault events are orthogonal to the bracket structure: a crash,
+         rejoin, desync or resync may land anywhere — the surviving
+         synced sources carry the search on regardless. *)
+      | Trace.Crash _ | Trace.Rejoin _ | Trace.Desync _ | Trace.Resync _ ->
+        ()
       | Trace.Frame_sent { via; _ } -> (
         match via with
         | Trace.Free_csma | Trace.Open_attempt ->
@@ -234,17 +289,26 @@ let check_accounting ~stats ~completions events =
     in
     vs_stats @ vs_completions
 
-let check ?(workload = []) ?(deadlines = []) ?stats ?completions events =
+let check ?(workload = []) ?(deadlines = []) ?(fault_epochs = []) ?stats
+    ?completions events =
   let deadlines =
     deadlines
     @ List.map (fun m -> (m.Message.uid, Message.abs_deadline m)) workload
   in
+  let epochs =
+    List.sort compare (fault_epochs @ epochs_of_events events)
+  in
   check_order events @ check_safety events
-  @ check_deadlines ~deadlines events
+  @ check_deadlines ~deadlines ~epochs events
   @ check_structure events
   @ check_accounting ~stats ~completions events
 
 let check_run ~workload ~outcome events =
-  check ~workload ?stats:outcome.Run.channel
+  let fault_epochs =
+    match outcome.Run.faults with
+    | Some fs -> fs.Run.f_epochs
+    | None -> []
+  in
+  check ~workload ~fault_epochs ?stats:outcome.Run.channel
     ~completions:(List.length outcome.Run.completions)
     events

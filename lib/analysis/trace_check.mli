@@ -25,11 +25,24 @@
     - ["TRC-ACCOUNT"]: the trace's slot accounting reconciles exactly
       with the channel statistics (idle, collision, garbled and frame
       counts, busy bit-times) and, when given, the completion count
-      (Section 4.1's accounting of the medium). *)
+      (Section 4.1's accounting of the medium).
+
+    {b Fault epochs.}  Under a fault plan the timeliness proof's
+    premises (all stations up, consistent observation) do not hold
+    everywhere.  The checker unions the epochs given by the caller
+    (from {!Rtnet_stats.Run.fault_stats}) with epochs it derives from
+    the trace itself ([Crash]/[Desync] opens a span for the source,
+    [Resync] closes it; a [Rejoin] keeps it open — the station is
+    listen-only until it resynchronizes).  A deadline miss whose
+    window overlaps an epoch is reported as a ["TRC-DEGRADED"]
+    {e warning} — measured degradation — rather than a
+    ["TRC-DEADLINE"] error; safety (["TRC-SAFETY"]) is never relaxed:
+    mutual exclusion must hold under every fault plan. *)
 
 val check :
   ?workload:Rtnet_workload.Message.t list ->
   ?deadlines:(int * int) list ->
+  ?fault_epochs:(int * int) list ->
   ?stats:Rtnet_channel.Channel.stats ->
   ?completions:int ->
   Rtnet_core.Ddcr_trace.event list ->
@@ -38,7 +51,10 @@ val check :
     [deadlines], [(uid, absolute_deadline)] pairs — both may be given,
     [workload] wins on clashes) enables the timeliness check, [stats]
     the channel reconciliation and [completions] the completion-count
-    reconciliation. *)
+    reconciliation.  [fault_epochs] are [(start, finish)] spans (e.g.
+    {!Rtnet_stats.Run.fault_stats.f_epochs}) inside which deadline
+    misses downgrade to ["TRC-DEGRADED"] warnings; epochs derived from
+    the trace's own fault events are always added. *)
 
 val check_run :
   workload:Rtnet_workload.Message.t list ->
@@ -47,4 +63,6 @@ val check_run :
   Diagnostic.t list
 (** [check_run ~workload ~outcome events] is {!check} wired to a
     completed simulation: deadlines from the workload, channel
-    statistics and completion count from the outcome. *)
+    statistics and completion count from the outcome, fault epochs
+    from the outcome's [faults] statistics (if the run used a fault
+    plan). *)

@@ -37,7 +37,14 @@ let output ?(deadline_of = fun _ -> None) oc events =
       | Trace.Tts_end { time; sent } -> line "tts_end t=%d sent=%b" time sent
       | Trace.Sts_begin { time; time_leaf } ->
         line "sts_begin t=%d leaf=%d" time time_leaf
-      | Trace.Sts_end { time } -> line "sts_end t=%d" time)
+      | Trace.Sts_end { time } -> line "sts_end t=%d" time
+      | Trace.Crash { time; source } -> line "crash t=%d source=%d" time source
+      | Trace.Rejoin { time; source } ->
+        line "rejoin t=%d source=%d" time source
+      | Trace.Desync { time; source } ->
+        line "desync t=%d source=%d" time source
+      | Trace.Resync { time; source } ->
+        line "resync t=%d source=%d" time source)
     events
 
 (* Parsing: every line is a tag followed by key=value fields. *)
@@ -128,6 +135,22 @@ let parse_line ~lineno line =
     | "sts_end" ->
       let* time = int "t" in
       Ok (Some (Trace.Sts_end { time }, None))
+    | "crash" ->
+      let* time = int "t" in
+      let* source = int "source" in
+      Ok (Some (Trace.Crash { time; source }, None))
+    | "rejoin" ->
+      let* time = int "t" in
+      let* source = int "source" in
+      Ok (Some (Trace.Rejoin { time; source }, None))
+    | "desync" ->
+      let* time = int "t" in
+      let* source = int "source" in
+      Ok (Some (Trace.Desync { time; source }, None))
+    | "resync" ->
+      let* time = int "t" in
+      let* source = int "source" in
+      Ok (Some (Trace.Resync { time; source }, None))
     | other -> fail "unknown event tag %S" other)
 
 let parse text =

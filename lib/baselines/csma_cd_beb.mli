@@ -20,6 +20,7 @@ val ethernet : params
 val run_trace :
   ?params:params ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?plan:Rtnet_channel.Fault_plan.t ->
   seed:int ->
   Rtnet_workload.Instance.t ->
   Rtnet_workload.Message.t list ->
@@ -27,11 +28,14 @@ val run_trace :
   Rtnet_stats.Run.outcome
 (** [run_trace ~seed inst trace ~horizon] simulates the trace under
     CSMA-CD/BEB.  [seed] drives the backoff draws (deterministic
-    replay). *)
+    replay).  [plan] injects wire-level fault-plan noise; BEB has no
+    replicated state, so per-source misperception merely perturbs its
+    backoff decisions and crashes silence the station. *)
 
 val run :
   ?params:params ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?plan:Rtnet_channel.Fault_plan.t ->
   seed:int ->
   Rtnet_workload.Instance.t ->
   horizon:int ->

@@ -81,6 +81,7 @@ let run_trace ?params inst trace ~horizon =
           busy_bits = !busy_bits;
           total_bits = !now;
         };
+    faults = None;
   }
 
 let run ?(seed = 1) ?params inst ~horizon =

@@ -40,10 +40,16 @@ let read_lines path =
       in
       go [])
 
+type entry = Completed of int * Json.t | Failed_marker of int
+
 let entry_of_json j =
   let* index = Result.bind (Json.field "cell" j) Json.get_int in
-  let* result = Json.field "result" j in
-  Ok (index, result)
+  match Json.member "result" j with
+  | Some result -> Ok (Completed (index, result))
+  | None -> (
+    match Json.member "failed" j with
+    | Some _ -> Ok (Failed_marker index)
+    | None -> Error "entry has neither \"result\" nor \"failed\"")
 
 let load ~path ~spec =
   if not (Sys.file_exists path) then Ok []
@@ -59,11 +65,22 @@ let load ~path ~spec =
             (check_header spec hj)
         in
         let total = List.length entries in
+        (* Replay the journal in order: a completed line records a
+           cell's result, a failed marker (worker died before
+           delivering it) voids any earlier record so resume re-runs
+           the cell; a retry's later completed line re-records it. *)
         let rec go i acc = function
           | [] -> Ok (List.rev acc)
           | line :: rest -> (
             match Result.bind (Json.parse line) entry_of_json with
-            | Ok entry -> go (i + 1) (entry :: acc) rest
+            | Ok (Completed (index, result)) ->
+              let acc =
+                (index, result)
+                :: List.filter (fun (i', _) -> i' <> index) acc
+              in
+              go (i + 1) acc rest
+            | Ok (Failed_marker index) ->
+              go (i + 1) (List.filter (fun (i', _) -> i' <> index) acc) rest
             | Error e ->
               if i = total - 1 then
                 (* Torn final line: the kill landed mid-append. *)
@@ -93,6 +110,18 @@ let append oc ~index ~key result =
             ("cell", Json.Int index);
             ("key", Json.String key);
             ("result", result);
+          ]));
+  output_char oc '\n';
+  flush oc
+
+let append_failed oc ~index ~key ~reason =
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("cell", Json.Int index);
+            ("key", Json.String key);
+            ("failed", Json.String reason);
           ]));
   output_char oc '\n';
   flush oc

@@ -7,7 +7,14 @@
 
     - line 1 (header): [{"campaign": name, "spec_hash": h,
       "schema_version": 1}]
-    - each further line: [{"cell": index, "key": k, "result": {...}}]
+    - completed cell: [{"cell": index, "key": k, "result": {...}}]
+    - failed cell (worker died before delivering it):
+      [{"cell": index, "key": k, "failed": reason}]
+
+    {!load} replays the journal in order: a failed marker voids any
+    earlier result for that cell (so a resumed run re-executes it),
+    and a later result line — the in-run retry succeeding — records it
+    again.
 
     A partially written final line (the kill landed mid-write) is
     tolerated and dropped on load; corruption anywhere else is an
@@ -24,9 +31,9 @@ val load :
   spec:Spec.t ->
   ((int * Rtnet_util.Json.t) list, string) result
 (** [load ~path ~spec] returns the completed [(cell index, result)]
-    pairs recorded so far, oldest first ([\[\]] if the file does not
-    exist), or [Error] on a header/spec-hash mismatch or a corrupt
-    interior line. *)
+    pairs recorded so far after replaying failed markers, oldest first
+    ([\[\]] if the file does not exist), or [Error] on a
+    header/spec-hash mismatch or a corrupt interior line. *)
 
 val open_for_append : path:string -> spec:Spec.t -> out_channel
 (** [open_for_append ~path ~spec] opens the journal for appending,
@@ -38,6 +45,13 @@ val append :
   out_channel -> index:int -> key:string -> Rtnet_util.Json.t -> unit
 (** [append oc ~index ~key result] writes one completed-cell line and
     flushes, so the line survives a subsequent kill. *)
+
+val append_failed :
+  out_channel -> index:int -> key:string -> reason:string -> unit
+(** [append_failed oc ~index ~key ~reason] writes a failed-cell marker
+    (and flushes): the cell's previous results, if any, are void and a
+    resumed run must re-execute it unless a later {!append} for the
+    same cell — the retry succeeding — supersedes the marker. *)
 
 val remove : path:string -> unit
 (** [remove ~path] deletes the journal (after the final report has

@@ -22,6 +22,7 @@ type cell = {
   replicate : int;
   trace_seed : int;
   protocol_seed : int;
+  fault_seed : int;
 }
 
 (* Fixed nesting order: scenario, variant, replicate, protocol.  The
@@ -52,6 +53,9 @@ let cells spec =
                     protocol_seed =
                       Seeding.protocol_seed ~base ~scenario:si ~variant:vi
                         ~replicate:r ~protocol:pi;
+                    fault_seed =
+                      Seeding.fault_seed ~base ~scenario:si ~variant:vi
+                        ~replicate:r;
                   }
                   :: !acc;
                 incr index)
@@ -94,11 +98,18 @@ let run_cell spec c =
         }
     else None
   in
+  let plan =
+    Option.map
+      (fun sp -> Rtnet_channel.Fault_plan.create ~horizon ~seed:c.fault_seed sp)
+      c.variant.Spec.v_fault_plan
+  in
   let outcome =
     match c.protocol with
     | Spec.Ddcr ->
-      Ddcr.run_trace ?fault (params_for c.variant inst) inst trace ~horizon
-    | Spec.Beb -> Beb.run_trace ?fault ~seed:c.protocol_seed inst trace ~horizon
+      Ddcr.run_trace ?fault ?plan (params_for c.variant inst) inst trace
+        ~horizon
+    | Spec.Beb ->
+      Beb.run_trace ?fault ?plan ~seed:c.protocol_seed inst trace ~horizon
     | Spec.Dcr ->
       Dcr.run_trace (Dcr.of_ddcr (params_for c.variant inst)) inst trace ~horizon
     | Spec.Tdma -> Tdma.run_trace inst trace ~horizon
@@ -141,18 +152,38 @@ let result_of_json j =
    severities apply (a conservative-bound violation the NP-EDF oracle
    forgives is a warning); an [Error] rejects the whole campaign. *)
 let lint spec =
-  List.concat_map
-    (fun scenario ->
-      let inst = Spec.instance scenario in
-      List.concat_map
-        (fun variant ->
-          let label =
-            Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
-              (Spec.variant_label variant)
-          in
+  let fault_diags =
+    (* Fault plans are scenario-independent: lint each one once. *)
+    List.concat_map
+      (fun variant ->
+        match variant.Spec.v_fault_plan with
+        | None -> []
+        | Some plan ->
           List.map
             (fun d ->
-              { d with Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject })
-            (Config_lint.check (params_for variant inst) inst))
-        spec.Spec.variants)
-    spec.Spec.scenarios
+              {
+                d with
+                Diagnostic.subject =
+                  Spec.variant_label variant ^ ":" ^ d.Diagnostic.subject;
+              })
+            (Config_lint.check_fault
+               ~horizon:(spec.Spec.horizon_ms * 1_000_000)
+               plan))
+      spec.Spec.variants
+  in
+  fault_diags
+  @ List.concat_map
+      (fun scenario ->
+        let inst = Spec.instance scenario in
+        List.concat_map
+          (fun variant ->
+            let label =
+              Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
+                (Spec.variant_label variant)
+            in
+            List.map
+              (fun d ->
+                { d with Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject })
+              (Config_lint.check (params_for variant inst) inst))
+          spec.Spec.variants)
+      spec.Spec.scenarios

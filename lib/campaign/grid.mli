@@ -23,6 +23,9 @@ type cell = {
   replicate : int;  (** 0-based replication number *)
   trace_seed : int;  (** arrival-trace seed — protocol-independent *)
   protocol_seed : int;  (** protocol/fault randomness seed *)
+  fault_seed : int;
+      (** fault-plan sampler seed — protocol-independent, so every
+          protocol faces the same fault sample path *)
 }
 
 val cells : Spec.t -> cell array
@@ -53,6 +56,8 @@ val result_of_json : Rtnet_util.Json.t -> (result_, string) result
 val lint : Spec.t -> Rtnet_analysis.Diagnostic.t list
 (** [lint spec] runs {!Rtnet_analysis.Config_lint.check} over every
     (scenario × variant) configuration of the sweep, with the same
-    CSMA/DDCR parameter derivation {!run_cell} uses.  Subjects are
-    prefixed with the scenario/variant labels.  The runner aborts the
-    campaign iff the result contains an [Error] diagnostic. *)
+    CSMA/DDCR parameter derivation {!run_cell} uses, plus
+    {!Rtnet_analysis.Config_lint.check_fault} over every variant's
+    fault plan (against the spec horizon).  Subjects are prefixed with
+    the scenario/variant labels.  The runner aborts the campaign iff
+    the result contains an [Error] diagnostic. *)

@@ -46,14 +46,18 @@ let drain_frames inbox emit =
 
 (* -------------------- worker -------------------- *)
 
+(* Tasks arrive as [(position, task)] pairs so a retry round can run a
+   compacted array of survivors while still reporting the original
+   positions. *)
 let run_worker ~tasks ~jobs ~rank ~fd f =
   let n = Array.length tasks in
   let i = ref rank in
   while !i < n do
+    let pos, task = tasks.(!i) in
     let ev =
-      match f tasks.(!i) with
-      | v -> Result (!i, v)
-      | exception e -> Failed (!i, Printexc.to_string e)
+      match f task with
+      | v -> Result (pos, v)
+      | exception e -> Failed (pos, Printexc.to_string e)
     in
     write_all fd (frame ev);
     i := !i + jobs
@@ -62,87 +66,113 @@ let run_worker ~tasks ~jobs ~rank ~fd f =
 
 (* -------------------- coordinator -------------------- *)
 
-let map ~jobs ?max_results ~on_event f tasks =
+let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =
   if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
   let n = Array.length tasks in
   if n = 0 then 0
   else begin
-    let jobs = min jobs n in
-    (* Flush before forking so buffered output is not duplicated into
-       the children. *)
-    flush stdout;
-    flush stderr;
-    let inboxes =
-      List.init jobs (fun rank ->
-          let r, w = Unix.pipe ~cloexec:false () in
-          match Unix.fork () with
-          | 0 ->
-            (* Child: only its own write end matters.  [Unix._exit]
-               skips at_exit handlers and buffered channels inherited
-               from the coordinator. *)
-            Unix.close r;
-            (match run_worker ~tasks ~jobs ~rank ~fd:w f with
-            | () -> Unix._exit 0
-            | exception _ -> Unix._exit 2)
-          | pid ->
-            Unix.close w;
-            { fd = r; pid; pending = Bytes.empty })
-    in
-    (* Children inherit the read (and not-yet-created write) ends of
-       pipes forked before them; that is harmless — they never read,
-       and EOF detection only needs the coordinator's copies closed,
-       which happens below, plus each child's copies vanishing when it
-       exits. *)
-    let collected = ref 0 in
     let expected = n in
+    let collected = ref 0 in
     let stopped = ref false in
-    let open_inboxes = ref inboxes in
-    let chunk = Bytes.create 65536 in
+    let seen = Array.make n false in
     let target =
       match max_results with None -> expected | Some m -> min m expected
     in
-    while !open_inboxes <> [] && not !stopped do
-      let fds = List.map (fun ib -> ib.fd) !open_inboxes in
-      let readable, _, _ = Unix.select fds [] [] (-1.) in
-      List.iter
-        (fun ib ->
-          if (not !stopped) && List.mem ib.fd readable then begin
-            match Unix.read ib.fd chunk 0 (Bytes.length chunk) with
+    (* One fork-and-drain round over [(position, task)] pairs.  Returns
+       the pids of workers that exited abnormally. *)
+    let round ~jobs indexed =
+      let jobs = min jobs (Array.length indexed) in
+      (* Flush before forking so buffered output is not duplicated into
+         the children. *)
+      flush stdout;
+      flush stderr;
+      let inboxes =
+        List.init jobs (fun rank ->
+            let r, w = Unix.pipe ~cloexec:false () in
+            match Unix.fork () with
             | 0 ->
-              Unix.close ib.fd;
-              open_inboxes := List.filter (fun o -> o != ib) !open_inboxes
-            | r ->
-              ib.pending <- Bytes.cat ib.pending (Bytes.sub chunk 0 r);
-              drain_frames ib (fun ev ->
-                  if not !stopped then begin
-                    incr collected;
-                    on_event ev;
-                    if !collected >= target then stopped := true
-                  end)
-          end)
-        !open_inboxes
-    done;
-    if !stopped && !collected < expected then
-      (* Early stop: kill whatever is still running. *)
+              (* Child: only its own write end matters.  [Unix._exit]
+                 skips at_exit handlers and buffered channels inherited
+                 from the coordinator. *)
+              Unix.close r;
+              (match run_worker ~tasks:indexed ~jobs ~rank ~fd:w f with
+              | () -> Unix._exit 0
+              | exception _ -> Unix._exit 2)
+            | pid ->
+              Unix.close w;
+              { fd = r; pid; pending = Bytes.empty })
+      in
+      (* Children inherit the read (and not-yet-created write) ends of
+         pipes forked before them; that is harmless — they never read,
+         and EOF detection only needs the coordinator's copies closed,
+         which happens below, plus each child's copies vanishing when
+         it exits. *)
+      let open_inboxes = ref inboxes in
+      let chunk = Bytes.create 65536 in
+      while !open_inboxes <> [] && not !stopped do
+        let fds = List.map (fun ib -> ib.fd) !open_inboxes in
+        let readable, _, _ = Unix.select fds [] [] (-1.) in
+        List.iter
+          (fun ib ->
+            if (not !stopped) && List.mem ib.fd readable then begin
+              match Unix.read ib.fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                Unix.close ib.fd;
+                open_inboxes := List.filter (fun o -> o != ib) !open_inboxes
+              | r ->
+                ib.pending <- Bytes.cat ib.pending (Bytes.sub chunk 0 r);
+                drain_frames ib (fun ev ->
+                    if not !stopped then begin
+                      (match ev with
+                      | Result (pos, _) | Failed (pos, _) -> seen.(pos) <- true);
+                      incr collected;
+                      on_event ev;
+                      if !collected >= target then stopped := true
+                    end)
+            end)
+          !open_inboxes
+      done;
+      if !stopped then
+        (* Early stop: kill whatever is still running. *)
+        List.iter
+          (fun ib ->
+            (try Unix.kill ib.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try Unix.close ib.fd with Unix.Unix_error _ -> ())
+          !open_inboxes;
+      let crashed = ref [] in
       List.iter
         (fun ib ->
-          (try Unix.kill ib.pid Sys.sigkill with Unix.Unix_error _ -> ());
-          try Unix.close ib.fd with Unix.Unix_error _ -> ())
-        !open_inboxes;
-    let failures = ref [] in
-    List.iter
-      (fun ib ->
-        match Unix.waitpid [] ib.pid with
-        | _, Unix.WEXITED 0 -> ()
-        | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
-          failures := ib.pid :: !failures
-        | exception Unix.Unix_error _ -> ())
-      inboxes;
-    if (not !stopped) && !collected < expected then
-      failwith
-        (Printf.sprintf
-           "Pool.map: collected %d of %d results (worker death? pids: %s)"
-           !collected expected
-           (String.concat ", " (List.map string_of_int !failures)));
+          match Unix.waitpid [] ib.pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+            crashed := ib.pid :: !crashed
+          | exception Unix.Unix_error _ -> ())
+        inboxes;
+      !crashed
+    in
+    let (_ : int list) =
+      round ~jobs (Array.mapi (fun i t -> (i, t)) tasks)
+    in
+    (* A worker that died (crash, signal) leaves its undelivered tasks
+       behind.  Retry them once on a spare worker — a transient death
+       (OOM kill of one cell, a stray signal) then costs only the lost
+       cells, not the campaign.  A second failure aborts. *)
+    if (not !stopped) && !collected < expected then begin
+      let missing =
+        List.filter (fun i -> not seen.(i)) (List.init n (fun i -> i))
+      in
+      on_retry missing;
+      let crashed =
+        round ~jobs:1
+          (Array.of_list (List.map (fun i -> (i, tasks.(i))) missing))
+      in
+      if (not !stopped) && !collected < expected then
+        failwith
+          (Printf.sprintf
+             "Pool.map: collected %d of %d results after retrying %d cells \
+              (worker died twice; pids: %s)"
+             !collected expected (List.length missing)
+             (String.concat ", " (List.map string_of_int crashed)))
+    end;
     !collected
   end

@@ -17,8 +17,11 @@
     An exception inside a worker's task is caught in the worker and
     reported as {!Failed} for that task; the worker carries on with
     its remaining tasks.  A worker that dies without delivering all
-    its results (crash, signal) raises [Failure] in the coordinator
-    after the other workers are drained. *)
+    its results (crash, signal) does {e not} sink the campaign: after
+    the first round drains, the coordinator collects the undelivered
+    task positions, reports them via [on_retry], and retries them once
+    on a single spare worker.  Only a second failure raises [Failure]
+    in the coordinator. *)
 
 type 'b event =
   | Result of int * 'b  (** task position, worker's return value *)
@@ -31,6 +34,7 @@ val default_jobs : unit -> int
 val map :
   jobs:int ->
   ?max_results:int ->
+  ?on_retry:(int list -> unit) ->
   on_event:('b event -> unit) ->
   ('a -> 'b) ->
   'a array ->
@@ -45,6 +49,12 @@ val map :
     returns the count collected — the hook the checkpoint/resume tests
     use to simulate an interrupted campaign.
 
+    [on_retry missing] is called (default: ignored) before the spare
+    worker re-runs the task positions a dead worker failed to deliver
+    — the campaign runner's hook for journalling them as failed before
+    the retry outcome overwrites them.
+
     [jobs] is clamped to [\[1, Array.length tasks\]]; with an empty
     task array no worker is forked and [map] returns 0.
-    @raise Invalid_argument if [jobs < 1]. *)
+    @raise Invalid_argument if [jobs < 1].
+    @raise Failure if a retried task is lost a second time. *)

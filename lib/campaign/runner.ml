@@ -119,9 +119,21 @@ let run options spec =
           failures :=
             Printf.sprintf "%s: %s" (Grid.key pending.(i)) msg :: !failures
       in
+      let on_retry missing =
+        (* Journal the cells a dead worker never delivered before the
+           spare worker retries them: if the retry also dies, the
+           journal shows exactly which cells were lost, and a resumed
+           run re-executes them. *)
+        List.iter
+          (fun i ->
+            let c = pending.(i) in
+            Checkpoint.append_failed oc ~index:c.Grid.index ~key:(Grid.key c)
+              ~reason:"worker died before delivering this cell; retrying")
+          missing
+      in
       let run_pool () =
-        Pool.map ~jobs:options.jobs ?max_results:options.max_cells ~on_event
-          (Grid.run_cell spec) pending
+        Pool.map ~jobs:options.jobs ?max_results:options.max_cells ~on_retry
+          ~on_event (Grid.run_cell spec) pending
       in
       let r =
         match run_pool () with

@@ -7,3 +7,6 @@ let trace_seed ~base ~scenario ~variant ~replicate =
 
 let protocol_seed ~base ~scenario ~variant ~replicate ~protocol =
   List.fold_left Prng.derive base [ 1; scenario; variant; replicate; protocol ]
+
+let fault_seed ~base ~scenario ~variant ~replicate =
+  List.fold_left Prng.derive base [ 2; scenario; variant; replicate ]

@@ -31,3 +31,10 @@ val protocol_seed :
   int
 (** [protocol_seed] seeds protocol-private randomness (BEB backoff
     draws, channel fault injection) for one cell. *)
+
+val fault_seed : base:int -> scenario:int -> variant:int -> replicate:int -> int
+(** [fault_seed] seeds a {!Rtnet_channel.Fault_plan} sampler.  Like
+    {!trace_seed} it excludes the protocol coordinate: a fault plan is
+    an environment property, so every protocol in a configuration faces
+    {e the same} fault sample path.  Domain-separated from both other
+    families (leading path component 2). *)

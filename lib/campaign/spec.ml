@@ -1,5 +1,6 @@
 module Json = Rtnet_util.Json
 module Scenarios = Rtnet_workload.Scenarios
+module Fault_plan = Rtnet_channel.Fault_plan
 
 let ( let* ) = Result.bind
 
@@ -53,12 +54,21 @@ let instance sc =
       ~load:sc.sc_load ~deadline_windows:sc.sc_deadline_windows
   | other -> failwith (Printf.sprintf "unknown scenario %S" other)
 
-type variant = { v_fault_rate : float; v_burst_bits : int; v_theta : int }
+type variant = {
+  v_fault_rate : float;
+  v_burst_bits : int;
+  v_theta : int;
+  v_fault_plan : Fault_plan.spec option;
+}
 
-let default_variant = { v_fault_rate = 0.; v_burst_bits = 0; v_theta = 0 }
+let default_variant =
+  { v_fault_rate = 0.; v_burst_bits = 0; v_theta = 0; v_fault_plan = None }
 
 let variant_label v =
-  Printf.sprintf "f%.2f-b%d-t%d" v.v_fault_rate v.v_burst_bits v.v_theta
+  let base = Printf.sprintf "f%.2f-b%d-t%d" v.v_fault_rate v.v_burst_bits v.v_theta in
+  match v.v_fault_plan with
+  | None -> base
+  | Some plan -> base ^ "-" ^ Fault_plan.label plan
 
 type t = {
   name : string;
@@ -127,7 +137,40 @@ let validate spec =
           Error (Printf.sprintf "%s: fault rate out of [0, 1]" (variant_label v))
         else if v.v_burst_bits < 0 then Error "negative burst budget"
         else if v.v_theta < 0 then Error "negative theta"
-        else Ok ())
+        else
+          match v.v_fault_plan with
+          | None -> Ok ()
+          | Some plan ->
+            let* () =
+              Result.map_error
+                (fun e -> Printf.sprintf "%s: %s" (variant_label v) e)
+                (Fault_plan.validate ~horizon:(spec.horizon_ms * 1_000_000)
+                   plan)
+            in
+            if v.v_fault_rate > 0. then
+              Error
+                (Printf.sprintf
+                   "%s: fault_rate and fault_plan are mutually exclusive"
+                   (variant_label v))
+            else if
+              (* Per-source faults need divergence recovery, which only
+                 CSMA/DDCR implements; wire-level garbling is also
+                 meaningful for BEB (it retries). *)
+              Fault_plan.has_local_faults plan
+              && List.exists (fun p -> p <> Ddcr) spec.protocols
+            then
+              Error
+                (Printf.sprintf
+                   "%s: per-source faults (misperception/crashes) require \
+                    protocols = [ddcr]"
+                   (variant_label v))
+            else if List.exists (fun p -> p <> Ddcr && p <> Beb) spec.protocols
+            then
+              Error
+                (Printf.sprintf
+                   "%s: fault plans only apply to ddcr and beb"
+                   (variant_label v))
+            else Ok ())
       (Ok ()) spec.variants
 
 (* ---------------------------------------------------------------- *)
@@ -144,12 +187,19 @@ let scenario_to_json sc =
     ]
 
 let variant_to_json v =
+  (* The "fault_plan" key is emitted only when set, so the canonical
+     bytes — and therefore [hash] — of every pre-fault-plan spec are
+     unchanged (committed baselines keep loading). *)
   Json.Obj
-    [
-      ("fault_rate", Json.Float v.v_fault_rate);
-      ("burst_bits", Json.Int v.v_burst_bits);
-      ("theta", Json.Int v.v_theta);
-    ]
+    ([
+       ("fault_rate", Json.Float v.v_fault_rate);
+       ("burst_bits", Json.Int v.v_burst_bits);
+       ("theta", Json.Int v.v_theta);
+     ]
+    @
+    match v.v_fault_plan with
+    | None -> []
+    | Some plan -> [ ("fault_plan", Fault_plan.spec_to_json plan) ])
 
 let to_json spec =
   Json.Obj
@@ -182,7 +232,18 @@ let variant_of_json j =
   let* fault = opt_field j "fault_rate" Json.get_float 0. in
   let* burst = opt_field j "burst_bits" Json.get_int 0 in
   let* theta = opt_field j "theta" Json.get_int 0 in
-  Ok { v_fault_rate = fault; v_burst_bits = burst; v_theta = theta }
+  let* plan =
+    match Json.member "fault_plan" j with
+    | None | Some Json.Null -> Ok None
+    | Some pj -> Result.map Option.some (Fault_plan.spec_of_json pj)
+  in
+  Ok
+    {
+      v_fault_rate = fault;
+      v_burst_bits = burst;
+      v_theta = theta;
+      v_fault_plan = plan;
+    }
 
 let list_field j key decode_one =
   let* v = Json.field key j in
@@ -273,7 +334,47 @@ let load_sweep =
     variants = [ default_variant ];
   }
 
+let fault_sweep =
+  (* Robustness sweep: CSMA/DDCR only (the only protocol with
+     divergence recovery) across every fault-plan axis — clean
+     reference, i.i.d. noise at two rates, Gilbert–Elliott bursts,
+     misperception, a scheduled crash/rejoin, and everything at once.
+     Crash windows sit inside the 5 ms horizon so stations rejoin. *)
+  let ms = 1_000_000 in
+  let planned plan = { default_variant with v_fault_plan = Some plan } in
+  {
+    name = "fault_sweep";
+    base_seed = 11;
+    replicates = 2;
+    horizon_ms = 5;
+    protocols = [ Ddcr ];
+    scenarios = [ scenario "videoconference" 4; scenario "trading" 3 ];
+    variants =
+      [
+        default_variant;
+        planned (Fault_plan.iid 0.05);
+        planned (Fault_plan.iid 0.15);
+        planned
+          (Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2
+             ~rate_good:0.01 ~rate_bad:0.8);
+        planned (Fault_plan.misperceive 0.02);
+        planned (Fault_plan.crash ~source:1 ~from_:(1 * ms) ~until:(2 * ms));
+        planned
+          (Fault_plan.compose
+             (Fault_plan.compose
+                (Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2
+                   ~rate_good:0.01 ~rate_bad:0.8)
+                (Fault_plan.misperceive 0.02))
+             (Fault_plan.crash ~source:2 ~from_:(2 * ms) ~until:(3 * ms)));
+      ];
+  }
+
 let builtins =
-  [ ("smoke", smoke); ("campaign_v1", campaign_v1); ("load_sweep", load_sweep) ]
+  [
+    ("smoke", smoke);
+    ("campaign_v1", campaign_v1);
+    ("load_sweep", load_sweep);
+    ("fault_sweep", fault_sweep);
+  ]
 
 let find_builtin name = List.assoc_opt name builtins

@@ -48,13 +48,19 @@ type variant = {
   v_fault_rate : float;  (** channel-noise probability (ddcr and beb) *)
   v_burst_bits : int;  (** packet-bursting budget, 0 = off (ddcr) *)
   v_theta : int;  (** compressed-time increment, 0 = off (ddcr) *)
+  v_fault_plan : Rtnet_channel.Fault_plan.spec option;
+      (** composable fault plan (burst noise, misperception, crash
+          windows); mutually exclusive with [v_fault_rate].  Plans with
+          per-source faults require [protocols = \[Ddcr\]]; wire-only
+          plans also allow [Beb]. *)
 }
 
 val default_variant : variant
 (** No faults, no bursting, no compressed time. *)
 
 val variant_label : variant -> string
-(** e.g. ["f0.05-b0-t0"]. *)
+(** e.g. ["f0.05-b0-t0"]; a fault plan appends its
+    {!Rtnet_channel.Fault_plan.label}, e.g. ["f0.00-b0-t0-iid0.15"]. *)
 
 type t = {
   name : string;  (** campaign name; reports default to [BENCH_<name>.json] *)
@@ -101,6 +107,10 @@ val builtins : (string * t) list
       noise} × 2 replicates, 2 ms — the committed
       [BENCH_campaign_v1.json] trajectory baseline.
     - ["load_sweep"]: all protocols over the uniform scenario at 6
-      offered loads — the Fig. E7 comparison as a campaign. *)
+      offered loads — the Fig. E7 comparison as a campaign.
+    - ["fault_sweep"]: CSMA/DDCR under every builtin fault plan (clean,
+      i.i.d. noise, Gilbert–Elliott bursts, misperception, crash/rejoin
+      and their composition) — the robustness trajectory
+      ([BENCH_fault_sweep.json]). *)
 
 val find_builtin : string -> t option

@@ -31,11 +31,16 @@ type t = {
   mutable holder : int option; (* source of the frame just carried *)
   noise : Rtnet_util.Prng.t option; (* fault-injection draws *)
   fault_rate : float;
+  plan : Fault_plan.t option; (* richer fault model; excludes [noise] *)
   mutable st : stats;
   mutable log : (int * int * int * int) list; (* reversed *)
 }
 
-let create ?fault phy =
+let create ?fault ?plan phy =
+  (match (fault, plan) with
+  | Some _, Some _ ->
+    invalid_arg "Channel.create: fault and plan are mutually exclusive"
+  | _ -> ());
   let noise, fault_rate =
     match fault with
     | None -> (None, 0.)
@@ -46,6 +51,7 @@ let create ?fault phy =
   in
   {
     phy;
+    plan;
     free_at = 0;
     holder = None;
     noise;
@@ -91,6 +97,9 @@ let contend ch ~now attempts =
   if now < ch.free_at then invalid_arg "Channel.contend: channel busy";
   if not (distinct_sources attempts) then
     invalid_arg "Channel.contend: duplicate source in slot";
+  (* The burst-noise state chain advances once per contention slot,
+     whatever the slot carries. *)
+  (match ch.plan with None -> () | Some p -> Fault_plan.tick p);
   let slot = ch.phy.Phy.slot_bits in
   let finish_idle () =
     ch.st <-
@@ -102,9 +111,12 @@ let contend ch ~now attempts =
     (Idle, now + slot)
   in
   let garbled ch =
-    match ch.noise with
-    | None -> false
-    | Some rng -> Rtnet_util.Prng.float rng 1.0 < ch.fault_rate
+    match ch.plan with
+    | Some p -> Fault_plan.wire_garbles p
+    | None -> (
+      match ch.noise with
+      | None -> false
+      | Some rng -> Rtnet_util.Prng.float rng 1.0 < ch.fault_rate)
   in
   let finish_tx a =
     if garbled ch then begin

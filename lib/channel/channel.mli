@@ -51,9 +51,18 @@ type fault = {
     Arbitrated survivors and {!burst} continuations are not subjected
     to faults (bursting rides a verified acquisition). *)
 
-val create : ?fault:fault -> Phy.t -> t
+val create : ?fault:fault -> ?plan:Fault_plan.t -> Phy.t -> t
 (** [create phy] is a fresh, idle channel over medium [phy], fault-free
-    unless [fault] is given. *)
+    unless [fault] or [plan] is given.  [fault] is the legacy i.i.d.
+    lone-frame garbling model; [plan] is the composable fault-plan
+    model ({!Fault_plan}) whose wire-level axes (i.i.d. or
+    Gilbert–Elliott burst garbling) the channel applies — its
+    state chain advances once per {!contend} and the current rate
+    applies to the slot's lone frame.  Per-source axes (misperception,
+    crash windows) are sampled by the MAC harness, not here: the
+    channel models the wire, which always carries one truth.
+    @raise Invalid_argument if both [fault] and [plan] are given, or
+    if [fault.fault_rate] is outside [\[0, 1]]. *)
 
 val phy : t -> Phy.t
 (** [phy ch] is the underlying medium. *)

@@ -1,0 +1,256 @@
+module Prng = Rtnet_util.Prng
+module Json = Rtnet_util.Json
+
+let ( let* ) = Result.bind
+
+type garble =
+  | Iid of { rate : float }
+  | Gilbert_elliott of {
+      p_enter : float;
+      p_exit : float;
+      rate_good : float;
+      rate_bad : float;
+    }
+
+type crash_window = { cw_source : int; cw_from : int; cw_until : int }
+
+type spec = {
+  sp_garble : garble option;
+  sp_misperception : float;
+  sp_crashes : crash_window list;
+}
+
+let none = { sp_garble = None; sp_misperception = 0.; sp_crashes = [] }
+
+let iid rate = { none with sp_garble = Some (Iid { rate }) }
+
+let gilbert_elliott ~p_enter ~p_exit ~rate_good ~rate_bad =
+  { none with sp_garble = Some (Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad }) }
+
+let misperceive rate = { none with sp_misperception = rate }
+
+let crash ~source ~from_ ~until =
+  { none with sp_crashes = [ { cw_source = source; cw_from = from_; cw_until = until } ] }
+
+let compose a b =
+  {
+    sp_garble = (match b.sp_garble with Some _ as g -> g | None -> a.sp_garble);
+    sp_misperception =
+      (if b.sp_misperception > 0. then b.sp_misperception
+       else a.sp_misperception);
+    sp_crashes = a.sp_crashes @ b.sp_crashes;
+  }
+
+let prob name p =
+  if p < 0. || p > 1. || Float.is_nan p then
+    Error (Printf.sprintf "%s %g out of [0, 1]" name p)
+  else Ok ()
+
+let validate ?horizon spec =
+  let* () =
+    match spec.sp_garble with
+    | None -> Ok ()
+    | Some (Iid { rate }) -> prob "garble rate" rate
+    | Some (Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad }) ->
+      let* () = prob "p_enter" p_enter in
+      let* () = prob "p_exit" p_exit in
+      let* () = prob "rate_good" rate_good in
+      prob "rate_bad" rate_bad
+  in
+  let* () = prob "misperception rate" spec.sp_misperception in
+  List.fold_left
+    (fun acc w ->
+      let* () = acc in
+      if w.cw_source < 0 then
+        Error (Printf.sprintf "crash window: negative source %d" w.cw_source)
+      else if w.cw_from < 0 then
+        Error (Printf.sprintf "crash window: negative start %d" w.cw_from)
+      else if w.cw_until <= w.cw_from then
+        Error
+          (Printf.sprintf "crash window [%d, %d) of source %d is empty"
+             w.cw_from w.cw_until w.cw_source)
+      else
+        match horizon with
+        | Some h when w.cw_until > h ->
+          Error
+            (Printf.sprintf
+               "crash window [%d, %d) of source %d extends past the horizon %d \
+                — the source would never rejoin"
+               w.cw_from w.cw_until w.cw_source h)
+        | Some _ | None -> Ok ())
+    (Ok ()) spec.sp_crashes
+
+let is_empty spec =
+  spec.sp_garble = None && spec.sp_misperception = 0. && spec.sp_crashes = []
+
+let has_local_faults spec =
+  spec.sp_misperception > 0. || spec.sp_crashes <> []
+
+let label spec =
+  let parts =
+    (match spec.sp_garble with
+    | None -> []
+    | Some (Iid { rate }) -> [ Printf.sprintf "iid%.2f" rate ]
+    | Some (Gilbert_elliott { p_enter; p_exit; _ }) ->
+      [ Printf.sprintf "ge%.2f-%.2f" p_enter p_exit ])
+    @ (if spec.sp_misperception > 0. then
+         [ Printf.sprintf "mp%.2f" spec.sp_misperception ]
+       else [])
+    @ List.map
+        (fun w -> Printf.sprintf "cr%d@%d-%d" w.cw_source w.cw_from w.cw_until)
+        spec.sp_crashes
+  in
+  match parts with [] -> "clean" | _ -> String.concat "+" parts
+
+(* ---------------------------------------------------------------- *)
+(* Canonical JSON codec (fixed key order; campaign spec hashes        *)
+(* depend on the emitted bytes).                                      *)
+
+let garble_to_json = function
+  | Iid { rate } ->
+    Json.Obj [ ("kind", Json.String "iid"); ("rate", Json.Float rate) ]
+  | Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad } ->
+    Json.Obj
+      [
+        ("kind", Json.String "gilbert_elliott");
+        ("p_enter", Json.Float p_enter);
+        ("p_exit", Json.Float p_exit);
+        ("rate_good", Json.Float rate_good);
+        ("rate_bad", Json.Float rate_bad);
+      ]
+
+let crash_to_json w =
+  Json.Obj
+    [
+      ("source", Json.Int w.cw_source);
+      ("from", Json.Int w.cw_from);
+      ("until", Json.Int w.cw_until);
+    ]
+
+let spec_to_json spec =
+  Json.Obj
+    [
+      ( "garble",
+        match spec.sp_garble with None -> Json.Null | Some g -> garble_to_json g
+      );
+      ("misperception", Json.Float spec.sp_misperception);
+      ("crashes", Json.List (List.map crash_to_json spec.sp_crashes));
+    ]
+
+let float_field j key =
+  let* v = Json.field key j in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" key e) (Json.get_float v)
+
+let garble_of_json j =
+  let* kind = Result.bind (Json.field "kind" j) Json.get_string in
+  match kind with
+  | "iid" ->
+    let* rate = float_field j "rate" in
+    Ok (Iid { rate })
+  | "gilbert_elliott" ->
+    let* p_enter = float_field j "p_enter" in
+    let* p_exit = float_field j "p_exit" in
+    let* rate_good = float_field j "rate_good" in
+    let* rate_bad = float_field j "rate_bad" in
+    Ok (Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad })
+  | other -> Error (Printf.sprintf "unknown garble kind %S" other)
+
+let crash_of_json j =
+  let* source = Result.bind (Json.field "source" j) Json.get_int in
+  let* from_ = Result.bind (Json.field "from" j) Json.get_int in
+  let* until = Result.bind (Json.field "until" j) Json.get_int in
+  Ok { cw_source = source; cw_from = from_; cw_until = until }
+
+let spec_of_json j =
+  let* garble =
+    match Json.member "garble" j with
+    | None | Some Json.Null -> Ok None
+    | Some gj -> Result.map Option.some (garble_of_json gj)
+  in
+  let* misperception =
+    match Json.member "misperception" j with
+    | None -> Ok 0.
+    | Some v -> Json.get_float v
+  in
+  let* crashes =
+    match Json.member "crashes" j with
+    | None -> Ok []
+    | Some cj ->
+      let* l = Json.get_list cj in
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* w = crash_of_json item in
+          Ok (w :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  Ok { sp_garble = garble; sp_misperception = misperception; sp_crashes = crashes }
+
+(* ---------------------------------------------------------------- *)
+(* Instantiated plans.  Stream paths: [0] Gilbert–Elliott state       *)
+(* chain, [1] wire-garble draws, [2; source] source's misperception   *)
+(* draws — so every random process is independent of the others and   *)
+(* the draws of different sources never interleave.                   *)
+
+type ge_state = Good | Bad
+
+type t = {
+  sp : spec;
+  seed : int;
+  state_rng : Prng.t;
+  garble_rng : Prng.t;
+  mutable state : ge_state;
+  obs_rngs : (int, Prng.t) Hashtbl.t;
+}
+
+let create ?horizon ~seed sp =
+  (match validate ?horizon sp with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fault_plan.create: " ^ e));
+  {
+    sp;
+    seed;
+    state_rng = Prng.stream ~seed ~path:[ 0 ];
+    garble_rng = Prng.stream ~seed ~path:[ 1 ];
+    state = Good;
+    obs_rngs = Hashtbl.create 8;
+  }
+
+let spec t = t.sp
+
+let tick t =
+  match t.sp.sp_garble with
+  | None | Some (Iid _) -> ()
+  | Some (Gilbert_elliott { p_enter; p_exit; _ }) ->
+    let u = Prng.float t.state_rng 1.0 in
+    t.state <-
+      (match t.state with
+      | Good -> if u < p_enter then Bad else Good
+      | Bad -> if u < p_exit then Good else Bad)
+
+let wire_garbles t =
+  match t.sp.sp_garble with
+  | None -> false
+  | Some (Iid { rate }) -> Prng.float t.garble_rng 1.0 < rate
+  | Some (Gilbert_elliott { rate_good; rate_bad; _ }) ->
+    let rate = match t.state with Good -> rate_good | Bad -> rate_bad in
+    Prng.float t.garble_rng 1.0 < rate
+
+let obs_rng t source =
+  match Hashtbl.find_opt t.obs_rngs source with
+  | Some rng -> rng
+  | None ->
+    let rng = Prng.stream ~seed:t.seed ~path:[ 2; source ] in
+    Hashtbl.add t.obs_rngs source rng;
+    rng
+
+let misperceives t ~source =
+  t.sp.sp_misperception > 0.
+  && Prng.float (obs_rng t source) 1.0 < t.sp.sp_misperception
+
+let alive t ~source ~now =
+  not
+    (List.exists
+       (fun w -> w.cw_source = source && now >= w.cw_from && now < w.cw_until)
+       t.sp.sp_crashes)

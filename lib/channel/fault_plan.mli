@@ -1,0 +1,138 @@
+(** Composable fault plans for the broadcast medium.
+
+    A fault plan bundles every way this repository can break the
+    paper's medium model (Section 2.1), beyond the single i.i.d.
+    garbling knob of {!Channel.fault}:
+
+    - {b wire garbling}: a lone frame is destroyed on the wire and
+      every station sees the same CRC-invalid frame.  Either i.i.d.
+      per frame (the legacy model, now one combinator) or governed by
+      a Gilbert–Elliott two-state burst process whose good/bad states
+      have different garble rates;
+    - {b per-source misperception}: a {e listening} station locally
+      decodes the slot differently from what the wire carried — it
+      sees [Garbled] where the wire carried a frame, or silence where
+      the wire carried a collision (imperfect carrier sensing à la
+      van Glabbeek et al.).  This violates the consistent-observation
+      assumption the replicated DDCR state depends on;
+    - {b crash windows}: a station is scheduled to be down during
+      [\[from, until)] — it neither decides, transmits nor observes,
+      and must rejoin when the window closes (TDMH-style resync).
+
+    Plans are pure data ({!spec}, with a canonical JSON codec for
+    campaign specs) instantiated into a stateful sampler ({!t}) with
+    one seed.  All randomness is drawn from {!Rtnet_util.Prng}
+    streams derived from that seed — plans are deterministic and
+    independent of the protocol under test. *)
+
+(** Wire-garbling process for lone frames. *)
+type garble =
+  | Iid of { rate : float }
+      (** every lone frame independently destroyed with [rate] —
+          exactly the legacy {!Channel.fault} model *)
+  | Gilbert_elliott of {
+      p_enter : float;  (** per-slot probability good → bad *)
+      p_exit : float;  (** per-slot probability bad → good *)
+      rate_good : float;  (** garble rate in the good state *)
+      rate_bad : float;  (** garble rate in the bad (burst) state *)
+    }
+      (** two-state Markov burst noise: the state chain advances once
+          per contention slot, the current state's rate applies to the
+          slot's lone frame (if any) *)
+
+type crash_window = {
+  cw_source : int;  (** station scheduled to crash *)
+  cw_from : int;  (** first bit-time of the outage *)
+  cw_until : int;  (** first bit-time after the outage (exclusive) *)
+}
+
+type spec = {
+  sp_garble : garble option;
+  sp_misperception : float;
+      (** per-slot probability that a listening live station decodes
+          the slot differently from the wire (0 = consistent
+          observation, the paper's model) *)
+  sp_crashes : crash_window list;
+}
+
+val none : spec
+(** [none] is the empty plan: no garbling, consistent observation, no
+    crashes.  Running under [none] is behaviourally a fault-free run. *)
+
+val iid : float -> spec
+(** [iid rate] garbles each lone frame independently with [rate]. *)
+
+val gilbert_elliott :
+  p_enter:float -> p_exit:float -> rate_good:float -> rate_bad:float -> spec
+(** Burst noise; see {!garble}. *)
+
+val misperceive : float -> spec
+(** [misperceive rate] makes every listening station independently
+    misperceive each slot with [rate]. *)
+
+val crash : source:int -> from_:int -> until:int -> spec
+(** [crash ~source ~from_ ~until] schedules [source] down during
+    [\[from_, until)]. *)
+
+val compose : spec -> spec -> spec
+(** [compose a b] overlays [b] on [a]: [b]'s garble process and
+    misperception rate win when set (non-[None] / non-zero), crash
+    windows are concatenated. *)
+
+val validate : ?horizon:int -> spec -> (unit, string) result
+(** [validate spec] checks every parameter: rates and probabilities in
+    [\[0, 1]], crash windows non-empty with non-negative bounds and —
+    when [horizon] is given — ending within it. *)
+
+val is_empty : spec -> bool
+(** [is_empty spec] iff the plan injects nothing at all. *)
+
+val has_local_faults : spec -> bool
+(** [has_local_faults spec] iff the plan breaks {e per-source}
+    observation (misperception or crashes) — such plans are only
+    meaningful for protocols that implement divergence recovery. *)
+
+val label : spec -> string
+(** [label spec] is a compact, filename-safe description, e.g.
+    ["iid0.05"], ["ge0.02-0.20"], ["mp0.02+cr1@500000-1000000"],
+    ["clean"] for the empty plan.  Distinct shipped plans get
+    distinct labels (used in campaign cell keys). *)
+
+val spec_to_json : spec -> Rtnet_util.Json.t
+(** Canonical encoding (fixed key order); campaign spec hashes depend
+    on it. *)
+
+val spec_of_json : Rtnet_util.Json.t -> (spec, string) result
+
+(** {1 Instantiated plans} *)
+
+type t
+(** A sampler: [spec] plus the PRNG streams and Gilbert–Elliott state.
+    Mutable; create one per run. *)
+
+val create : ?horizon:int -> seed:int -> spec -> t
+(** [create ~seed spec] instantiates the plan.  Streams are derived
+    from [seed] via {!Rtnet_util.Prng.stream} (state chain, wire
+    draws and each source's misperception draws are independent).
+    @raise Invalid_argument if {!validate} rejects [spec]. *)
+
+val spec : t -> spec
+
+val tick : t -> unit
+(** [tick t] advances the Gilbert–Elliott state chain by one
+    contention slot (a no-op for [Iid]/no garbling).  The channel
+    calls this once per {!Channel.contend}. *)
+
+val wire_garbles : t -> bool
+(** [wire_garbles t] draws whether the current slot's lone frame is
+    destroyed on the wire, at the current state's rate. *)
+
+val misperceives : t -> source:int -> bool
+(** [misperceives t ~source] draws whether listening station [source]
+    misperceives the current slot.  Each live listener draws once per
+    slot from its own stream, so the draws of different sources never
+    interleave. *)
+
+val alive : t -> source:int -> now:int -> bool
+(** [alive t ~source ~now] is false iff [now] falls inside one of
+    [source]'s crash windows (pure — no draw). *)

@@ -221,16 +221,45 @@ module Automaton = struct
     match t.phase with
     | Sts (sts, _) -> Some sts.time_leaf
     | Free | Attempt | Tts _ -> None
+
+  let at_boundary t =
+    match t.phase with Free | Attempt -> true | Tts _ | Sts _ -> false
+
+  (* Divergence recovery (TDMH-style resync): a listen-only replica
+     adopts the reference replica's shared state.  Only legal at a
+     tree-epoch boundary — [Free]/[Attempt] carry no mutable
+     tree-search state, so copying the constructors shares nothing. *)
+  let resync t ~reference =
+    if not (at_boundary reference) then
+      invalid_arg "Automaton.resync: reference replica is inside a tree search";
+    t.phase <- reference.phase;
+    t.reft <- reference.reft;
+    t.rank <- 0;
+    t.last_out <- reference.last_out
+
+  (* Cold restart: the only live station re-seeds the shared state from
+     scratch (everyone else resyncs to it as it becomes the reference). *)
+  let restart t ~reft =
+    t.phase <- Free;
+    t.reft <- reft;
+    t.rank <- 0;
+    t.last_out <- false
 end
 
-let run_trace ?(check_lockstep = false) ?on_event ?fault ?analyze params inst
-    trace
+let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
+    inst trace
     ~horizon =
   (match Ddcr_params.validate params ~num_sources:inst.Instance.num_sources with
   | Ok () -> ()
   | Error e -> invalid_arg ("Ddcr.run_trace: " ^ e));
   let z = inst.Instance.num_sources in
   let autos = Array.init z (fun source -> Automaton.create params ~source) in
+  let plan_active = plan <> None in
+  (* [synced.(s)]: s's replica tracks the shared state and s contends.
+     Cleared on crash and on divergence detection; a non-synced live
+     station is listen-only until it resyncs at a tree-epoch boundary. *)
+  let synced = Array.make z true in
+  let prev_alive = Array.make z true in
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let via_of_phase = function
     | "free" -> Ddcr_trace.Free_csma
@@ -242,8 +271,11 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?analyze params inst
   let decide services ~now:_ =
     Array.to_list autos
     |> List.filter_map (fun a ->
-           Automaton.decide a
-             ~msg_star:(services.Rtnet_mac.Harness.peek a.Automaton.source))
+           let s = a.Automaton.source in
+           if not (services.Rtnet_mac.Harness.alive s && synced.(s)) then None
+           else
+             Automaton.decide a
+               ~msg_star:(services.Rtnet_mac.Harness.peek s))
   in
   (* Packet bursting (Section 5): the acquiring source may append
      further EDF-ranked frames while they fit in the budget. *)
@@ -281,8 +313,24 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?analyze params inst
     in
     go start0 params.Ddcr_params.burst_bits
   in
+  (* The reference replica: the lowest-id live, synced station.  It
+     stands for "the shared state" in trace events, divergence
+     detection and recovery.  Without a fault plan it is autos.(0),
+     as before. *)
+  let pick_reference services =
+    let rec go s =
+      if s >= z then None
+      else if services.Rtnet_mac.Harness.alive s && synced.(s) then
+        Some autos.(s)
+      else go (s + 1)
+    in
+    go 0
+  in
   let after services ~now ~resolution ~next_free =
-    let pre_phase = Automaton.phase_name autos.(0) in
+    let ref_pre =
+      match pick_reference services with Some a -> a | None -> autos.(0)
+    in
+    let pre_phase = Automaton.phase_name ref_pre in
     let slot = Channel.slot_bits services.Rtnet_mac.Harness.channel in
     (* Slot events, classified by the phase the slot was spent in. *)
     (match resolution with
@@ -325,48 +373,177 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?analyze params inst
         ->
         next_free
     in
-    Array.iter (fun a -> Automaton.observe a ~resolution ~next_free) autos;
-    (match on_event with
-    | None -> ()
-    | Some _ ->
-      (* Phase-transition events, derived from the reference replica. *)
-      let post_phase = Automaton.phase_name autos.(0) in
-      let a0 = autos.(0) in
-      (match (pre_phase, post_phase) with
-      | ("free" | "attempt"), "tts" ->
-        emit (Ddcr_trace.Tts_begin { time = next_free; reft = Automaton.reft a0 })
-      | "tts", "sts" ->
-        let leaf = Option.value ~default:(-1) (Automaton.sts_leaf a0) in
-        emit (Ddcr_trace.Sts_begin { time = next_free; time_leaf = leaf })
-      | "sts", "tts" -> emit (Ddcr_trace.Sts_end { time = next_free })
-      | "sts", "attempt" ->
-        emit (Ddcr_trace.Sts_end { time = next_free });
-        emit
-          (Ddcr_trace.Tts_end
-             { time = next_free; sent = Automaton.last_tts_sent a0 })
-      | "tts", "attempt" ->
-        emit
-          (Ddcr_trace.Tts_end
-             { time = next_free; sent = Automaton.last_tts_sent a0 })
-      | _, _ -> ()));
-    if check_lockstep then begin
-      let reference = Automaton.fingerprint autos.(0) in
+    (* Liveness transitions: a station entering a crash window loses
+       its replica (stale on rejoin); one leaving it rejoins
+       listen-only. *)
+    Array.iter
+      (fun a ->
+        let s = a.Automaton.source in
+        let alive = services.Rtnet_mac.Harness.alive s in
+        (match (prev_alive.(s), alive) with
+        | true, false ->
+          synced.(s) <- false;
+          emit (Ddcr_trace.Crash { time = now; source = s })
+        | false, true -> emit (Ddcr_trace.Rejoin { time = now; source = s })
+        | _ -> ());
+        prev_alive.(s) <- alive)
+      autos;
+    (* Each live, synced replica advances on its OWN observation of the
+       slot — equal to the wire unless the fault plan made it
+       misperceive.  Desynced stations are listen-only: their stale
+       replica is not advanced (it is replaced wholesale on resync). *)
+    Array.iter
+      (fun a ->
+        let s = a.Automaton.source in
+        if services.Rtnet_mac.Harness.alive s && synced.(s) then
+          Automaton.observe a
+            ~resolution:(services.Rtnet_mac.Harness.observed s)
+            ~next_free)
+      autos;
+    (* Divergence detection: compare the per-slot replica-state digest
+       across live synced stations; minority digests go listen-only.
+       The plurality (ties broken toward the lowest station id) is
+       "consensus reality" — under consistent observation all digests
+       agree and this is a no-op. *)
+    if plan_active then begin
+      let groups : (string, int list) Hashtbl.t = Hashtbl.create 4 in
       Array.iter
         (fun a ->
-          if Automaton.fingerprint a <> reference then
-            raise
-              (Protocol_violation
-                 (Printf.sprintf "lockstep broken at t=%d: %s vs %s" now
-                    reference (Automaton.fingerprint a))))
+          let s = a.Automaton.source in
+          if services.Rtnet_mac.Harness.alive s && synced.(s) then begin
+            let fp = Automaton.fingerprint a in
+            let members =
+              match Hashtbl.find_opt groups fp with Some l -> l | None -> []
+            in
+            Hashtbl.replace groups fp (s :: members)
+          end)
+        autos;
+      if Hashtbl.length groups > 1 then begin
+        let best =
+          Hashtbl.fold
+            (fun fp members acc ->
+              let size = List.length members in
+              let low = List.fold_left min max_int members in
+              match acc with
+              | Some (_, bsize, blow)
+                when size < bsize || (size = bsize && low > blow) ->
+                acc
+              | _ -> Some (fp, size, low))
+            groups None
+        in
+        let ref_fp =
+          match best with Some (fp, _, _) -> fp | None -> assert false
+        in
+        Array.iter
+          (fun a ->
+            let s = a.Automaton.source in
+            if
+              services.Rtnet_mac.Harness.alive s
+              && synced.(s)
+              && Automaton.fingerprint a <> ref_fp
+            then begin
+              synced.(s) <- false;
+              emit (Ddcr_trace.Desync { time = next_free; source = s })
+            end)
+          autos
+      end;
+      (* Degradation accounting: every live station sitting out this
+         slot desynchronized extends the fault epoch. *)
+      Array.iter
+        (fun a ->
+          let s = a.Automaton.source in
+          if services.Rtnet_mac.Harness.alive s && not synced.(s) then
+            services.Rtnet_mac.Harness.mark_desync s)
         autos
+    end;
+    let ref_post = pick_reference services in
+    (match on_event with
+    | None -> ()
+    | Some _ -> (
+      (* Phase-transition events, derived from the reference replica. *)
+      match ref_post with
+      | None -> ()
+      | Some a0 -> (
+        let post_phase = Automaton.phase_name a0 in
+        match (pre_phase, post_phase) with
+        | ("free" | "attempt"), "tts" ->
+          emit
+            (Ddcr_trace.Tts_begin { time = next_free; reft = Automaton.reft a0 })
+        | "tts", "sts" ->
+          let leaf = Option.value ~default:(-1) (Automaton.sts_leaf a0) in
+          emit (Ddcr_trace.Sts_begin { time = next_free; time_leaf = leaf })
+        | "sts", "tts" -> emit (Ddcr_trace.Sts_end { time = next_free })
+        | "sts", "attempt" ->
+          emit (Ddcr_trace.Sts_end { time = next_free });
+          emit
+            (Ddcr_trace.Tts_end
+               { time = next_free; sent = Automaton.last_tts_sent a0 })
+        | "tts", "attempt" ->
+          emit
+            (Ddcr_trace.Tts_end
+               { time = next_free; sent = Automaton.last_tts_sent a0 })
+        | _, _ -> ())));
+    (* Recovery.  A listen-only station re-acquires the shared state at
+       the next tree-epoch boundary: the reference replica must be in
+       free/attempt (no tree-search state to copy mid-flight).  If no
+       live synced station remains, the lowest-id live one cold-starts
+       the shared state and becomes the reference. *)
+    if plan_active then begin
+      (match ref_post with
+      | Some _ -> ()
+      | None -> (
+        let rec first_alive s =
+          if s >= z then None
+          else if services.Rtnet_mac.Harness.alive s then Some autos.(s)
+          else first_alive (s + 1)
+        in
+        match first_alive 0 with
+        | None -> ()
+        | Some a ->
+          Automaton.restart a ~reft:next_free;
+          synced.(a.Automaton.source) <- true;
+          services.Rtnet_mac.Harness.mark_resync a.Automaton.source;
+          emit
+            (Ddcr_trace.Resync { time = next_free; source = a.Automaton.source })));
+      match pick_reference services with
+      | Some reference when Automaton.at_boundary reference ->
+        Array.iter
+          (fun a ->
+            let s = a.Automaton.source in
+            if services.Rtnet_mac.Harness.alive s && not synced.(s) then begin
+              Automaton.resync a ~reference;
+              synced.(s) <- true;
+              services.Rtnet_mac.Harness.mark_resync s;
+              emit (Ddcr_trace.Resync { time = next_free; source = s })
+            end)
+          autos
+      | Some _ | None -> ()
+    end;
+    if check_lockstep then begin
+      match ref_post with
+      | None -> ()
+      | Some a0 ->
+        let reference = Automaton.fingerprint a0 in
+        Array.iter
+          (fun a ->
+            let s = a.Automaton.source in
+            if
+              services.Rtnet_mac.Harness.alive s && synced.(s)
+              && Automaton.fingerprint a <> reference
+            then
+              raise
+                (Protocol_violation
+                   (Printf.sprintf "lockstep broken at t=%d: %s vs %s" now
+                      reference (Automaton.fingerprint a))))
+          autos
     end;
     next_free
   in
-  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?analyze
+  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?plan ?analyze
     ~phy:inst.Instance.phy ~num_sources:z ~horizon ~decide ~after trace
 
-let run ?check_lockstep ?on_event ?fault ?analyze ?(seed = 1) params inst
+let run ?check_lockstep ?on_event ?fault ?plan ?analyze ?(seed = 1) params inst
     ~horizon =
-  run_trace ?check_lockstep ?on_event ?fault ?analyze params inst
+  run_trace ?check_lockstep ?on_event ?fault ?plan ?analyze params inst
     (Instance.trace inst ~seed ~horizon)
     ~horizon

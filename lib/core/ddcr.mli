@@ -76,12 +76,27 @@ module Automaton : sig
   val sts_leaf : t -> int option
   (** [sts_leaf a] is the colliding deadline class of the static tree
       search in progress, if any. *)
+
+  val at_boundary : t -> bool
+  (** [at_boundary a] iff the replica is between tree epochs (phase
+      free or attempt) — the only states a recovering station may copy. *)
+
+  val resync : t -> reference:t -> unit
+  (** [resync a ~reference] replaces [a]'s shared replica state (phase,
+      [reft], [out]) with [reference]'s and resets its private rank —
+      the divergence-recovery step, legal only at a tree-epoch boundary.
+      @raise Invalid_argument if [reference] is inside a tree search. *)
+
+  val restart : t -> reft:int -> unit
+  (** [restart a ~reft] cold-starts the replica (free CSMA-CD, the
+      given [reft]) — used when no synced station is left to copy. *)
 end
 
 val run_trace :
   ?check_lockstep:bool ->
   ?on_event:(Ddcr_trace.event -> unit) ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->
@@ -101,6 +116,29 @@ val run_trace :
     {!Rtnet_mac.Harness.run} (default [true]): the completion list is
     reconciled against the channel's transmission log when the run
     ends.
+
+    [plan] runs the protocol under a {!Rtnet_channel.Fault_plan}:
+
+    - a crashed source neither decides nor observes; on rejoin it is
+      {e desynchronized} and stays listen-only;
+    - every live synced replica is fed its own local observation
+      ([Harness.observed]), so per-source misperception can make
+      replicas diverge;
+    - divergence is detected the slot it occurs by comparing replica
+      digests ({!Automaton.fingerprint}); sources disagreeing with the
+      plurality (ties broken towards the lowest id) are desynchronized
+      and go listen-only;
+    - a desynchronized source recovers at the first tree-epoch boundary
+      (the plurality replica in phase free/attempt): it copies the
+      reference replica state and re-enters contention — within one
+      tree epoch of the fault clearing.  If {e no} synced source
+      remains, the lowest-id live source cold-restarts the protocol and
+      the others resync to it;
+    - with [check_lockstep], lockstep is asserted among the live synced
+      replicas only (the property fault plans preserve).
+
+    [fault] and [plan] are mutually exclusive; the outcome's [faults]
+    statistics are [Some] iff [plan] was given.
     @raise Invalid_argument if [params] fail validation for [inst].
     @raise Protocol_violation on inconsistent channel feedback. *)
 
@@ -108,6 +146,7 @@ val run :
   ?check_lockstep:bool ->
   ?on_event:(Ddcr_trace.event -> unit) ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   ?seed:int ->
   Ddcr_params.t ->

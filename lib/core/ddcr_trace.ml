@@ -15,6 +15,10 @@ type event =
   | Tts_end of { time : int; sent : bool }
   | Sts_begin of { time : int; time_leaf : int }
   | Sts_end of { time : int }
+  | Crash of { time : int; source : int }
+  | Rejoin of { time : int; source : int }
+  | Desync of { time : int; source : int }
+  | Resync of { time : int; source : int }
 
 type summary = {
   idle_by_phase : (string * int) list;
@@ -25,6 +29,10 @@ type summary = {
   tts_count : int;
   tts_productive : int;
   sts_count : int;
+  crashes : int;
+  rejoins : int;
+  desyncs : int;
+  resyncs : int;
 }
 
 let collector () =
@@ -60,7 +68,11 @@ let summarize events =
         if sent then { acc with tts_productive = acc.tts_productive + 1 }
         else acc
       | Sts_begin _ -> { acc with sts_count = acc.sts_count + 1 }
-      | Sts_end _ -> acc)
+      | Sts_end _ -> acc
+      | Crash _ -> { acc with crashes = acc.crashes + 1 }
+      | Rejoin _ -> { acc with rejoins = acc.rejoins + 1 }
+      | Desync _ -> { acc with desyncs = acc.desyncs + 1 }
+      | Resync _ -> { acc with resyncs = acc.resyncs + 1 })
     {
       idle_by_phase = [];
       collision_slots = 0;
@@ -70,6 +82,10 @@ let summarize events =
       tts_count = 0;
       tts_productive = 0;
       sts_count = 0;
+      crashes = 0;
+      rejoins = 0;
+      desyncs = 0;
+      resyncs = 0;
     }
     events
 
@@ -98,6 +114,14 @@ let pp_event fmt = function
   | Sts_begin { time; time_leaf } ->
     Format.fprintf fmt "%10d STs begin (class %d)" time time_leaf
   | Sts_end { time } -> Format.fprintf fmt "%10d STs end" time
+  | Crash { time; source } ->
+    Format.fprintf fmt "%10d source %d crashes" time source
+  | Rejoin { time; source } ->
+    Format.fprintf fmt "%10d source %d rejoins (listen-only)" time source
+  | Desync { time; source } ->
+    Format.fprintf fmt "%10d source %d desynchronized (listen-only)" time source
+  | Resync { time; source } ->
+    Format.fprintf fmt "%10d source %d resynchronized" time source
 
 let pp_summary fmt s =
   Format.fprintf fmt "@[<v>frames: %d (" s.frames;
@@ -110,5 +134,9 @@ let pp_summary fmt s =
   List.iter
     (fun (phase, n) -> Format.fprintf fmt " %s=%d" phase n)
     s.idle_by_phase;
-  Format.fprintf fmt "@,time tree searches: %d (%d productive), static: %d@]"
-    s.tts_count s.tts_productive s.sts_count
+  Format.fprintf fmt "@,time tree searches: %d (%d productive), static: %d"
+    s.tts_count s.tts_productive s.sts_count;
+  if s.crashes > 0 || s.rejoins > 0 || s.desyncs > 0 || s.resyncs > 0 then
+    Format.fprintf fmt "@,faults: %d crashes, %d rejoins, %d desyncs, %d resyncs"
+      s.crashes s.rejoins s.desyncs s.resyncs;
+  Format.fprintf fmt "@]"

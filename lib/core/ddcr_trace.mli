@@ -38,6 +38,17 @@ type event =
       (** a static tree search started on a colliding deadline class *)
   | Sts_end of { time : int }
       (** the static tree search completed *)
+  | Crash of { time : int; source : int }
+      (** a station went down (fault-plan crash window opened) *)
+  | Rejoin of { time : int; source : int }
+      (** a crashed station came back up; it listens only until it
+          resynchronizes *)
+  | Desync of { time : int; source : int }
+      (** divergence detection: the station's replica digest disagreed
+          with the plurality; it goes listen-only *)
+  | Resync of { time : int; source : int }
+      (** the station re-acquired the shared replica state at a
+          tree-epoch boundary and re-enters contention *)
 
 (** Per-trace slot accounting. *)
 type summary = {
@@ -49,6 +60,10 @@ type summary = {
   tts_count : int;  (** time tree searches run *)
   tts_productive : int;  (** of which transmitted something *)
   sts_count : int;  (** static tree searches run *)
+  crashes : int;  (** stations going down *)
+  rejoins : int;  (** stations coming back up *)
+  desyncs : int;  (** divergence detections *)
+  resyncs : int;  (** completed recoveries *)
 }
 
 val collector : unit -> (event -> unit) * (unit -> event list)

@@ -126,6 +126,7 @@ let run ?check_lockstep ?(seed = 1) a ~horizon =
     dropped = List.concat_map (fun o -> o.Run.dropped) (Array.to_list outcomes);
     horizon;
     channel;
+    faults = None;
   }
 
 let pp_report fmt r =

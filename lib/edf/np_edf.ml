@@ -42,6 +42,7 @@ let run phy trace ~horizon =
     dropped = [];
     horizon;
     channel = None;
+    faults = None;
   }
 
 let schedulable phy trace =

@@ -1,5 +1,6 @@
 module Message = Rtnet_workload.Message
 module Channel = Rtnet_channel.Channel
+module Fault_plan = Rtnet_channel.Fault_plan
 module Edf_queue = Rtnet_edf.Edf_queue
 module Run = Rtnet_stats.Run
 module Engine = Rtnet_sim.Engine
@@ -11,9 +12,29 @@ type services = {
   complete : Message.t -> start:int -> finish:int -> unit;
   drop : Message.t -> unit;
   deliver_until : int -> unit;
+  alive : int -> bool;
+  observed : int -> Channel.resolution;
+  mark_desync : int -> unit;
+  mark_resync : int -> unit;
 }
 
-exception Mismatch of string
+type mismatch = {
+  mm_slot : int;
+  mm_source : int;
+  mm_tag : int;
+  mm_reason : string;
+}
+
+exception Mismatch of mismatch
+
+let mismatch_message m =
+  Printf.sprintf "slot at t=%d: source %d, tag %d: %s" m.mm_slot m.mm_source
+    m.mm_tag m.mm_reason
+
+let () =
+  Printexc.register_printer (function
+    | Mismatch m -> Some ("Rtnet_mac.Harness.Mismatch: " ^ mismatch_message m)
+    | _ -> None)
 
 (* Post-run invariant check (the [?analyze] flag): the completion list
    the harness assembled must reconcile exactly with the channel's
@@ -64,9 +85,25 @@ let reconcile completions channel =
   overlaps by_start;
   List.rev !problems
 
-let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
-    ~after trace =
-  let channel = Channel.create ?fault phy in
+(* A listener's local decoding of the wire under misperception: a
+   carried frame decodes as CRC-garbage, a destructive collision as
+   silence (the fragment is below its carrier-sense threshold).  Both
+   mapped observations are feedback values the protocols already
+   tolerate, so misperception degrades consistency — never the local
+   automaton's own invariants.  Arbitrated-survivor slots and the
+   listener's own transmissions are immune (the survivor's preamble
+   re-synchronizes receivers; a sender knows what it sent). *)
+let misperceived_view (resolution : Channel.resolution) =
+  match resolution with
+  | Channel.Tx { on_wire; _ } -> Channel.Garbled { on_wire }
+  | Channel.Clash { survivor = None; _ } -> Channel.Idle
+  | Channel.Idle | Channel.Garbled _ | Channel.Clash { survivor = Some _; _ }
+    ->
+    resolution
+
+let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
+    ~decide ~after trace =
+  let channel = Channel.create ?fault ?plan phy in
   let queues = Array.make num_sources Edf_queue.empty in
   let completions = ref [] in
   let dropped = ref [] in
@@ -89,6 +126,28 @@ let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
     in
     go !arrivals
   in
+  (* Per-source fault bookkeeping (only populated under a plan). *)
+  let alive_now = Array.make num_sources true in
+  let observed_now = Array.make num_sources Channel.Idle in
+  let crashed_slots = Array.make num_sources 0 in
+  let missed = Array.make num_sources 0 in
+  let misperceived = Array.make num_sources 0 in
+  let desync_slots = Array.make num_sources 0 in
+  let resyncs = Array.make num_sources 0 in
+  let slot_faulty = ref false in
+  (* Fault epochs, merged on the fly: adjacent/overlapping faulty slots
+     coalesce because the next slot starts exactly at this one's
+     [next_free]. *)
+  let epochs = ref [] in
+  let epoch_open = ref None in
+  let note_epoch ~start ~finish =
+    match !epoch_open with
+    | Some (s, e) when start <= e -> epoch_open := Some (s, max e finish)
+    | Some (s, e) ->
+      epochs := (s, e) :: !epochs;
+      epoch_open := Some (start, finish)
+    | None -> epoch_open := Some (start, finish)
+  in
   let services =
     {
       channel;
@@ -107,37 +166,113 @@ let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
             :: !completions);
       drop = (fun m -> dropped := m :: !dropped);
       deliver_until = (fun time -> deliver time);
+      alive = (fun src -> alive_now.(src));
+      observed = (fun src -> observed_now.(src));
+      mark_desync =
+        (fun src ->
+          desync_slots.(src) <- desync_slots.(src) + 1;
+          slot_faulty := true);
+      mark_resync = (fun src -> resyncs.(src) <- resyncs.(src) + 1);
     }
   in
-  let take src tag =
+  let take ~now src tag =
     match services.pop src with
     | Some m when m.Message.uid = tag -> m
     | Some m ->
       raise
         (Mismatch
-           (Printf.sprintf
-              "source %d transmitted uid %d but its EDF head is uid %d" src tag
-              m.Message.uid))
+           {
+             mm_slot = now;
+             mm_source = src;
+             mm_tag = tag;
+             mm_reason =
+               Printf.sprintf
+                 "transmitted tag disagrees with the EDF head (uid %d)"
+                 m.Message.uid;
+           })
     | None ->
-      raise (Mismatch (Printf.sprintf "source %d transmitted from an empty queue" src))
+      raise
+        (Mismatch
+           {
+             mm_slot = now;
+             mm_source = src;
+             mm_tag = tag;
+             mm_reason = "transmitted from an empty queue";
+           })
   in
   let engine = Engine.create () in
   let rec slot eng =
     let now = Engine.now eng in
     deliver now;
+    slot_faulty := false;
+    (match plan with
+    | None -> ()
+    | Some p ->
+      for s = 0 to num_sources - 1 do
+        let a = Fault_plan.alive p ~source:s ~now in
+        alive_now.(s) <- a;
+        if not a then begin
+          crashed_slots.(s) <- crashed_slots.(s) + 1;
+          slot_faulty := true
+        end
+      done);
     let attempts = decide services ~now in
+    (* A crashed source transmits nothing, whatever the protocol's
+       decision callback returned. *)
+    let attempts =
+      match plan with
+      | None -> attempts
+      | Some _ ->
+        List.filter (fun a -> alive_now.(a.Channel.att_source)) attempts
+    in
     let resolution, next_free = Channel.contend channel ~now attempts in
+    (match plan with
+    | None ->
+      (* No plan: every source observes the wire. *)
+      Array.fill observed_now 0 num_sources resolution
+    | Some p ->
+      let participants =
+        List.map (fun a -> a.Channel.att_source) attempts
+      in
+      (match resolution with
+      | Channel.Garbled _ ->
+        (* Wire-level noise destroyed a frame: the slot is degraded
+           even though everyone observed it consistently. *)
+        slot_faulty := true
+      | _ -> ());
+      for s = 0 to num_sources - 1 do
+        if not alive_now.(s) then begin
+          observed_now.(s) <- Channel.Idle;
+          match resolution with
+          | Channel.Idle -> ()
+          | _ -> missed.(s) <- missed.(s) + 1
+        end
+        else begin
+          let listener = not (List.mem s participants) in
+          let flips = Fault_plan.misperceives p ~source:s in
+          let obs =
+            if listener && flips then misperceived_view resolution
+            else resolution
+          in
+          observed_now.(s) <- obs;
+          if obs <> resolution then begin
+            misperceived.(s) <- misperceived.(s) + 1;
+            slot_faulty := true
+          end
+        end
+      done);
     (match resolution with
     | Channel.Idle | Channel.Garbled _ | Channel.Clash { survivor = None; _ } ->
       ()
     | Channel.Tx { src; tag; on_wire } ->
-      let m = take src tag in
+      let m = take ~now src tag in
       services.complete m ~start:now ~finish:(now + on_wire)
     | Channel.Clash { survivor = Some (src, tag, on_wire); _ } ->
-      let m = take src tag in
+      let m = take ~now src tag in
       let start = now + Channel.slot_bits channel in
       services.complete m ~start ~finish:(start + on_wire));
     let next_free = after services ~now ~resolution ~next_free in
+    if !slot_faulty then note_epoch ~start:now ~finish:next_free;
     if next_free < horizon then Engine.schedule_at eng ~time:next_free slot
   in
   Engine.schedule_at engine ~time:0 slot;
@@ -155,6 +290,28 @@ let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
     Array.fold_left (fun acc q -> acc @ Edf_queue.to_sorted_list q) [] queues
     @ List.filter (fun m -> m.Message.arrival < horizon) !arrivals
   in
+  let faults =
+    match plan with
+    | None -> None
+    | Some _ ->
+      (match !epoch_open with
+      | Some span -> epochs := span :: !epochs
+      | None -> ());
+      Some
+        {
+          Run.f_per_source =
+            List.init num_sources (fun s ->
+                {
+                  Run.sf_source = s;
+                  sf_crashed_slots = crashed_slots.(s);
+                  sf_missed = missed.(s);
+                  sf_misperceived = misperceived.(s);
+                  sf_desync_slots = desync_slots.(s);
+                  sf_resyncs = resyncs.(s);
+                });
+          f_epochs = List.rev !epochs;
+        }
+  in
   {
     Run.protocol;
     completions = List.rev !completions;
@@ -162,4 +319,5 @@ let run ~protocol ?fault ?(analyze = true) ~phy ~num_sources ~horizon ~decide
     dropped = List.rev !dropped;
     horizon;
     channel = Some (Channel.stats channel);
+    faults;
   }

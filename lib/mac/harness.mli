@@ -15,6 +15,16 @@
       the option to extend the acquisition (packet bursting) by
       returning a later [next_free].
 
+    Under a {!Rtnet_channel.Fault_plan} the harness additionally owns
+    the {e per-source} view of each slot: a crashed source's attempts
+    are discarded and it observes nothing; a live listener may
+    misperceive the wire ([observed] then differs from the wire
+    resolution).  The paper's consistent-observation assumption
+    (Section 2.1) is exactly [observed src = resolution] for every
+    live [src]; fault plans break it and the harness measures by how
+    much (per-source counters, merged fault epochs) in
+    {!Rtnet_stats.Run.fault_stats}.
+
     The harness asserts the channel-level safety property (mutual
     exclusion) when the run ends and assembles the {!Rtnet_stats.Run}
     outcome (completions, unfinished, dropped, channel statistics). *)
@@ -36,15 +46,49 @@ type services = {
           protocol extending an acquisition (packet bursting) must call
           it before choosing each continuation frame so the EDF ranking
           sees messages that arrived mid-acquisition *)
+  alive : int -> bool;
+      (** [alive src] — false while [src] is inside a fault-plan crash
+          window (always true without a plan).  Valid during [decide]
+          and [after] of the current slot. *)
+  observed : int -> Rtnet_channel.Channel.resolution;
+      (** [observed src] is [src]'s {e local} decoding of the current
+          slot — equal to the wire resolution unless the fault plan
+          made [src] misperceive it.  Only meaningful inside [after];
+          a protocol with replicated state must feed each replica its
+          own observation, not the wire's. *)
+  mark_desync : int -> unit;
+      (** protocol callback: count one slot during which [src]'s
+          replica was desynchronized (listen-only); feeds
+          {!Rtnet_stats.Run.source_faults} and extends the current
+          fault epoch *)
+  mark_resync : int -> unit;
+      (** protocol callback: count one completed divergence recovery
+          by [src] *)
 }
 
-exception Mismatch of string
+type mismatch = {
+  mm_slot : int;  (** slot start time (bit-times) *)
+  mm_source : int;  (** transmitting source *)
+  mm_tag : int;  (** tag the channel carried *)
+  mm_reason : string;  (** what disagreed *)
+}
+(** Structured diagnostic for a tag/queue disagreement, so protocol
+    bugs under fault injection are debuggable: which slot, which
+    source, which tag. *)
+
+exception Mismatch of mismatch
 (** Raised when the channel reports a transmission whose tag is not the
     head of the sender's queue — a protocol-implementation error. *)
+
+val mismatch_message : mismatch -> string
+(** [mismatch_message m] formats the diagnostic:
+    ["slot at t=<slot>: source <src>, tag <tag>: <reason>"].  Also
+    installed as the [Printexc] printer for {!Mismatch}. *)
 
 val run :
   protocol:string ->
   ?fault:Rtnet_channel.Channel.fault ->
+  ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   phy:Rtnet_channel.Phy.t ->
   num_sources:int ->
@@ -62,14 +106,26 @@ val run :
     simulates the protocol on [trace].  Per slot, the harness:
 
     + delivers arrivals with [T <= now] into the EDF queues,
-    + calls [decide] and resolves the slot on the channel,
+    + under a [plan], refreshes per-source liveness (crash windows),
+    + calls [decide], discards attempts of crashed sources, and
+      resolves the slot on the channel,
+    + under a [plan], computes each live source's local observation
+      (misperception draws) and each crashed source's missed slots,
     + on a carried frame ([Tx] or an arbitrated survivor) pops the
       sender's head (verifying the tag — {!Mismatch} otherwise) and
       records the completion,
     + calls [after], whose return value becomes the next slot boundary
       (return [next_free] unchanged unless bursting extended the
       acquisition),
+    + if anything was degraded this slot (crash, miss, misperception,
+      wire garbling, or the protocol called [mark_desync]), extends
+      the current fault epoch to the returned boundary,
     + asserts, at the end, that no two carried frames overlapped.
+
+    [fault] is the legacy i.i.d. noise model, [plan] the composable
+    fault-plan model; they are mutually exclusive (the channel rejects
+    both).  The outcome's [faults] field is [Some] iff [plan] was
+    given.
 
     With [analyze] (default [true] — every harness run is
     invariant-checked unless explicitly opted out) the run additionally

@@ -9,6 +9,20 @@ let lateness c = c.c_finish - Message.abs_deadline c.c_msg
 
 let missed c = lateness c > 0
 
+type source_faults = {
+  sf_source : int;
+  sf_crashed_slots : int;
+  sf_missed : int;
+  sf_misperceived : int;
+  sf_desync_slots : int;
+  sf_resyncs : int;
+}
+
+type fault_stats = {
+  f_per_source : source_faults list;
+  f_epochs : (int * int) list;
+}
+
 type outcome = {
   protocol : string;
   completions : completion list;
@@ -16,6 +30,7 @@ type outcome = {
   dropped : Message.t list;
   horizon : int;
   channel : Channel.stats option;
+  faults : fault_stats option;
 }
 
 type metrics = {
@@ -28,6 +43,10 @@ type metrics = {
   inversions : int;
   garbled : int;
   utilization : float;
+  desync_slots : int;
+  recoveries : int;
+  misperceived : int;
+  missed_offline : int;
 }
 
 let inversions cs =
@@ -66,6 +85,11 @@ let metrics o =
     | [] -> 0
     | c :: cs -> List.fold_left (fun acc c -> max acc (lateness c)) (lateness c) cs
   in
+  let fault_sum field =
+    match o.faults with
+    | None -> 0
+    | Some fs -> List.fold_left (fun acc sf -> acc + field sf) 0 fs.f_per_source
+  in
   {
     delivered;
     deadline_misses = misses;
@@ -85,6 +109,10 @@ let metrics o =
       | Some st ->
         if st.Channel.total_bits = 0 then 0.
         else float_of_int st.Channel.busy_bits /. float_of_int st.Channel.total_bits);
+    desync_slots = fault_sum (fun sf -> sf.sf_desync_slots);
+    recoveries = fault_sum (fun sf -> sf.sf_resyncs);
+    misperceived = fault_sum (fun sf -> sf.sf_misperceived);
+    missed_offline = fault_sum (fun sf -> sf.sf_missed);
   }
 
 let per_class_worst_latency o =
@@ -104,4 +132,10 @@ let pp_metrics fmt m =
     "delivered=%d misses=%d (%.2f%%) worst-lat=%d mean-lat=%.0f \
      worst-late=%d inv=%d garbled=%d util=%.3f"
     m.delivered m.deadline_misses (100. *. m.miss_ratio) m.worst_latency
-    m.mean_latency m.worst_lateness m.inversions m.garbled m.utilization
+    m.mean_latency m.worst_lateness m.inversions m.garbled m.utilization;
+  if
+    m.desync_slots > 0 || m.recoveries > 0 || m.misperceived > 0
+    || m.missed_offline > 0
+  then
+    Format.fprintf fmt " desync=%d resync=%d mispercv=%d missed-off=%d"
+      m.desync_slots m.recoveries m.misperceived m.missed_offline

@@ -22,6 +22,28 @@ val lateness : completion -> int
 val missed : completion -> bool
 (** [missed c] is [lateness c > 0]. *)
 
+type source_faults = {
+  sf_source : int;  (** station id *)
+  sf_crashed_slots : int;  (** slots spent down (crash windows) *)
+  sf_missed : int;  (** non-idle slots the station missed while down *)
+  sf_misperceived : int;  (** slots where its local observation
+                              disagreed with the wire *)
+  sf_desync_slots : int;  (** slots spent desynchronized (listen-only,
+                              replica state stale) *)
+  sf_resyncs : int;  (** recoveries: times it re-acquired the shared
+                         state and re-entered contention *)
+}
+(** Per-station degradation counters under a {!Rtnet_channel.Fault_plan}. *)
+
+type fault_stats = {
+  f_per_source : source_faults list;  (** one entry per station, in id order *)
+  f_epochs : (int * int) list;
+      (** merged fault epochs [\[start, finish)] in bit-times: maximal
+          spans during which some station was down, desynchronized or
+          observing inconsistently, or the wire garbled a frame.
+          Timeliness is only asserted outside these spans. *)
+}
+
 type outcome = {
   protocol : string;  (** protocol label *)
   completions : completion list;  (** in completion order *)
@@ -33,6 +55,9 @@ type outcome = {
           limit) — always counted as misses *)
   horizon : int;  (** end of simulated time, bit-times *)
   channel : Rtnet_channel.Channel.stats option;  (** medium counters, if simulated *)
+  faults : fault_stats option;
+      (** degradation bookkeeping; [Some] iff the run executed under a
+          fault plan (even an empty one), [None] otherwise *)
 }
 
 type metrics = {
@@ -50,6 +75,10 @@ type metrics = {
                       0 when no medium was simulated) — surfaces fault
                       injection in every scoreboard and campaign JSON *)
   utilization : float;  (** carried bits / elapsed bits, if known *)
+  desync_slots : int;  (** total slots any station spent desynchronized *)
+  recoveries : int;  (** total divergence recoveries (resyncs) *)
+  misperceived : int;  (** total locally-misperceived slots *)
+  missed_offline : int;  (** total non-idle slots missed while down *)
 }
 
 val inversions : completion list -> int

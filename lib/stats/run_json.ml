@@ -16,6 +16,10 @@ let metrics_to_json (m : Run.metrics) =
       ("inversions", Json.Int m.Run.inversions);
       ("garbled", Json.Int m.Run.garbled);
       ("utilization", Json.Float m.Run.utilization);
+      ("desync_slots", Json.Int m.Run.desync_slots);
+      ("recoveries", Json.Int m.Run.recoveries);
+      ("misperceived", Json.Int m.Run.misperceived);
+      ("missed_offline", Json.Int m.Run.missed_offline);
     ]
 
 let int_field j key =
@@ -25,6 +29,11 @@ let int_field j key =
 let float_field j key =
   let* v = Json.field key j in
   Result.map_error (fun e -> Printf.sprintf "%s: %s" key e) (Json.get_float v)
+
+(* Fault counters default to 0 so reports written before the fault-plan
+   subsystem still load. *)
+let opt_int_field j key =
+  match Json.member key j with None -> Ok 0 | Some v -> Json.get_int v
 
 let metrics_of_json j =
   let* delivered = int_field j "delivered" in
@@ -36,6 +45,10 @@ let metrics_of_json j =
   let* inversions = int_field j "inversions" in
   let* garbled = int_field j "garbled" in
   let* utilization = float_field j "utilization" in
+  let* desync_slots = opt_int_field j "desync_slots" in
+  let* recoveries = opt_int_field j "recoveries" in
+  let* misperceived = opt_int_field j "misperceived" in
+  let* missed_offline = opt_int_field j "missed_offline" in
   Ok
     {
       Run.delivered;
@@ -47,6 +60,10 @@ let metrics_of_json j =
       inversions;
       garbled;
       utilization;
+      desync_slots;
+      recoveries;
+      misperceived;
+      missed_offline;
     }
 
 let channel_stats_to_json (st : Channel.stats) =
@@ -76,6 +93,74 @@ let channel_stats_of_json j =
       busy_bits;
       total_bits;
     }
+
+let source_faults_to_json (sf : Run.source_faults) =
+  Json.Obj
+    [
+      ("source", Json.Int sf.Run.sf_source);
+      ("crashed_slots", Json.Int sf.Run.sf_crashed_slots);
+      ("missed", Json.Int sf.Run.sf_missed);
+      ("misperceived", Json.Int sf.Run.sf_misperceived);
+      ("desync_slots", Json.Int sf.Run.sf_desync_slots);
+      ("resyncs", Json.Int sf.Run.sf_resyncs);
+    ]
+
+let source_faults_of_json j =
+  let* sf_source = int_field j "source" in
+  let* sf_crashed_slots = int_field j "crashed_slots" in
+  let* sf_missed = int_field j "missed" in
+  let* sf_misperceived = int_field j "misperceived" in
+  let* sf_desync_slots = int_field j "desync_slots" in
+  let* sf_resyncs = int_field j "resyncs" in
+  Ok
+    {
+      Run.sf_source;
+      sf_crashed_slots;
+      sf_missed;
+      sf_misperceived;
+      sf_desync_slots;
+      sf_resyncs;
+    }
+
+let fault_stats_to_json (fs : Run.fault_stats) =
+  Json.Obj
+    [
+      ( "per_source",
+        Json.List (List.map source_faults_to_json fs.Run.f_per_source) );
+      ( "epochs",
+        Json.List
+          (List.map
+             (fun (s, f) -> Json.List [ Json.Int s; Json.Int f ])
+             fs.Run.f_epochs) );
+    ]
+
+let fault_stats_of_json j =
+  let* per_source =
+    let* l = Result.bind (Json.field "per_source" j) Json.get_list in
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* sf = source_faults_of_json item in
+        Ok (sf :: acc))
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  let* epochs =
+    let* l = Result.bind (Json.field "epochs" j) Json.get_list in
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* pair = Json.get_list item in
+        match pair with
+        | [ s; f ] ->
+          let* s = Json.get_int s in
+          let* f = Json.get_int f in
+          Ok ((s, f) :: acc)
+        | _ -> Error "epoch is not a [start, finish] pair")
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  Ok { Run.f_per_source = per_source; f_epochs = epochs }
 
 let message_to_json (m : Message.t) =
   Json.Obj
@@ -110,5 +195,9 @@ let outcome_to_json (o : Run.outcome) =
         match o.Run.channel with
         | None -> Json.Null
         | Some st -> channel_stats_to_json st );
+      ( "faults",
+        match o.Run.faults with
+        | None -> Json.Null
+        | Some fs -> fault_stats_to_json fs );
       ("metrics", metrics_to_json (Run.metrics o));
     ]

@@ -22,8 +22,15 @@ val channel_stats_to_json : Rtnet_channel.Channel.stats -> Rtnet_util.Json.t
 val channel_stats_of_json :
   Rtnet_util.Json.t -> (Rtnet_channel.Channel.stats, string) result
 
+val fault_stats_to_json : Run.fault_stats -> Rtnet_util.Json.t
+
+val fault_stats_of_json :
+  Rtnet_util.Json.t -> (Run.fault_stats, string) result
+(** Exact round-trip, like the metrics codec. *)
+
 val outcome_to_json : Run.outcome -> Rtnet_util.Json.t
 (** [outcome_to_json o] renders the whole outcome: protocol, horizon,
     completions as [{uid, cls, src, arrival, deadline, start, finish}],
-    unfinished/dropped as [{uid, cls, arrival, deadline}], and the
-    channel counters ([null] if no medium was simulated). *)
+    unfinished/dropped as [{uid, cls, arrival, deadline}], the
+    channel counters ([null] if no medium was simulated) and the
+    fault-plan degradation counters ([null] for fault-free runs). *)

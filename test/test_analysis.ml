@@ -134,6 +134,77 @@ let test_mutated_traces_caught () =
     (List.mem "TRC-ACCOUNT"
        (error_rules (Trace_check.check ~stats:cooked ~workload events)))
 
+(* Fault epochs downgrade timeliness violations to degradation
+   warnings; safety is never relaxed. *)
+let test_fault_epoch_degrades_deadline_miss () =
+  let inst = Scenarios.trading ~gateways:4 in
+  let _, _, events = run_with_trace inst ~horizon:(5 * ms) in
+  let first_frame =
+    List.find_map
+      (function
+        | Ddcr_trace.Frame_sent { time; finish; source; uid; _ } ->
+          Some (time, finish, source, uid)
+        | _ -> None)
+      events
+  in
+  let ft, ff, fs, fu = Option.get first_frame in
+  let deadlines = [ (fu, ft - 1) ] in
+  (* Covered by an explicit epoch: a warning, not an error. *)
+  let covered =
+    Trace_check.check ~deadlines ~fault_epochs:[ (0, ft) ] events
+  in
+  Alcotest.(check bool) "miss excused inside epoch" false
+    (List.mem "TRC-DEADLINE" (error_rules covered));
+  Alcotest.(check bool) "degradation warning emitted" true
+    (has_rule "TRC-DEGRADED" covered);
+  (* An epoch entirely after the frame finished cannot have delayed
+     it: the miss stays a violation. *)
+  let late_epoch =
+    Trace_check.check ~deadlines ~fault_epochs:[ (ff + 1, ff + 2) ] events
+  in
+  Alcotest.(check bool) "late epoch does not excuse" true
+    (List.mem "TRC-DEADLINE" (error_rules late_epoch));
+  (* Epochs are also derived from crash/resync events in the trace. *)
+  let with_fault_events =
+    Ddcr_trace.Crash { time = 0; source = fs }
+    :: List.concat_map
+         (fun e ->
+           match e with
+           | Ddcr_trace.Frame_sent { uid; _ } when uid = fu ->
+             [ e; Ddcr_trace.Resync { time = ft; source = fs } ]
+           | _ -> [ e ])
+         events
+  in
+  let derived = Trace_check.check ~deadlines with_fault_events in
+  Alcotest.(check bool) "event-derived epoch excuses" false
+    (List.mem "TRC-DEADLINE" (error_rules derived));
+  Alcotest.(check bool) "event-derived degradation warned" true
+    (has_rule "TRC-DEGRADED" derived);
+  (* Safety is never relaxed: a mid-frame overlap inside an epoch is
+     still an error. *)
+  let overlapping =
+    Ddcr_trace.Frame_sent
+      {
+        time = ft + 1;
+        finish = ff + 1;
+        source = fs + 1;
+        uid = 999_999;
+        via = Ddcr_trace.Free_csma;
+      }
+  in
+  let mutated =
+    List.concat_map
+      (fun e ->
+        match e with
+        | Ddcr_trace.Frame_sent { uid; _ } when uid = fu -> [ e; overlapping ]
+        | _ -> [ e ])
+      events
+  in
+  Alcotest.(check bool) "safety not excused by epochs" true
+    (List.mem "TRC-SAFETY"
+       (error_rules
+          (Trace_check.check ~fault_epochs:[ (0, ff + 10) ] mutated)))
+
 (* (d) Bounded exhaustive checker over m in {2,3}, q <= 9. *)
 let test_bounded_sweep () =
   let diags = Bounded_check.sweep ~max_m:3 ~max_leaves:9 () in
@@ -201,6 +272,8 @@ let suite =
         Alcotest.test_case "real trace clean" `Quick test_real_trace_clean;
         Alcotest.test_case "mutated traces caught" `Quick
           test_mutated_traces_caught;
+        Alcotest.test_case "fault epochs degrade deadline misses" `Quick
+          test_fault_epoch_degrades_deadline_miss;
         Alcotest.test_case "bounded sweep" `Quick test_bounded_sweep;
         Alcotest.test_case "bounded reports" `Quick
           test_bounded_catches_wrong_bound;

@@ -30,6 +30,26 @@ let tiny =
     variants = [ Spec.default_variant ];
   }
 
+module Fault_plan = Rtnet_channel.Fault_plan
+
+let planned p = { Spec.default_variant with Spec.v_fault_plan = Some p }
+
+(* A fault-plan campaign small enough for determinism tests: one
+   protocol, one scenario, clean + wire-noise + crash variants. *)
+let faulty =
+  let ms = 1_000_000 in
+  {
+    tiny with
+    Spec.name = "faulty";
+    protocols = [ Spec.Ddcr ];
+    variants =
+      [
+        Spec.default_variant;
+        planned (Fault_plan.iid 0.1);
+        planned (Fault_plan.crash ~source:1 ~from_:(ms / 4) ~until:(ms / 2));
+      ];
+  }
+
 let overloaded =
   {
     tiny with
@@ -130,6 +150,52 @@ let test_spec_load_file () =
         Alcotest.(check bool) "default variant" true
           (s.Spec.variants = [ Spec.default_variant ]))
 
+let test_fault_plan_spec_validate () =
+  let expect_error what spec =
+    match Spec.validate spec with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail ("validate accepted " ^ what)
+  in
+  Alcotest.(check bool) "faulty validates" true (Spec.validate faulty = Ok ());
+  expect_error "fault rate and fault plan together"
+    {
+      faulty with
+      Spec.variants =
+        [
+          {
+            Spec.default_variant with
+            v_fault_rate = 0.1;
+            v_fault_plan = Some (Fault_plan.iid 0.1);
+          };
+        ];
+    };
+  expect_error "local faults under a protocol without replicated state"
+    { faulty with Spec.protocols = [ Spec.Ddcr; Spec.Tdma ] };
+  expect_error "invalid plan parameters"
+    { faulty with Spec.variants = [ planned (Fault_plan.iid 1.5) ] };
+  expect_error "crash window beyond the horizon"
+    {
+      faulty with
+      Spec.variants =
+        [
+          planned
+            (Fault_plan.crash ~source:1 ~from_:0 ~until:(10 * 1_000_000));
+        ];
+    };
+  (* Wire-only plans are protocol-agnostic: Beb is allowed alongside. *)
+  Alcotest.(check bool) "wire faults allow beb" true
+    (Spec.validate
+       {
+         faulty with
+         Spec.protocols = [ Spec.Ddcr; Spec.Beb ];
+         variants = [ planned (Fault_plan.iid 0.1) ];
+       }
+    = Ok ());
+  (* Variant labels name the plan, so cell keys stay unique. *)
+  let labels = List.map Spec.variant_label faulty.Spec.variants in
+  Alcotest.(check int) "labels unique" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
 (* -------------------- grid & seeding -------------------- *)
 
 let test_grid_cells () =
@@ -170,7 +236,34 @@ let test_seeding_domains_separated () =
     Seeding.protocol_seed ~base:5 ~scenario:0 ~variant:0 ~replicate:0
       ~protocol:0
   in
-  Alcotest.(check bool) "trace and protocol domains disjoint" true (t <> p)
+  let f = Seeding.fault_seed ~base:5 ~scenario:0 ~variant:0 ~replicate:0 in
+  Alcotest.(check bool) "trace and protocol domains disjoint" true (t <> p);
+  Alcotest.(check bool) "fault domain disjoint" true (f <> t && f <> p)
+
+let test_fault_seed_protocol_blind () =
+  (* Every protocol must face the same fault sample path, so the fault
+     seed — like the trace seed — ignores the protocol coordinate. *)
+  let spec =
+    {
+      faulty with
+      Spec.name = "wire";
+      protocols = [ Spec.Ddcr; Spec.Beb ];
+      variants = [ planned (Fault_plan.iid 0.1) ];
+    }
+  in
+  let cells = Array.to_list (Grid.cells spec) in
+  let ddcr = List.filter (fun c -> c.Grid.protocol = Spec.Ddcr) cells in
+  let beb = List.filter (fun c -> c.Grid.protocol = Spec.Beb) cells in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same fault seed" a.Grid.fault_seed
+        b.Grid.fault_seed)
+    ddcr beb;
+  match ddcr with
+  | r0 :: r1 :: _ ->
+    Alcotest.(check bool) "replicates draw distinct fault paths" true
+      (r0.Grid.fault_seed <> r1.Grid.fault_seed)
+  | _ -> Alcotest.fail "expected two ddcr replicates"
 
 (* -------------------- pool -------------------- *)
 
@@ -234,6 +327,73 @@ let test_pool_empty_and_bad_jobs () =
   Alcotest.(check int) "no events" 0 (List.length events);
   Alcotest.check_raises "jobs < 1" (Invalid_argument "Pool.map: jobs < 1")
     (fun () -> ignore (Pool.map ~jobs:0 ~on_event:ignore Fun.id [| 1 |]))
+
+let test_pool_worker_crash_retried () =
+  (* A worker killed mid-task must not sink the run: its undelivered
+     tasks are reported via [on_retry] and re-run on a spare worker.
+     The flag file makes the crash happen only on the first attempt. *)
+  let flag = Filename.temp_file "rtnet_pool_crash" ".flag" in
+  Sys.remove flag;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists flag then Sys.remove flag)
+    (fun () ->
+      let tasks = Array.init 8 (fun i -> i) in
+      let f x =
+        if x = 3 && not (Sys.file_exists flag) then begin
+          let oc = open_out flag in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        x * x
+      in
+      let retried = ref [] in
+      let events = ref [] in
+      let n =
+        Pool.map ~jobs:2
+          ~on_retry:(fun missing -> retried := missing :: !retried)
+          ~on_event:(fun e -> events := e :: !events)
+          f tasks
+      in
+      Alcotest.(check int) "every task delivered" 8 n;
+      let results =
+        List.sort compare
+          (List.filter_map
+             (function
+               | Pool.Result (i, v) -> Some (i, v)
+               | Pool.Failed (i, msg) ->
+                 Alcotest.fail (Printf.sprintf "task %d failed: %s" i msg))
+             !events)
+      in
+      Alcotest.(check bool) "results complete and correct" true
+        (results = List.init 8 (fun i -> (i, i * i)));
+      (* jobs=2 round-robin: the killed worker held positions 1,3,5,7
+         and died at 3, so exactly 3,5,7 go to the spare worker. *)
+      match !retried with
+      | [ missing ] ->
+        Alcotest.(check (list int)) "undelivered positions retried"
+          [ 3; 5; 7 ] missing
+      | rounds ->
+        Alcotest.fail
+          (Printf.sprintf "expected one retry round, saw %d"
+             (List.length rounds)))
+
+let test_pool_worker_crash_twice_aborts () =
+  (* No flag file: the poisoned task kills its worker on the retry too,
+     and only then does the coordinator give up. *)
+  let tasks = [| 0; 1; 2 |] in
+  let f x =
+    if x = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    x
+  in
+  let retried = ref 0 in
+  match
+    Pool.map ~jobs:1 ~on_retry:(fun _ -> incr retried) ~on_event:ignore f tasks
+  with
+  | (_ : int) -> Alcotest.fail "expected Failure after the second crash"
+  | exception Failure msg ->
+    Alcotest.(check int) "retried exactly once" 1 !retried;
+    Alcotest.(check bool) "diagnostic names the repeated death" true
+      (Astring_contains.contains msg "worker died twice")
 
 (* -------------------- runner determinism -------------------- *)
 
@@ -303,6 +463,57 @@ let test_checkpoint_tolerates_torn_tail () =
       | Ok [ (0, Json.Int 1) ] -> ()
       | Ok _ -> Alcotest.fail "torn tail mishandled"
       | Error e -> Alcotest.fail e)
+
+let test_checkpoint_failed_marker_replay () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "f.ckpt" in
+      let oc = Checkpoint.open_for_append ~path ~spec:tiny in
+      Checkpoint.append oc ~index:0 ~key:"a" (Json.Int 1);
+      Checkpoint.append_failed oc ~index:0 ~key:"a" ~reason:"worker died";
+      Checkpoint.append oc ~index:1 ~key:"b" (Json.Int 2);
+      close_out oc;
+      (* The failed marker voids cell 0's earlier result. *)
+      (match Checkpoint.load ~path ~spec:tiny with
+      | Ok [ (1, Json.Int 2) ] -> ()
+      | Ok entries ->
+        Alcotest.fail
+          (Printf.sprintf "failed marker not replayed: %d entries survive"
+             (List.length entries))
+      | Error e -> Alcotest.fail e);
+      (* A later result — the in-run retry succeeding — supersedes it. *)
+      let oc = Checkpoint.open_for_append ~path ~spec:tiny in
+      Checkpoint.append oc ~index:0 ~key:"a" (Json.Int 3);
+      close_out oc;
+      match Checkpoint.load ~path ~spec:tiny with
+      | Ok entries ->
+        Alcotest.(check bool) "retry result recorded" true
+          (List.sort compare entries = [ (0, Json.Int 3); (1, Json.Int 2) ])
+      | Error e -> Alcotest.fail e)
+
+let test_fault_campaign_deterministic () =
+  (* A campaign whose variants carry fault plans must stay a pure
+     function of its spec: same report bytes (minus timing) at any
+     worker count, and across an interrupt/resume split. *)
+  with_tmp_dir (fun dir ->
+      let r1 =
+        complete_exn faulty ~jobs:1 ~out:(Filename.concat dir "j1.json")
+      in
+      let r4 =
+        complete_exn faulty ~jobs:4 ~out:(Filename.concat dir "j4.json")
+      in
+      Alcotest.(check string) "fingerprints agree" (Report.fingerprint r1)
+        (Report.fingerprint r4);
+      Alcotest.(check string) "timing-stripped bytes identical"
+        (stripped_bytes r1) (stripped_bytes r4);
+      let out = Filename.concat dir "resumed.json" in
+      (match run_exn faulty ~jobs:2 ~max_cells:3 ~out with
+      | Runner.Interrupted { completed; total } ->
+        Alcotest.(check int) "partial progress" 3 completed;
+        Alcotest.(check int) "total known" (Spec.cell_count faulty) total
+      | Runner.Complete _ -> Alcotest.fail "expected interruption");
+      let resumed = complete_exn faulty ~jobs:2 ~resume:true ~out in
+      Alcotest.(check string) "resume reproduces the fresh run"
+        (Report.fingerprint r1) (Report.fingerprint resumed))
 
 let test_lint_gate_rejects_overload () =
   with_tmp_dir (fun dir ->
@@ -382,12 +593,16 @@ let suite =
       [
         Alcotest.test_case "spec json round-trip" `Quick test_spec_roundtrip;
         Alcotest.test_case "spec validation" `Quick test_spec_validate;
+        Alcotest.test_case "fault-plan spec validation" `Quick
+          test_fault_plan_spec_validate;
         Alcotest.test_case "spec file loading" `Quick test_spec_load_file;
         Alcotest.test_case "grid cells" `Quick test_grid_cells;
         Alcotest.test_case "trace seed protocol-blind" `Quick
           test_trace_seed_protocol_blind;
         Alcotest.test_case "seeding domains" `Quick
           test_seeding_domains_separated;
+        Alcotest.test_case "fault seed protocol-blind" `Quick
+          test_fault_seed_protocol_blind;
         Alcotest.test_case "pool parallel = serial" `Quick
           test_pool_matches_serial;
         Alcotest.test_case "pool task exception" `Quick
@@ -395,6 +610,10 @@ let suite =
         Alcotest.test_case "pool early stop" `Quick
           test_pool_max_results_stops_early;
         Alcotest.test_case "pool edge cases" `Quick test_pool_empty_and_bad_jobs;
+        Alcotest.test_case "pool worker crash retried" `Quick
+          test_pool_worker_crash_retried;
+        Alcotest.test_case "pool worker crash twice aborts" `Quick
+          test_pool_worker_crash_twice_aborts;
         Alcotest.test_case "-j1 = -j4" `Quick test_parallel_serial_identical;
         Alcotest.test_case "interrupt and resume" `Quick
           test_interrupt_and_resume;
@@ -402,6 +621,10 @@ let suite =
           test_checkpoint_rejects_other_spec;
         Alcotest.test_case "checkpoint torn tail" `Quick
           test_checkpoint_tolerates_torn_tail;
+        Alcotest.test_case "checkpoint failed-marker replay" `Quick
+          test_checkpoint_failed_marker_replay;
+        Alcotest.test_case "fault campaign deterministic" `Quick
+          test_fault_campaign_deterministic;
         Alcotest.test_case "lint gate" `Quick test_lint_gate_rejects_overload;
         Alcotest.test_case "regression gate" `Quick test_compare_gate;
         Alcotest.test_case "cross-spec compare" `Quick

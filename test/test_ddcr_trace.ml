@@ -55,7 +55,9 @@ let test_searches_balanced () =
         if !sts_open <> 1 then ok := false;
         decr sts_open
       | Ddcr_trace.Idle_slot _ | Ddcr_trace.Collision_slot _
-      | Ddcr_trace.Garbled_slot _ | Ddcr_trace.Frame_sent _ -> ())
+      | Ddcr_trace.Garbled_slot _ | Ddcr_trace.Frame_sent _
+      | Ddcr_trace.Crash _ | Ddcr_trace.Rejoin _ | Ddcr_trace.Desync _
+      | Ddcr_trace.Resync _ -> ())
     events;
   Alcotest.(check bool) "well parenthesised" true (!ok && !tts_open = 0 && !sts_open = 0)
 

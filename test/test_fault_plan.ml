@@ -1,0 +1,368 @@
+(* Fault-plan subsystem: spec validation and determinism, and CSMA/DDCR
+   under every builtin plan — mutual exclusion among live synced
+   sources always holds, and a desynchronized station re-enters within
+   one tree epoch of the fault clearing. *)
+
+module Channel = Rtnet_channel.Channel
+module Fault_plan = Rtnet_channel.Fault_plan
+module Scenarios = Rtnet_workload.Scenarios
+module Instance = Rtnet_workload.Instance
+module Run = Rtnet_stats.Run
+module Run_json = Rtnet_stats.Run_json
+module Json = Rtnet_util.Json
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Ddcr_trace = Rtnet_core.Ddcr_trace
+module Trace_check = Rtnet_analysis.Trace_check
+module Diagnostic = Rtnet_analysis.Diagnostic
+
+let ms = 1_000_000
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* -------------------------------------------------------------- specs *)
+
+let test_validate_rejects () =
+  let bad spec msg =
+    match Fault_plan.validate spec with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail ("accepted " ^ msg)
+  in
+  bad (Fault_plan.iid 1.5) "iid rate above 1";
+  bad (Fault_plan.iid (-0.1)) "negative iid rate";
+  bad (Fault_plan.iid Float.nan) "NaN iid rate";
+  bad (Fault_plan.misperceive 2.0) "misperception above 1";
+  bad
+    (Fault_plan.gilbert_elliott ~p_enter:1.5 ~p_exit:0.1 ~rate_good:0.0
+       ~rate_bad:0.5)
+    "p_enter above 1";
+  bad (Fault_plan.crash ~source:0 ~from_:100 ~until:100) "empty crash window";
+  bad (Fault_plan.crash ~source:(-1) ~from_:0 ~until:10) "negative source";
+  (match
+     Fault_plan.validate ~horizon:1000
+       (Fault_plan.crash ~source:0 ~from_:500 ~until:2000)
+   with
+  | Error e ->
+    Alcotest.(check bool) "mentions rejoin" true (contains ~sub:"never rejoin" e)
+  | Ok () -> Alcotest.fail "accepted window past the horizon");
+  Alcotest.check_raises "create validates"
+    (Invalid_argument "Fault_plan.create: garble rate 1.5 out of [0, 1]")
+    (fun () -> ignore (Fault_plan.create ~seed:1 (Fault_plan.iid 1.5)))
+
+let test_validate_accepts_builtins () =
+  let ok spec =
+    match Fault_plan.validate ~horizon:(40 * ms) spec with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("rejected " ^ Fault_plan.label spec ^ ": " ^ e)
+  in
+  ok Fault_plan.none;
+  ok (Fault_plan.iid 0.15);
+  ok
+    (Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2 ~rate_good:0.01
+       ~rate_bad:0.8);
+  ok (Fault_plan.misperceive 0.05);
+  ok (Fault_plan.crash ~source:1 ~from_:(5 * ms) ~until:(12 * ms))
+
+let test_json_roundtrip () =
+  let spec =
+    Fault_plan.compose
+      (Fault_plan.compose
+         (Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2 ~rate_good:0.01
+            ~rate_bad:0.8)
+         (Fault_plan.misperceive 0.03))
+      (Fault_plan.crash ~source:2 ~from_:(3 * ms) ~until:(7 * ms))
+  in
+  match Fault_plan.spec_of_json (Fault_plan.spec_to_json spec) with
+  | Ok spec' ->
+    Alcotest.(check string) "roundtrips" (Fault_plan.label spec)
+      (Fault_plan.label spec');
+    Alcotest.(check string) "json stable"
+      (Json.to_string (Fault_plan.spec_to_json spec))
+      (Json.to_string (Fault_plan.spec_to_json spec'))
+  | Error e -> Alcotest.fail e
+
+let test_labels () =
+  Alcotest.(check string) "clean" "clean" (Fault_plan.label Fault_plan.none);
+  Alcotest.(check string) "iid" "iid0.15" (Fault_plan.label (Fault_plan.iid 0.15));
+  Alcotest.(check string) "composed" "mp0.05+cr1@100-200"
+    (Fault_plan.label
+       (Fault_plan.compose
+          (Fault_plan.misperceive 0.05)
+          (Fault_plan.crash ~source:1 ~from_:100 ~until:200)))
+
+let test_compose_overlays () =
+  let a = Fault_plan.compose (Fault_plan.iid 0.1) (Fault_plan.misperceive 0.2) in
+  let b = Fault_plan.compose a (Fault_plan.crash ~source:0 ~from_:0 ~until:10) in
+  Alcotest.(check bool) "keeps garble" true (b.Fault_plan.sp_garble <> None);
+  Alcotest.(check (float 1e-9)) "keeps misperception" 0.2
+    b.Fault_plan.sp_misperception;
+  Alcotest.(check int) "keeps crashes" 1
+    (List.length b.Fault_plan.sp_crashes);
+  Alcotest.(check bool) "local faults" true (Fault_plan.has_local_faults b);
+  Alcotest.(check bool) "iid alone is global" false
+    (Fault_plan.has_local_faults (Fault_plan.iid 0.3))
+
+let test_draws_deterministic () =
+  let spec =
+    Fault_plan.compose
+      (Fault_plan.gilbert_elliott ~p_enter:0.1 ~p_exit:0.3 ~rate_good:0.05
+         ~rate_bad:0.9)
+      (Fault_plan.misperceive 0.1)
+  in
+  let sample () =
+    let p = Fault_plan.create ~seed:42 spec in
+    List.init 200 (fun _ ->
+        Fault_plan.tick p;
+        (Fault_plan.wire_garbles p, Fault_plan.misperceives p ~source:1))
+  in
+  Alcotest.(check bool) "same seed, same draws" true (sample () = sample ());
+  let burst = sample () in
+  Alcotest.(check bool) "bursts garble something" true
+    (List.exists fst burst);
+  Alcotest.(check bool) "good states stay mostly clean" true
+    (List.exists (fun (g, _) -> not g) burst)
+
+let test_alive_windows () =
+  let p =
+    Fault_plan.create ~seed:1
+      (Fault_plan.crash ~source:1 ~from_:100 ~until:200)
+  in
+  Alcotest.(check bool) "before" true (Fault_plan.alive p ~source:1 ~now:99);
+  Alcotest.(check bool) "inside" false (Fault_plan.alive p ~source:1 ~now:100);
+  Alcotest.(check bool) "last slot" false
+    (Fault_plan.alive p ~source:1 ~now:199);
+  Alcotest.(check bool) "after" true (Fault_plan.alive p ~source:1 ~now:200);
+  Alcotest.(check bool) "other source" true
+    (Fault_plan.alive p ~source:0 ~now:150)
+
+(* ------------------------------------------- DDCR under fault plans *)
+
+let run_under_plan ?(stations = 4) ?(seed = 5) ?(horizon = 40 * ms) spec =
+  let inst = Scenarios.videoconference ~stations in
+  let params = Ddcr_params.default inst in
+  let trace = Instance.trace inst ~seed ~horizon in
+  let record, finish = Ddcr_trace.collector () in
+  let plan = Fault_plan.create ~horizon ~seed:7 spec in
+  let outcome =
+    Ddcr.run_trace ~check_lockstep:true ~on_event:record ~plan params inst
+      trace ~horizon
+  in
+  (outcome, finish (), trace)
+
+let errors_of_kind diags rule =
+  List.filter
+    (fun d ->
+      d.Diagnostic.severity = Diagnostic.Error && d.Diagnostic.rule_id = rule)
+    diags
+
+let builtin_plans =
+  [
+    Fault_plan.iid 0.15;
+    Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2 ~rate_good:0.01
+      ~rate_bad:0.8;
+    Fault_plan.misperceive 0.05;
+    Fault_plan.crash ~source:1 ~from_:(5 * ms) ~until:(12 * ms);
+    Fault_plan.compose
+      (Fault_plan.compose (Fault_plan.iid 0.05) (Fault_plan.misperceive 0.02))
+      (Fault_plan.crash ~source:2 ~from_:(8 * ms) ~until:(14 * ms));
+  ]
+
+let test_safety_under_every_builtin_plan () =
+  List.iter
+    (fun spec ->
+      let outcome, events, trace = run_under_plan spec in
+      (* The harness already failed the run if two frames overlapped;
+         the trace checker re-proves mutual exclusion independently. *)
+      let diags = Trace_check.check_run ~workload:trace ~outcome events in
+      let label = Fault_plan.label spec in
+      Alcotest.(check int)
+        (label ^ ": no safety violations")
+        0
+        (List.length (errors_of_kind diags "TRC-SAFETY"));
+      Alcotest.(check int)
+        (label ^ ": ordered")
+        0
+        (List.length (errors_of_kind diags "TRC-ORDER"));
+      Alcotest.(check int)
+        (label ^ ": accounting reconciles")
+        0
+        (List.length (errors_of_kind diags "TRC-ACCOUNT"));
+      match outcome.Run.faults with
+      | None -> Alcotest.fail (label ^ ": expected fault statistics")
+      | Some fs ->
+        Alcotest.(check int)
+          (label ^ ": one entry per source")
+          4
+          (List.length fs.Run.f_per_source))
+    builtin_plans
+
+let find_time pred events =
+  List.find_map (fun e -> pred e) events
+
+let test_crash_recovers_within_one_tree_epoch () =
+  let spec = Fault_plan.crash ~source:1 ~from_:(5 * ms) ~until:(12 * ms) in
+  let outcome, events, _ = run_under_plan spec in
+  let rejoin =
+    find_time
+      (function
+        | Ddcr_trace.Rejoin { time; source = 1 } -> Some time | _ -> None)
+      events
+  in
+  let rejoin = match rejoin with Some t -> t | None -> Alcotest.fail "no rejoin" in
+  let resync =
+    find_time
+      (function
+        | Ddcr_trace.Resync { time; source = 1 } when time >= rejoin ->
+          Some time
+        | _ -> None)
+      events
+  in
+  let resync = match resync with Some t -> t | None -> Alcotest.fail "no resync" in
+  (* Within one tree epoch: at most one time tree search may complete
+     between the rejoin and the recovery (the one in flight when the
+     station came back). *)
+  let tts_ends_between =
+    List.length
+      (List.filter
+         (function
+           | Ddcr_trace.Tts_end { time; _ } -> time > rejoin && time < resync
+           | _ -> false)
+         events)
+  in
+  Alcotest.(check bool) "within one tree epoch" true (tts_ends_between <= 1);
+  let summary = Ddcr_trace.summarize events in
+  Alcotest.(check int) "one crash" 1 summary.Ddcr_trace.crashes;
+  Alcotest.(check int) "one rejoin" 1 summary.Ddcr_trace.rejoins;
+  Alcotest.(check int) "one resync" 1 summary.Ddcr_trace.resyncs;
+  (match outcome.Run.faults with
+  | Some fs ->
+    let sf = List.nth fs.Run.f_per_source 1 in
+    Alcotest.(check bool) "crashed slots counted" true
+      (sf.Run.sf_crashed_slots > 0);
+    Alcotest.(check int) "resync counted" 1 sf.Run.sf_resyncs;
+    Alcotest.(check bool) "epochs recorded" true (fs.Run.f_epochs <> [])
+  | None -> Alcotest.fail "expected fault statistics");
+  let m = Run.metrics outcome in
+  Alcotest.(check int) "recovery metric" 1 m.Run.recoveries
+
+let test_misperception_desync_and_recovery () =
+  let spec = Fault_plan.misperceive 0.05 in
+  let outcome, events, _ = run_under_plan ~horizon:(40 * ms) spec in
+  let summary = Ddcr_trace.summarize events in
+  Alcotest.(check bool) "misperception caused divergence" true
+    (summary.Ddcr_trace.desyncs > 0);
+  Alcotest.(check int) "every divergence recovered"
+    summary.Ddcr_trace.desyncs summary.Ddcr_trace.resyncs;
+  let m = Run.metrics outcome in
+  Alcotest.(check bool) "misperceived slots counted" true (m.Run.misperceived > 0);
+  Alcotest.(check bool) "desync slots counted" true (m.Run.desync_slots > 0);
+  (* Desync events pair with a later Resync of the same source. *)
+  List.iter
+    (function
+      | Ddcr_trace.Desync { time; source } ->
+        let recovered =
+          List.exists
+            (function
+              | Ddcr_trace.Resync { time = t; source = s } ->
+                s = source && t >= time
+              | _ -> false)
+            events
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "source %d desynced at %d recovers" source time)
+          true recovered
+      | _ -> ())
+    events
+
+let test_all_stations_crash_cold_restart () =
+  let every_source_down =
+    List.fold_left
+      (fun acc s ->
+        Fault_plan.compose acc
+          (Fault_plan.crash ~source:s ~from_:(2 * ms) ~until:(4 * ms)))
+      Fault_plan.none [ 0; 1; 2 ]
+  in
+  let inst = Scenarios.trading ~gateways:3 in
+  let params = Ddcr_params.default inst in
+  let horizon = 10 * ms in
+  let trace = Instance.trace inst ~seed:3 ~horizon in
+  let record, finish = Ddcr_trace.collector () in
+  let plan = Fault_plan.create ~horizon ~seed:11 every_source_down in
+  let outcome =
+    Ddcr.run_trace ~check_lockstep:true ~on_event:record ~plan params inst
+      trace ~horizon
+  in
+  let summary = Ddcr_trace.summarize (finish ()) in
+  Alcotest.(check int) "all crashed" 3 summary.Ddcr_trace.crashes;
+  Alcotest.(check int) "all rejoined" 3 summary.Ddcr_trace.rejoins;
+  Alcotest.(check int) "all resynced (one cold restart + two copies)" 3
+    summary.Ddcr_trace.resyncs;
+  Alcotest.(check bool) "traffic resumed after the blackout" true
+    (List.exists
+       (fun c -> c.Run.c_start > 4 * ms)
+       outcome.Run.completions)
+
+let test_run_json_deterministic_under_plan () =
+  let spec =
+    Fault_plan.compose (Fault_plan.iid 0.1) (Fault_plan.misperceive 0.03)
+  in
+  let go () =
+    let outcome, _, _ = run_under_plan ~horizon:(20 * ms) spec in
+    Json.to_string (Run_json.outcome_to_json outcome)
+  in
+  Alcotest.(check string) "byte-identical replay" (go ()) (go ())
+
+let test_clean_plan_matches_planless_run () =
+  (* The empty plan must not perturb the simulation: same completions
+     as a run with no plan at all (only the [faults] block differs). *)
+  let inst = Scenarios.videoconference ~stations:4 in
+  let params = Ddcr_params.default inst in
+  let horizon = 20 * ms in
+  let trace = Instance.trace inst ~seed:9 ~horizon in
+  let bare = Ddcr.run_trace ~check_lockstep:true params inst trace ~horizon in
+  let plan = Fault_plan.create ~horizon ~seed:1 Fault_plan.none in
+  let clean =
+    Ddcr.run_trace ~check_lockstep:true ~plan params inst trace ~horizon
+  in
+  Alcotest.(check int) "same completions"
+    (List.length bare.Run.completions)
+    (List.length clean.Run.completions);
+  Alcotest.(check bool) "planless run reports no fault stats" true
+    (bare.Run.faults = None);
+  (match clean.Run.faults with
+  | Some fs ->
+    Alcotest.(check (list (pair int int))) "no fault epochs" [] fs.Run.f_epochs
+  | None -> Alcotest.fail "plan run must report fault stats");
+  Alcotest.(check string) "identical wire schedule"
+    (Json.to_string (Run_json.outcome_to_json { bare with Run.faults = None }))
+    (Json.to_string (Run_json.outcome_to_json { clean with Run.faults = None }))
+
+let suite =
+  [
+    ( "fault_plan",
+      [
+        Alcotest.test_case "validation rejects" `Quick test_validate_rejects;
+        Alcotest.test_case "validation accepts builtins" `Quick
+          test_validate_accepts_builtins;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "labels" `Quick test_labels;
+        Alcotest.test_case "compose overlays" `Quick test_compose_overlays;
+        Alcotest.test_case "draws deterministic" `Quick test_draws_deterministic;
+        Alcotest.test_case "alive windows" `Quick test_alive_windows;
+        Alcotest.test_case "safety under every builtin plan" `Slow
+          test_safety_under_every_builtin_plan;
+        Alcotest.test_case "crash recovers within one tree epoch" `Slow
+          test_crash_recovers_within_one_tree_epoch;
+        Alcotest.test_case "misperception desync and recovery" `Slow
+          test_misperception_desync_and_recovery;
+        Alcotest.test_case "all-stations crash cold restart" `Quick
+          test_all_stations_crash_cold_restart;
+        Alcotest.test_case "run json deterministic" `Quick
+          test_run_json_deterministic_under_plan;
+        Alcotest.test_case "clean plan matches planless run" `Quick
+          test_clean_plan_matches_planless_run;
+      ] );
+  ]

@@ -91,6 +91,46 @@ let test_mismatch_detected () =
        false
      with Harness.Mismatch _ -> true)
 
+let test_mismatch_diagnostic_format () =
+  (* The structured diagnostic carries slot, source and tag, and both
+     the formatter and the installed Printexc printer render them. *)
+  let m =
+    {
+      Harness.mm_slot = 4_640;
+      mm_source = 2;
+      mm_tag = 17;
+      mm_reason = "queue head is uid 3";
+    }
+  in
+  Alcotest.(check string) "message format"
+    "slot at t=4640: source 2, tag 17: queue head is uid 3"
+    (Harness.mismatch_message m);
+  Alcotest.(check string) "printexc printer installed"
+    ("Rtnet_mac.Harness.Mismatch: " ^ Harness.mismatch_message m)
+    (Printexc.to_string (Harness.Mismatch m));
+  (* And the harness raises with the offending coordinates filled in. *)
+  let bad_decide services ~now:_ =
+    match services.Harness.peek 0 with
+    | Some m ->
+      [
+        {
+          Channel.att_source = 0;
+          att_tag = m.Message.uid + 999;
+          att_bits = 1000;
+          att_key = (0, 0);
+        };
+      ]
+    | None -> []
+  in
+  match
+    Harness.run ~protocol:"bad" ~phy ~num_sources:1 ~horizon:10_000
+      ~decide:bad_decide ~after:passthrough_after [ msg 5 0 0 ]
+  with
+  | (_ : Rtnet_stats.Run.outcome) -> Alcotest.fail "expected Mismatch"
+  | exception Harness.Mismatch m ->
+    Alcotest.(check int) "source carried" 0 m.Harness.mm_source;
+    Alcotest.(check int) "tag carried" (5 + 999) m.Harness.mm_tag
+
 let test_drop_accounting () =
   (* A protocol that drops every message it sees instead of sending. *)
   let drop_decide services ~now:_ =
@@ -153,6 +193,8 @@ let suite =
         Alcotest.test_case "livelock reported" `Quick
           test_two_sources_livelock_without_backoff;
         Alcotest.test_case "mismatch detected" `Quick test_mismatch_detected;
+        Alcotest.test_case "mismatch diagnostic format" `Quick
+          test_mismatch_diagnostic_format;
         Alcotest.test_case "drop accounting" `Quick test_drop_accounting;
         Alcotest.test_case "horizon exclusion" `Quick
           test_arrivals_beyond_horizon_excluded;

@@ -20,7 +20,15 @@ let completion uid arrival deadline start finish =
   { Run.c_msg = msg uid arrival deadline; c_start = start; c_finish = finish }
 
 let outcome ?(unfinished = []) ?(dropped = []) ?(horizon = 100_000) completions =
-  { Run.protocol = "test"; completions; unfinished; dropped; horizon; channel = None }
+  {
+    Run.protocol = "test";
+    completions;
+    unfinished;
+    dropped;
+    horizon;
+    channel = None;
+    faults = None;
+  }
 
 let test_latency_lateness () =
   let c = completion 0 100 1000 (* DM 1100 *) 200 900 in
