@@ -7,7 +7,7 @@
 # committed golden report.
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
-  faults-smoke
+  faults-smoke telemetry-smoke
 
 all: build
 
@@ -34,6 +34,20 @@ faults-smoke: build
 	  -o _build/BENCH_fault_sweep.current.json \
 	  --baseline test/fixtures/BENCH_fault_sweep.json
 
+# End-to-end telemetry gate: record a DDCR run with the full probe
+# stack, export its Perfetto timeline, then validate it (JSON parses,
+# spans nest, every transmission span's class headroom >= 0) and run
+# a profiled 2-worker campaign whose worker timeline must validate
+# too.
+telemetry-smoke: build
+	dune exec bin/ddcr_sim.exe -- -s videoconference -n 4 --horizon-ms 2 \
+	  --telemetry --trace-out _build/telemetry_smoke.json > /dev/null
+	dune exec bin/ddcr_lint.exe -- --check-perfetto _build/telemetry_smoke.json
+	dune exec bin/ddcr_campaign.exe -- run smoke -j 2 --quiet --profile \
+	  --profile-trace _build/telemetry_workers.json \
+	  -o _build/BENCH_smoke.profile.json > /dev/null
+	dune exec bin/ddcr_lint.exe -- --check-perfetto _build/telemetry_workers.json
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -46,7 +60,7 @@ campaign-baseline: build
 
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
-	  && $(MAKE) faults-smoke
+	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke
 
 clean:
 	dune clean

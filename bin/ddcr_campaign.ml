@@ -21,6 +21,9 @@ module Spec = Rtnet_campaign.Spec
 module Runner = Rtnet_campaign.Runner
 module Report = Rtnet_campaign.Report
 module Pool = Rtnet_campaign.Pool
+module Sink = Rtnet_telemetry.Sink
+module Recorder = Rtnet_telemetry.Recorder
+module Registry = Rtnet_telemetry.Registry
 
 open Cmdliner
 
@@ -73,6 +76,34 @@ let max_cells =
 let quiet =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-cell progress lines.")
 
+let progress_flag =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a rich progress line to stderr after each completed cell: \
+           done/total, cell key, throughput (cells/s) and ETA.  Off by \
+           default, so default output stays byte-stable.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record campaign telemetry: a per-worker wall-clock profile \
+           (printed after the run) and a per-cell telemetry snapshot \
+           embedded in the report's DDCR cells (behind the optional \
+           'telemetry' key; fingerprints are unaffected).")
+
+let profile_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-trace" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--profile): write the wall-clock worker timeline as \
+           Chrome trace-event JSON (Perfetto-loadable) to $(docv).")
+
 let spec_of name spec_file =
   match (spec_file, name) with
   | Some f, _ -> Spec.load_file f
@@ -85,27 +116,69 @@ let spec_of name spec_file =
            n))
   | None, None -> Error "pass a builtin campaign name or --spec FILE"
 
-let options_of spec ~jobs ~out ~resume ~max_cells ~quiet =
+(* Builds the runner options and, when profiling, the telemetry
+   recorder fed by the pool's worker probes.  The rich --progress line
+   and the profile recorder share one wall-clock origin so throughput,
+   ETA and the worker timeline agree. *)
+let options_of spec ~jobs ~out ~resume ~max_cells ~quiet ~rich_progress
+    ~profile =
   let out =
     match out with
     | Some o -> o
     | None -> Printf.sprintf "BENCH_%s.json" spec.Spec.name
   in
+  let t0 = Unix.gettimeofday () in
   let progress =
-    if quiet then None
+    if rich_progress then
+      Some
+        (fun ~done_ ~total ~key ~elapsed_s:_ ->
+          let dt = Unix.gettimeofday () -. t0 in
+          let rate = if dt > 0. then float_of_int done_ /. dt else 0. in
+          let eta =
+            if rate > 0. then float_of_int (total - done_) /. rate else 0.
+          in
+          Printf.eprintf "progress %d/%d %s  %.1f cells/s  ETA %.0f s\n%!"
+            done_ total key rate eta)
+    else if quiet then None
     else
       Some
         (fun ~done_ ~total ~key ~elapsed_s ->
           Printf.eprintf "[%d/%d] %s (%.1f ms)\n%!" done_ total key
             (elapsed_s *. 1000.))
   in
-  {
-    (Runner.default_options ~out) with
-    Runner.jobs = (if jobs <= 0 then Pool.default_jobs () else jobs);
-    resume;
-    max_cells;
-    progress;
-  }
+  let recorder = if profile then Some (Recorder.create ~wall0:t0 ()) else None in
+  let sink =
+    match recorder with Some r -> Recorder.sink r | None -> Sink.null
+  in
+  ( {
+      (Runner.default_options ~out) with
+      Runner.jobs = (if jobs <= 0 then Pool.default_jobs () else jobs);
+      resume;
+      max_cells;
+      progress;
+      telemetry = profile;
+      sink;
+    },
+    recorder )
+
+(* Printed after a profiled campaign completes; the optional trace file
+   holds the wall-clock worker timeline for Perfetto. *)
+let emit_profile recorder profile_trace =
+  match recorder with
+  | None -> 0
+  | Some r ->
+    Format.printf "campaign profile:@.";
+    print_string (Registry.render (Recorder.snapshot r));
+    (match profile_trace with
+    | None -> 0
+    | Some path -> (
+      try
+        Rtnet_util.Json.to_file path (Recorder.trace_json r);
+        Format.printf "worker timeline written to %s@." path;
+        0
+      with Sys_error e ->
+        Format.eprintf "ddcr_campaign: cannot write worker timeline: %s@." e;
+        2))
 
 let report_error e =
   Format.eprintf "ddcr_campaign: %a@." Runner.pp_error e;
@@ -113,13 +186,17 @@ let report_error e =
 
 (* -------------------- run -------------------- *)
 
-let run_campaign name spec_file jobs out resume max_cells quiet =
+let run_campaign name spec_file jobs out resume max_cells quiet rich_progress
+    profile profile_trace =
   match spec_of name spec_file with
   | Error e ->
     Format.eprintf "ddcr_campaign: %s@." e;
     2
   | Ok spec -> (
-    let options = options_of spec ~jobs ~out ~resume ~max_cells ~quiet in
+    let options, recorder =
+      options_of spec ~jobs ~out ~resume ~max_cells ~quiet ~rich_progress
+        ~profile
+    in
     match Runner.run options spec with
     | Error e -> report_error e
     | Ok (Runner.Interrupted { completed; total }) ->
@@ -136,13 +213,13 @@ let run_campaign name spec_file jobs out resume max_cells quiet =
       Format.printf "report      %s@." options.Runner.out;
       Format.printf "spec hash   %s@." report.Report.spec_hash;
       Format.printf "fingerprint %s@." (Report.fingerprint report);
-      0)
+      emit_profile recorder profile_trace)
 
 let run_cmd =
   let term =
     Term.(
       const run_campaign $ campaign_name $ spec_file $ jobs $ out $ resume
-      $ max_cells $ quiet)
+      $ max_cells $ quiet $ progress_flag $ profile $ profile_trace)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a campaign and write its BENCH report")
@@ -183,8 +260,9 @@ let tol_delivered =
     & info [ "tol-delivered" ] ~docv:"N"
         ~doc:"Allowed absolute drop in per-cell deliveries.")
 
-let compare_campaign name spec_file jobs out resume max_cells quiet baseline
-    current tol_miss_ratio tol_latency_rel tol_delivered =
+let compare_campaign name spec_file jobs out resume max_cells quiet
+    rich_progress baseline current tol_miss_ratio tol_latency_rel
+    tol_delivered =
   let tolerance =
     { Report.tol_miss_ratio; tol_latency_rel; tol_delivered }
   in
@@ -197,7 +275,10 @@ let compare_campaign name spec_file jobs out resume max_cells quiet baseline
         | Some o -> Some o
         | None -> Some (Printf.sprintf "BENCH_%s.current.json" spec.Spec.name)
       in
-      let options = options_of spec ~jobs ~out ~resume ~max_cells ~quiet in
+      let options, _ =
+        options_of spec ~jobs ~out ~resume ~max_cells ~quiet ~rich_progress
+          ~profile:false
+      in
       match Runner.run options spec with
       | Error e -> Error (`Runner e)
       | Ok (Runner.Interrupted _) ->
@@ -240,7 +321,7 @@ let compare_cmd =
   let term =
     Term.(
       const compare_campaign $ campaign_name $ spec_file $ jobs $ out $ resume
-      $ max_cells $ quiet $ baseline $ current $ tol_miss_ratio
+      $ max_cells $ quiet $ progress_flag $ baseline $ current $ tol_miss_ratio
       $ tol_latency_rel $ tol_delivered)
   in
   Cmd.v

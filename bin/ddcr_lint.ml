@@ -80,6 +80,17 @@ let check_trace_file =
           "Parse a dumped trace fixture and run the invariant checker over \
            it (no simulation).")
 
+let check_perfetto_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-perfetto" ] ~docv:"FILE"
+        ~doc:
+          "Validate a Chrome trace-event JSON file written by ddcr_sim \
+           --trace-out: the JSON must parse, spans on every track must \
+           nest, and no transmission span may carry negative bound \
+           headroom.  Exit 0 if valid, 1 if not, 2 on parse failure.")
+
 let dump_trace_file =
   Arg.(
     value
@@ -152,8 +163,24 @@ let dump ~seed ~horizon params inst path =
 
 let main scenario size load deadline_windows indices burst theta allocation
     seed horizon_ms strict with_trace bounded max_m max_leaves all_scenarios
-    check_trace_file dump_trace_file sd sw =
+    check_trace_file check_perfetto_file dump_trace_file sd sw =
   let horizon = horizon_ms * 1_000_000 in
+  match check_perfetto_file with
+  | Some path -> (
+    match Rtnet_util.Json.parse_file path with
+    | Error e ->
+      Format.eprintf "ddcr_lint: cannot parse %s: %s@." path e;
+      2
+    | Ok j -> (
+      match Rtnet_telemetry.Trace_event.validate j with
+      | Ok spans ->
+        Format.printf "perfetto trace %s: %d spans, nesting and headroom ok@."
+          path spans;
+        0
+      | Error e ->
+        Format.eprintf "ddcr_lint: %s: %s@." path e;
+        1))
+  | None -> (
   match check_trace_file with
   | Some path -> (
     match Trace_io.parse_file path with
@@ -206,7 +233,7 @@ let main scenario size load deadline_windows indices burst theta allocation
         end
         else []
       in
-      Diagnostic.exit_code (scenario_diags @ bounded_diags))
+      Diagnostic.exit_code (scenario_diags @ bounded_diags)))
 
 let cmd =
   let term =
@@ -216,7 +243,8 @@ let cmd =
       $ Cli_common.burst_bits $ Cli_common.theta $ Cli_common.allocation
       $ Cli_common.seed $ Cli_common.horizon_ms $ strict $ with_trace
       $ bounded $ max_m $ max_leaves $ all_scenarios $ check_trace_file
-      $ dump_trace_file $ scale_deadlines $ scale_windows)
+      $ check_perfetto_file $ dump_trace_file $ scale_deadlines
+      $ scale_windows)
   in
   Cmd.v
     (Cmd.info "ddcr_lint"

@@ -18,6 +18,10 @@ module Dcr = Rtnet_baselines.Csma_dcr
 module Tdma = Rtnet_baselines.Tdma
 module Np_edf = Rtnet_edf.Np_edf
 module Ddcr_trace = Rtnet_core.Ddcr_trace
+module Sink = Rtnet_telemetry.Sink
+module Recorder = Rtnet_telemetry.Recorder
+module Registry = Rtnet_telemetry.Registry
+module Headroom = Rtnet_telemetry.Headroom
 
 open Cmdliner
 
@@ -53,10 +57,51 @@ let lockstep =
     & info [ "lockstep" ]
         ~doc:"Assert replica lockstep after every slot (slower).")
 
-let run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event =
+let telemetry_flag =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Record telemetry on the DDCR run and print the metrics registry \
+           plus the per-class bound-headroom table.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the DDCR run's timeline as Chrome trace-event JSON \
+           (Perfetto-loadable) to $(docv); implies telemetry recording.")
+
+let headroom_flag =
+  Arg.(
+    value & flag
+    & info [ "headroom" ]
+        ~doc:
+          "Print the per-class bound-headroom table (observed worst access \
+           delay vs. the analytic B_DDCR/B_impl bounds) for the DDCR run.")
+
+(* Same analytic bounds the feasibility checker reports, reshaped for
+   the recorder's per-class annotations. *)
+let bounds_for params inst =
+  List.map
+    (fun cr ->
+      {
+        Headroom.b_cls = cr.Feasibility.cr_cls.Message.cls_id;
+        b_name = cr.Feasibility.cr_cls.Message.cls_name;
+        b_deadline = cr.Feasibility.cr_cls.Message.cls_deadline;
+        b_bound = cr.Feasibility.cr_bound;
+        b_bound_impl = cr.Feasibility.cr_bound_impl;
+      })
+    (Feasibility.check params inst).Feasibility.per_class
+
+let run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event ~sink
+    =
   match name with
   | "ddcr" ->
-    Ddcr.run_trace ~check_lockstep:lockstep ?on_event params inst trace ~horizon
+    Ddcr.run_trace ~check_lockstep:lockstep ?on_event ~sink params inst trace
+      ~horizon
   | "beb" -> Beb.run_trace ~seed inst trace ~horizon
   | "dcr" -> Dcr.run_trace (Dcr.of_ddcr params) inst trace ~horizon
   | "tdma" -> Tdma.run_trace inst trace ~horizon
@@ -65,7 +110,7 @@ let run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event =
 
 let main scenario size load deadline_windows seed horizon_ms indices burst
     theta allocation adversary protocol per_class histogram trace_summary
-    lockstep =
+    lockstep telemetry trace_out headroom =
   let inst =
     Cli_common.instance_of ~scenario ~size ~load ~deadline_windows
   in
@@ -87,14 +132,34 @@ let main scenario size load deadline_windows seed horizon_ms indices burst
     if protocol = "all" then [ "ddcr"; "beb"; "dcr"; "tdma"; "oracle" ]
     else [ protocol ]
   in
+  let want_telemetry = telemetry || headroom || trace_out <> None in
+  let rc = ref 0 in
+  if want_telemetry && not (List.mem "ddcr" names) then begin
+    Format.eprintf
+      "ddcr_sim: --telemetry/--trace-out/--headroom record the DDCR run; \
+       protocol %S never runs it@."
+      protocol;
+    rc := 1
+  end;
   List.iter
     (fun name ->
       let recorder =
         if trace_summary && name = "ddcr" then Some (Ddcr_trace.collector ())
         else None
       in
+      let tele =
+        if want_telemetry && name = "ddcr" then
+          Some (Recorder.create ~bounds:(bounds_for params inst) ())
+        else None
+      in
+      let sink =
+        match tele with Some r -> Recorder.sink r | None -> Sink.null
+      in
       let on_event = Option.map fst recorder in
-      let o = run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event in
+      let o =
+        run_one ~name ~inst ~params ~trace ~horizon ~seed ~lockstep ~on_event
+          ~sink
+      in
       Format.printf "%-14s %a@." o.Run.protocol Run.pp_metrics (Run.metrics o);
       (match recorder with
       | Some (_, finish) ->
@@ -126,9 +191,29 @@ let main scenario size load deadline_windows seed horizon_ms indices burst
             Format.printf "  %-12s worst %10d  B_DDCR %12.0f@."
               c.Message.cls_name worst
               (Feasibility.latency_bound params inst c))
-          (Run.per_class_worst_latency o))
+          (Run.per_class_worst_latency o);
+      match tele with
+      | None -> ()
+      | Some r ->
+        if telemetry then begin
+          Format.printf "telemetry registry:@.";
+          print_string (Registry.render (Recorder.snapshot r))
+        end;
+        if telemetry || headroom then begin
+          Format.printf "bound headroom (bit-times):@.";
+          print_string (Headroom.render (Recorder.headroom_table r))
+        end;
+        (match trace_out with
+        | None -> ()
+        | Some path -> (
+          try
+            Rtnet_util.Json.to_file path (Recorder.trace_json r);
+            Format.printf "telemetry trace written to %s@." path
+          with Sys_error e ->
+            Format.eprintf "ddcr_sim: cannot write trace: %s@." e;
+            rc := 1)))
     names;
-  0
+  !rc
 
 let cmd =
   let term =
@@ -137,7 +222,8 @@ let cmd =
       $ Cli_common.deadline_windows $ Cli_common.seed $ Cli_common.horizon_ms
       $ Cli_common.indices_per_source $ Cli_common.burst_bits
       $ Cli_common.theta $ Cli_common.allocation $ Cli_common.adversary
-      $ protocol $ per_class $ histogram $ trace_summary $ lockstep)
+      $ protocol $ per_class $ histogram $ trace_summary $ lockstep
+      $ telemetry_flag $ trace_out $ headroom_flag)
   in
   Cmd.v
     (Cmd.info "ddcr_sim" ~doc:"Simulate HRTDM scenarios under MAC protocols")

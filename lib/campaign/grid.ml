@@ -1,6 +1,11 @@
 module Json = Rtnet_util.Json
 module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
 module Channel = Rtnet_channel.Channel
+module Feasibility = Rtnet_core.Feasibility
+module Recorder = Rtnet_telemetry.Recorder
+module Registry = Rtnet_telemetry.Registry
+module Headroom = Rtnet_telemetry.Headroom
 module Run = Rtnet_stats.Run
 module Run_json = Rtnet_stats.Run_json
 module Ddcr = Rtnet_core.Ddcr
@@ -76,6 +81,7 @@ type result_ = {
   r_metrics : Run.metrics;
   r_channel : Channel.stats option;
   r_elapsed_s : float;
+  r_telemetry : Json.t option;
 }
 
 let params_for variant inst =
@@ -84,7 +90,23 @@ let params_for variant inst =
        variant.Spec.v_burst_bits)
     variant.Spec.v_theta
 
-let run_cell spec c =
+(* Analytic per-class bounds for the cell's exact configuration — the
+   recorder annotates each transmission span and the headroom gauges
+   with them. *)
+let bounds_for params inst =
+  let report = Feasibility.check params inst in
+  List.map
+    (fun cr ->
+      {
+        Headroom.b_cls = cr.Feasibility.cr_cls.Message.cls_id;
+        b_name = cr.Feasibility.cr_cls.Message.cls_name;
+        b_deadline = cr.Feasibility.cr_cls.Message.cls_deadline;
+        b_bound = cr.Feasibility.cr_bound;
+        b_bound_impl = cr.Feasibility.cr_bound_impl;
+      })
+    report.Feasibility.per_class
+
+let run_cell ?(telemetry = false) spec c =
   let t0 = Unix.gettimeofday () in
   let inst = Spec.instance c.scenario in
   let horizon = spec.Spec.horizon_ms * 1_000_000 in
@@ -103,10 +125,24 @@ let run_cell spec c =
       (fun sp -> Rtnet_channel.Fault_plan.create ~horizon ~seed:c.fault_seed sp)
       c.variant.Spec.v_fault_plan
   in
+  (* Telemetry is recorded for DDCR cells only — the probes live in
+     the DDCR simulator; baseline cells ignore the flag. *)
+  let recorder =
+    if telemetry && c.protocol = Spec.Ddcr then
+      Some
+        (Recorder.create ~bounds:(bounds_for (params_for c.variant inst) inst)
+           ())
+    else None
+  in
   let outcome =
     match c.protocol with
     | Spec.Ddcr ->
-      Ddcr.run_trace ?fault ?plan (params_for c.variant inst) inst trace
+      let sink =
+        match recorder with
+        | Some r -> Recorder.sink r
+        | None -> Rtnet_telemetry.Sink.null
+      in
+      Ddcr.run_trace ?fault ?plan ~sink (params_for c.variant inst) inst trace
         ~horizon
     | Spec.Beb ->
       Beb.run_trace ?fault ?plan ~seed:c.protocol_seed inst trace ~horizon
@@ -119,18 +155,30 @@ let run_cell spec c =
     r_metrics = Run.metrics outcome;
     r_channel = outcome.Run.channel;
     r_elapsed_s = Unix.gettimeofday () -. t0;
+    r_telemetry =
+      Option.map
+        (fun r ->
+          Json.Obj
+            [
+              ("registry", Registry.snapshot_to_json (Recorder.snapshot r));
+              ("headroom", Headroom.to_json (Recorder.headroom_table r));
+            ])
+        recorder;
   }
 
 let result_to_json r =
   Json.Obj
-    [
-      ("metrics", Run_json.metrics_to_json r.r_metrics);
-      ( "channel",
-        match r.r_channel with
-        | None -> Json.Null
-        | Some st -> Run_json.channel_stats_to_json st );
-      ("elapsed_s", Json.Float r.r_elapsed_s);
-    ]
+    ([
+       ("metrics", Run_json.metrics_to_json r.r_metrics);
+       ( "channel",
+         match r.r_channel with
+         | None -> Json.Null
+         | Some st -> Run_json.channel_stats_to_json st );
+       ("elapsed_s", Json.Float r.r_elapsed_s);
+     ]
+    (* Emitted only when present, so pre-telemetry reports (and their
+       fingerprints) are byte-identical. *)
+    @ match r.r_telemetry with None -> [] | Some t -> [ ("telemetry", t) ])
 
 let result_of_json j =
   let* mj = Json.field "metrics" j in
@@ -145,7 +193,13 @@ let result_of_json j =
     | None -> Ok 0.
     | Some v -> Json.get_float v
   in
-  Ok { r_metrics = metrics; r_channel = channel; r_elapsed_s = elapsed }
+  Ok
+    {
+      r_metrics = metrics;
+      r_channel = channel;
+      r_elapsed_s = elapsed;
+      r_telemetry = Json.member "telemetry" j;
+    }
 
 (* The fail-fast gate: lint every (scenario, variant) DDCR configuration
    of the sweep before forking any worker.  The linter's oracle-aware

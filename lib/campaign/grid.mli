@@ -42,12 +42,19 @@ type result_ = {
       (** medium counters ([None] for the oracle, which has none) *)
   r_elapsed_s : float;  (** wall-clock cell runtime (excluded from
                             determinism comparisons) *)
+  r_telemetry : Rtnet_util.Json.t option;
+      (** telemetry snapshot (registry + per-class headroom), recorded
+          only for DDCR cells run with [telemetry:true]; serialized
+          behind an optional key, so reports without it are
+          byte-identical to pre-telemetry ones *)
 }
 
-val run_cell : Spec.t -> cell -> result_
+val run_cell : ?telemetry:bool -> Spec.t -> cell -> result_
 (** [run_cell spec c] builds the instance, generates the seeded trace
     and runs the cell's protocol to the spec horizon.  Deterministic
-    up to [r_elapsed_s]. *)
+    up to [r_elapsed_s].  With [telemetry] (default [false]), a DDCR
+    cell additionally records a {!Rtnet_telemetry.Recorder} snapshot
+    into [r_telemetry]; the snapshot itself is deterministic. *)
 
 val result_to_json : result_ -> Rtnet_util.Json.t
 

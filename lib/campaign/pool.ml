@@ -1,4 +1,5 @@
-type 'b event = Result of int * 'b | Failed of int * string
+type timing = { worker : int; t0 : float; t1 : float }
+type 'b event = Result of int * timing * 'b | Failed of int * timing * string
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -49,15 +50,20 @@ let drain_frames inbox emit =
 (* Tasks arrive as [(position, task)] pairs so a retry round can run a
    compacted array of survivors while still reporting the original
    positions. *)
-let run_worker ~tasks ~jobs ~rank ~fd f =
+let run_worker ~tasks ~jobs ~rank ~worker_id ~fd f =
   let n = Array.length tasks in
   let i = ref rank in
   while !i < n do
     let pos, task = tasks.(!i) in
+    (* Wall-clock is measured in the worker, around [f] alone, so the
+       coordinator's timeline reflects compute time, not pipe latency. *)
+    let t0 = Unix.gettimeofday () in
+    let timing t1 = { worker = worker_id; t0; t1 } in
     let ev =
       match f task with
-      | v -> Result (pos, v)
-      | exception e -> Failed (pos, Printexc.to_string e)
+      | v -> Result (pos, timing (Unix.gettimeofday ()), v)
+      | exception e ->
+        Failed (pos, timing (Unix.gettimeofday ()), Printexc.to_string e)
     in
     write_all fd (frame ev);
     i := !i + jobs
@@ -79,8 +85,10 @@ let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =
       match max_results with None -> expected | Some m -> min m expected
     in
     (* One fork-and-drain round over [(position, task)] pairs.  Returns
-       the pids of workers that exited abnormally. *)
-    let round ~jobs indexed =
+       the pids of workers that exited abnormally.  [worker_base]
+       offsets the worker ids events report (the retry round's spare
+       worker gets id [jobs], distinguishing it on profiles). *)
+    let round ~jobs ?(worker_base = 0) indexed =
       let jobs = min jobs (Array.length indexed) in
       (* Flush before forking so buffered output is not duplicated into
          the children. *)
@@ -95,7 +103,10 @@ let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =
                  skips at_exit handlers and buffered channels inherited
                  from the coordinator. *)
               Unix.close r;
-              (match run_worker ~tasks:indexed ~jobs ~rank ~fd:w f with
+              (match
+                 run_worker ~tasks:indexed ~jobs ~rank
+                   ~worker_id:(worker_base + rank) ~fd:w f
+               with
               | () -> Unix._exit 0
               | exception _ -> Unix._exit 2)
             | pid ->
@@ -124,7 +135,8 @@ let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =
                 drain_frames ib (fun ev ->
                     if not !stopped then begin
                       (match ev with
-                      | Result (pos, _) | Failed (pos, _) -> seen.(pos) <- true);
+                      | Result (pos, _, _) | Failed (pos, _, _) ->
+                        seen.(pos) <- true);
                       incr collected;
                       on_event ev;
                       if !collected >= target then stopped := true
@@ -163,7 +175,7 @@ let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =
       in
       on_retry missing;
       let crashed =
-        round ~jobs:1
+        round ~jobs:1 ~worker_base:jobs
           (Array.of_list (List.map (fun i -> (i, tasks.(i))) missing))
       in
       if (not !stopped) && !collected < expected then

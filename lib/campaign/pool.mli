@@ -23,9 +23,23 @@
     on a single spare worker.  Only a second failure raises [Failure]
     in the coordinator. *)
 
+type timing = {
+  worker : int;
+      (** worker id: the first round's rank, or [jobs] for the retry
+          round's spare worker *)
+  t0 : float;  (** wall-clock start of the task, Unix epoch seconds *)
+  t1 : float;  (** wall-clock end of the task *)
+}
+(** Worker-side measurement around one task — the telemetry probe the
+    campaign profiler renders as a wall-clock timeline.  Measured in
+    the worker around the task function alone, so pipe and coordinator
+    latency never inflate it. *)
+
 type 'b event =
-  | Result of int * 'b  (** task position, worker's return value *)
-  | Failed of int * string  (** task position, exception text *)
+  | Result of int * timing * 'b
+      (** task position, timing, worker's return value *)
+  | Failed of int * timing * string
+      (** task position, timing, exception text *)
 
 val default_jobs : unit -> int
 (** [default_jobs ()] is the machine's recommended parallelism

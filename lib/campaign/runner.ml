@@ -1,4 +1,5 @@
 module Diagnostic = Rtnet_analysis.Diagnostic
+module Sink = Rtnet_telemetry.Sink
 
 type options = {
   jobs : int;
@@ -8,6 +9,8 @@ type options = {
   max_cells : int option;
   progress : (done_:int -> total:int -> key:string -> elapsed_s:float -> unit)
              option;
+  telemetry : bool;
+  sink : Sink.t;
 }
 
 let default_options ~out =
@@ -18,7 +21,13 @@ let default_options ~out =
     resume = false;
     max_cells = None;
     progress = None;
+    telemetry = false;
+    sink = Sink.null;
   }
+
+let order_failures l =
+  List.map snd
+    (List.sort (fun (a, _) (b, _) -> compare (a : int) b) l)
 
 type error =
   | Invalid_spec of string
@@ -107,17 +116,26 @@ let run options spec =
       let path = journal_path options in
       let oc = Checkpoint.open_for_append ~path ~spec in
       let failures = ref [] in
+      let worker_probe tm key ok =
+        if options.sink.Sink.enabled then
+          options.sink.Sink.worker_cell ~worker:tm.Pool.worker ~key
+            ~t0:tm.Pool.t0 ~t1:tm.Pool.t1 ~ok
+      in
       let on_event = function
-        | Pool.Result (i, r) ->
+        | Pool.Result (i, tm, r) ->
           let c = pending.(i) in
           let key = Grid.key c in
+          worker_probe tm key true;
           Checkpoint.append oc ~index:c.Grid.index ~key
             (Grid.result_to_json r);
           Hashtbl.replace results c.Grid.index r;
           report_progress key r.Grid.r_elapsed_s
-        | Pool.Failed (i, msg) ->
-          failures :=
-            Printf.sprintf "%s: %s" (Grid.key pending.(i)) msg :: !failures
+        | Pool.Failed (i, tm, msg) ->
+          let key = Grid.key pending.(i) in
+          worker_probe tm key false;
+          (* Keyed by submission position: events arrive in frame
+             order, but failures are reported in submission order. *)
+          failures := (i, Printf.sprintf "%s: %s" key msg) :: !failures
       in
       let on_retry missing =
         (* Journal the cells a dead worker never delivered before the
@@ -133,7 +151,9 @@ let run options spec =
       in
       let run_pool () =
         Pool.map ~jobs:options.jobs ?max_results:options.max_cells ~on_retry
-          ~on_event (Grid.run_cell spec) pending
+          ~on_event
+          (Grid.run_cell ~telemetry:options.telemetry spec)
+          pending
       in
       let r =
         match run_pool () with
@@ -144,7 +164,7 @@ let run options spec =
       let* () = r in
       match !failures with
       | [] -> Ok ()
-      | fs -> Error (Worker_failure (String.concat "; " (List.rev fs)))
+      | fs -> Error (Worker_failure (String.concat "; " (order_failures fs)))
     end
   in
   if Hashtbl.length results < total then

@@ -24,11 +24,25 @@ type options = {
           place — the interrupted-campaign test hook *)
   progress : (done_:int -> total:int -> key:string -> elapsed_s:float -> unit)
              option;  (** per-cell completion callback *)
+  telemetry : bool;
+      (** have each DDCR cell record a telemetry snapshot, embedded in
+          the report behind the optional ["telemetry"] key (absent
+          when off, so report fingerprints are unchanged) *)
+  sink : Rtnet_telemetry.Sink.t;
+      (** coordinator-side sink; receives one [worker_cell] probe per
+          pool event (the wall-clock worker timeline) *)
 }
 
 val default_options : out:string -> options
 (** [jobs = Pool.default_jobs ()], journal derived from [out], no
-    resume, no cap, no progress callback. *)
+    resume, no cap, no progress callback, telemetry off,
+    [Sink.null]. *)
+
+val order_failures : (int * string) list -> string list
+(** [order_failures l] sorts [(submission position, message)] pairs by
+    position and returns the messages — worker failures arrive in
+    frame order (an arbitrary interleaving), but are reported in
+    submission order. *)
 
 type error =
   | Invalid_spec of string

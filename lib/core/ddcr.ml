@@ -2,6 +2,7 @@ module Message = Rtnet_workload.Message
 module Instance = Rtnet_workload.Instance
 module Channel = Rtnet_channel.Channel
 module Phy = Rtnet_channel.Phy
+module Sink = Rtnet_telemetry.Sink
 
 exception Protocol_violation of string
 
@@ -246,8 +247,8 @@ module Automaton = struct
     t.last_out <- false
 end
 
-let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
-    inst trace
+let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze
+    ?(sink = Sink.null) params inst trace
     ~horizon =
   (match Ddcr_params.validate params ~num_sources:inst.Instance.num_sources with
   | Ok () -> ()
@@ -261,6 +262,12 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
   let synced = Array.make z true in
   let prev_alive = Array.make z true in
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
+  let telemetry = sink.Sink.enabled in
+  (* Open tree-search spans (start bit-time, -1 when closed), for the
+     telemetry [search] probe. *)
+  let tts_start = ref (-1) in
+  let sts_start = ref (-1) in
+  let sts_sent = ref false in
   let via_of_phase = function
     | "free" -> Ddcr_trace.Free_csma
     | "attempt" -> Ddcr_trace.Open_attempt
@@ -332,6 +339,13 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
     in
     let pre_phase = Automaton.phase_name ref_pre in
     let slot = Channel.slot_bits services.Rtnet_mac.Harness.channel in
+    if telemetry && pre_phase = "sts" then begin
+      match resolution with
+      | Channel.Tx _ | Channel.Clash { survivor = Some _; _ } ->
+        sts_sent := true
+      | Channel.Idle | Channel.Garbled _ | Channel.Clash { survivor = None; _ }
+        -> ()
+    end;
     (* Slot events, classified by the phase the slot was spent in. *)
     (match resolution with
     | Channel.Idle ->
@@ -457,32 +471,57 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
         autos
     end;
     let ref_post = pick_reference services in
-    (match on_event with
-    | None -> ()
-    | Some _ -> (
-      (* Phase-transition events, derived from the reference replica. *)
-      match ref_post with
-      | None -> ()
-      | Some a0 -> (
-        let post_phase = Automaton.phase_name a0 in
-        match (pre_phase, post_phase) with
-        | ("free" | "attempt"), "tts" ->
-          emit
-            (Ddcr_trace.Tts_begin { time = next_free; reft = Automaton.reft a0 })
-        | "tts", "sts" ->
-          let leaf = Option.value ~default:(-1) (Automaton.sts_leaf a0) in
-          emit (Ddcr_trace.Sts_begin { time = next_free; time_leaf = leaf })
-        | "sts", "tts" -> emit (Ddcr_trace.Sts_end { time = next_free })
-        | "sts", "attempt" ->
-          emit (Ddcr_trace.Sts_end { time = next_free });
-          emit
-            (Ddcr_trace.Tts_end
-               { time = next_free; sent = Automaton.last_tts_sent a0 })
-        | "tts", "attempt" ->
-          emit
-            (Ddcr_trace.Tts_end
-               { time = next_free; sent = Automaton.last_tts_sent a0 })
-        | _, _ -> ())));
+    (if on_event <> None || telemetry then
+       (* Phase-transition events, derived from the reference replica. *)
+       match ref_post with
+       | None -> ()
+       | Some a0 -> (
+         let post_phase = Automaton.phase_name a0 in
+         let close_tts () =
+           let sent = Automaton.last_tts_sent a0 in
+           emit (Ddcr_trace.Tts_end { time = next_free; sent });
+           if telemetry then begin
+             if !tts_start >= 0 then
+               sink.Sink.search ~tree:Sink.Time_tree ~start:!tts_start
+                 ~finish:next_free ~sent;
+             tts_start := -1;
+             (* An unproductive TTs compresses time: reft jumped ahead
+                by θ without consuming slots (Section 4.3). *)
+             let theta = params.Ddcr_params.theta in
+             if (not sent) && theta > 0 then
+               sink.Sink.jump ~now:next_free
+                 ~reft_from:(Automaton.reft a0 - theta)
+                 ~reft_to:(Automaton.reft a0)
+           end
+         in
+         let close_sts () =
+           emit (Ddcr_trace.Sts_end { time = next_free });
+           if telemetry then begin
+             if !sts_start >= 0 then
+               sink.Sink.search ~tree:Sink.Static_tree ~start:!sts_start
+                 ~finish:next_free ~sent:!sts_sent;
+             sts_start := -1;
+             sts_sent := false
+           end
+         in
+         match (pre_phase, post_phase) with
+         | ("free" | "attempt"), "tts" ->
+           emit
+             (Ddcr_trace.Tts_begin { time = next_free; reft = Automaton.reft a0 });
+           if telemetry then tts_start := next_free
+         | "tts", "sts" ->
+           let leaf = Option.value ~default:(-1) (Automaton.sts_leaf a0) in
+           emit (Ddcr_trace.Sts_begin { time = next_free; time_leaf = leaf });
+           if telemetry then begin
+             sts_start := next_free;
+             sts_sent := false
+           end
+         | "sts", "tts" -> close_sts ()
+         | "sts", "attempt" ->
+           close_sts ();
+           close_tts ()
+         | "tts", "attempt" -> close_tts ()
+         | _, _ -> ()));
     (* Recovery.  A listen-only station re-acquires the shared state at
        the next tree-epoch boundary: the reference replica must be in
        free/attempt (no tree-search state to copy mid-flight).  If no
@@ -539,11 +578,11 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze params
     end;
     next_free
   in
-  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?plan ?analyze
+  Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?plan ?analyze ~sink
     ~phy:inst.Instance.phy ~num_sources:z ~horizon ~decide ~after trace
 
-let run ?check_lockstep ?on_event ?fault ?plan ?analyze ?(seed = 1) params inst
-    ~horizon =
-  run_trace ?check_lockstep ?on_event ?fault ?plan ?analyze params inst
+let run ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink ?(seed = 1)
+    params inst ~horizon =
+  run_trace ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink params inst
     (Instance.trace inst ~seed ~horizon)
     ~horizon

@@ -98,6 +98,7 @@ val run_trace :
   ?fault:Rtnet_channel.Channel.fault ->
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
+  ?sink:Rtnet_telemetry.Sink.t ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->
   Rtnet_workload.Message.t list ->
@@ -139,6 +140,11 @@ val run_trace :
 
     [fault] and [plan] are mutually exclusive; the outcome's [faults]
     statistics are [Some] iff [plan] was given.
+
+    [sink] (default {!Rtnet_telemetry.Sink.null}) receives, on top of
+    the harness probes, the DDCR-specific ones: one [search] span per
+    completed TTs/STs descent and one [jump] per compressed-time θ
+    advance (an unproductive TTs).
     @raise Invalid_argument if [params] fail validation for [inst].
     @raise Protocol_violation on inconsistent channel feedback. *)
 
@@ -148,6 +154,7 @@ val run :
   ?fault:Rtnet_channel.Channel.fault ->
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
+  ?sink:Rtnet_telemetry.Sink.t ->
   ?seed:int ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->

@@ -4,6 +4,7 @@ module Fault_plan = Rtnet_channel.Fault_plan
 module Edf_queue = Rtnet_edf.Edf_queue
 module Run = Rtnet_stats.Run
 module Engine = Rtnet_sim.Engine
+module Sink = Rtnet_telemetry.Sink
 
 type services = {
   channel : Channel.t;
@@ -101,8 +102,9 @@ let misperceived_view (resolution : Channel.resolution) =
     ->
     resolution
 
-let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
-    ~decide ~after trace =
+let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null) ~phy
+    ~num_sources ~horizon ~decide ~after trace =
+  let telemetry = sink.Sink.enabled in
   let channel = Channel.create ?fault ?plan phy in
   let queues = Array.make num_sources Edf_queue.empty in
   let completions = ref [] in
@@ -121,6 +123,7 @@ let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
       | m :: rest when m.Message.arrival <= now ->
         let s = m.Message.cls.Message.cls_source in
         queues.(s) <- Edf_queue.insert queues.(s) m;
+        if telemetry then sink.Sink.enqueue ~now ~msg:m;
         go rest
       | rest -> arrivals := rest
     in
@@ -161,10 +164,14 @@ let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
           | None -> None);
       complete =
         (fun m ~start ~finish ->
+          if telemetry then sink.Sink.complete ~msg:m ~start ~finish;
           completions :=
             { Run.c_msg = m; c_start = start; c_finish = finish }
             :: !completions);
-      drop = (fun m -> dropped := m :: !dropped);
+      drop =
+        (fun m ->
+          if telemetry then sink.Sink.drop ~msg:m;
+          dropped := m :: !dropped);
       deliver_until = (fun time -> deliver time);
       alive = (fun src -> alive_now.(src));
       observed = (fun src -> observed_now.(src));
@@ -200,7 +207,11 @@ let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
              mm_reason = "transmitted from an empty queue";
            })
   in
-  let engine = Engine.create () in
+  let engine =
+    if telemetry then
+      Engine.create ~on_step:(fun ~time -> sink.Sink.engine_event ~time) ()
+    else Engine.create ()
+  in
   let rec slot eng =
     let now = Engine.now eng in
     deliver now;
@@ -226,6 +237,7 @@ let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
         List.filter (fun a -> alive_now.(a.Channel.att_source)) attempts
     in
     let resolution, next_free = Channel.contend channel ~now attempts in
+    if telemetry then sink.Sink.slot ~now ~next_free ~resolution;
     (match plan with
     | None ->
       (* No plan: every source observes the wire. *)
@@ -297,6 +309,10 @@ let run ~protocol ?fault ?plan ?(analyze = true) ~phy ~num_sources ~horizon
       (match !epoch_open with
       | Some span -> epochs := span :: !epochs
       | None -> ());
+      if telemetry then
+        List.iter
+          (fun (start, finish) -> sink.Sink.epoch ~start ~finish)
+          (List.rev !epochs);
       Some
         {
           Run.f_per_source =

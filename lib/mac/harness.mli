@@ -90,6 +90,7 @@ val run :
   ?fault:Rtnet_channel.Channel.fault ->
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
+  ?sink:Rtnet_telemetry.Sink.t ->
   phy:Rtnet_channel.Phy.t ->
   num_sources:int ->
   horizon:int ->
@@ -136,6 +137,13 @@ val run :
     safety net; the richer protocol-trace obligations (nesting,
     timeliness, ξ bounds) live in [Rtnet_analysis.Trace_check], which
     sits above this library.
+
+    [sink] (default {!Rtnet_telemetry.Sink.null}) receives the
+    harness-level probes: [enqueue] on queue insertion, [slot] after
+    every channel resolution, [complete]/[drop] on message service,
+    [engine_event] per engine dispatch, and [epoch] for each merged
+    fault epoch at the end of the run.  With the null sink every probe
+    is a single boolean test.
 
     @raise Mismatch on tag/queue-head disagreement.
     @raise Failure if the channel safety check or the [analyze]

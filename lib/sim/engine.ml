@@ -2,9 +2,13 @@ type t = {
   mutable clock : int;
   queue : (t -> unit) Event_queue.t;
   mutable processed : int;
+  on_step : time:int -> unit;
 }
 
-let create () = { clock = 0; queue = Event_queue.create (); processed = 0 }
+let nop_on_step ~time:_ = ()
+
+let create ?(on_step = nop_on_step) () =
+  { clock = 0; queue = Event_queue.create (); processed = 0; on_step }
 
 let now eng = eng.clock
 
@@ -22,6 +26,7 @@ let step eng =
   | Some (time, k) ->
     eng.clock <- time;
     eng.processed <- eng.processed + 1;
+    eng.on_step ~time;
     k eng;
     true
 

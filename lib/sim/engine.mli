@@ -12,8 +12,12 @@
 type t
 (** Engine state: clock plus pending-event queue. *)
 
-val create : unit -> t
-(** [create ()] is an engine at time 0 with no pending events. *)
+val create : ?on_step:(time:int -> unit) -> unit -> t
+(** [create ()] is an engine at time 0 with no pending events.
+    [on_step], if given, observes every dispatched event (called with
+    the event's time just before its callback runs) — the telemetry
+    probe point.  The engine deliberately knows nothing of the sink
+    type; callers bridge. *)
 
 val now : t -> int
 (** [now eng] is the current virtual time. *)

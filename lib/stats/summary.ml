@@ -57,33 +57,73 @@ let pp fmt s =
     s.p50 s.p90 s.p99 s.max s.mean s.stddev
 
 module Histogram = struct
-  type h = { lo : int; width : int; tally : int array }
+  type scale = Linear of { lo : int; width : int } | Log2
+
+  type h = { scale : scale; tally : int array }
+
+  (* 62 buckets cover every non-negative OCaml int: bucket 0 holds
+     v <= 1, bucket k >= 1 holds [2^k, 2^(k+1)). *)
+  let log2_buckets = 62
 
   let create ~lo ~hi ~buckets =
     if hi <= lo then invalid_arg "Histogram.create: empty range";
     if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
     let width = max 1 ((hi - lo + buckets - 1) / buckets) in
-    { lo; width; tally = Array.make buckets 0 }
+    { scale = Linear { lo; width }; tally = Array.make buckets 0 }
 
-  let add h v =
-    let b = (v - h.lo) / h.width in
-    let b = max 0 (min (Array.length h.tally - 1) b) in
-    h.tally.(b) <- h.tally.(b) + 1
+  let create_log2 () = { scale = Log2; tally = Array.make log2_buckets 0 }
+
+  let log2_bucket v =
+    if v <= 1 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 1 do
+        incr b;
+        v := !v lsr 1
+      done;
+      !b
+    end
+
+  let bucket_of h v =
+    match h.scale with
+    | Linear { lo; width } ->
+      max 0 (min (Array.length h.tally - 1) ((v - lo) / width))
+    | Log2 -> min (Array.length h.tally - 1) (log2_bucket v)
+
+  let add h v = h.tally.(bucket_of h v) <- h.tally.(bucket_of h v) + 1
 
   let counts h = Array.copy h.tally
+
+  let bounds h =
+    Array.init (Array.length h.tally) (fun i ->
+        match h.scale with
+        | Linear { lo; width } -> (lo + (i * width), lo + ((i + 1) * width) - 1)
+        | Log2 -> if i = 0 then (0, 1) else (1 lsl i, (1 lsl (i + 1)) - 1))
 
   let render h =
     let buf = Buffer.create 256 in
     let peak = Array.fold_left max 1 h.tally in
+    let bounds = bounds h in
+    (* Log2 histograms span every representable magnitude; only render
+       up to the last populated bucket. *)
+    let last =
+      match h.scale with
+      | Linear _ -> Array.length h.tally - 1
+      | Log2 ->
+        let hi = ref 0 in
+        Array.iteri (fun i c -> if c > 0 then hi := i) h.tally;
+        !hi
+    in
     Array.iteri
       (fun i c ->
-        let lo = h.lo + (i * h.width) in
-        let bar = 50 * c / peak in
-        Buffer.add_string buf
-          (Printf.sprintf "%12d..%-12d |%s %d\n" lo
-             (lo + h.width - 1)
-             (String.make bar '#')
-             c))
+        if i <= last then begin
+          let lo, hi = bounds.(i) in
+          let bar = 50 * c / peak in
+          Buffer.add_string buf
+            (Printf.sprintf "%12d..%-12d |%s %d\n" lo hi
+               (String.make bar '#')
+               c)
+        end)
       h.tally;
     Buffer.contents buf
 end

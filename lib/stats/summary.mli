@@ -26,7 +26,7 @@ val percentile : int array -> float -> int
 val pp : Format.formatter -> t -> unit
 (** [pp fmt s] prints a one-line summary. *)
 
-(** Fixed-width histogram over integer samples. *)
+(** Fixed-width or log2-bucketed histogram over integer samples. *)
 module Histogram : sig
   type h
 
@@ -35,12 +35,29 @@ module Histogram : sig
       out-of-range samples land in the first/last bucket.
       @raise Invalid_argument on empty range or [buckets < 1]. *)
 
+  val create_log2 : unit -> h
+  (** [create_log2 ()] covers every non-negative int with
+      power-of-two buckets: bucket 0 holds samples [<= 1] (negatives
+      are clamped), bucket [k >= 1] holds [\[2^k, 2^(k+1))].  Suited
+      to latency distributions whose magnitude is unknown a priori. *)
+
+  val log2_buckets : int
+  (** Number of buckets in a {!create_log2} histogram. *)
+
+  val bucket_of : h -> int -> int
+  (** [bucket_of h v] is the bucket index [add h v] would increment. *)
+
   val add : h -> int -> unit
   (** [add h v] records one sample. *)
 
   val counts : h -> int array
   (** [counts h] is the per-bucket tally. *)
 
+  val bounds : h -> (int * int) array
+  (** [bounds h] is the inclusive [(lo, hi)] sample range of each
+      bucket. *)
+
   val render : h -> string
-  (** [render h] is a multi-line ASCII bar rendering. *)
+  (** [render h] is a multi-line ASCII bar rendering.  Log2
+      histograms render only up to the last populated bucket. *)
 end

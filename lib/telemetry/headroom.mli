@@ -1,0 +1,35 @@
+(** Per-deadline-class bound headroom: observed worst channel-access
+    delay vs. the analytic feasibility bounds.
+
+    The bounds themselves come from [Rtnet_core.Feasibility] — callers
+    compute them and hand the plain numbers in, which keeps this
+    library below [core] in the dependency order.  [b_bound] is the
+    model-level bound B_DDCR and [b_bound_impl] the implementation
+    bound B_impl (the one observed latencies are measured against, per
+    the E6 convention: B_impl accounts for the slots the protocol
+    actually spends). *)
+
+type bound = {
+  b_cls : int;  (** class id *)
+  b_name : string;
+  b_deadline : int;  (** relative deadline, bit-times *)
+  b_bound : float;  (** B_DDCR, bit-times *)
+  b_bound_impl : float;  (** B_impl, bit-times *)
+}
+
+type entry = {
+  e_bound : bound;
+  e_observed : int;  (** worst observed access delay, bit-times *)
+  e_count : int;  (** completions observed *)
+}
+
+val headroom : entry -> float
+(** [headroom e] is [e.e_bound.b_bound_impl - float e.e_observed] —
+    non-negative iff the run respected its implementation bound. *)
+
+val render : entry list -> string
+(** Aligned headroom table: class, deadline, completions, observed
+    worst, B_DDCR, B_impl, headroom. *)
+
+val to_json : entry list -> Rtnet_util.Json.t
+val of_json : Rtnet_util.Json.t -> (entry list, string) result

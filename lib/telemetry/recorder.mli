@@ -1,0 +1,34 @@
+(** The standard sink implementation: feeds every probe into a
+    {!Registry}, a {!Trace_event} buffer and a per-class worst-case
+    table, from which the headroom report derives.
+
+    Track layout of the exported trace:
+    - pid 0 ["virtual time (bit-times)"] — tid 1 channel slots
+      (idle/collision/garbled), tid 2 tree searches, tid 3 fault
+      epochs, tid [10 + s] frames of source [s];
+    - pid 1 ["campaign (wall clock)"] — one tid per worker, one span
+      per cell.
+
+    Virtual-time timestamps are bit-times emitted as microsecond
+    ticks; wall-clock timestamps are microseconds since [wall0]. *)
+
+type t
+
+val create : ?bounds:Headroom.bound list -> ?wall0:float -> unit -> t
+(** [create ()] is a fresh recorder.  [bounds] enables per-class
+    headroom gauges and trace [args.headroom] annotations (see
+    {!Headroom}).  [wall0] anchors the wall-clock track; it defaults
+    to the first worker event's start time. *)
+
+val sink : t -> Sink.t
+
+val registry : t -> Registry.t
+
+val snapshot : t -> Registry.snapshot
+
+val headroom_table : t -> Headroom.entry list
+(** One entry per bound given at {!create}, in class-id order, with
+    the observed worst access delay and completion count. *)
+
+val trace_json : t -> Rtnet_util.Json.t
+(** The Chrome trace-event JSON accumulated so far. *)

@@ -1,0 +1,54 @@
+(** Named metrics: counters, gauges and log2-bucketed histograms.
+
+    A live {!t} is mutable and cheap to update from probe callbacks; a
+    {!snapshot} is the immutable, deterministic view used for
+    rendering and JSON embedding ([Run_json]-style codecs, so campaign
+    reports can carry telemetry behind an optional key). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr t name] bumps counter [name] by one (creating it at 0). *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] bumps counter [name] by [n]. *)
+
+val set_gauge : t -> string -> float -> unit
+(** [set_gauge t name v] sets gauge [name] to [v]. *)
+
+val max_gauge : t -> string -> float -> unit
+(** [max_gauge t name v] sets gauge [name] to [max old v]
+    (creating it at [v]). *)
+
+val add_gauge : t -> string -> float -> unit
+(** [add_gauge t name v] adds [v] to gauge [name] (creating it at
+    [v]). *)
+
+val observe : t -> string -> int -> unit
+(** [observe t name v] records [v] into log2 histogram [name]
+    (creating it empty). *)
+
+val counter_value : t -> string -> int
+(** [counter_value t name] is the counter's value, 0 if absent. *)
+
+val gauge_value : t -> string -> float option
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * (int * int) list) list;
+      (** sorted by name; each histogram is its sparse non-zero
+          [(log2 bucket, count)] pairs in bucket order *)
+}
+
+val snapshot : t -> snapshot
+
+val snapshot_to_json : snapshot -> Rtnet_util.Json.t
+val snapshot_of_json : Rtnet_util.Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json}. *)
+
+val render : snapshot -> string
+(** Aligned text rendering (counters, gauges, then histogram bucket
+    tables). *)

@@ -1,0 +1,60 @@
+type tree = Time_tree | Static_tree
+
+type t = {
+  enabled : bool;
+  slot :
+    now:int ->
+    next_free:int ->
+    resolution:Rtnet_channel.Channel.resolution ->
+    unit;
+  enqueue : now:int -> msg:Rtnet_workload.Message.t -> unit;
+  complete : msg:Rtnet_workload.Message.t -> start:int -> finish:int -> unit;
+  drop : msg:Rtnet_workload.Message.t -> unit;
+  search : tree:tree -> start:int -> finish:int -> sent:bool -> unit;
+  jump : now:int -> reft_from:int -> reft_to:int -> unit;
+  epoch : start:int -> finish:int -> unit;
+  engine_event : time:int -> unit;
+  worker_cell :
+    worker:int -> key:string -> t0:float -> t1:float -> ok:bool -> unit;
+}
+
+let nop_slot ~now:_ ~next_free:_ ~resolution:_ = ()
+let nop_enqueue ~now:_ ~msg:_ = ()
+let nop_complete ~msg:_ ~start:_ ~finish:_ = ()
+let nop_drop ~msg:_ = ()
+let nop_search ~tree:_ ~start:_ ~finish:_ ~sent:_ = ()
+let nop_jump ~now:_ ~reft_from:_ ~reft_to:_ = ()
+let nop_epoch ~start:_ ~finish:_ = ()
+let nop_engine_event ~time:_ = ()
+let nop_worker_cell ~worker:_ ~key:_ ~t0:_ ~t1:_ ~ok:_ = ()
+
+let null =
+  {
+    enabled = false;
+    slot = nop_slot;
+    enqueue = nop_enqueue;
+    complete = nop_complete;
+    drop = nop_drop;
+    search = nop_search;
+    jump = nop_jump;
+    epoch = nop_epoch;
+    engine_event = nop_engine_event;
+    worker_cell = nop_worker_cell;
+  }
+
+let create ?(slot = nop_slot) ?(enqueue = nop_enqueue) ?(complete = nop_complete)
+    ?(drop = nop_drop) ?(search = nop_search) ?(jump = nop_jump)
+    ?(epoch = nop_epoch) ?(engine_event = nop_engine_event)
+    ?(worker_cell = nop_worker_cell) () =
+  {
+    enabled = true;
+    slot;
+    enqueue;
+    complete;
+    drop;
+    search;
+    jump;
+    epoch;
+    engine_event;
+    worker_cell;
+  }

@@ -1,0 +1,163 @@
+module Json = Rtnet_util.Json
+
+type t = { mutable rev_meta : Json.t list; mutable rev_events : Json.t list }
+
+let create () = { rev_meta = []; rev_events = [] }
+
+let meta t ~pid ~tid ~name ~args =
+  t.rev_meta <-
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+    :: t.rev_meta
+
+let set_process_name t ~pid name =
+  meta t ~pid ~tid:0 ~name:"process_name" ~args:[ ("name", Json.String name) ]
+
+let set_thread_name t ~pid ~tid name =
+  meta t ~pid ~tid ~name:"thread_name" ~args:[ ("name", Json.String name) ]
+
+let event_fields ~pid ~tid ~name ~cat ~ph ~ts more args =
+  [
+    ("name", Json.String name);
+    ("cat", Json.String cat);
+    ("ph", Json.String ph);
+    ("ts", Json.Int ts);
+  ]
+  @ more
+  @ [ ("pid", Json.Int pid); ("tid", Json.Int tid) ]
+  @ (match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+
+let complete t ~pid ~tid ~name ~cat ~ts ~dur ?(args = []) () =
+  t.rev_events <-
+    Json.Obj
+      (event_fields ~pid ~tid ~name ~cat ~ph:"X" ~ts
+         [ ("dur", Json.Int dur) ]
+         args)
+    :: t.rev_events
+
+let instant t ~pid ~tid ~name ~cat ~ts ?(args = []) () =
+  t.rev_events <-
+    Json.Obj
+      (event_fields ~pid ~tid ~name ~cat ~ph:"i" ~ts
+         [ ("s", Json.String "t") ]
+         args)
+    :: t.rev_events
+
+let events t = List.length t.rev_meta + List.length t.rev_events
+
+let to_json t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev t.rev_meta @ List.rev t.rev_events));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+(* -------------------- validation -------------------- *)
+
+let ( let* ) = Result.bind
+
+type span = { s_name : string; s_ts : int; s_dur : int; s_headroom : float option }
+
+let decode_span j =
+  let* ts = Result.bind (Json.field "ts" j) Json.get_int in
+  let* dur = Result.bind (Json.field "dur" j) Json.get_int in
+  let* name = Result.bind (Json.field "name" j) Json.get_string in
+  let headroom =
+    match Json.member "args" j with
+    | None -> None
+    | Some a -> (
+      match Json.member "headroom" a with
+      | None -> None
+      | Some h -> Result.to_option (Json.get_float h))
+  in
+  Ok { s_name = name; s_ts = ts; s_dur = dur; s_headroom = headroom }
+
+(* Spans on one track must nest like a call stack: sorted by start
+   time (ties: longest first), each span either starts after the
+   enclosing span ends or ends no later than it. *)
+let check_track ~pid ~tid spans =
+  let spans =
+    List.sort
+      (fun a b ->
+        if a.s_ts <> b.s_ts then compare a.s_ts b.s_ts
+        else compare b.s_dur a.s_dur)
+      spans
+  in
+  let stack = ref [] in
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      let s_end = s.s_ts + s.s_dur in
+      let rec pop () =
+        match !stack with
+        | (p_end, _) :: rest when p_end <= s.s_ts ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      match !stack with
+      | (p_end, p_name) :: _ when s_end > p_end ->
+        Error
+          (Printf.sprintf
+             "track (%d,%d): span %S [%d,%d) overlaps %S ending at %d" pid tid
+             s.s_name s.s_ts s_end p_name p_end)
+      | _ ->
+        stack := (s_end, s.s_name) :: !stack;
+        Ok ())
+    (Ok ()) spans
+
+let validate j =
+  let* events = Result.bind (Json.field "traceEvents" j) Json.get_list in
+  let tracks : (int * int, span list) Hashtbl.t = Hashtbl.create 16 in
+  let* checked =
+    List.fold_left
+      (fun acc ev ->
+        let* n = acc in
+        let* ph = Result.bind (Json.field "ph" ev) Json.get_string in
+        if ph <> "X" then Ok n
+        else
+          let* pid = Result.bind (Json.field "pid" ev) Json.get_int in
+          let* tid = Result.bind (Json.field "tid" ev) Json.get_int in
+          let* s = decode_span ev in
+          let* () =
+            if s.s_ts < 0 || s.s_dur < 0 then
+              Error
+                (Printf.sprintf "span %S: negative ts/dur (%d, %d)" s.s_name
+                   s.s_ts s.s_dur)
+            else Ok ()
+          in
+          let* () =
+            match s.s_headroom with
+            | Some h when h < 0. ->
+              Error
+                (Printf.sprintf
+                   "span %S at ts=%d: negative headroom %.3f (observed latency \
+                    exceeds its feasibility bound)"
+                   s.s_name s.s_ts h)
+            | _ -> Ok ()
+          in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt tracks (pid, tid))
+          in
+          Hashtbl.replace tracks (pid, tid) (s :: prev);
+          Ok (n + 1))
+      (Ok 0) events
+  in
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tracks [] |> List.sort compare
+  in
+  let* () =
+    List.fold_left
+      (fun acc (pid, tid) ->
+        let* () = acc in
+        check_track ~pid ~tid (Hashtbl.find tracks (pid, tid)))
+      (Ok ()) keys
+  in
+  Ok checked

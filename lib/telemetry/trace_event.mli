@@ -1,0 +1,55 @@
+(** Chrome trace-event JSON builder and validator (Perfetto-loadable).
+
+    Events follow the Trace Event Format: complete spans (["ph": "X"]
+    with [ts]/[dur]), instants (["ph": "i"]) and metadata (["ph": "M"]
+    process/thread names).  Timestamps are integer microsecond ticks;
+    the simulator maps one bit-time to one tick, so traces are
+    deterministic byte-for-byte and load directly into
+    {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type t
+(** An append-only event buffer. *)
+
+val create : unit -> t
+
+val set_process_name : t -> pid:int -> string -> unit
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+
+val complete :
+  t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  cat:string ->
+  ts:int ->
+  dur:int ->
+  ?args:(string * Rtnet_util.Json.t) list ->
+  unit ->
+  unit
+(** [complete t ~pid ~tid ~name ~cat ~ts ~dur ()] appends a span
+    covering [\[ts, ts + dur)] on track [(pid, tid)]. *)
+
+val instant :
+  t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  cat:string ->
+  ts:int ->
+  ?args:(string * Rtnet_util.Json.t) list ->
+  unit ->
+  unit
+
+val events : t -> int
+(** Number of buffered events (metadata included). *)
+
+val to_json : t -> Rtnet_util.Json.t
+(** [to_json t] is [{"traceEvents": [...], "displayTimeUnit": "ns"}]
+    with events in emission order (metadata first). *)
+
+val validate : Rtnet_util.Json.t -> (int, string) result
+(** [validate j] checks that [j] is a well-formed trace: the
+    [traceEvents] list exists, every ["X"] span has non-negative
+    integer [ts]/[dur], spans on each [(pid, tid)] track nest properly
+    (no partial overlap), and no span carries a negative
+    [args.headroom].  Returns the number of spans checked. *)

@@ -282,8 +282,8 @@ let test_pool_matches_serial () =
     List.sort compare
       (List.map
          (function
-           | Pool.Result (i, v) -> (i, v)
-           | Pool.Failed (i, msg) -> Alcotest.fail (Printf.sprintf "task %d: %s" i msg))
+           | Pool.Result (i, _, v) -> (i, v)
+           | Pool.Failed (i, _, msg) -> Alcotest.fail (Printf.sprintf "task %d: %s" i msg))
          evs)
   in
   let n1, e1 = collect_events ~jobs:1 f tasks in
@@ -301,7 +301,9 @@ let test_pool_task_exception_reported () =
   Alcotest.(check int) "every task produced an event" 5 n;
   let failed =
     List.filter_map
-      (function Pool.Failed (i, msg) -> Some (i, msg) | Pool.Result _ -> None)
+      (function
+        | Pool.Failed (i, _, msg) -> Some (i, msg)
+        | Pool.Result _ -> None)
       events
   in
   match failed with
@@ -318,7 +320,7 @@ let test_pool_max_results_stops_early () =
   Alcotest.(check (list int)) "deterministic prefix"
     [ 0; 1; 2; 3; 4; 5; 6 ]
     (List.map
-       (function Pool.Result (i, _) -> i | Pool.Failed _ -> -1)
+       (function Pool.Result (i, _, _) -> i | Pool.Failed _ -> -1)
        events)
 
 let test_pool_empty_and_bad_jobs () =
@@ -359,8 +361,8 @@ let test_pool_worker_crash_retried () =
         List.sort compare
           (List.filter_map
              (function
-               | Pool.Result (i, v) -> Some (i, v)
-               | Pool.Failed (i, msg) ->
+               | Pool.Result (i, _, v) -> Some (i, v)
+               | Pool.Failed (i, _, msg) ->
                  Alcotest.fail (Printf.sprintf "task %d failed: %s" i msg))
              !events)
       in

@@ -21,6 +21,25 @@ let test_percentiles () =
   Alcotest.(check int) "p100" 100 (Summary.percentile sorted 100.);
   Alcotest.(check int) "p1" 1 (Summary.percentile sorted 1.)
 
+(* Nearest-rank boundary cases: p=0 clamps to the smallest sample,
+   p=100 is the largest, a singleton answers every percentile, and
+   ties are returned verbatim. *)
+let test_percentile_edges () =
+  let sorted = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "p0 clamps to min" 1 (Summary.percentile sorted 0.);
+  Alcotest.(check int) "p100 is max" 100 (Summary.percentile sorted 100.);
+  let single = [| 42 |] in
+  Alcotest.(check int) "single p0" 42 (Summary.percentile single 0.);
+  Alcotest.(check int) "single p50" 42 (Summary.percentile single 50.);
+  Alcotest.(check int) "single p100" 42 (Summary.percentile single 100.);
+  let ties = [| 7; 7; 7; 7; 9 |] in
+  Alcotest.(check int) "ties p50" 7 (Summary.percentile ties 50.);
+  Alcotest.(check int) "ties p79 still tied" 7 (Summary.percentile ties 79.);
+  Alcotest.(check int) "ties p100" 9 (Summary.percentile ties 100.);
+  let two = [| 1; 2 |] in
+  Alcotest.(check int) "two p50" 1 (Summary.percentile two 50.);
+  Alcotest.(check int) "two p51" 2 (Summary.percentile two 51.)
+
 let test_stddev () =
   let s = Summary.of_list_exn [ 2; 2; 2; 2 ] in
   Alcotest.(check (float 1e-9)) "constant has zero sd" 0. s.Summary.stddev;
@@ -37,6 +56,39 @@ let test_histogram () =
   let rendering = Summary.Histogram.render h in
   Alcotest.(check bool) "renders bars" true
     (Astring_contains.contains rendering "#")
+
+let test_log2_histogram () =
+  let h = Summary.Histogram.create_log2 () in
+  List.iter (Summary.Histogram.add h) [ -5; 0; 1; 2; 3; 4; 7; 8; 1024; 1025 ];
+  let counts = Summary.Histogram.counts h in
+  Alcotest.(check int) "buckets" Summary.Histogram.log2_buckets
+    (Array.length counts);
+  Alcotest.(check int) "bucket 0: v <= 1 (incl. clamped -5)" 3 counts.(0);
+  Alcotest.(check int) "bucket 1: [2,4)" 2 counts.(1);
+  Alcotest.(check int) "bucket 2: [4,8)" 2 counts.(2);
+  Alcotest.(check int) "bucket 3: [8,16)" 1 counts.(3);
+  Alcotest.(check int) "bucket 10: [1024,2048)" 2 counts.(10);
+  let bounds = Summary.Histogram.bounds h in
+  Alcotest.(check (pair int int)) "bucket 1 bounds" (2, 3) bounds.(1);
+  Alcotest.(check (pair int int)) "bucket 10 bounds" (1024, 2047) bounds.(10);
+  Alcotest.(check int) "last bucket hi is max_int" max_int
+    (snd bounds.(Summary.Histogram.log2_buckets - 1));
+  let rendering = Summary.Histogram.render h in
+  Alcotest.(check bool) "render stops after last populated bucket" false
+    (Astring_contains.contains rendering "4096")
+
+let prop_log2_bucket_bounds =
+  QCheck.Test.make ~name:"log2 bucket brackets its sample" ~count:500
+    QCheck.(int_range 0 max_int)
+    (fun v ->
+      let h = Summary.Histogram.create_log2 () in
+      Summary.Histogram.add h v;
+      let counts = Summary.Histogram.counts h in
+      let bounds = Summary.Histogram.bounds h in
+      let b = ref (-1) in
+      Array.iteri (fun i c -> if c > 0 then b := i) counts;
+      let lo, hi = bounds.(!b) in
+      (if !b = 0 then v <= 1 else lo <= v) && v <= hi)
 
 let prop_summary_bounds =
   QCheck.Test.make ~name:"min <= p50 <= p90 <= p99 <= max" ~count:300
@@ -57,8 +109,11 @@ let suite =
         Alcotest.test_case "empty" `Quick test_empty;
         Alcotest.test_case "basic" `Quick test_basic;
         Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
         Alcotest.test_case "stddev" `Quick test_stddev;
         Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "log2 histogram" `Quick test_log2_histogram;
+        QCheck_alcotest.to_alcotest prop_log2_bucket_bounds;
         QCheck_alcotest.to_alcotest prop_summary_bounds;
       ] );
   ]
