@@ -7,7 +7,7 @@
 # committed golden report.
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
-  faults-smoke telemetry-smoke
+  faults-smoke telemetry-smoke chaos-smoke
 
 all: build
 
@@ -48,6 +48,15 @@ telemetry-smoke: build
 	  -o _build/BENCH_smoke.profile.json > /dev/null
 	dune exec bin/ddcr_lint.exe -- --check-perfetto _build/telemetry_workers.json
 
+# Adversarial fault-schedule gate: the committed chaos search config
+# must still find a violation, the delta-debugging shrinker must
+# minimize the 4-event finding to one event and reproduce the
+# committed artifact byte-for-byte, the frozen repro must replay with
+# the same verdict and trace fingerprint, and tampered/invalid
+# artifacts must be rejected with the documented exit codes.
+chaos-smoke: build
+	dune build @chaos-smoke
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -60,7 +69,8 @@ campaign-baseline: build
 
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
-	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke
+	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
+	  && $(MAKE) chaos-smoke
 
 clean:
 	dune clean

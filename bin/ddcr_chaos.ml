@@ -1,0 +1,453 @@
+(* ddcr_chaos: adversarial fault-schedule search for the DDCR stack.
+
+   `search` samples random fault plans over a severity budget, runs
+   each candidate through the harness on a supervised worker pool
+   (watchdog timeout, bounded retry with backoff, graceful degradation
+   on an exhausted wall budget) and classifies outcomes with the
+   analysis oracles.  `shrink` minimizes a failing plan by delta
+   debugging (drop events, narrow windows, weaken severities).
+   `replay` re-executes a frozen repro artifact and verifies that both
+   the verdict and the trace fingerprint reproduce byte-identically.
+   `soak` runs repeated searches under one wall budget, freezing each
+   de-duplicated finding as a repro artifact.
+
+   Exit codes: 0 success (for `search --expect-finding`: a violation
+   was found; for `replay`: the artifact reproduced); 1 expectation
+   failed (no finding / verdict or fingerprint drifted / shrink above
+   --max-fraction); 2 invalid config, artifact or I/O error.
+
+   Examples:
+     ddcr_chaos search -s videoconference -n 4 --horizon-ms 2 --candidates 32
+     ddcr_chaos search --config test/fixtures/chaos_smoke.json -o finding.json
+     ddcr_chaos shrink --repro finding.json -o minimized.json
+     ddcr_chaos replay test/fixtures/chaos_repro_min.json
+     ddcr_chaos soak -s trading -n 3 --rounds 8 --wall-budget 60 --out-dir repros *)
+
+module Spec = Rtnet_campaign.Spec
+module Fault_plan = Rtnet_channel.Fault_plan
+module Oracle = Rtnet_analysis.Oracle
+module Generator = Rtnet_chaos.Generator
+module Candidate = Rtnet_chaos.Candidate
+module Search = Rtnet_chaos.Search
+module Shrink = Rtnet_chaos.Shrink
+module Repro = Rtnet_chaos.Repro
+module Soak = Rtnet_chaos.Soak
+module Registry = Rtnet_telemetry.Registry
+
+open Cmdliner
+
+(* -------------------- shared terms -------------------- *)
+
+let config_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:"Load the search configuration from a JSON file (fields: \
+              scenario, horizon_ms, seed, candidates, budget, jobs, \
+              watchdog_s, retries, backoff_s, wall_budget_s).")
+
+let candidates_t =
+  Arg.(
+    value & opt int 32
+    & info [ "candidates" ] ~docv:"N" ~doc:"Candidate budget per search.")
+
+let jobs =
+  Arg.(
+    value & opt int 2
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+
+let watchdog =
+  Arg.(
+    value & opt float 30.
+    & info [ "watchdog" ] ~docv:"S"
+        ~doc:"Per-candidate watchdog timeout in seconds (0 disables).")
+
+let retries =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Retry budget per hung/lost candidate.")
+
+let backoff =
+  Arg.(
+    value & opt float 0.1
+    & info [ "backoff" ] ~docv:"S" ~doc:"Linear retry backoff unit, seconds.")
+
+let wall_budget =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wall-budget" ] ~docv:"S"
+        ~doc:"Total wall-clock budget; exhaustion stops launching new \
+              candidates and reports partial results.")
+
+let max_events =
+  Arg.(
+    value & opt int 4
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Severity budget: max fault events per sampled plan.")
+
+let max_rate =
+  Arg.(
+    value & opt float 0.5
+    & info [ "max-rate" ] ~docv:"R"
+        ~doc:"Severity budget: cap on garble/misperception rates.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the first finding as a replay artifact.")
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-dir" ] ~docv:"DIR" ~doc:"Write every finding/repro here.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+
+let log_of quiet =
+  if quiet then fun (_ : string) -> ()
+  else fun m -> Printf.eprintf "ddcr_chaos: %s\n%!" m
+
+let config_of_args config_file scenario size load deadline_windows horizon_ms
+    seed candidates jobs watchdog retries backoff wall_budget max_events
+    max_rate =
+  match config_file with
+  | Some f -> Search.load_config f
+  | None ->
+    let cf =
+      {
+        Candidate.cf_scenario =
+          {
+            Spec.sc_kind = scenario;
+            sc_size = size;
+            sc_load = load;
+            sc_deadline_windows = deadline_windows;
+          };
+        cf_horizon_ms = horizon_ms;
+      }
+    in
+    Ok
+      {
+        (Search.default_config cf) with
+        Search.s_seed = seed;
+        s_count = candidates;
+        s_jobs = jobs;
+        s_watchdog_s = (if watchdog <= 0. then None else Some watchdog);
+        s_retries = retries;
+        s_backoff_s = backoff;
+        s_wall_budget_s = wall_budget;
+        s_budget =
+          {
+            Generator.default_budget with
+            Generator.g_max_events = max_events;
+            g_max_rate = max_rate;
+          };
+      }
+
+let write_repro ~config ~note path finding =
+  Repro.save ~path
+    (Repro.make ~config ~candidate:finding.Search.fi_candidate
+       ~report:finding.Search.fi_report ~note)
+
+(* -------------------- search -------------------- *)
+
+let expect_finding =
+  Arg.(
+    value & flag
+    & info [ "expect-finding" ]
+        ~doc:"Exit 1 unless the search finds at least one violation — the \
+              smoke gate's assertion that the seeded violation is still \
+              found.")
+
+let run_search config_file scenario size load deadline_windows horizon_ms seed
+    candidates jobs watchdog retries backoff wall_budget max_events max_rate
+    out out_dir quiet expect_finding =
+  match
+    config_of_args config_file scenario size load deadline_windows horizon_ms
+      seed candidates jobs watchdog retries backoff wall_budget max_events
+      max_rate
+  with
+  | Error e ->
+    Format.eprintf "ddcr_chaos: %s@." e;
+    2
+  | Ok config -> (
+    let log = log_of quiet in
+    let registry = Registry.create () in
+    let res = Search.run ~registry ~log config in
+    Format.printf "search: %d/%d candidates examined, %d finding(s), %d gave \
+                   up%s@."
+      res.Search.r_examined config.Search.s_count
+      (List.length res.Search.r_findings)
+      (List.length res.Search.r_gave_up)
+      (if res.Search.r_exhausted then " (budget exhausted, partial)" else "");
+    List.iter
+      (fun f ->
+        Format.printf "  candidate %d [%s]: %s@." f.Search.fi_index
+          (Fault_plan.label f.Search.fi_candidate.Candidate.cd_plan)
+          (Oracle.describe f.Search.fi_report.Candidate.rp_verdict))
+      res.Search.r_findings;
+    let note i =
+      Printf.sprintf "search seed=%d candidate=%d" config.Search.s_seed i
+    in
+    (try
+       (match (out, res.Search.r_findings) with
+       | Some path, f :: _ ->
+         write_repro ~config:config.Search.s_candidate ~note:(note f.Search.fi_index)
+           path f;
+         Format.printf "first finding written to %s@." path
+       | Some _, [] | None, _ -> ());
+       match out_dir with
+       | None -> Ok ()
+       | Some dir ->
+         List.iter
+           (fun f ->
+             write_repro ~config:config.Search.s_candidate
+               ~note:(note f.Search.fi_index)
+               (Filename.concat dir
+                  (Printf.sprintf "chaos_finding_%d.json" f.Search.fi_index))
+               f)
+           res.Search.r_findings;
+         Ok ()
+     with Sys_error e -> Error e)
+    |> function
+    | Error e ->
+      Format.eprintf "ddcr_chaos: cannot write artifact: %s@." e;
+      2
+    | Ok () ->
+      if expect_finding && res.Search.r_findings = [] then begin
+        Format.eprintf
+          "ddcr_chaos: --expect-finding: no violation found in %d candidates@."
+          res.Search.r_examined;
+        1
+      end
+      else 0)
+
+let search_cmd =
+  let term =
+    Term.(
+      const run_search $ config_file $ Cli_common.scenario $ Cli_common.size
+      $ Cli_common.load $ Cli_common.deadline_windows $ Cli_common.horizon_ms
+      $ Cli_common.seed $ candidates_t $ jobs $ watchdog $ retries $ backoff
+      $ wall_budget $ max_events $ max_rate $ out $ out_dir $ quiet
+      $ expect_finding)
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Sample adversarial fault plans and hunt for oracle violations")
+    term
+
+(* -------------------- shrink -------------------- *)
+
+let repro_in =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "repro" ] ~docv:"FILE"
+        ~doc:"Finding to minimize (a replay artifact from $(b,search)).")
+
+let shrink_out =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Where to write the minimized replay artifact.")
+
+let max_fraction =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-fraction" ] ~docv:"F"
+        ~doc:"Exit 1 unless the minimized plan has at most F times the \
+              original event count — the smoke gate's shrink-quality \
+              assertion.")
+
+let run_shrink repro_in shrink_out max_fraction quiet =
+  let log = log_of quiet in
+  match Repro.load ~path:repro_in with
+  | Error e ->
+    Format.eprintf "ddcr_chaos: %s@." e;
+    2
+  | Ok repro -> (
+    let config, cd = Repro.candidate repro in
+    let oracle sp =
+      (Candidate.run config { cd with Candidate.cd_plan = sp })
+        .Candidate.rp_verdict
+    in
+    let original_events = Fault_plan.event_count repro.Repro.re_plan in
+    let res =
+      Shrink.run ~oracle ~target:repro.Repro.re_verdict repro.Repro.re_plan
+    in
+    let shrunk_events = Fault_plan.event_count res.Shrink.sh_plan in
+    if not (Oracle.same_class res.Shrink.sh_verdict repro.Repro.re_verdict)
+    then begin
+      Format.eprintf
+        "ddcr_chaos: the repro does not reproduce its own verdict (%s vs \
+         expected %s) — nothing to shrink@."
+        (Oracle.label res.Shrink.sh_verdict)
+        (Oracle.label repro.Repro.re_verdict);
+      1
+    end
+    else begin
+      log
+        (Printf.sprintf "shrink: %d -> %d event(s) in %d oracle check(s)"
+           original_events shrunk_events res.Shrink.sh_checks);
+      (* Re-freeze with the minimized plan's own verdict/fingerprint:
+         the minimized artifact must replay byte-identically too. *)
+      let report =
+        Candidate.run config { cd with Candidate.cd_plan = res.Shrink.sh_plan }
+      in
+      let minimized =
+        Repro.make ~config
+          ~candidate:{ cd with Candidate.cd_plan = res.Shrink.sh_plan }
+          ~report
+          ~note:
+            (Printf.sprintf "shrunk from %s (%d -> %d events)"
+               (Filename.basename repro_in) original_events shrunk_events)
+      in
+      match Repro.save ~path:shrink_out minimized with
+      | () ->
+        Format.printf
+          "shrink: %d -> %d event(s) [%s], verdict %s, written to %s@."
+          original_events shrunk_events
+          (Fault_plan.label res.Shrink.sh_plan)
+          (Oracle.label report.Candidate.rp_verdict)
+          shrink_out;
+        (match max_fraction with
+        | Some f
+          when float_of_int shrunk_events
+               > f *. float_of_int original_events ->
+          Format.eprintf
+            "ddcr_chaos: --max-fraction %.2f: minimized plan still has %d of \
+             %d events@."
+            f shrunk_events original_events;
+          1
+        | _ -> 0)
+      | exception Sys_error e ->
+        Format.eprintf "ddcr_chaos: cannot write %s: %s@." shrink_out e;
+        2
+    end)
+
+let shrink_cmd =
+  let term =
+    Term.(const run_shrink $ repro_in $ shrink_out $ max_fraction $ quiet)
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimize a failing plan by delta debugging (drop events, narrow \
+          windows, weaken severities) while preserving the verdict")
+    term
+
+(* -------------------- replay -------------------- *)
+
+let replay_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Replay artifact to re-execute.")
+
+let run_replay replay_file =
+  match Repro.load ~path:replay_file with
+  | Error e ->
+    Format.eprintf "ddcr_chaos: %s@." e;
+    2
+  | Ok repro ->
+    let r = Repro.replay repro in
+    Format.printf "replay %s: verdict %s (%s), fingerprint %s@."
+      (Filename.basename replay_file)
+      (Oracle.label r.Repro.rr_report.Candidate.rp_verdict)
+      (if r.Repro.rr_verdict_ok then "matches" else "DRIFTED")
+      (if r.Repro.rr_fingerprint_ok then "matches" else "DRIFTED");
+    if r.Repro.rr_verdict_ok && r.Repro.rr_fingerprint_ok then 0
+    else begin
+      Format.eprintf
+        "ddcr_chaos: %s no longer reproduces: expected %s / %s, got %s / %s@."
+        replay_file
+        (Oracle.describe repro.Repro.re_verdict)
+        repro.Repro.re_fingerprint
+        (Oracle.describe r.Repro.rr_report.Candidate.rp_verdict)
+        r.Repro.rr_report.Candidate.rp_fingerprint;
+      1
+    end
+
+let replay_cmd =
+  let term = Term.(const run_replay $ replay_file) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a replay artifact and verify verdict and trace \
+          fingerprint reproduce byte-identically")
+    term
+
+(* -------------------- soak -------------------- *)
+
+let rounds =
+  Arg.(
+    value & opt int 4
+    & info [ "rounds" ] ~docv:"N" ~doc:"Maximum search rounds.")
+
+let run_soak config_file scenario size load deadline_windows horizon_ms seed
+    candidates jobs watchdog retries backoff wall_budget max_events max_rate
+    rounds out_dir quiet =
+  match
+    config_of_args config_file scenario size load deadline_windows horizon_ms
+      seed candidates jobs watchdog retries backoff None max_events max_rate
+  with
+  | Error e ->
+    Format.eprintf "ddcr_chaos: %s@." e;
+    2
+  | Ok search_config ->
+    let log = log_of quiet in
+    (match out_dir with
+    | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+    | _ -> ());
+    let res =
+      Soak.run ~log
+        {
+          Soak.so_search = search_config;
+          so_rounds = rounds;
+          so_wall_budget_s = wall_budget;
+          so_out_dir = out_dir;
+        }
+    in
+    Format.printf
+      "soak: %d round(s), %d candidate(s) examined, %d distinct finding(s), \
+       %d gave up%s@."
+      res.Soak.so_rounds_run res.Soak.so_examined res.Soak.so_findings
+      res.Soak.so_gave_up
+      (if res.Soak.so_exhausted then " (budget exhausted)" else "");
+    List.iter (fun p -> Format.printf "  %s@." p) res.Soak.so_repro_paths;
+    0
+
+let soak_cmd =
+  let term =
+    Term.(
+      const run_soak $ config_file $ Cli_common.scenario $ Cli_common.size
+      $ Cli_common.load $ Cli_common.deadline_windows $ Cli_common.horizon_ms
+      $ Cli_common.seed $ candidates_t $ jobs $ watchdog $ retries $ backoff
+      $ wall_budget $ max_events $ max_rate $ rounds $ out_dir $ quiet)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run repeated searches under one wall budget, freezing each \
+          de-duplicated finding as a replay artifact")
+    term
+
+(* -------------------- group -------------------- *)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "ddcr_chaos"
+       ~doc:
+         "Adversarial fault-schedule search with delta-debugging shrinker \
+          and deterministic replay artifacts")
+    [ search_cmd; shrink_cmd; replay_cmd; soak_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -91,6 +91,19 @@ let check_perfetto_file =
            nest, and no transmission span may carry negative bound \
            headroom.  Exit 0 if valid, 1 if not, 2 on parse failure.")
 
+let check_repro_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-repro" ] ~docv:"FILE"
+        ~doc:
+          "Validate a chaos replay artifact written by ddcr_chaos: the \
+           schema version must match, the embedded fault plan must pass \
+           construction validation against the artifact's horizon, and \
+           the scenario must decode.  Exit 0 if valid, 2 if not.  The \
+           artifact is not re-executed; use $(b,ddcr_chaos replay) for \
+           that.")
+
 let dump_trace_file =
   Arg.(
     value
@@ -163,8 +176,22 @@ let dump ~seed ~horizon params inst path =
 
 let main scenario size load deadline_windows indices burst theta allocation
     seed horizon_ms strict with_trace bounded max_m max_leaves all_scenarios
-    check_trace_file check_perfetto_file dump_trace_file sd sw =
+    check_trace_file check_perfetto_file check_repro_file dump_trace_file sd
+    sw =
   let horizon = horizon_ms * 1_000_000 in
+  match check_repro_file with
+  | Some path -> (
+    match Rtnet_chaos.Repro.load ~path with
+    | Ok r ->
+      Format.printf "chaos repro %s: schema v%d, plan [%s], verdict %s ok@."
+        path Rtnet_chaos.Repro.schema_version
+        (Rtnet_channel.Fault_plan.label r.Rtnet_chaos.Repro.re_plan)
+        (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.re_verdict);
+      0
+    | Error e ->
+      Format.eprintf "ddcr_lint: %s@." e;
+      2)
+  | None -> (
   match check_perfetto_file with
   | Some path -> (
     match Rtnet_util.Json.parse_file path with
@@ -233,7 +260,7 @@ let main scenario size load deadline_windows indices burst theta allocation
         end
         else []
       in
-      Diagnostic.exit_code (scenario_diags @ bounded_diags)))
+      Diagnostic.exit_code (scenario_diags @ bounded_diags))))
 
 let cmd =
   let term =
@@ -243,8 +270,8 @@ let cmd =
       $ Cli_common.burst_bits $ Cli_common.theta $ Cli_common.allocation
       $ Cli_common.seed $ Cli_common.horizon_ms $ strict $ with_trace
       $ bounded $ max_m $ max_leaves $ all_scenarios $ check_trace_file
-      $ check_perfetto_file $ dump_trace_file $ scale_deadlines
-      $ scale_windows)
+      $ check_perfetto_file $ check_repro_file $ dump_trace_file
+      $ scale_deadlines $ scale_windows)
   in
   Cmd.v
     (Cmd.info "ddcr_lint"

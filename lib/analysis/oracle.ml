@@ -1,0 +1,129 @@
+module Json = Rtnet_util.Json
+module Trace = Rtnet_core.Ddcr_trace
+module D = Diagnostic
+
+let ( let* ) = Result.bind
+
+type verdict =
+  | Pass
+  | Safety_violation of string
+  | Deadline_miss of { misses : int; first_uid : int }
+  | Failed_resync of { source : int }
+  | Invariant_violation of { rule : string; message : string }
+  | Harness_mismatch of string
+  | Run_crash of string
+
+let label = function
+  | Pass -> "pass"
+  | Safety_violation _ -> "safety-violation"
+  | Deadline_miss _ -> "deadline-miss"
+  | Failed_resync _ -> "failed-resync"
+  | Invariant_violation _ -> "invariant-violation"
+  | Harness_mismatch _ -> "harness-mismatch"
+  | Run_crash _ -> "run-crash"
+
+let describe = function
+  | Pass -> "pass: every oracle holds"
+  | Safety_violation m -> "safety violation: " ^ m
+  | Deadline_miss { misses; first_uid } ->
+    Printf.sprintf
+      "%d deadline miss(es) outside every fault epoch (first uid=%d)" misses
+      first_uid
+  | Failed_resync { source } ->
+    Printf.sprintf "source %d never resynchronized before the horizon" source
+  | Invariant_violation { rule; message } ->
+    Printf.sprintf "invariant violation [%s]: %s" rule message
+  | Harness_mismatch m -> "harness mismatch: " ^ m
+  | Run_crash m -> "run crashed: " ^ m
+
+let is_failure v = v <> Pass
+let same_class a b = String.equal (label a) (label b)
+
+(* -------------------- canonical JSON -------------------- *)
+
+let to_json v =
+  let tag = ("verdict", Json.String (label v)) in
+  Json.Obj
+    (match v with
+    | Pass -> [ tag ]
+    | Safety_violation m | Harness_mismatch m | Run_crash m ->
+      [ tag; ("message", Json.String m) ]
+    | Deadline_miss { misses; first_uid } ->
+      [ tag; ("misses", Json.Int misses); ("first_uid", Json.Int first_uid) ]
+    | Failed_resync { source } -> [ tag; ("source", Json.Int source) ]
+    | Invariant_violation { rule; message } ->
+      [ tag; ("rule", Json.String rule); ("message", Json.String message) ])
+
+let of_json j =
+  let* tag = Result.bind (Json.field "verdict" j) Json.get_string in
+  let msg () = Result.bind (Json.field "message" j) Json.get_string in
+  match tag with
+  | "pass" -> Ok Pass
+  | "safety-violation" ->
+    let* m = msg () in
+    Ok (Safety_violation m)
+  | "harness-mismatch" ->
+    let* m = msg () in
+    Ok (Harness_mismatch m)
+  | "run-crash" ->
+    let* m = msg () in
+    Ok (Run_crash m)
+  | "deadline-miss" ->
+    let* misses = Result.bind (Json.field "misses" j) Json.get_int in
+    let* first_uid = Result.bind (Json.field "first_uid" j) Json.get_int in
+    Ok (Deadline_miss { misses; first_uid })
+  | "failed-resync" ->
+    let* source = Result.bind (Json.field "source" j) Json.get_int in
+    Ok (Failed_resync { source })
+  | "invariant-violation" ->
+    let* rule = Result.bind (Json.field "rule" j) Json.get_string in
+    let* message = msg () in
+    Ok (Invariant_violation { rule; message })
+  | other -> Error (Printf.sprintf "unknown verdict %S" other)
+
+(* -------------------- classification -------------------- *)
+
+(* Sources whose divergence span is still open when the trace ends: a
+   [Crash] or [Desync] opens it, only [Resync] closes it — a [Rejoin]
+   leaves the station listen-only, so recovery is not complete. *)
+let unresynced events =
+  let open_ = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Trace.Crash { source; _ } | Trace.Desync { source; _ } ->
+        Hashtbl.replace open_ source ()
+      | Trace.Resync { source; _ } -> Hashtbl.remove open_ source
+      | _ -> ())
+    events;
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) open_ [])
+
+let uid_of_subject s =
+  match String.index_opt s '=' with
+  | Some i -> (
+    try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+    with _ -> -1)
+  | None -> -1
+
+let classify ~workload ~outcome events =
+  let errors = D.errors (Trace_check.check_run ~workload ~outcome events) in
+  let by_rule rule =
+    List.filter (fun d -> String.equal d.D.rule_id rule) errors
+  in
+  match by_rule "TRC-SAFETY" with
+  | d :: _ -> Safety_violation d.D.message
+  | [] -> (
+    match by_rule "TRC-DEADLINE" with
+    | d :: _ as misses ->
+      Deadline_miss
+        {
+          misses = List.length misses;
+          first_uid = uid_of_subject d.D.subject;
+        }
+    | [] -> (
+      match unresynced events with
+      | source :: _ -> Failed_resync { source }
+      | [] -> (
+        match errors with
+        | d :: _ ->
+          Invariant_violation { rule = d.D.rule_id; message = d.D.message }
+        | [] -> Pass)))

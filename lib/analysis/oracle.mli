@@ -1,0 +1,73 @@
+(** Run-outcome oracle: one verdict per simulated run.
+
+    The chaos search ([rtnet.chaos]) and the trace checker share this
+    verdict vocabulary: a run either upholds the paper's properties
+    ({!Pass}) or fails in one of the ways the correctness proofs rule
+    out.  {!classify} reduces a completed run — its trace, outcome and
+    workload — to a verdict by running {!Trace_check.check_run} and
+    inspecting the divergence-recovery bookkeeping; exceptions the
+    simulator raises ({!Rtnet_mac.Harness.Mismatch}, safety failures)
+    are mapped to verdicts by the caller via the dedicated
+    constructors.
+
+    Verdicts carry enough detail to print, but equality for the
+    shrinker is {e by class} ({!same_class}): a minimized plan must
+    reproduce the same {e kind} of violation, not the same slot
+    numbers. *)
+
+type verdict =
+  | Pass  (** every oracle holds *)
+  | Safety_violation of string
+      (** mutual exclusion broken (TRC-SAFETY, or the harness's
+          transmission-log reconciliation failed) — never acceptable
+          under any fault plan (Section 4.2) *)
+  | Deadline_miss of { misses : int; first_uid : int }
+      (** a frame finished after [DM] {e outside} every fault epoch
+          (TRC-DEADLINE errors; epoch-overlapping misses are measured
+          degradation, not violations) *)
+  | Failed_resync of { source : int }
+      (** a station was still desynchronized (or down-and-rejoined
+          without recovering) when the run ended — divergence recovery
+          did not complete *)
+  | Invariant_violation of { rule : string; message : string }
+      (** any other trace-checker [Error] (TRC-ORDER, TRC-ACCOUNT, …) *)
+  | Harness_mismatch of string
+      (** {!Rtnet_mac.Harness.Mismatch}: replicas disagreed with the
+          wire in a way the harness cross-check caught *)
+  | Run_crash of string
+      (** the simulator itself raised (protocol violation, assertion)
+          — always a finding *)
+
+val label : verdict -> string
+(** [label v] is the verdict's class name: ["pass"],
+    ["safety-violation"], ["deadline-miss"], ["failed-resync"],
+    ["invariant-violation"], ["harness-mismatch"], ["run-crash"]. *)
+
+val describe : verdict -> string
+(** [describe v] is a one-line human-readable rendering including the
+    payload. *)
+
+val is_failure : verdict -> bool
+(** [is_failure v] iff [v <> Pass]. *)
+
+val same_class : verdict -> verdict -> bool
+(** [same_class a b] iff the verdicts have the same constructor — the
+    shrinker's preservation criterion. *)
+
+val to_json : verdict -> Rtnet_util.Json.t
+(** Canonical encoding (fixed key order; replay artifacts embed it). *)
+
+val of_json : Rtnet_util.Json.t -> (verdict, string) result
+
+val classify :
+  workload:Rtnet_workload.Message.t list ->
+  outcome:Rtnet_stats.Run.outcome ->
+  Rtnet_core.Ddcr_trace.event list ->
+  verdict
+(** [classify ~workload ~outcome events] runs
+    {!Trace_check.check_run} and reduces the diagnostics to one
+    verdict, most severe first: safety, then out-of-epoch deadline
+    misses, then incomplete divergence recovery (a [Crash]/[Desync]
+    with no matching [Resync] by the end of the trace), then any other
+    checker error.  Warnings (degraded epochs, truncated brackets)
+    never fail a run. *)

@@ -51,11 +51,21 @@ let entry_of_json j =
     | Some _ -> Ok (Failed_marker index)
     | None -> Error "entry has neither \"result\" nor \"failed\"")
 
-let load ~path ~spec =
+let load ?(on_warning = fun (_ : string) -> ()) ~path ~spec () =
   if not (Sys.file_exists path) then Ok []
   else
     match read_lines path with
     | [] -> Ok []
+    | [ header ] when Result.is_error (Json.parse header) ->
+      (* The kill landed while the header itself was being written:
+         nothing was checkpointed yet, so resume from scratch rather
+         than refusing — but say so. *)
+      on_warning
+        (Printf.sprintf
+           "%s: header line is torn (kill landed mid-write); treating the \
+            journal as empty and restarting the campaign"
+           path);
+      Ok []
     | header :: entries -> (
       match Json.parse header with
       | Error e -> Error (Printf.sprintf "%s: corrupt header: %s" path e)
@@ -82,9 +92,17 @@ let load ~path ~spec =
             | Ok (Failed_marker index) ->
               go (i + 1) (List.filter (fun (i', _) -> i' <> index) acc) rest
             | Error e ->
-              if i = total - 1 then
-                (* Torn final line: the kill landed mid-append. *)
+              if i = total - 1 then begin
+                (* Torn final line: the kill landed mid-append.  The
+                   cell it recorded simply re-runs; everything before
+                   it is intact. *)
+                on_warning
+                  (Printf.sprintf
+                     "%s: final journal line %d is torn (%s); dropping it — \
+                      the cell it recorded will re-run"
+                     path (i + 2) e);
                 Ok (List.rev acc)
+              end
               else
                 Error
                   (Printf.sprintf "%s: corrupt entry on line %d: %s" path

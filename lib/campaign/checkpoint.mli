@@ -27,13 +27,20 @@ val journal_path : out:string -> string
     written to [out]: [out ^ ".ckpt"]. *)
 
 val load :
+  ?on_warning:(string -> unit) ->
   path:string ->
   spec:Spec.t ->
+  unit ->
   ((int * Rtnet_util.Json.t) list, string) result
 (** [load ~path ~spec] returns the completed [(cell index, result)]
     pairs recorded so far after replaying failed markers, oldest first
     ([\[\]] if the file does not exist), or [Error] on a
-    header/spec-hash mismatch or a corrupt interior line. *)
+    header/spec-hash mismatch or a corrupt interior line.
+
+    Mid-write truncation is recoverable, not fatal: a torn {e final}
+    entry line is dropped (that cell re-runs) and a torn header —
+    nothing was checkpointed yet — yields an empty journal.  Both are
+    reported through [on_warning] (default: silent). *)
 
 val open_for_append : path:string -> spec:Spec.t -> out_channel
 (** [open_for_append ~path ~spec] opens the journal for appending,

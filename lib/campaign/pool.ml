@@ -70,6 +70,193 @@ let run_worker ~tasks ~jobs ~rank ~worker_id ~fd f =
   done;
   Unix.close fd
 
+(* -------------------- supervised pool -------------------- *)
+
+type give_up_reason = Timed_out of float | Worker_lost of string
+
+type 'b sevent =
+  | Completed of int * timing * 'b
+  | Task_error of int * timing * string
+  | Gave_up of { position : int; attempts : int; reason : give_up_reason }
+
+let reason_text = function
+  | Timed_out s -> Printf.sprintf "watchdog timeout after %.2f s" s
+  | Worker_lost e -> "worker lost: " ^ e
+
+(* One running supervised worker: exactly one task per fork, so the
+   coordinator always knows which task a hung or dead pid was running
+   and can kill, back off and retry it individually. *)
+type swork = {
+  sw_pos : int;
+  sw_pid : int;
+  sw_fd : Unix.file_descr;
+  mutable sw_pending : Bytes.t;
+  sw_deadline : float option;
+  mutable sw_delivered : bool;
+}
+
+let supervise ~jobs ?watchdog_s ?(retries = 1) ?(backoff_s = 0.05)
+    ?(on_retry = fun ~position:_ ~attempt:_ ~reason:_ -> ())
+    ?(should_stop = fun () -> false) ~on_event f tasks =
+  if jobs < 1 then invalid_arg "Pool.supervise: jobs < 1";
+  let n = Array.length tasks in
+  let attempts = Array.make (max n 1) 0 in
+  (* Ready queue: (not-before time, position).  Launch order follows
+     readiness, so backed-off retries never starve fresh tasks. *)
+  let queue = ref (List.init n (fun i -> (0., i))) in
+  let running = ref [] in
+  let launches = ref 0 in
+  let emitted = ref 0 in
+  let emit ev =
+    incr emitted;
+    on_event ev
+  in
+  let spawn now pos =
+    flush stdout;
+    flush stderr;
+    let r, w = Unix.pipe ~cloexec:false () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close r;
+      let worker_id = !launches in
+      let t0 = Unix.gettimeofday () in
+      let timing t1 = { worker = worker_id; t0; t1 } in
+      let ev =
+        match f tasks.(pos) with
+        | v -> Result (pos, timing (Unix.gettimeofday ()), v)
+        | exception e ->
+          Failed (pos, timing (Unix.gettimeofday ()), Printexc.to_string e)
+      in
+      (match write_all w (frame ev) with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 2)
+    | pid ->
+      Unix.close w;
+      incr launches;
+      running :=
+        {
+          sw_pos = pos;
+          sw_pid = pid;
+          sw_fd = r;
+          sw_pending = Bytes.empty;
+          sw_deadline = Option.map (fun s -> now +. s) watchdog_s;
+          sw_delivered = false;
+        }
+        :: !running
+  in
+  let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+  let retire sw =
+    (try Unix.close sw.sw_fd with Unix.Unix_error _ -> ());
+    running := List.filter (fun o -> o != sw) !running;
+    reap sw.sw_pid
+  in
+  (* A failed attempt either re-enqueues the task after a linear
+     backoff or — once the retry budget is spent — reports a
+     structured [Gave_up] and moves on.  The search never aborts. *)
+  let failed now sw reason =
+    retire sw;
+    let pos = sw.sw_pos in
+    attempts.(pos) <- attempts.(pos) + 1;
+    if attempts.(pos) > retries then
+      emit (Gave_up { position = pos; attempts = attempts.(pos); reason })
+    else begin
+      on_retry ~position:pos ~attempt:attempts.(pos)
+        ~reason:(reason_text reason);
+      queue :=
+        !queue @ [ (now +. (backoff_s *. float_of_int attempts.(pos)), pos) ]
+    end
+  in
+  let chunk = Bytes.create 65536 in
+  let continue = ref true in
+  while !continue do
+    let now = Unix.gettimeofday () in
+    (* Launch every ready task while worker slots are free; a true
+       [should_stop] (budget exhausted) stops launching but still
+       drains what is already running — graceful degradation. *)
+    let stop = should_stop () in
+    if stop then queue := [];
+    let rec launch () =
+      if List.length !running < jobs then
+        match List.find_opt (fun (nb, _) -> nb <= now) !queue with
+        | Some ((_, pos) as item) ->
+          queue := List.filter (fun o -> o != item) !queue;
+          spawn now pos;
+          launch ()
+        | None -> ()
+    in
+    launch ();
+    if !running = [] && !queue = [] then continue := false
+    else if !running = [] then
+      (* Only backed-off retries remain: sleep until the earliest. *)
+      let wake = List.fold_left (fun a (nb, _) -> min a nb) infinity !queue in
+      let d = wake -. Unix.gettimeofday () in
+      if d > 0. then Unix.sleepf (min d 0.05) else ()
+    else begin
+      let timeout =
+        let next_deadline =
+          List.fold_left
+            (fun a sw ->
+              match sw.sw_deadline with Some d -> min a d | None -> a)
+            infinity !running
+        in
+        let next_ready =
+          if List.length !running < jobs then
+            List.fold_left (fun a (nb, _) -> min a nb) infinity !queue
+          else infinity
+        in
+        let t = min next_deadline next_ready -. now in
+        if t = infinity then -1. else Float.max t 0.001
+      in
+      let fds = List.map (fun sw -> sw.sw_fd) !running in
+      let readable, _, _ =
+        try Unix.select fds [] [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun sw ->
+          if List.mem sw.sw_fd readable then
+            match Unix.read sw.sw_fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              if sw.sw_delivered then retire sw
+              else failed now sw (Worker_lost "exited without delivering")
+            | r ->
+              let ib =
+                {
+                  fd = sw.sw_fd;
+                  pid = sw.sw_pid;
+                  pending = Bytes.cat sw.sw_pending (Bytes.sub chunk 0 r);
+                }
+              in
+              drain_frames ib (fun ev ->
+                  sw.sw_delivered <- true;
+                  match ev with
+                  | Result (pos, timing, v) -> emit (Completed (pos, timing, v))
+                  | Failed (pos, timing, e) ->
+                    (* The task itself raised: deterministic, so a
+                       retry would fail identically — report, don't
+                       retry. *)
+                    emit (Task_error (pos, timing, e)));
+              sw.sw_pending <- ib.pending)
+        (List.filter (fun sw -> List.mem sw.sw_fd fds) !running);
+      (* Kill whatever overran its watchdog and was not delivered. *)
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun sw ->
+          match sw.sw_deadline with
+          | Some d when now >= d ->
+            (try Unix.kill sw.sw_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            if sw.sw_delivered then
+              (* Result already in hand; the overrun is only a worker
+                 that failed to exit — reclaim it silently. *)
+              retire sw
+            else
+              failed now sw (Timed_out (Option.value watchdog_s ~default:0.))
+          | _ -> ())
+        !running
+    end
+  done;
+  !emitted
+
 (* -------------------- coordinator -------------------- *)
 
 let map ~jobs ?max_results ?(on_retry = fun _ -> ()) ~on_event f tasks =

@@ -72,3 +72,63 @@ val map :
     task array no worker is forked and [map] returns 0.
     @raise Invalid_argument if [jobs < 1].
     @raise Failure if a retried task is lost a second time. *)
+
+(** {1 Supervised pool (watchdog + bounded retry)}
+
+    {!map} amortizes forks by giving each worker a static share of the
+    tasks — the right trade for a campaign of uniform, trusted cells.
+    The chaos search runs {e adversarial} candidates: any one may hang
+    the simulator or kill its worker, and losing the whole share (or
+    the whole search) to one bad candidate is unacceptable.
+    {!supervise} therefore forks {b one worker per task}: the
+    coordinator always knows which task a pid is running, kills it
+    when it overruns the watchdog, retries it a bounded number of
+    times with linear backoff, and — once the retry budget is spent —
+    reports a structured {!Gave_up} instead of raising.  It never
+    aborts the run. *)
+
+type give_up_reason =
+  | Timed_out of float  (** killed by the watchdog after this many seconds *)
+  | Worker_lost of string  (** worker died without delivering a frame *)
+
+type 'b sevent =
+  | Completed of int * timing * 'b
+      (** task position, timing, worker's return value *)
+  | Task_error of int * timing * string
+      (** the task function itself raised — deterministic, so it is
+          reported immediately and {e not} retried *)
+  | Gave_up of { position : int; attempts : int; reason : give_up_reason }
+      (** every attempt timed out or lost its worker *)
+
+val reason_text : give_up_reason -> string
+(** [reason_text r] is a one-line human-readable rendering. *)
+
+val supervise :
+  jobs:int ->
+  ?watchdog_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?on_retry:(position:int -> attempt:int -> reason:string -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  on_event:('b sevent -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  int
+(** [supervise ~jobs ~on_event f tasks] runs [f] on every task, one
+    fork per task, at most [jobs] concurrently, and returns the number
+    of events emitted.  [on_event] runs in the coordinator in
+    completion order.
+
+    [watchdog_s] (default: none) kills any attempt still undelivered
+    after that many seconds.  A killed or lost attempt is re-enqueued
+    after [backoff_s * attempt] seconds (default [0.05]) up to
+    [retries] times (default [1]); [on_retry] observes each
+    re-enqueue.  When the budget is spent the task yields one
+    {!Gave_up} event.
+
+    [should_stop] (default: never) is polled each scheduling round;
+    once true no further task is {e launched} — already-running
+    attempts drain normally and tasks never launched emit nothing, so
+    a caller on an exhausted budget gets partial results, not an
+    exception.
+    @raise Invalid_argument if [jobs < 1]. *)

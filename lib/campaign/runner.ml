@@ -67,7 +67,14 @@ let load_journal options spec =
   end
   else
     let* entries =
-      Result.map_error (fun e -> e) (Checkpoint.load ~path ~spec)
+      (* Truncation warnings (torn tail line, torn header) go to
+         stderr: the resume proceeds, but the operator should know a
+         kill landed mid-write. *)
+      Result.map_error
+        (fun e -> e)
+        (Checkpoint.load
+           ~on_warning:(fun w -> Printf.eprintf "ddcr_campaign: warning: %s\n%!" w)
+           ~path ~spec ())
     in
     List.fold_left
       (fun acc (index, rj) ->

@@ -39,6 +39,14 @@ val scenario_label : scenario -> string
 (** e.g. ["trading-4"] or ["uniform-8-0.30"] — stable across runs, used
     in cell keys and reports. *)
 
+val scenario_to_json : scenario -> Rtnet_util.Json.t
+(** Canonical encoding (fixed key order) — embedded in campaign specs
+    and chaos replay artifacts alike. *)
+
+val scenario_of_json : Rtnet_util.Json.t -> (scenario, string) result
+(** [load]/[deadline_windows] may be omitted (defaults 0.3 / 2.0),
+    matching hand-written spec files. *)
+
 val instance : scenario -> Rtnet_workload.Instance.t
 (** [instance sc] builds the workload instance.
     @raise Failure on an unknown [sc_kind] ({!validate} rejects such

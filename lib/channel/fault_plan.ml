@@ -46,45 +46,130 @@ let prob name p =
     Error (Printf.sprintf "%s %g out of [0, 1]" name p)
   else Ok ()
 
+(* Gilbert–Elliott transition probabilities additionally exclude the
+   endpoints: at 0 the chain sticks silently in one state (the other
+   state's rate is dead configuration), at 1 it alternates
+   deterministically every slot — and a chain with both transitions
+   degenerate has no stationary distribution to speak of.  Callers who
+   want a frozen state should use [Iid] with that state's rate. *)
+let transition name p =
+  let* () = prob name p in
+  if p = 0. || p = 1. then
+    Error
+      (Printf.sprintf
+         "%s %g is degenerate — the Gilbert–Elliott chain would %s; require \
+          0 < %s < 1 (use iid for a single-state process)"
+         name p
+         (if p = 0. then "never change state" else "alternate every slot")
+         name)
+  else Ok ()
+
+let check_overlaps crashes =
+  let overlap a b =
+    a.cw_source = b.cw_source && a.cw_from < b.cw_until
+    && b.cw_from < a.cw_until
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | w :: rest -> (
+      match List.find_opt (overlap w) rest with
+      | Some w' ->
+        Error
+          (Printf.sprintf
+             "crash windows [%d, %d) and [%d, %d) of source %d overlap"
+             w.cw_from w.cw_until w'.cw_from w'.cw_until w.cw_source)
+      | None -> go rest)
+  in
+  go crashes
+
 let validate ?horizon spec =
   let* () =
     match spec.sp_garble with
     | None -> Ok ()
     | Some (Iid { rate }) -> prob "garble rate" rate
     | Some (Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad }) ->
-      let* () = prob "p_enter" p_enter in
-      let* () = prob "p_exit" p_exit in
+      let* () = transition "p_enter" p_enter in
+      let* () = transition "p_exit" p_exit in
       let* () = prob "rate_good" rate_good in
       prob "rate_bad" rate_bad
   in
   let* () = prob "misperception rate" spec.sp_misperception in
-  List.fold_left
-    (fun acc w ->
-      let* () = acc in
-      if w.cw_source < 0 then
-        Error (Printf.sprintf "crash window: negative source %d" w.cw_source)
-      else if w.cw_from < 0 then
-        Error (Printf.sprintf "crash window: negative start %d" w.cw_from)
-      else if w.cw_until <= w.cw_from then
-        Error
-          (Printf.sprintf "crash window [%d, %d) of source %d is empty"
-             w.cw_from w.cw_until w.cw_source)
-      else
-        match horizon with
-        | Some h when w.cw_until > h ->
+  let* () =
+    List.fold_left
+      (fun acc w ->
+        let* () = acc in
+        if w.cw_source < 0 then
+          Error (Printf.sprintf "crash window: negative source %d" w.cw_source)
+        else if w.cw_from < 0 then
+          Error (Printf.sprintf "crash window: negative start %d" w.cw_from)
+        else if w.cw_until <= w.cw_from then
           Error
-            (Printf.sprintf
-               "crash window [%d, %d) of source %d extends past the horizon %d \
-                — the source would never rejoin"
-               w.cw_from w.cw_until w.cw_source h)
-        | Some _ | None -> Ok ())
-    (Ok ()) spec.sp_crashes
+            (Printf.sprintf "crash window [%d, %d) of source %d is empty"
+               w.cw_from w.cw_until w.cw_source)
+        else
+          match horizon with
+          | Some h when w.cw_until > h ->
+            Error
+              (Printf.sprintf
+                 "crash window [%d, %d) of source %d extends past the horizon \
+                  %d — the source would never rejoin"
+                 w.cw_from w.cw_until w.cw_source h)
+          | Some _ | None -> Ok ())
+      (Ok ()) spec.sp_crashes
+  in
+  check_overlaps spec.sp_crashes
 
 let is_empty spec =
   spec.sp_garble = None && spec.sp_misperception = 0. && spec.sp_crashes = []
 
 let has_local_faults spec =
   spec.sp_misperception > 0. || spec.sp_crashes <> []
+
+(* ---------------------------------------------------------------- *)
+(* Mutation / merge helpers.  The chaos shrinker treats a plan as a   *)
+(* list of independent fault events (atoms) it can drop, narrow or    *)
+(* weaken; these helpers keep that decomposition canonical so         *)
+(* [merge (atoms sp)] round-trips (up to crash-window order).         *)
+
+let atoms spec =
+  (match spec.sp_garble with
+  | None -> []
+  | Some g -> [ { none with sp_garble = Some g } ])
+  @ (if spec.sp_misperception > 0. then
+       [ { none with sp_misperception = spec.sp_misperception } ]
+     else [])
+  @ List.map (fun w -> { none with sp_crashes = [ w ] }) spec.sp_crashes
+
+let merge specs = List.fold_left compose none specs
+
+let event_count spec = List.length (atoms spec)
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let scale_severity spec factor =
+  {
+    spec with
+    sp_garble =
+      Option.map
+        (function
+          | Iid { rate } -> Iid { rate = clamp01 (rate *. factor) }
+          | Gilbert_elliott ge ->
+            Gilbert_elliott
+              {
+                ge with
+                rate_good = clamp01 (ge.rate_good *. factor);
+                rate_bad = clamp01 (ge.rate_bad *. factor);
+              })
+        spec.sp_garble;
+    sp_misperception = clamp01 (spec.sp_misperception *. factor);
+  }
+
+let split_crash w =
+  let width = w.cw_until - w.cw_from in
+  if width < 2 then None
+  else
+    let mid = w.cw_from + (width / 2) in
+    Some ({ w with cw_until = mid }, { w with cw_from = mid })
 
 let label spec =
   let parts =
@@ -185,7 +270,14 @@ let spec_of_json j =
         (Ok []) l
       |> Result.map List.rev
   in
-  Ok { sp_garble = garble; sp_misperception = misperception; sp_crashes = crashes }
+  let spec =
+    { sp_garble = garble; sp_misperception = misperception; sp_crashes = crashes }
+  in
+  (* Construction-time validation: a decoded plan is rejected with the
+     same diagnostics [create] would raise, so malformed specs fail at
+     the JSON boundary instead of mid-campaign. *)
+  let* () = validate spec in
+  Ok spec
 
 (* ---------------------------------------------------------------- *)
 (* Instantiated plans.  Stream paths: [0] Gilbert–Elliott state       *)

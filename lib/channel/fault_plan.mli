@@ -81,8 +81,12 @@ val compose : spec -> spec -> spec
 
 val validate : ?horizon:int -> spec -> (unit, string) result
 (** [validate spec] checks every parameter: rates and probabilities in
-    [\[0, 1]], crash windows non-empty with non-negative bounds and —
-    when [horizon] is given — ending within it. *)
+    [\[0, 1]], Gilbert–Elliott transition probabilities strictly inside
+    [(0, 1)] (at the endpoints the chain either sticks silently in one
+    state or alternates deterministically — use {!Iid} for a
+    single-state process), crash windows non-empty with non-negative
+    bounds, non-overlapping per source and — when [horizon] is given —
+    ending within it. *)
 
 val is_empty : spec -> bool
 (** [is_empty spec] iff the plan injects nothing at all. *)
@@ -91,6 +95,40 @@ val has_local_faults : spec -> bool
 (** [has_local_faults spec] iff the plan breaks {e per-source}
     observation (misperception or crashes) — such plans are only
     meaningful for protocols that implement divergence recovery. *)
+
+(** {1 Mutation / merge helpers}
+
+    The chaos shrinker ([rtnet.chaos]) minimizes a failing plan along
+    three axes: drop fault events, narrow crash windows, weaken
+    severities.  These helpers give it a canonical decomposition of a
+    plan into independent fault events and the two pointwise
+    mutations, so the shrinker never has to know the record layout. *)
+
+val atoms : spec -> spec list
+(** [atoms spec] decomposes the plan into single-event plans: one for
+    the garble process (if any), one for misperception (if non-zero)
+    and one per crash window.  [merge (atoms spec)] rebuilds [spec]
+    (up to crash-window order).  [atoms none = \[\]]. *)
+
+val merge : spec list -> spec
+(** [merge specs] folds {!compose} over [specs] (left to right) from
+    {!none}: later garble/misperception settings win, crash windows
+    accumulate. *)
+
+val event_count : spec -> int
+(** [event_count spec] is [List.length (atoms spec)] — the shrinker's
+    size metric. *)
+
+val scale_severity : spec -> float -> spec
+(** [scale_severity spec f] multiplies every severity rate (iid garble
+    rate, Gilbert–Elliott good/bad rates, misperception rate) by [f],
+    clamped to [\[0, 1]].  Transition probabilities and crash windows
+    are untouched — they are shrunk along the other two axes. *)
+
+val split_crash : crash_window -> (crash_window * crash_window) option
+(** [split_crash w] halves the window at its midpoint, returning the
+    left and right halves, or [None] if [w] spans fewer than 2
+    bit-times and cannot be narrowed further. *)
 
 val label : spec -> string
 (** [label spec] is a compact, filename-safe description, e.g.
@@ -103,6 +141,9 @@ val spec_to_json : spec -> Rtnet_util.Json.t
     on it. *)
 
 val spec_of_json : Rtnet_util.Json.t -> (spec, string) result
+(** Decodes and {!validate}s (without a horizon): a malformed or
+    out-of-range plan is rejected at the JSON boundary with the same
+    diagnostics {!create} raises, never silently accepted. *)
 
 (** {1 Instantiated plans} *)
 

@@ -1,0 +1,81 @@
+module Spec = Rtnet_campaign.Spec
+module Instance = Rtnet_workload.Instance
+module Fault_plan = Rtnet_channel.Fault_plan
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Ddcr_trace = Rtnet_core.Ddcr_trace
+module Harness = Rtnet_mac.Harness
+module Oracle = Rtnet_analysis.Oracle
+module Run = Rtnet_stats.Run
+module Run_json = Rtnet_stats.Run_json
+module Json = Rtnet_util.Json
+
+type config = {
+  cf_scenario : Spec.scenario;
+  cf_horizon_ms : int;
+}
+
+type t = {
+  cd_plan : Fault_plan.spec;
+  cd_trace_seed : int;
+  cd_fault_seed : int;
+}
+
+type report = {
+  rp_verdict : Oracle.verdict;
+  rp_fingerprint : string;
+  rp_delivered : int;
+  rp_misses : int;
+  rp_elapsed_s : float;
+}
+
+let fingerprint_outcome outcome =
+  Digest.to_hex (Digest.string (Json.to_string (Run_json.outcome_to_json outcome)))
+
+(* When the run dies in an exception there is no outcome to digest;
+   fingerprint the verdict rendering instead — still a pure function
+   of the candidate, so replay equality holds. *)
+let fingerprint_verdict v =
+  Digest.to_hex (Digest.string ("verdict:" ^ Json.to_string (Oracle.to_json v)))
+
+let run cf cd =
+  let t0 = Unix.gettimeofday () in
+  let inst = Spec.instance cf.cf_scenario in
+  let horizon = cf.cf_horizon_ms * 1_000_000 in
+  let trace = Instance.trace inst ~seed:cd.cd_trace_seed ~horizon in
+  let params = Ddcr_params.default inst in
+  let record, finish = Ddcr_trace.collector () in
+  let finish_with verdict fingerprint delivered misses =
+    {
+      rp_verdict = verdict;
+      rp_fingerprint = fingerprint;
+      rp_delivered = delivered;
+      rp_misses = misses;
+      rp_elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  match
+    let plan = Fault_plan.create ~horizon ~seed:cd.cd_fault_seed cd.cd_plan in
+    Ddcr.run_trace ~check_lockstep:true ~on_event:record ~plan params inst
+      trace ~horizon
+  with
+  | outcome ->
+    let events = finish () in
+    let verdict = Oracle.classify ~workload:trace ~outcome events in
+    let m = Run.metrics outcome in
+    finish_with verdict (fingerprint_outcome outcome) m.Run.delivered
+      m.Run.deadline_misses
+  | exception Harness.Mismatch m ->
+    let v = Oracle.Harness_mismatch (Harness.mismatch_message m) in
+    finish_with v (fingerprint_verdict v) 0 0
+  | exception Ddcr.Protocol_violation msg ->
+    let v = Oracle.Run_crash ("protocol violation: " ^ msg) in
+    finish_with v (fingerprint_verdict v) 0 0
+  | exception Failure msg ->
+    (* The harness raises [Failure] when safety or the end-of-run
+       transmission-log reconciliation breaks. *)
+    let v = Oracle.Safety_violation msg in
+    finish_with v (fingerprint_verdict v) 0 0
+  | exception Assert_failure _ ->
+    let v = Oracle.Run_crash "assertion failure in the simulator" in
+    finish_with v (fingerprint_verdict v) 0 0

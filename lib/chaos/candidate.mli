@@ -1,0 +1,43 @@
+(** One chaos candidate: a fault plan plus the seeds that make its
+    run reproducible, and the executor that turns it into a verdict.
+
+    A candidate is executed exactly like a campaign cell — workload
+    trace from the scenario instance, DDCR under the instantiated
+    fault plan through {!Rtnet_mac.Harness} — then reduced to an
+    {!Rtnet_analysis.Oracle.verdict} and a {b trace fingerprint}: the
+    hex digest of the canonical JSON rendering of the run outcome.
+    Outcome JSON carries no wall-clock fields, so the fingerprint is a
+    pure function of (scenario, horizon, seeds, plan) — the equality
+    replay artifacts assert. *)
+
+type config = {
+  cf_scenario : Rtnet_campaign.Spec.scenario;
+  cf_horizon_ms : int;
+}
+
+type t = {
+  cd_plan : Rtnet_channel.Fault_plan.spec;
+  cd_trace_seed : int;  (** arrival-trace stream *)
+  cd_fault_seed : int;  (** fault-plan sampler stream *)
+}
+
+type report = {
+  rp_verdict : Rtnet_analysis.Oracle.verdict;
+  rp_fingerprint : string;
+  rp_delivered : int;
+  rp_misses : int;  (** raw metric misses, epoch-blind — context only *)
+  rp_elapsed_s : float;
+}
+
+val fingerprint_outcome : Rtnet_stats.Run.outcome -> string
+(** Hex digest of {!Rtnet_stats.Run_json.outcome_to_json}'s canonical
+    bytes. *)
+
+val run : config -> t -> report
+(** [run cf cd] executes the candidate and classifies it.  Never
+    raises on a protocol failure: {!Rtnet_mac.Harness.Mismatch},
+    safety/reconciliation [Failure]s and protocol violations are
+    caught and mapped to the corresponding verdicts (with a
+    deterministic fingerprint derived from the verdict itself, since
+    no outcome exists).  Only truly unexpected conditions (e.g. an
+    unknown scenario kind) escape. *)

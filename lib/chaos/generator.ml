@@ -1,0 +1,175 @@
+module Prng = Rtnet_util.Prng
+module Json = Rtnet_util.Json
+module Fault_plan = Rtnet_channel.Fault_plan
+
+let ( let* ) = Result.bind
+
+type budget = {
+  g_max_events : int;
+  g_garble : bool;
+  g_misperceive : bool;
+  g_crash : bool;
+  g_max_rate : float;
+  g_max_crash_fraction : float;
+}
+
+let default_budget =
+  {
+    g_max_events = 4;
+    g_garble = true;
+    g_misperceive = true;
+    g_crash = true;
+    g_max_rate = 0.5;
+    g_max_crash_fraction = 0.3;
+  }
+
+let budget_to_json b =
+  Json.Obj
+    [
+      ("max_events", Json.Int b.g_max_events);
+      ("garble", Json.Bool b.g_garble);
+      ("misperceive", Json.Bool b.g_misperceive);
+      ("crash", Json.Bool b.g_crash);
+      ("max_rate", Json.Float b.g_max_rate);
+      ("max_crash_fraction", Json.Float b.g_max_crash_fraction);
+    ]
+
+let opt j key decode default =
+  match Json.member key j with None -> Ok default | Some v -> decode v
+
+let budget_of_json j =
+  let* max_events = opt j "max_events" Json.get_int default_budget.g_max_events in
+  let* garble = opt j "garble" Json.get_bool default_budget.g_garble in
+  let* misperceive =
+    opt j "misperceive" Json.get_bool default_budget.g_misperceive
+  in
+  let* crash = opt j "crash" Json.get_bool default_budget.g_crash in
+  let* max_rate = opt j "max_rate" Json.get_float default_budget.g_max_rate in
+  let* max_crash_fraction =
+    opt j "max_crash_fraction" Json.get_float default_budget.g_max_crash_fraction
+  in
+  Ok
+    {
+      g_max_events = max_events;
+      g_garble = garble;
+      g_misperceive = misperceive;
+      g_crash = crash;
+      g_max_rate = max_rate;
+      g_max_crash_fraction = max_crash_fraction;
+    }
+
+let check_budget b =
+  if b.g_max_events < 1 then invalid_arg "Generator.sample: max_events < 1";
+  if not (b.g_garble || b.g_misperceive || b.g_crash) then
+    invalid_arg "Generator.sample: every fault family disabled";
+  if not (b.g_max_rate > 0. && b.g_max_rate <= 1.) then
+    invalid_arg "Generator.sample: max_rate out of (0, 1]";
+  if not (b.g_max_crash_fraction > 0. && b.g_max_crash_fraction <= 1.) then
+    invalid_arg "Generator.sample: max_crash_fraction out of (0, 1]"
+
+(* Domain tag for the generator's stream family, so candidate plans
+   can never collide with the per-run seeds Search derives from the
+   same root seed. *)
+let stream_tag = 0xC4A0
+
+type kind = Garble | Misperceive | Crash
+
+(* A rate in [lo, hi) — the floor keeps sampled severities observable
+   (a 1e-9 garble rate injects nothing over a short horizon). *)
+let rate_in rng ~lo ~hi = lo +. Prng.float rng (Float.max (hi -. lo) 1e-6)
+
+let sample_garble rng ~max_rate =
+  if Prng.bool rng then Fault_plan.iid (rate_in rng ~lo:0.02 ~hi:max_rate)
+  else
+    (* Transition probabilities strictly inside (0, 1): the validator
+       rejects the degenerate endpoints. *)
+    let p_enter = rate_in rng ~lo:0.005 ~hi:0.3 in
+    let p_exit = rate_in rng ~lo:0.05 ~hi:0.6 in
+    let r1 = Prng.float rng max_rate and r2 = Prng.float rng max_rate in
+    Fault_plan.gilbert_elliott ~p_enter ~p_exit ~rate_good:(Float.min r1 r2)
+      ~rate_bad:(Float.max r1 r2)
+
+let sample_misperception rng ~max_rate =
+  Fault_plan.misperceive (rate_in rng ~lo:0.005 ~hi:(Float.min max_rate 0.25))
+
+(* Crash windows of one source must not overlap; draw up to 8 times,
+   then give up on this event (the plan just ends up smaller). *)
+let sample_crash rng ~budget ~horizon ~sources existing =
+  let max_width =
+    max 2 (int_of_float (budget.g_max_crash_fraction *. float_of_int horizon))
+  in
+  let rec try_ n =
+    if n = 0 then None
+    else
+      let source = Prng.int rng sources in
+      let width = 2 + Prng.int rng (max 1 (max_width - 1)) in
+      let width = min width (horizon - 1) in
+      let from_ = Prng.int rng (max 1 (horizon - width)) in
+      let until = from_ + width in
+      let overlaps =
+        List.exists
+          (fun w ->
+            w.Fault_plan.cw_source = source && w.Fault_plan.cw_from < until
+            && from_ < w.Fault_plan.cw_until)
+          existing
+      in
+      if overlaps then try_ (n - 1)
+      else Some { Fault_plan.cw_source = source; cw_from = from_; cw_until = until }
+  in
+  try_ 8
+
+let sample ~budget ~seed ~index ~horizon ~sources =
+  check_budget budget;
+  if horizon < 4 then invalid_arg "Generator.sample: horizon < 4";
+  if sources < 1 then invalid_arg "Generator.sample: sources < 1";
+  let rng = Prng.stream ~seed ~path:[ stream_tag; index ] in
+  let kinds =
+    (if budget.g_garble then [ Garble ] else [])
+    @ (if budget.g_misperceive then [ Misperceive ] else [])
+    @ if budget.g_crash then [ Crash ] else []
+  in
+  let pick () = List.nth kinds (Prng.int rng (List.length kinds)) in
+  let n_events = 1 + Prng.int rng budget.g_max_events in
+  let rec go i ~have_garble ~have_mp ~crashes acc =
+    if i = n_events then acc
+    else
+      match pick () with
+      | Garble when not have_garble ->
+        go (i + 1) ~have_garble:true ~have_mp ~crashes
+          (sample_garble rng ~max_rate:budget.g_max_rate :: acc)
+      | Misperceive when not have_mp ->
+        go (i + 1) ~have_garble ~have_mp:true ~crashes
+          (sample_misperception rng ~max_rate:budget.g_max_rate :: acc)
+      | Crash -> (
+        match sample_crash rng ~budget ~horizon ~sources crashes with
+        | Some w ->
+          go (i + 1) ~have_garble ~have_mp ~crashes:(w :: crashes)
+            ({ Fault_plan.none with sp_crashes = [ w ] } :: acc)
+        | None -> go (i + 1) ~have_garble ~have_mp ~crashes acc)
+      (* A duplicate garble/misperception draw is skipped rather than
+         redrawn, so the plan stays within the event budget. *)
+      | Garble | Misperceive -> go (i + 1) ~have_garble ~have_mp ~crashes acc
+  in
+  let atoms = List.rev (go 0 ~have_garble:false ~have_mp:false ~crashes:[] []) in
+  let atoms =
+    (* Skipped draws can leave the plan empty; guarantee at least one
+       event with the first enabled family. *)
+    if atoms = [] then
+      [
+        (match List.hd kinds with
+        | Garble -> sample_garble rng ~max_rate:budget.g_max_rate
+        | Misperceive -> sample_misperception rng ~max_rate:budget.g_max_rate
+        | Crash -> (
+          match sample_crash rng ~budget ~horizon ~sources [] with
+          | Some w -> { Fault_plan.none with sp_crashes = [ w ] }
+          | None -> sample_misperception rng ~max_rate:budget.g_max_rate));
+      ]
+    else atoms
+  in
+  let spec = Fault_plan.merge atoms in
+  match Fault_plan.validate ~horizon spec with
+  | Ok () -> spec
+  | Error e ->
+    (* Unreachable by construction; fail loudly rather than feed the
+       search an invalid plan. *)
+    invalid_arg ("Generator.sample: internal: " ^ e)

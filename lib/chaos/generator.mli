@@ -1,0 +1,50 @@
+(** Random fault-schedule generator.
+
+    Samples {!Rtnet_channel.Fault_plan.spec} values from a seeded
+    {!Rtnet_util.Prng} stream, bounded by a declared severity
+    {!budget}: which fault families may appear, how many fault events
+    a plan may carry, how hot the garble/misperception rates may run
+    and how long a crash window may last relative to the horizon.
+
+    Sampling is a pure function of [(budget, seed, index, horizon,
+    sources)] — candidate [index] of a search is the same plan on
+    every machine and every re-run, which is what makes replay
+    artifacts self-contained.  Every sampled plan satisfies
+    {!Rtnet_channel.Fault_plan.validate} by construction (transition
+    probabilities strictly inside [(0, 1)], crash windows within the
+    horizon and non-overlapping per source). *)
+
+type budget = {
+  g_max_events : int;  (** max fault events (atoms) per plan, >= 1 *)
+  g_garble : bool;  (** allow wire garbling (iid or Gilbert–Elliott) *)
+  g_misperceive : bool;  (** allow per-source misperception *)
+  g_crash : bool;  (** allow crash/restart windows *)
+  g_max_rate : float;
+      (** severity cap for garble and misperception rates, in (0, 1] *)
+  g_max_crash_fraction : float;
+      (** max crash-window length as a fraction of the horizon,
+          in (0, 1] *)
+}
+
+val default_budget : budget
+(** All families enabled, up to 4 events, rates up to 0.5, crash
+    windows up to 30% of the horizon. *)
+
+val budget_to_json : budget -> Rtnet_util.Json.t
+val budget_of_json : Rtnet_util.Json.t -> (budget, string) result
+
+val sample :
+  budget:budget ->
+  seed:int ->
+  index:int ->
+  horizon:int ->
+  sources:int ->
+  Rtnet_channel.Fault_plan.spec
+(** [sample ~budget ~seed ~index ~horizon ~sources] draws candidate
+    [index]'s plan.  Plans for distinct indices are drawn from
+    independent PRNG streams ({!Rtnet_util.Prng.stream} with the index
+    in the path), so enlarging a search never changes the plans
+    already drawn.  The result always carries at least one fault
+    event.
+    @raise Invalid_argument if the budget is malformed (no family
+    enabled, caps out of range) or [horizon]/[sources] are too small. *)

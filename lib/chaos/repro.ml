@@ -1,0 +1,111 @@
+module Json = Rtnet_util.Json
+module Spec = Rtnet_campaign.Spec
+module Fault_plan = Rtnet_channel.Fault_plan
+module Oracle = Rtnet_analysis.Oracle
+
+let ( let* ) = Result.bind
+
+let schema_version = 1
+
+type t = {
+  re_scenario : Spec.scenario;
+  re_horizon_ms : int;
+  re_plan : Fault_plan.spec;
+  re_trace_seed : int;
+  re_fault_seed : int;
+  re_verdict : Oracle.verdict;
+  re_fingerprint : string;
+  re_note : string;
+}
+
+let make ~config ~candidate ~report ~note =
+  {
+    re_scenario = config.Candidate.cf_scenario;
+    re_horizon_ms = config.Candidate.cf_horizon_ms;
+    re_plan = candidate.Candidate.cd_plan;
+    re_trace_seed = candidate.Candidate.cd_trace_seed;
+    re_fault_seed = candidate.Candidate.cd_fault_seed;
+    re_verdict = report.Candidate.rp_verdict;
+    re_fingerprint = report.Candidate.rp_fingerprint;
+    re_note = note;
+  }
+
+let candidate t =
+  ( { Candidate.cf_scenario = t.re_scenario; cf_horizon_ms = t.re_horizon_ms },
+    {
+      Candidate.cd_plan = t.re_plan;
+      cd_trace_seed = t.re_trace_seed;
+      cd_fault_seed = t.re_fault_seed;
+    } )
+
+let to_json t =
+  Json.Obj
+    [
+      ("chaos_repro_version", Json.Int schema_version);
+      ("scenario", Spec.scenario_to_json t.re_scenario);
+      ("horizon_ms", Json.Int t.re_horizon_ms);
+      ("plan", Fault_plan.spec_to_json t.re_plan);
+      ("trace_seed", Json.Int t.re_trace_seed);
+      ("fault_seed", Json.Int t.re_fault_seed);
+      ("verdict", Oracle.to_json t.re_verdict);
+      ("fingerprint", Json.String t.re_fingerprint);
+      ("note", Json.String t.re_note);
+    ]
+
+let of_json j =
+  let* v = Result.bind (Json.field "chaos_repro_version" j) Json.get_int in
+  if v <> schema_version then
+    Error (Printf.sprintf "unsupported chaos repro version %d" v)
+  else
+    let* scenario = Result.bind (Json.field "scenario" j) Spec.scenario_of_json in
+    let* horizon_ms = Result.bind (Json.field "horizon_ms" j) Json.get_int in
+    let* plan = Result.bind (Json.field "plan" j) Fault_plan.spec_of_json in
+    let* () =
+      Result.map_error
+        (fun e -> "plan: " ^ e)
+        (Fault_plan.validate ~horizon:(horizon_ms * 1_000_000) plan)
+    in
+    let* trace_seed = Result.bind (Json.field "trace_seed" j) Json.get_int in
+    let* fault_seed = Result.bind (Json.field "fault_seed" j) Json.get_int in
+    let* verdict = Result.bind (Json.field "verdict" j) Oracle.of_json in
+    let* fingerprint = Result.bind (Json.field "fingerprint" j) Json.get_string in
+    let* note =
+      match Json.member "note" j with
+      | None -> Ok ""
+      | Some n -> Json.get_string n
+    in
+    if horizon_ms < 1 then Error "horizon_ms < 1"
+    else
+      Ok
+        {
+          re_scenario = scenario;
+          re_horizon_ms = horizon_ms;
+          re_plan = plan;
+          re_trace_seed = trace_seed;
+          re_fault_seed = fault_seed;
+          re_verdict = verdict;
+          re_fingerprint = fingerprint;
+          re_note = note;
+        }
+
+let save ~path t = Json.to_file path (to_json t)
+
+let load ~path =
+  let* j = Json.parse_file path in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (of_json j)
+
+type replay = {
+  rr_report : Candidate.report;
+  rr_verdict_ok : bool;
+  rr_fingerprint_ok : bool;
+}
+
+let replay t =
+  let config, cd = candidate t in
+  let report = Candidate.run config cd in
+  {
+    rr_report = report;
+    rr_verdict_ok = report.Candidate.rp_verdict = t.re_verdict;
+    rr_fingerprint_ok =
+      String.equal report.Candidate.rp_fingerprint t.re_fingerprint;
+  }

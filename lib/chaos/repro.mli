@@ -1,0 +1,58 @@
+(** Self-contained, deterministic replay artifacts.
+
+    A repro freezes everything needed to re-execute one chaos finding
+    byte-identically: the scenario and horizon, the minimized (or
+    raw) fault plan, the candidate's pinned trace/fault seeds, the
+    expected {!Rtnet_analysis.Oracle.verdict} and the expected trace
+    fingerprint.  [ddcr_chaos replay] re-runs the candidate and exits
+    non-zero unless {e both} the verdict and the fingerprint
+    reproduce exactly — the committed repro fixture under
+    [test/fixtures/] is replayed this way on every [make chaos-smoke]. *)
+
+val schema_version : int
+(** Bumped on any incompatible artifact change; {!of_json} rejects
+    other versions. *)
+
+type t = {
+  re_scenario : Rtnet_campaign.Spec.scenario;
+  re_horizon_ms : int;
+  re_plan : Rtnet_channel.Fault_plan.spec;
+  re_trace_seed : int;
+  re_fault_seed : int;
+  re_verdict : Rtnet_analysis.Oracle.verdict;  (** expected verdict *)
+  re_fingerprint : string;  (** expected trace fingerprint *)
+  re_note : string;  (** provenance, e.g. "search seed=7 candidate=12" *)
+}
+
+val make :
+  config:Candidate.config ->
+  candidate:Candidate.t ->
+  report:Candidate.report ->
+  note:string ->
+  t
+(** [make ~config ~candidate ~report ~note] freezes a finding. *)
+
+val candidate : t -> Candidate.config * Candidate.t
+(** The run the artifact describes. *)
+
+val to_json : t -> Rtnet_util.Json.t
+(** Canonical encoding (fixed key order, versioned). *)
+
+val of_json : Rtnet_util.Json.t -> (t, string) result
+(** Decodes and validates: schema version, plan validity
+    ({!Rtnet_channel.Fault_plan.validate} against the horizon) and a
+    well-formed verdict — [ddcr_lint --check-repro] is this function
+    on a file. *)
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+type replay = {
+  rr_report : Candidate.report;  (** what the re-execution produced *)
+  rr_verdict_ok : bool;  (** verdict structurally equal to expected *)
+  rr_fingerprint_ok : bool;  (** fingerprint byte-equal to expected *)
+}
+
+val replay : t -> replay
+(** [replay t] re-executes the candidate with the frozen seeds and
+    compares against the expectations. *)

@@ -1,0 +1,238 @@
+module Prng = Rtnet_util.Prng
+module Json = Rtnet_util.Json
+module Spec = Rtnet_campaign.Spec
+module Pool = Rtnet_campaign.Pool
+module Oracle = Rtnet_analysis.Oracle
+module Registry = Rtnet_telemetry.Registry
+module Sink = Rtnet_telemetry.Sink
+module Instance = Rtnet_workload.Instance
+
+let ( let* ) = Result.bind
+
+type config = {
+  s_candidate : Candidate.config;
+  s_seed : int;
+  s_count : int;
+  s_budget : Generator.budget;
+  s_jobs : int;
+  s_watchdog_s : float option;
+  s_retries : int;
+  s_backoff_s : float;
+  s_wall_budget_s : float option;
+  s_hang_ms : int option;
+}
+
+let default_config candidate =
+  {
+    s_candidate = candidate;
+    s_seed = 1;
+    s_count = 64;
+    s_budget = Generator.default_budget;
+    s_jobs = 2;
+    s_watchdog_s = Some 30.;
+    s_retries = 1;
+    s_backoff_s = 0.1;
+    s_wall_budget_s = None;
+    s_hang_ms = None;
+  }
+
+(* -------------------- config codec -------------------- *)
+
+let config_to_json c =
+  Json.Obj
+    ([
+       ("scenario", Spec.scenario_to_json c.s_candidate.Candidate.cf_scenario);
+       ("horizon_ms", Json.Int c.s_candidate.Candidate.cf_horizon_ms);
+       ("seed", Json.Int c.s_seed);
+       ("candidates", Json.Int c.s_count);
+       ("budget", Generator.budget_to_json c.s_budget);
+       ("jobs", Json.Int c.s_jobs);
+     ]
+    @ (match c.s_watchdog_s with
+      | None -> []
+      | Some w -> [ ("watchdog_s", Json.Float w) ])
+    @ [
+        ("retries", Json.Int c.s_retries);
+        ("backoff_s", Json.Float c.s_backoff_s);
+      ]
+    @
+    match c.s_wall_budget_s with
+    | None -> []
+    | Some w -> [ ("wall_budget_s", Json.Float w) ])
+
+let opt j key decode default =
+  match Json.member key j with None -> Ok default | Some v -> decode v
+
+let opt_some j key decode =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (decode v)
+
+let config_of_json j =
+  let* scenario = Result.bind (Json.field "scenario" j) Spec.scenario_of_json in
+  let* horizon_ms = Result.bind (Json.field "horizon_ms" j) Json.get_int in
+  let* seed = opt j "seed" Json.get_int 1 in
+  let* count = opt j "candidates" Json.get_int 64 in
+  let* budget =
+    match Json.member "budget" j with
+    | None -> Ok Generator.default_budget
+    | Some b -> Generator.budget_of_json b
+  in
+  let* jobs = opt j "jobs" Json.get_int 2 in
+  let* watchdog_s = opt_some j "watchdog_s" Json.get_float in
+  let* retries = opt j "retries" Json.get_int 1 in
+  let* backoff_s = opt j "backoff_s" Json.get_float 0.1 in
+  let* wall_budget_s = opt_some j "wall_budget_s" Json.get_float in
+  if count < 1 then Error "candidates < 1"
+  else if jobs < 1 then Error "jobs < 1"
+  else
+    Ok
+      {
+        s_candidate =
+          { Candidate.cf_scenario = scenario; cf_horizon_ms = horizon_ms };
+        s_seed = seed;
+        s_count = count;
+        s_budget = budget;
+        s_jobs = jobs;
+        s_watchdog_s = watchdog_s;
+        s_retries = retries;
+        s_backoff_s = backoff_s;
+        s_wall_budget_s = wall_budget_s;
+        s_hang_ms = None;
+      }
+
+let load_config path =
+  let* j = Json.parse_file path in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (config_of_json j)
+
+(* -------------------- candidates -------------------- *)
+
+(* Domain separation mirrors the campaign's Seeding module: the trace
+   and fault seeds of candidate [i] come from disjoint derive chains
+   of the root seed, and the generator's plan stream uses its own tag
+   — no coordinate ever shares a stream prefix with another. *)
+let trace_seed_of config i = Prng.derive (Prng.derive config.s_seed 1) i
+let fault_seed_of config i = Prng.derive (Prng.derive config.s_seed 2) i
+
+let candidate_of config i =
+  let horizon = config.s_candidate.Candidate.cf_horizon_ms * 1_000_000 in
+  let inst = Spec.instance config.s_candidate.Candidate.cf_scenario in
+  let sources = inst.Instance.num_sources in
+  {
+    Candidate.cd_plan =
+      Generator.sample ~budget:config.s_budget ~seed:config.s_seed ~index:i
+        ~horizon ~sources;
+    cd_trace_seed = trace_seed_of config i;
+    cd_fault_seed = fault_seed_of config i;
+  }
+
+(* -------------------- search -------------------- *)
+
+type finding = {
+  fi_index : int;
+  fi_candidate : Candidate.t;
+  fi_report : Candidate.report;
+}
+
+type gave_up = { gu_index : int; gu_attempts : int; gu_reason : string }
+
+type result = {
+  r_examined : int;
+  r_findings : finding list;
+  r_task_errors : (int * string) list;
+  r_gave_up : gave_up list;
+  r_exhausted : bool;
+}
+
+let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
+  let count key = Option.iter (fun r -> Registry.incr r key) registry in
+  let t0 = Unix.gettimeofday () in
+  let should_stop () =
+    match config.s_wall_budget_s with
+    | None -> false
+    | Some b -> Unix.gettimeofday () -. t0 >= b
+  in
+  let stopped_early = ref false in
+  let candidates =
+    Array.init config.s_count (fun i -> (i, candidate_of config i))
+  in
+  let findings = ref [] in
+  let task_errors = ref [] in
+  let gave_up = ref [] in
+  let examined = ref 0 in
+  let task (i, cd) =
+    (match config.s_hang_ms with
+    | Some ms when i = 0 ->
+      (* Deliberate hang, used by the watchdog tests: sleep far past
+         any sensible watchdog so the kill path is exercised. *)
+      Unix.sleepf (float_of_int ms /. 1000.)
+    | _ -> ());
+    Candidate.run config.s_candidate cd
+  in
+  let on_event = function
+    | Pool.Completed (pos, timing, report) ->
+      incr examined;
+      count "chaos/candidates";
+      let ok = not (Oracle.is_failure report.Candidate.rp_verdict) in
+      sink.Sink.worker_cell ~worker:timing.Pool.worker
+        ~key:(Printf.sprintf "cand%d" pos)
+        ~t0:timing.Pool.t0 ~t1:timing.Pool.t1 ~ok;
+      if not ok then begin
+        count "chaos/findings";
+        let _, cd = candidates.(pos) in
+        findings :=
+          { fi_index = pos; fi_candidate = cd; fi_report = report }
+          :: !findings;
+        log
+          (Printf.sprintf "candidate %d: %s" pos
+             (Oracle.describe report.Candidate.rp_verdict))
+      end
+    | Pool.Task_error (pos, timing, e) ->
+      incr examined;
+      count "chaos/candidates";
+      count "chaos/task_errors";
+      sink.Sink.worker_cell ~worker:timing.Pool.worker
+        ~key:(Printf.sprintf "cand%d" pos)
+        ~t0:timing.Pool.t0 ~t1:timing.Pool.t1 ~ok:false;
+      task_errors := (pos, e) :: !task_errors;
+      log (Printf.sprintf "candidate %d: task error: %s" pos e)
+    | Pool.Gave_up { position; attempts; reason } ->
+      incr examined;
+      count "chaos/candidates";
+      count "chaos/gave_up";
+      gave_up :=
+        {
+          gu_index = position;
+          gu_attempts = attempts;
+          gu_reason = Pool.reason_text reason;
+        }
+        :: !gave_up;
+      log
+        (Printf.sprintf "candidate %d: gave up after %d attempt(s): %s"
+           position attempts (Pool.reason_text reason))
+  in
+  let launched =
+    Pool.supervise ~jobs:config.s_jobs ?watchdog_s:config.s_watchdog_s
+      ~retries:config.s_retries ~backoff_s:config.s_backoff_s
+      ~on_retry:(fun ~position ~attempt ~reason ->
+        count "chaos/retries";
+        log
+          (Printf.sprintf "candidate %d: retry %d (%s)" position attempt reason))
+      ~should_stop:(fun () ->
+        let stop = should_stop () in
+        if stop && not !stopped_early then begin
+          stopped_early := true;
+          log "wall budget exhausted: draining running candidates"
+        end;
+        stop)
+      ~on_event task candidates
+  in
+  ignore launched;
+  let by f l = List.sort (fun a b -> compare (f a) (f b)) l in
+  {
+    r_examined = !examined;
+    r_findings = by (fun f -> f.fi_index) !findings;
+    r_task_errors = by fst !task_errors;
+    r_gave_up = by (fun g -> g.gu_index) !gave_up;
+    r_exhausted = !stopped_early || !examined < config.s_count;
+  }

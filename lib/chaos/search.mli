@@ -1,0 +1,82 @@
+(** The chaos search loop: sample candidates, execute them on a
+    supervised worker pool, collect the failures.
+
+    Candidates are indexed [0 .. s_count - 1]; candidate [i]'s plan
+    and seeds are pure functions of [(config, i)] ({!candidate_of}),
+    so a finding is reproducible from its index alone and the search
+    is deterministic up to the {e set} of results (execution order
+    varies with scheduling; results are re-sorted by index).
+
+    Execution robustness comes from {!Rtnet_campaign.Pool.supervise}:
+    a hung candidate is killed at the watchdog timeout and retried
+    with backoff a bounded number of times, a candidate whose worker
+    dies likewise, and an exhausted wall-clock budget stops launching
+    new candidates while draining the running ones — the search
+    reports partial results ([r_exhausted = true]) and never crashes. *)
+
+type config = {
+  s_candidate : Candidate.config;  (** scenario + horizon under test *)
+  s_seed : int;  (** root seed; everything derives from it *)
+  s_count : int;  (** candidate budget *)
+  s_budget : Generator.budget;  (** severity budget *)
+  s_jobs : int;  (** concurrent workers *)
+  s_watchdog_s : float option;  (** per-candidate kill timeout *)
+  s_retries : int;  (** retry budget per candidate *)
+  s_backoff_s : float;  (** linear backoff unit between retries *)
+  s_wall_budget_s : float option;  (** total wall-clock budget *)
+  s_hang_ms : int option;
+      (** {b test hook}: when [Some ms], candidate index 0 sleeps that
+          many milliseconds inside the worker before running — the
+          watchdog test's deliberately hung candidate.  [None] in any
+          real search. *)
+}
+
+val default_config : Candidate.config -> config
+(** 64 candidates, {!Generator.default_budget}, 2 jobs, 30 s
+    watchdog, 1 retry, 0.1 s backoff, no wall budget, no hang hook. *)
+
+val config_to_json : config -> Rtnet_util.Json.t
+(** Canonical encoding — the committed smoke config is this shape.
+    The hang hook is never serialized. *)
+
+val config_of_json : Rtnet_util.Json.t -> (config, string) result
+
+val load_config : string -> (config, string) result
+(** [load_config path] parses a config file. *)
+
+val candidate_of : config -> int -> Candidate.t
+(** [candidate_of config i] is candidate [i]: its sampled plan and the
+    per-index trace/fault seeds (domain-separated
+    {!Rtnet_util.Prng.derive} chains of [s_seed]). *)
+
+type finding = {
+  fi_index : int;
+  fi_candidate : Candidate.t;
+  fi_report : Candidate.report;
+}
+
+type gave_up = { gu_index : int; gu_attempts : int; gu_reason : string }
+
+type result = {
+  r_examined : int;  (** candidates that produced any event *)
+  r_findings : finding list;  (** failing candidates, by index *)
+  r_task_errors : (int * string) list;
+      (** candidates whose worker-side task raised outside the
+          simulator mapping (should be empty; kept for honesty) *)
+  r_gave_up : gave_up list;  (** candidates that exhausted retries *)
+  r_exhausted : bool;  (** the wall budget stopped the search early *)
+}
+
+val run :
+  ?registry:Rtnet_telemetry.Registry.t ->
+  ?sink:Rtnet_telemetry.Sink.t ->
+  ?log:(string -> unit) ->
+  config ->
+  result
+(** [run config] executes the search.  [registry] (optional) receives
+    the chaos counters ([chaos/candidates], [chaos/findings],
+    [chaos/retries], [chaos/gave_up], [chaos/task_errors]); [sink]
+    receives one [worker_cell] probe per candidate (wall-clock
+    timeline, Perfetto-exportable via
+    {!Rtnet_telemetry.Recorder}); [log] receives one progress line
+    per notable event. *)

@@ -1,0 +1,36 @@
+(** Delta-debugging shrinker for failing fault plans.
+
+    Minimizes a plan while preserving the oracle verdict {e class}
+    ({!Rtnet_analysis.Oracle.same_class}), along three axes in order:
+
+    + {b drop fault events} — classic ddmin (Zeller's delta debugging)
+      over the plan's {!Rtnet_channel.Fault_plan.atoms};
+    + {b narrow windows} — each surviving crash window is repeatedly
+      replaced by whichever half ({!Rtnet_channel.Fault_plan.split_crash})
+      still reproduces the verdict;
+    + {b weaken severities} — garble/misperception rates are halved
+      ({!Rtnet_channel.Fault_plan.scale_severity}) while the verdict
+      survives.
+
+    The oracle is re-checked after every candidate mutation; a
+    mutation that changes the verdict class is discarded.  The result
+    is 1-minimal with respect to event removal: dropping any single
+    remaining event loses the verdict. *)
+
+type result = {
+  sh_plan : Rtnet_channel.Fault_plan.spec;  (** the minimized plan *)
+  sh_verdict : Rtnet_analysis.Oracle.verdict;
+      (** the minimized plan's verdict (same class as the target) *)
+  sh_checks : int;  (** oracle invocations spent *)
+}
+
+val run :
+  oracle:(Rtnet_channel.Fault_plan.spec -> Rtnet_analysis.Oracle.verdict) ->
+  target:Rtnet_analysis.Oracle.verdict ->
+  Rtnet_channel.Fault_plan.spec ->
+  result
+(** [run ~oracle ~target plan] minimizes [plan].  [oracle] must be
+    deterministic (re-run the candidate with its pinned seeds);
+    [target] is the verdict to preserve.  If [plan] itself does not
+    reproduce [target]'s class under [oracle], it is returned
+    unchanged with [sh_checks = 1]. *)

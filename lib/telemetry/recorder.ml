@@ -133,8 +133,14 @@ let on_jump t ~now ~reft_from ~reft_to =
 
 let on_epoch t ~start ~finish =
   Registry.incr t.reg "faults/epochs";
+  (* Total degraded bit-time: the denominator chaos-run reports use to
+     distinguish "missed inside an epoch" (degradation) from a real
+     timeliness violation. *)
+  Registry.add t.reg "faults/epoch_bits" (finish - start);
+  Registry.observe t.reg "faults/epoch_len_bits" (finish - start);
   virtual_span t ~tid:tid_faults ~track_name:"faults" ~name:"fault epoch"
-    ~cat:"fault" ~ts:start ~dur:(finish - start) []
+    ~cat:"fault" ~ts:start ~dur:(finish - start)
+    [ ("start", Json.Int start); ("finish", Json.Int finish) ]
 
 let on_engine_event t ~time =
   ignore time;

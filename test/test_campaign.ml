@@ -397,6 +397,142 @@ let test_pool_worker_crash_twice_aborts () =
     Alcotest.(check bool) "diagnostic names the repeated death" true
       (Astring_contains.contains msg "worker died twice")
 
+(* -------------------- supervised pool -------------------- *)
+
+let collect_sevents ?watchdog_s ?retries ?backoff_s ?on_retry ?should_stop
+    ~jobs f tasks =
+  let events = ref [] in
+  let n =
+    Pool.supervise ~jobs ?watchdog_s ?retries ?backoff_s ?on_retry ?should_stop
+      ~on_event:(fun e -> events := e :: !events)
+      f tasks
+  in
+  (n, List.rev !events)
+
+let test_supervise_hung_task_gives_up () =
+  (* A deliberately hung task must be killed at the watchdog timeout,
+     retried with backoff, and — once the retry budget is spent —
+     reported as a structured [Gave_up] while every other task still
+     completes: the search must degrade, never abort. *)
+  let tasks = Array.init 4 (fun i -> i) in
+  let f x =
+    if x = 1 then Unix.sleepf 60.;
+    x * 10
+  in
+  let retries_seen = ref [] in
+  let n, events =
+    collect_sevents ~jobs:2 ~watchdog_s:0.2 ~retries:1 ~backoff_s:0.01
+      ~on_retry:(fun ~position ~attempt ~reason ->
+        retries_seen := (position, attempt, reason) :: !retries_seen)
+      f tasks
+  in
+  Alcotest.(check int) "every task produced exactly one event" 4 n;
+  let completed =
+    List.sort compare
+      (List.filter_map
+         (function Pool.Completed (i, _, v) -> Some (i, v) | _ -> None)
+         events)
+  in
+  Alcotest.(check bool) "unhung tasks all completed" true
+    (completed = [ (0, 0); (2, 20); (3, 30) ]);
+  (match
+     List.filter_map
+       (function
+         | Pool.Gave_up { position; attempts; reason } ->
+           Some (position, attempts, reason)
+         | _ -> None)
+       events
+   with
+  | [ (1, 2, Pool.Timed_out _) ] -> ()
+  | [ (p, a, r) ] ->
+    Alcotest.fail
+      (Printf.sprintf "wrong give-up: position %d attempts %d (%s)" p a
+         (Pool.reason_text r))
+  | gs ->
+    Alcotest.fail (Printf.sprintf "expected one give-up, saw %d"
+                     (List.length gs)));
+  match !retries_seen with
+  | [ (1, 1, reason) ] ->
+    Alcotest.(check bool) "retry reason names the watchdog" true
+      (Astring_contains.contains reason "watchdog")
+  | rs ->
+    Alcotest.fail
+      (Printf.sprintf "expected one retry of position 1, saw %d"
+         (List.length rs))
+
+let test_supervise_task_error_not_retried () =
+  (* An exception from the task function is deterministic: retrying
+     would just raise again, so it is reported immediately. *)
+  let tasks = Array.init 3 (fun i -> i) in
+  let f x = if x = 1 then failwith "boom" else x in
+  let retried = ref 0 in
+  let n, events =
+    collect_sevents ~jobs:2 ~retries:2
+      ~on_retry:(fun ~position:_ ~attempt:_ ~reason:_ -> incr retried)
+      f tasks
+  in
+  Alcotest.(check int) "all events" 3 n;
+  Alcotest.(check int) "no retry wasted on a deterministic error" 0 !retried;
+  match
+    List.filter_map
+      (function Pool.Task_error (i, _, m) -> Some (i, m) | _ -> None)
+      events
+  with
+  | [ (1, msg) ] ->
+    Alcotest.(check bool) "exception text carried" true
+      (Astring_contains.contains msg "boom")
+  | _ -> Alcotest.fail "expected exactly task 1 to error"
+
+let test_supervise_lost_worker_retried () =
+  (* A worker killed mid-task is indistinguishable from a crash; the
+     retry must succeed when the fault was transient (flag file). *)
+  let flag = Filename.temp_file "rtnet_supervise_crash" ".flag" in
+  Sys.remove flag;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists flag then Sys.remove flag)
+    (fun () ->
+      let tasks = Array.init 3 (fun i -> i) in
+      let f x =
+        if x = 2 && not (Sys.file_exists flag) then begin
+          let oc = open_out flag in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        x + 100
+      in
+      let retried = ref [] in
+      let n, events =
+        collect_sevents ~jobs:2 ~retries:1 ~backoff_s:0.01
+          ~on_retry:(fun ~position ~attempt:_ ~reason:_ ->
+            retried := position :: !retried)
+          f tasks
+      in
+      Alcotest.(check int) "all events" 3 n;
+      Alcotest.(check (list int)) "position 2 retried once" [ 2 ] !retried;
+      let completed =
+        List.sort compare
+          (List.filter_map
+             (function Pool.Completed (i, _, v) -> Some (i, v) | _ -> None)
+             events)
+      in
+      Alcotest.(check bool) "retry delivered the result" true
+        (completed = [ (0, 100); (1, 101); (2, 102) ]))
+
+let test_supervise_should_stop_drains () =
+  (* Once [should_stop] fires, no new task launches; the caller gets
+     the events already earned — partial results, no exception. *)
+  let tasks = Array.init 16 (fun i -> i) in
+  let emitted = ref 0 in
+  let n =
+    Pool.supervise ~jobs:2
+      ~should_stop:(fun () -> !emitted >= 3)
+      ~on_event:(fun _ -> incr emitted)
+      (fun x -> x)
+      tasks
+  in
+  Alcotest.(check bool) "stopped well short of the full task set" true
+    (n < 16 && n >= 3)
+
 (* -------------------- runner determinism -------------------- *)
 
 let stripped_bytes report =
@@ -443,11 +579,11 @@ let test_checkpoint_rejects_other_spec () =
       let oc = Checkpoint.open_for_append ~path ~spec:tiny in
       Checkpoint.append oc ~index:0 ~key:"k" Json.Null;
       close_out oc;
-      (match Checkpoint.load ~path ~spec:tiny with
+      (match Checkpoint.load ~path ~spec:tiny () with
       | Ok [ (0, Json.Null) ] -> ()
       | Ok _ -> Alcotest.fail "journal content lost"
       | Error e -> Alcotest.fail e);
-      match Checkpoint.load ~path ~spec:{ tiny with Spec.base_seed = 99 } with
+      match Checkpoint.load ~path ~spec:{ tiny with Spec.base_seed = 99 } () with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "journal accepted under a different spec")
 
@@ -461,9 +597,43 @@ let test_checkpoint_tolerates_torn_tail () =
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc {|{"cell":1,"key":"b","res|};
       close_out oc;
-      match Checkpoint.load ~path ~spec:tiny with
+      let warnings = ref [] in
+      (match
+         Checkpoint.load ~on_warning:(fun w -> warnings := w :: !warnings)
+           ~path ~spec:tiny ()
+       with
       | Ok [ (0, Json.Int 1) ] -> ()
       | Ok _ -> Alcotest.fail "torn tail mishandled"
+      | Error e -> Alcotest.fail e);
+      (* The skip is announced, and the diagnostic says the cell will
+         re-run rather than silently vanish. *)
+      match !warnings with
+      | [ w ] ->
+        Alcotest.(check bool) "warning names the torn line" true
+          (Astring_contains.contains w "torn");
+        Alcotest.(check bool) "warning promises a re-run" true
+          (Astring_contains.contains w "re-run")
+      | ws ->
+        Alcotest.fail
+          (Printf.sprintf "expected one warning, saw %d" (List.length ws)))
+
+let test_checkpoint_tolerates_torn_header () =
+  (* A crash during the very first write can leave only a partial
+     header line: resuming from that journal must behave like a fresh
+     start (no completed cells), not abort the campaign. *)
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "header.ckpt" in
+      let oc = open_out path in
+      output_string oc {|{"campaign_journal":1,"fing|};
+      close_out oc;
+      let warnings = ref [] in
+      match
+        Checkpoint.load ~on_warning:(fun w -> warnings := w :: !warnings)
+          ~path ~spec:tiny ()
+      with
+      | Ok [] ->
+        Alcotest.(check int) "torn header announced" 1 (List.length !warnings)
+      | Ok _ -> Alcotest.fail "entries conjured from a torn header"
       | Error e -> Alcotest.fail e)
 
 let test_checkpoint_failed_marker_replay () =
@@ -475,7 +645,7 @@ let test_checkpoint_failed_marker_replay () =
       Checkpoint.append oc ~index:1 ~key:"b" (Json.Int 2);
       close_out oc;
       (* The failed marker voids cell 0's earlier result. *)
-      (match Checkpoint.load ~path ~spec:tiny with
+      (match Checkpoint.load ~path ~spec:tiny () with
       | Ok [ (1, Json.Int 2) ] -> ()
       | Ok entries ->
         Alcotest.fail
@@ -486,7 +656,7 @@ let test_checkpoint_failed_marker_replay () =
       let oc = Checkpoint.open_for_append ~path ~spec:tiny in
       Checkpoint.append oc ~index:0 ~key:"a" (Json.Int 3);
       close_out oc;
-      match Checkpoint.load ~path ~spec:tiny with
+      match Checkpoint.load ~path ~spec:tiny () with
       | Ok entries ->
         Alcotest.(check bool) "retry result recorded" true
           (List.sort compare entries = [ (0, Json.Int 3); (1, Json.Int 2) ])
@@ -623,6 +793,16 @@ let suite =
           test_checkpoint_rejects_other_spec;
         Alcotest.test_case "checkpoint torn tail" `Quick
           test_checkpoint_tolerates_torn_tail;
+        Alcotest.test_case "checkpoint torn header" `Quick
+          test_checkpoint_tolerates_torn_header;
+        Alcotest.test_case "supervise hung task gives up" `Quick
+          test_supervise_hung_task_gives_up;
+        Alcotest.test_case "supervise task error not retried" `Quick
+          test_supervise_task_error_not_retried;
+        Alcotest.test_case "supervise lost worker retried" `Quick
+          test_supervise_lost_worker_retried;
+        Alcotest.test_case "supervise should_stop drains" `Quick
+          test_supervise_should_stop_drains;
         Alcotest.test_case "checkpoint failed-marker replay" `Quick
           test_checkpoint_failed_marker_replay;
         Alcotest.test_case "fault campaign deterministic" `Quick

@@ -1,0 +1,391 @@
+(* rtnet.chaos: fault-schedule generator, adversarial search over the
+   supervised pool, delta-debugging shrinker and replay artifacts.
+
+   The load-bearing properties: sampling is a pure function of
+   (seed, index); the committed smoke configuration keeps finding its
+   seeded violations; shrinking preserves the verdict class while
+   shedding fault events; a frozen repro replays to the same verdict
+   and trace fingerprint; and a hung candidate costs its watchdog
+   timeout, not the search. *)
+
+module Json = Rtnet_util.Json
+module Fault_plan = Rtnet_channel.Fault_plan
+module Spec = Rtnet_campaign.Spec
+module Oracle = Rtnet_analysis.Oracle
+module Generator = Rtnet_chaos.Generator
+module Candidate = Rtnet_chaos.Candidate
+module Search = Rtnet_chaos.Search
+module Shrink = Rtnet_chaos.Shrink
+module Repro = Rtnet_chaos.Repro
+module Soak = Rtnet_chaos.Soak
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "rtnet_chaos" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+(* The same configuration as test/fixtures/chaos_smoke.json: a uniform
+   workload near the feasibility edge, where the fault-free run passes
+   (the lint gate asserts that) but injected faults push messages over
+   their deadlines or strand a crashed source. *)
+let smoke_scenario =
+  { Spec.sc_kind = "uniform"; sc_size = 4; sc_load = 0.55;
+    sc_deadline_windows = 1.5 }
+
+let smoke_candidate =
+  { Candidate.cf_scenario = smoke_scenario; cf_horizon_ms = 2 }
+
+let smoke_config =
+  {
+    (Search.default_config smoke_candidate) with
+    Search.s_seed = 7;
+    s_count = 12;
+    s_jobs = 2;
+    s_budget =
+      { Generator.default_budget with Generator.g_max_events = 4;
+        g_max_rate = 0.6 };
+  }
+
+let horizon = 2 * 1_000_000
+
+(* -------------------- generator -------------------- *)
+
+let plan_bytes p = Json.to_string (Fault_plan.spec_to_json p)
+
+let sample ?(budget = Generator.default_budget) ?(seed = 7) index =
+  Generator.sample ~budget ~seed ~index ~horizon ~sources:4
+
+let test_generator_deterministic () =
+  for i = 0 to 7 do
+    Alcotest.(check string)
+      (Printf.sprintf "candidate %d is a pure function of (seed, index)" i)
+      (plan_bytes (sample i))
+      (plan_bytes (sample i))
+  done;
+  let distinct =
+    List.sort_uniq compare (List.init 8 (fun i -> plan_bytes (sample i)))
+  in
+  Alcotest.(check bool) "indices explore different plans" true
+    (List.length distinct >= 6);
+  Alcotest.(check bool) "seeds explore different plans" true
+    (plan_bytes (sample ~seed:7 0) <> plan_bytes (sample ~seed:8 0))
+
+let test_generator_respects_budget () =
+  let budget =
+    { Generator.default_budget with Generator.g_max_events = 3;
+      g_max_rate = 0.4 }
+  in
+  for i = 0 to 31 do
+    let p = sample ~budget i in
+    let n = Fault_plan.event_count p in
+    Alcotest.(check bool)
+      (Printf.sprintf "candidate %d within event budget" i)
+      true
+      (n >= 1 && n <= 3);
+    (match Fault_plan.validate ~horizon p with
+    | Ok () -> ()
+    | Error e ->
+      Alcotest.fail (Printf.sprintf "candidate %d invalid: %s" i e));
+    match p.Fault_plan.sp_garble with
+    | Some (Fault_plan.Iid { rate }) ->
+      Alcotest.(check bool) "iid rate capped" true (rate <= 0.4)
+    | Some (Fault_plan.Gilbert_elliott { rate_good; rate_bad; _ }) ->
+      Alcotest.(check bool) "ge rates capped" true
+        (rate_good <= 0.4 && rate_bad <= 0.4)
+    | None -> ()
+  done
+
+let test_generator_family_gates () =
+  (* Disabling fault families restricts what sampling may emit. *)
+  let crash_only =
+    { Generator.default_budget with Generator.g_garble = false;
+      g_misperceive = false }
+  in
+  for i = 0 to 15 do
+    let p = sample ~budget:crash_only i in
+    Alcotest.(check bool)
+      (Printf.sprintf "candidate %d is crash-only" i)
+      true
+      (p.Fault_plan.sp_garble = None
+      && p.Fault_plan.sp_misperception = 0.
+      && p.Fault_plan.sp_crashes <> [])
+  done;
+  Alcotest.check_raises "all families disabled"
+    (Invalid_argument "Generator.sample: every fault family disabled")
+    (fun () ->
+      ignore
+        (sample
+           ~budget:
+             { Generator.default_budget with Generator.g_garble = false;
+               g_misperceive = false; g_crash = false }
+           0));
+  Alcotest.check_raises "zero event budget"
+    (Invalid_argument "Generator.sample: max_events < 1")
+    (fun () ->
+      ignore
+        (sample
+           ~budget:{ Generator.default_budget with Generator.g_max_events = 0 }
+           0))
+
+(* -------------------- search -------------------- *)
+
+let run_smoke_search () = Search.run smoke_config
+
+let test_search_finds_seeded_violations () =
+  let res = run_smoke_search () in
+  Alcotest.(check int) "every candidate examined" 12 res.Search.r_examined;
+  Alcotest.(check bool) "not flagged as exhausted" false
+    res.Search.r_exhausted;
+  Alcotest.(check (list int)) "nothing gave up" []
+    (List.map (fun g -> g.Search.gu_index) res.Search.r_gave_up);
+  Alcotest.(check bool) "finds violations" true
+    (List.length res.Search.r_findings > 0);
+  Alcotest.(check bool) "but not everything fails" true
+    (List.length res.Search.r_findings < res.Search.r_examined);
+  (* Findings arrive sorted and verdict-bearing. *)
+  let idx = List.map (fun f -> f.Search.fi_index) res.Search.r_findings in
+  Alcotest.(check (list int)) "sorted by candidate index"
+    (List.sort compare idx) idx;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "finding verdicts are failures" true
+        (Oracle.is_failure f.Search.fi_report.Candidate.rp_verdict))
+    res.Search.r_findings
+
+let test_search_deterministic () =
+  let tags r =
+    List.map
+      (fun f ->
+        ( f.Search.fi_index,
+          Oracle.label f.Search.fi_report.Candidate.rp_verdict,
+          f.Search.fi_report.Candidate.rp_fingerprint ))
+      r.Search.r_findings
+  in
+  Alcotest.(check bool) "two runs, same findings" true
+    (tags (run_smoke_search ()) = tags (run_smoke_search ()))
+
+let test_search_watchdog_hung_candidate () =
+  (* The hang hook makes candidate 0 sleep far past the watchdog: it
+     must be killed, retried once, then surface as a structured
+     give-up — while the other candidates complete normally. *)
+  let config =
+    {
+      smoke_config with
+      Search.s_count = 3;
+      s_hang_ms = Some 60_000;
+      s_watchdog_s = Some 0.2;
+      s_retries = 1;
+      s_backoff_s = 0.01;
+    }
+  in
+  let res = Search.run config in
+  Alcotest.(check int) "all candidates accounted for" 3 res.Search.r_examined;
+  (match res.Search.r_gave_up with
+  | [ g ] ->
+    Alcotest.(check int) "hung candidate gave up" 0 g.Search.gu_index;
+    Alcotest.(check int) "after watchdog kill + one retry" 2
+      g.Search.gu_attempts;
+    Alcotest.(check bool) "reason names the watchdog" true
+      (Astring_contains.contains g.Search.gu_reason "watchdog")
+  | gs ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly the hung candidate to give up, saw %d"
+         (List.length gs)));
+  Alcotest.(check bool) "candidates 1 and 2 still examined" true
+    (not (List.exists (fun f -> f.Search.fi_index = 0) res.Search.r_findings))
+
+let test_search_wall_budget_partial () =
+  (* An already-exhausted budget yields partial (here: empty) results
+     and the exhausted flag — never an exception. *)
+  let res =
+    Search.run { smoke_config with Search.s_wall_budget_s = Some 0. }
+  in
+  Alcotest.(check bool) "flagged exhausted" true res.Search.r_exhausted;
+  Alcotest.(check bool) "partial results" true
+    (res.Search.r_examined < smoke_config.Search.s_count)
+
+let test_search_config_roundtrip () =
+  match Search.config_of_json (Search.config_to_json smoke_config) with
+  | Ok c -> Alcotest.(check bool) "round-trips" true (c = smoke_config)
+  | Error e -> Alcotest.fail e
+
+(* -------------------- shrink -------------------- *)
+
+let four_event_finding () =
+  let res = run_smoke_search () in
+  match
+    List.filter
+      (fun f -> Fault_plan.event_count f.Search.fi_candidate.Candidate.cd_plan = 4)
+      res.Search.r_findings
+  with
+  | f :: _ -> f
+  | [] -> Alcotest.fail "smoke search lost its 4-event finding"
+
+let oracle_for cd plan =
+  (Candidate.run smoke_candidate { cd with Candidate.cd_plan = plan })
+    .Candidate.rp_verdict
+
+let test_shrink_reduces_and_preserves () =
+  let f = four_event_finding () in
+  let cd = f.Search.fi_candidate in
+  let target = f.Search.fi_report.Candidate.rp_verdict in
+  let res = Shrink.run ~oracle:(oracle_for cd) ~target cd.Candidate.cd_plan in
+  let n = Fault_plan.event_count res.Shrink.sh_plan in
+  Alcotest.(check bool) "at most 25% of the original events" true (n <= 1);
+  Alcotest.(check bool) "verdict class preserved" true
+    (Oracle.same_class res.Shrink.sh_verdict target);
+  Alcotest.(check bool) "minimized plan still fails on re-check" true
+    (Oracle.same_class (oracle_for cd res.Shrink.sh_plan) target);
+  Alcotest.(check bool) "oracle consulted" true (res.Shrink.sh_checks > 0)
+
+let test_shrink_keeps_unreproducible_input () =
+  (* If the plan does not reproduce the target verdict, shrinking has
+     nothing to stand on: the input comes back unchanged. *)
+  let plan = Fault_plan.iid 0.05 in
+  let res =
+    Shrink.run
+      ~oracle:(fun _ -> Oracle.Pass)
+      ~target:(Oracle.Failed_resync { source = 0 })
+      plan
+  in
+  Alcotest.(check string) "plan unchanged"
+    (plan_bytes plan)
+    (plan_bytes res.Shrink.sh_plan)
+
+(* -------------------- repro -------------------- *)
+
+let test_repro_roundtrip_and_replay () =
+  let f = four_event_finding () in
+  let repro =
+    Repro.make ~config:smoke_candidate ~candidate:f.Search.fi_candidate
+      ~report:f.Search.fi_report ~note:"test"
+  in
+  (match Repro.of_json (Repro.to_json repro) with
+  | Ok r ->
+    Alcotest.(check string) "artifact bytes round-trip"
+      (Json.to_string (Repro.to_json repro))
+      (Json.to_string (Repro.to_json r))
+  | Error e -> Alcotest.fail e);
+  let r = Repro.replay repro in
+  Alcotest.(check bool) "verdict reproduces" true r.Repro.rr_verdict_ok;
+  Alcotest.(check bool) "fingerprint reproduces" true r.Repro.rr_fingerprint_ok;
+  (* Tampering with the fault seed must be caught by replay. *)
+  let tampered = { repro with Repro.re_fault_seed = 42 } in
+  let r = Repro.replay tampered in
+  Alcotest.(check bool) "tampered seed detected" false
+    (r.Repro.rr_verdict_ok && r.Repro.rr_fingerprint_ok)
+
+let test_repro_rejects_bad_artifacts () =
+  let good = Repro.to_json
+      (Repro.make ~config:smoke_candidate
+         ~candidate:
+           { Candidate.cd_plan = Fault_plan.iid 0.1; cd_trace_seed = 1;
+             cd_fault_seed = 2 }
+         ~report:
+           {
+             Candidate.rp_verdict = Oracle.Pass;
+             rp_fingerprint = "00";
+             rp_delivered = 0;
+             rp_misses = 0;
+             rp_elapsed_s = 0.;
+           }
+         ~note:"")
+  in
+  let patch key v =
+    match good with
+    | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, x) -> (k, if k = key then v else x)) fields)
+    | _ -> Alcotest.fail "artifact is not an object"
+  in
+  (match Repro.of_json (patch "chaos_repro_version" (Json.Int 99)) with
+  | Error e ->
+    Alcotest.(check bool) "version mismatch diagnosed" true
+      (Astring_contains.contains e "version")
+  | Ok _ -> Alcotest.fail "accepted an unknown schema version");
+  match
+    Repro.of_json
+      (patch "plan"
+         (Fault_plan.spec_to_json
+            (Fault_plan.crash ~source:0 ~from_:0 ~until:(50 * 1_000_000))))
+  with
+  | Error e ->
+    Alcotest.(check bool) "plan re-validated against the horizon" true
+      (Astring_contains.contains e "plan")
+  | Ok _ -> Alcotest.fail "accepted a plan reaching past the horizon"
+
+let test_candidate_run_deterministic () =
+  let f = four_event_finding () in
+  let fp () =
+    (Candidate.run smoke_candidate f.Search.fi_candidate)
+      .Candidate.rp_fingerprint
+  in
+  Alcotest.(check string) "same candidate, same fingerprint" (fp ()) (fp ())
+
+(* -------------------- soak -------------------- *)
+
+let test_soak_collects_deduped_repros () =
+  with_tmp_dir (fun dir ->
+      let config =
+        {
+          Soak.so_search = { smoke_config with Search.s_count = 6 };
+          so_rounds = 2;
+          so_wall_budget_s = None;
+          so_out_dir = Some dir;
+        }
+      in
+      let res = Soak.run config in
+      Alcotest.(check int) "both rounds ran" 2 res.Soak.so_rounds_run;
+      Alcotest.(check int) "every candidate examined" 12 res.Soak.so_examined;
+      Alcotest.(check bool) "found something" true (res.Soak.so_findings > 0);
+      Alcotest.(check int) "one artifact per distinct finding"
+        res.Soak.so_findings
+        (List.length res.Soak.so_repro_paths);
+      (* Every written artifact is itself a valid, loadable repro. *)
+      List.iter
+        (fun path ->
+          match Repro.load ~path with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e)
+        res.Soak.so_repro_paths)
+
+let suite =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "generator deterministic" `Quick
+          test_generator_deterministic;
+        Alcotest.test_case "generator respects budget" `Quick
+          test_generator_respects_budget;
+        Alcotest.test_case "generator family gates" `Quick
+          test_generator_family_gates;
+        Alcotest.test_case "search finds seeded violations" `Quick
+          test_search_finds_seeded_violations;
+        Alcotest.test_case "search deterministic" `Quick
+          test_search_deterministic;
+        Alcotest.test_case "search watchdog on hung candidate" `Quick
+          test_search_watchdog_hung_candidate;
+        Alcotest.test_case "search wall budget partial" `Quick
+          test_search_wall_budget_partial;
+        Alcotest.test_case "search config round-trip" `Quick
+          test_search_config_roundtrip;
+        Alcotest.test_case "shrink reduces and preserves" `Quick
+          test_shrink_reduces_and_preserves;
+        Alcotest.test_case "shrink keeps unreproducible input" `Quick
+          test_shrink_keeps_unreproducible_input;
+        Alcotest.test_case "repro round-trip and replay" `Quick
+          test_repro_roundtrip_and_replay;
+        Alcotest.test_case "repro rejects bad artifacts" `Quick
+          test_repro_rejects_bad_artifacts;
+        Alcotest.test_case "candidate run deterministic" `Quick
+          test_candidate_run_deterministic;
+        Alcotest.test_case "soak collects deduped repros" `Quick
+          test_soak_collects_deduped_repros;
+      ] );
+  ]

@@ -52,6 +52,162 @@ let test_validate_rejects () =
     (Invalid_argument "Fault_plan.create: garble rate 1.5 out of [0, 1]")
     (fun () -> ignore (Fault_plan.create ~seed:1 (Fault_plan.iid 1.5)))
 
+let test_validate_rejects_degenerate_ge () =
+  (* Transition probabilities of exactly 0 or 1 make the Gilbert–
+     Elliott chain degenerate — stuck in one state, or alternating
+     deterministically every slot — which silently turns a "bursty
+     noise" experiment into something else entirely.  Construction
+     must reject all four endpoints with a diagnostic that says why. *)
+  let ge ~p_enter ~p_exit =
+    Fault_plan.gilbert_elliott ~p_enter ~p_exit ~rate_good:0.01 ~rate_bad:0.8
+  in
+  let degenerate what spec =
+    match Fault_plan.validate spec with
+    | Error e ->
+      Alcotest.(check bool)
+        (what ^ " diagnosed as degenerate")
+        true (contains ~sub:"degenerate" e)
+    | Ok () -> Alcotest.fail ("accepted " ^ what)
+  in
+  degenerate "p_enter = 0" (ge ~p_enter:0.0 ~p_exit:0.2);
+  degenerate "p_enter = 1" (ge ~p_enter:1.0 ~p_exit:0.2);
+  degenerate "p_exit = 0" (ge ~p_enter:0.02 ~p_exit:0.0);
+  degenerate "p_exit = 1" (ge ~p_enter:0.02 ~p_exit:1.0);
+  (* The diagnostic points at the iid escape hatch for the
+     single-state process the caller may actually have wanted. *)
+  (match Fault_plan.validate (ge ~p_enter:0.0 ~p_exit:0.2) with
+  | Error e ->
+    Alcotest.(check bool) "suggests iid" true (contains ~sub:"iid" e)
+  | Ok () -> Alcotest.fail "accepted p_enter = 0");
+  (* Interior probabilities stay accepted, including extremes close
+     to the endpoints. *)
+  match Fault_plan.validate (ge ~p_enter:0.001 ~p_exit:0.999) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("rejected interior probabilities: " ^ e)
+
+let test_validate_rejects_overlapping_crashes () =
+  let w source from_ until =
+    Fault_plan.crash ~source ~from_ ~until
+  in
+  let overlapping =
+    Fault_plan.compose (w 1 100 300) (w 1 200 400)
+  in
+  (match Fault_plan.validate overlapping with
+  | Error e ->
+    Alcotest.(check bool) "names the windows" true (contains ~sub:"overlap" e)
+  | Ok () -> Alcotest.fail "accepted overlapping windows of one source");
+  (* Same intervals on different sources are independent outages. *)
+  (match Fault_plan.validate (Fault_plan.compose (w 1 100 300) (w 2 200 400)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("rejected distinct sources: " ^ e));
+  (* Touching windows ([a, b) then [b, c)) do not overlap. *)
+  match Fault_plan.validate (Fault_plan.compose (w 1 100 200) (w 1 200 300)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("rejected adjacent windows: " ^ e)
+
+let test_json_codec_error_paths () =
+  (* spec_of_json validates what it decodes: a well-formed JSON
+     document carrying out-of-range or inconsistent parameters must
+     come back as a construction diagnostic, never as an Ok spec that
+     explodes later inside a worker. *)
+  let decode s = Result.bind (Json.parse s) Fault_plan.spec_of_json in
+  let rejected what ~diag s =
+    match decode s with
+    | Error e ->
+      Alcotest.(check bool)
+        (what ^ ": diagnostic mentions " ^ diag)
+        true (contains ~sub:diag e)
+    | Ok _ -> Alcotest.fail ("decoded " ^ what)
+  in
+  rejected "unknown garble kind" ~diag:"unknown garble kind"
+    {|{"garble":{"kind":"solar-flare","rate":0.1}}|};
+  rejected "negative crash window" ~diag:"empty"
+    {|{"crashes":[{"source":1,"from":500,"until":400}]}|};
+  rejected "overlapping crash windows" ~diag:"overlap"
+    {|{"crashes":[{"source":1,"from":100,"until":300},
+                  {"source":1,"from":200,"until":400}]}|};
+  rejected "degenerate GE parameters" ~diag:"degenerate"
+    {|{"garble":{"kind":"gilbert_elliott","p_enter":0.0,"p_exit":0.2,
+                 "rate_good":0.01,"rate_bad":0.8}}|};
+  rejected "garble rate above 1" ~diag:"out of"
+    {|{"garble":{"kind":"iid","rate":1.5}}|};
+  (* And a valid document still decodes. *)
+  match
+    decode
+      {|{"garble":{"kind":"iid","rate":0.1},"misperception":0.05,
+         "crashes":[{"source":0,"from":10,"until":20}]}|}
+  with
+  | Ok spec ->
+    Alcotest.(check string) "decoded label" "iid0.10+mp0.05+cr0@10-20"
+      (Fault_plan.label spec)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------- mutation / merge helpers *)
+
+let test_atoms_merge_roundtrip () =
+  let spec =
+    Fault_plan.compose
+      (Fault_plan.compose (Fault_plan.iid 0.1) (Fault_plan.misperceive 0.05))
+      (Fault_plan.compose
+         (Fault_plan.crash ~source:0 ~from_:10 ~until:20)
+         (Fault_plan.crash ~source:1 ~from_:30 ~until:40))
+  in
+  let atoms = Fault_plan.atoms spec in
+  Alcotest.(check int) "one atom per event" 4 (List.length atoms);
+  Alcotest.(check int) "event_count agrees" 4 (Fault_plan.event_count spec);
+  Alcotest.(check string) "merge inverts atoms"
+    (Json.to_string (Fault_plan.spec_to_json spec))
+    (Json.to_string (Fault_plan.spec_to_json (Fault_plan.merge atoms)));
+  Alcotest.(check int) "clean plan has no events" 0
+    (Fault_plan.event_count Fault_plan.none)
+
+let test_scale_severity () =
+  let spec =
+    Fault_plan.compose
+      (Fault_plan.compose
+         (Fault_plan.gilbert_elliott ~p_enter:0.02 ~p_exit:0.2 ~rate_good:0.2
+            ~rate_bad:0.8)
+         (Fault_plan.misperceive 0.1))
+      (Fault_plan.crash ~source:0 ~from_:10 ~until:20)
+  in
+  let half = Fault_plan.scale_severity spec 0.5 in
+  (match half.Fault_plan.sp_garble with
+  | Some (Fault_plan.Gilbert_elliott { p_enter; p_exit; rate_good; rate_bad })
+    ->
+    (* Rates scale; the burst structure (transition probabilities) is
+       a separate shrinking axis and must not drift. *)
+    Alcotest.(check (float 1e-9)) "rate_good halved" 0.1 rate_good;
+    Alcotest.(check (float 1e-9)) "rate_bad halved" 0.4 rate_bad;
+    Alcotest.(check (float 1e-9)) "p_enter untouched" 0.02 p_enter;
+    Alcotest.(check (float 1e-9)) "p_exit untouched" 0.2 p_exit
+  | _ -> Alcotest.fail "garble shape changed");
+  Alcotest.(check (float 1e-9)) "misperception halved" 0.05
+    half.Fault_plan.sp_misperception;
+  Alcotest.(check bool) "crash windows untouched" true
+    (half.Fault_plan.sp_crashes = spec.Fault_plan.sp_crashes);
+  (* Scaling never leaves the valid range. *)
+  match Fault_plan.validate (Fault_plan.scale_severity spec 0.0) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("zero-scaled plan invalid: " ^ e)
+
+let test_split_crash () =
+  let w = { Fault_plan.cw_source = 2; cw_from = 100; cw_until = 200 } in
+  (match Fault_plan.split_crash w with
+  | Some (l, r) ->
+    Alcotest.(check int) "left starts at from" 100 l.Fault_plan.cw_from;
+    Alcotest.(check int) "right ends at until" 200 r.Fault_plan.cw_until;
+    Alcotest.(check int) "halves meet" l.Fault_plan.cw_until
+      r.Fault_plan.cw_from;
+    Alcotest.(check bool) "both halves non-empty" true
+      (l.Fault_plan.cw_from < l.Fault_plan.cw_until
+      && r.Fault_plan.cw_from < r.Fault_plan.cw_until)
+  | None -> Alcotest.fail "refused to split a 100-bit window");
+  match
+    Fault_plan.split_crash { Fault_plan.cw_source = 0; cw_from = 5; cw_until = 6 }
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "split a 1-bit window"
+
 let test_validate_accepts_builtins () =
   let ok spec =
     match Fault_plan.validate ~horizon:(40 * ms) spec with
@@ -345,6 +501,16 @@ let suite =
     ( "fault_plan",
       [
         Alcotest.test_case "validation rejects" `Quick test_validate_rejects;
+        Alcotest.test_case "degenerate GE rejected" `Quick
+          test_validate_rejects_degenerate_ge;
+        Alcotest.test_case "overlapping crashes rejected" `Quick
+          test_validate_rejects_overlapping_crashes;
+        Alcotest.test_case "json codec error paths" `Quick
+          test_json_codec_error_paths;
+        Alcotest.test_case "atoms/merge roundtrip" `Quick
+          test_atoms_merge_roundtrip;
+        Alcotest.test_case "scale_severity" `Quick test_scale_severity;
+        Alcotest.test_case "split_crash" `Quick test_split_crash;
         Alcotest.test_case "validation accepts builtins" `Quick
           test_validate_accepts_builtins;
         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;

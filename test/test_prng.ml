@@ -110,6 +110,27 @@ let test_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
 
+let prop_coordinate_streams_independent =
+  (* The chaos generator keys candidate [i]'s fault-event stream as
+     [stream ~seed ~path:[tag; i]]: two candidates differing only in
+     their replicate index must share no stream prefix, or a fleet of
+     "independent" candidates would silently explore correlated fault
+     schedules.  Check the first draws of sibling coordinates across
+     random seeds and index pairs. *)
+  QCheck.Test.make ~name:"sibling coordinate streams share no prefix"
+    ~count:100
+    QCheck.(triple small_int small_nat small_nat)
+    (fun (seed, i, d) ->
+      let j = i + 1 + d in
+      let tag = 0xC4A0 in
+      let prefix path =
+        let g = Prng.stream ~seed ~path in
+        List.init 8 (fun _ -> Prng.bits64 g)
+      in
+      match (prefix [ tag; i ], prefix [ tag; j ]) with
+      | a :: _, b :: _ -> a <> b
+      | _ -> false)
+
 let prop_bool_balanced =
   QCheck.Test.make ~name:"bool roughly balanced" ~count:20 QCheck.small_int
     (fun seed ->
@@ -138,5 +159,6 @@ let suite =
         Alcotest.test_case "stream path" `Quick test_stream_path;
         Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
         QCheck_alcotest.to_alcotest prop_bool_balanced;
+        QCheck_alcotest.to_alcotest prop_coordinate_streams_independent;
       ] );
   ]
