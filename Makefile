@@ -7,7 +7,7 @@
 # committed golden report.
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
-  faults-smoke telemetry-smoke chaos-smoke
+  faults-smoke telemetry-smoke chaos-smoke model-smoke
 
 all: build
 
@@ -57,6 +57,14 @@ telemetry-smoke: build
 chaos-smoke: build
 	dune build @chaos-smoke
 
+# Explicit-state model-checking gate: exhaustively verify the small
+# uniform instance clean, re-find the committed broken-ξ
+# counterexample (exit 1 asserted), regenerate its replay artifact
+# byte-for-byte, replay it through ddcr_chaos, and lint-check the v2
+# artifact plus a torn copy (exit 2 asserted).
+model-smoke: build
+	dune build @model-smoke
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -70,7 +78,7 @@ campaign-baseline: build
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
 	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
-	  && $(MAKE) chaos-smoke
+	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke
 
 clean:
 	dune clean

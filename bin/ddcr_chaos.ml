@@ -130,6 +130,7 @@ let config_of_args config_file scenario size load deadline_windows horizon_ms
             sc_deadline_windows = deadline_windows;
           };
         cf_horizon_ms = horizon_ms;
+        cf_params = None;
       }
     in
     Ok

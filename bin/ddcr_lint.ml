@@ -181,16 +181,34 @@ let main scenario size load deadline_windows indices burst theta allocation
   let horizon = horizon_ms * 1_000_000 in
   match check_repro_file with
   | Some path -> (
-    match Rtnet_chaos.Repro.load ~path with
-    | Ok r ->
-      Format.printf "chaos repro %s: schema v%d, plan [%s], verdict %s ok@."
-        path Rtnet_chaos.Repro.schema_version
-        (Rtnet_channel.Fault_plan.label r.Rtnet_chaos.Repro.re_plan)
-        (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.re_verdict);
-      0
+    match Rtnet_util.Json.parse_file path with
     | Error e ->
-      Format.eprintf "ddcr_lint: %s@." e;
-      2)
+      Format.eprintf "ddcr_lint: cannot parse %s: %s@." path e;
+      2
+    | Ok j -> (
+      (* Report the version the artifact DECLARES, not the current
+         constant: a back-compatible v1 file must read as v1. *)
+      let declared =
+        match
+          Result.bind (Rtnet_util.Json.field "chaos_repro_version" j)
+            Rtnet_util.Json.get_int
+        with
+        | Ok v -> string_of_int v
+        | Error _ -> "?"
+      in
+      match Rtnet_chaos.Repro.of_json j with
+      | Ok r ->
+        Format.printf "chaos repro %s: schema v%s, plan [%s]%s, verdict %s ok@."
+          path declared
+          (Rtnet_channel.Fault_plan.label r.Rtnet_chaos.Repro.re_plan)
+          (match r.Rtnet_chaos.Repro.re_params with
+          | Some _ -> ", params override"
+          | None -> "")
+          (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.re_verdict);
+        0
+      | Error e ->
+        Format.eprintf "ddcr_lint: %s@." e;
+        2))
   | None -> (
   match check_perfetto_file with
   | Some path -> (

@@ -93,6 +93,29 @@ let burst p inst =
       ]
     else []
 
+(* Advisory: configurations this small are within reach of the
+   explicit-state model checker, which proves the invariants for EVERY
+   fault schedule within its bounds instead of sampling some.  Depth of
+   an m-ary tree with q leaves = log_m q. *)
+let tree_depth m leaves =
+  let rec go d n = if n >= leaves then d else go (d + 1) (n * m) in
+  go 0 1
+
+let model_scope p inst =
+  let z = inst.Instance.num_sources in
+  let sd = tree_depth p.Ddcr_params.static_m p.Ddcr_params.static_leaves in
+  if z <= 3 && sd <= 2 then
+    [
+      D.info ~rule_id:"CFG-MODEL" ~subject:inst.Instance.name
+        ~paper_ref:"Section 4 correctness properties"
+        (Printf.sprintf
+           "%d source(s), static tree depth %d: small enough for exhaustive \
+            bounded verification — run `ddcr_model check` to prove the \
+            invariants over every fault schedule within the bounds"
+           z sd);
+    ]
+  else []
+
 let overload inst =
   let u = Instance.peak_utilization inst in
   if u > 1.0 then
@@ -167,7 +190,7 @@ let check ?(strict = false) p inst =
         ]
     in
     shared @ horizon p inst @ alpha p @ slot p inst @ burst p inst
-    @ oracle_diag
+    @ model_scope p inst @ oracle_diag
     @ feasibility ~strict ~oracle_ok:oracle.Np_edf_fc.np_feasible p inst
 
 (* Fault-plan lint ("CFG-FAULT"): campaign specs carrying a fault plan

@@ -29,6 +29,11 @@
       (the provable price of distribution) unless [strict] is set;
     - ["FEAS-MARGIN"]: informational worst margin when all classes
       pass;
+    - ["CFG-MODEL"]: informational nudge when the configuration is
+      small enough (at most 3 sources, static tree depth at most 2)
+      for the explicit-state model checker — [ddcr_model check] then
+      proves the Section 4 invariants over {e every} fault schedule
+      within its bounds instead of sampling some;
     - ["CFG-FAULT"]: fault-plan validity against the run horizon
       ({!check_fault}) plus heuristics for legal-but-suspicious plans
       (Gilbert–Elliott states swapped, majority misperception). *)

@@ -112,7 +112,7 @@ let contend ch ~now attempts =
   in
   let garbled ch =
     match ch.plan with
-    | Some p -> Fault_plan.wire_garbles p
+    | Some p -> Fault_plan.wire_garbles p ~now
     | None -> (
       match ch.noise with
       | None -> false

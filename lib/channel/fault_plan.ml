@@ -18,9 +18,18 @@ type spec = {
   sp_garble : garble option;
   sp_misperception : float;
   sp_crashes : crash_window list;
+  sp_garbles_at : int list;
+  sp_misperceive_at : (int * int) list;
 }
 
-let none = { sp_garble = None; sp_misperception = 0.; sp_crashes = [] }
+let none =
+  {
+    sp_garble = None;
+    sp_misperception = 0.;
+    sp_crashes = [];
+    sp_garbles_at = [];
+    sp_misperceive_at = [];
+  }
 
 let iid rate = { none with sp_garble = Some (Iid { rate }) }
 
@@ -32,6 +41,11 @@ let misperceive rate = { none with sp_misperception = rate }
 let crash ~source ~from_ ~until =
   { none with sp_crashes = [ { cw_source = source; cw_from = from_; cw_until = until } ] }
 
+let garble_at times = { none with sp_garbles_at = List.sort_uniq compare times }
+
+let misperceive_at events =
+  { none with sp_misperceive_at = List.sort_uniq compare events }
+
 let compose a b =
   {
     sp_garble = (match b.sp_garble with Some _ as g -> g | None -> a.sp_garble);
@@ -39,6 +53,9 @@ let compose a b =
       (if b.sp_misperception > 0. then b.sp_misperception
        else a.sp_misperception);
     sp_crashes = a.sp_crashes @ b.sp_crashes;
+    sp_garbles_at = List.sort_uniq compare (a.sp_garbles_at @ b.sp_garbles_at);
+    sp_misperceive_at =
+      List.sort_uniq compare (a.sp_misperceive_at @ b.sp_misperceive_at);
   }
 
 let prob name p =
@@ -117,13 +134,40 @@ let validate ?horizon spec =
           | Some _ | None -> Ok ())
       (Ok ()) spec.sp_crashes
   in
-  check_overlaps spec.sp_crashes
+  let* () = check_overlaps spec.sp_crashes in
+  let check_time what t =
+    if t < 0 then Error (Printf.sprintf "%s: negative slot time %d" what t)
+    else
+      match horizon with
+      | Some h when t >= h ->
+        Error
+          (Printf.sprintf
+             "%s at %d is at or past the horizon %d — it would never fire"
+             what t h)
+      | Some _ | None -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc t ->
+        let* () = acc in
+        check_time "scheduled garble" t)
+      (Ok ()) spec.sp_garbles_at
+  in
+  List.fold_left
+    (fun acc (s, t) ->
+      let* () = acc in
+      if s < 0 then
+        Error (Printf.sprintf "scheduled misperception: negative source %d" s)
+      else check_time (Printf.sprintf "scheduled misperception of source %d" s) t)
+    (Ok ()) spec.sp_misperceive_at
 
 let is_empty spec =
   spec.sp_garble = None && spec.sp_misperception = 0. && spec.sp_crashes = []
+  && spec.sp_garbles_at = [] && spec.sp_misperceive_at = []
 
 let has_local_faults spec =
   spec.sp_misperception > 0. || spec.sp_crashes <> []
+  || spec.sp_misperceive_at <> []
 
 (* ---------------------------------------------------------------- *)
 (* Mutation / merge helpers.  The chaos shrinker treats a plan as a   *)
@@ -139,6 +183,10 @@ let atoms spec =
        [ { none with sp_misperception = spec.sp_misperception } ]
      else [])
   @ List.map (fun w -> { none with sp_crashes = [ w ] }) spec.sp_crashes
+  @ List.map (fun t -> { none with sp_garbles_at = [ t ] }) spec.sp_garbles_at
+  @ List.map
+      (fun ev -> { none with sp_misperceive_at = [ ev ] })
+      spec.sp_misperceive_at
 
 let merge specs = List.fold_left compose none specs
 
@@ -184,6 +232,10 @@ let label spec =
     @ List.map
         (fun w -> Printf.sprintf "cr%d@%d-%d" w.cw_source w.cw_from w.cw_until)
         spec.sp_crashes
+    @ List.map (fun t -> Printf.sprintf "g@%d" t) spec.sp_garbles_at
+    @ List.map
+        (fun (s, t) -> Printf.sprintf "mp%d@%d" s t)
+        spec.sp_misperceive_at
   in
   match parts with [] -> "clean" | _ -> String.concat "+" parts
 
@@ -212,15 +264,34 @@ let crash_to_json w =
       ("until", Json.Int w.cw_until);
     ]
 
+(* The scheduled-fault keys are emitted only when non-empty: campaign
+   spec hashes and committed repro fixtures depend on the bytes of the
+   pre-existing encoding, which must stay stable for plans without
+   scheduled atoms. *)
 let spec_to_json spec =
   Json.Obj
-    [
-      ( "garble",
-        match spec.sp_garble with None -> Json.Null | Some g -> garble_to_json g
-      );
-      ("misperception", Json.Float spec.sp_misperception);
-      ("crashes", Json.List (List.map crash_to_json spec.sp_crashes));
-    ]
+    ([
+       ( "garble",
+         match spec.sp_garble with None -> Json.Null | Some g -> garble_to_json g
+       );
+       ("misperception", Json.Float spec.sp_misperception);
+       ("crashes", Json.List (List.map crash_to_json spec.sp_crashes));
+     ]
+    @ (match spec.sp_garbles_at with
+      | [] -> []
+      | ts -> [ ("garbles_at", Json.List (List.map (fun t -> Json.Int t) ts)) ])
+    @
+    match spec.sp_misperceive_at with
+    | [] -> []
+    | evs ->
+      [
+        ( "misperceive_at",
+          Json.List
+            (List.map
+               (fun (s, t) ->
+                 Json.Obj [ ("source", Json.Int s); ("at", Json.Int t) ])
+               evs) );
+      ])
 
 let float_field j key =
   let* v = Json.field key j in
@@ -270,8 +341,41 @@ let spec_of_json j =
         (Ok []) l
       |> Result.map List.rev
   in
+  let* garbles_at =
+    match Json.member "garbles_at" j with
+    | None -> Ok []
+    | Some gj ->
+      let* l = Json.get_list gj in
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* t = Json.get_int item in
+          Ok (t :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  let* misperceive_at =
+    match Json.member "misperceive_at" j with
+    | None -> Ok []
+    | Some mj ->
+      let* l = Json.get_list mj in
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* s = Result.bind (Json.field "source" item) Json.get_int in
+          let* t = Result.bind (Json.field "at" item) Json.get_int in
+          Ok ((s, t) :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  in
   let spec =
-    { sp_garble = garble; sp_misperception = misperception; sp_crashes = crashes }
+    {
+      sp_garble = garble;
+      sp_misperception = misperception;
+      sp_crashes = crashes;
+      sp_garbles_at = List.sort_uniq compare garbles_at;
+      sp_misperceive_at = List.sort_uniq compare misperceive_at;
+    }
   in
   (* Construction-time validation: a decoded plan is rejected with the
      same diagnostics [create] would raise, so malformed specs fail at
@@ -321,13 +425,20 @@ let tick t =
       | Good -> if u < p_enter then Bad else Good
       | Bad -> if u < p_exit then Good else Bad)
 
-let wire_garbles t =
-  match t.sp.sp_garble with
-  | None -> false
-  | Some (Iid { rate }) -> Prng.float t.garble_rng 1.0 < rate
-  | Some (Gilbert_elliott { rate_good; rate_bad; _ }) ->
-    let rate = match t.state with Good -> rate_good | Bad -> rate_bad in
-    Prng.float t.garble_rng 1.0 < rate
+(* The random draw happens iff the random process is configured — never
+   skipped because a scheduled atom already fires — so adding scheduled
+   atoms to a plan leaves the random streams' positions (and therefore
+   every existing fixture) untouched. *)
+let wire_garbles t ~now =
+  let drawn =
+    match t.sp.sp_garble with
+    | None -> false
+    | Some (Iid { rate }) -> Prng.float t.garble_rng 1.0 < rate
+    | Some (Gilbert_elliott { rate_good; rate_bad; _ }) ->
+      let rate = match t.state with Good -> rate_good | Bad -> rate_bad in
+      Prng.float t.garble_rng 1.0 < rate
+  in
+  drawn || List.mem now t.sp.sp_garbles_at
 
 let obs_rng t source =
   match Hashtbl.find_opt t.obs_rngs source with
@@ -337,9 +448,13 @@ let obs_rng t source =
     Hashtbl.add t.obs_rngs source rng;
     rng
 
-let misperceives t ~source =
-  t.sp.sp_misperception > 0.
-  && Prng.float (obs_rng t source) 1.0 < t.sp.sp_misperception
+let misperceives t ~source ~now =
+  let drawn =
+    t.sp.sp_misperception > 0.
+    && Prng.float (obs_rng t source) 1.0 < t.sp.sp_misperception
+  in
+  drawn
+  || List.exists (fun (s, at) -> s = source && at = now) t.sp.sp_misperceive_at
 
 let alive t ~source ~now =
   not

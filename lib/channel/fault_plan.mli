@@ -53,6 +53,16 @@ type spec = {
           the slot differently from the wire (0 = consistent
           observation, the paper's model) *)
   sp_crashes : crash_window list;
+  sp_garbles_at : int list;
+      (** scheduled deterministic garbles: slot-start bit-times whose
+          lone frame is destroyed on the wire, on top of any random
+          process.  Sorted, duplicate-free.  The model checker exports
+          counterexamples as these (plus crash windows), so a repro
+          replays the exact fault schedule the explorer chose. *)
+  sp_misperceive_at : (int * int) list;
+      (** scheduled deterministic misperceptions: [(source, slot-start)]
+          pairs at which that live listening station misperceives the
+          slot.  Sorted, duplicate-free. *)
 }
 
 val none : spec
@@ -73,6 +83,15 @@ val misperceive : float -> spec
 val crash : source:int -> from_:int -> until:int -> spec
 (** [crash ~source ~from_ ~until] schedules [source] down during
     [\[from_, until)]. *)
+
+val garble_at : int list -> spec
+(** [garble_at times] schedules a deterministic wire garble of the lone
+    frame (if any) of each slot starting at the given bit-times. *)
+
+val misperceive_at : (int * int) list -> spec
+(** [misperceive_at events] schedules deterministic misperceptions:
+    each [(source, time)] makes [source] (if live and listening)
+    misperceive the slot starting at [time]. *)
 
 val compose : spec -> spec -> spec
 (** [compose a b] overlays [b] on [a]: [b]'s garble process and
@@ -106,8 +125,9 @@ val has_local_faults : spec -> bool
 
 val atoms : spec -> spec list
 (** [atoms spec] decomposes the plan into single-event plans: one for
-    the garble process (if any), one for misperception (if non-zero)
-    and one per crash window.  [merge (atoms spec)] rebuilds [spec]
+    the garble process (if any), one for misperception (if non-zero),
+    one per crash window, one per scheduled garble and one per
+    scheduled misperception.  [merge (atoms spec)] rebuilds [spec]
     (up to crash-window order).  [atoms none = \[\]]. *)
 
 val merge : spec list -> spec
@@ -164,15 +184,20 @@ val tick : t -> unit
     contention slot (a no-op for [Iid]/no garbling).  The channel
     calls this once per {!Channel.contend}. *)
 
-val wire_garbles : t -> bool
-(** [wire_garbles t] draws whether the current slot's lone frame is
-    destroyed on the wire, at the current state's rate. *)
+val wire_garbles : t -> now:int -> bool
+(** [wire_garbles t ~now] draws whether the lone frame of the slot
+    starting at [now] is destroyed on the wire, at the current state's
+    rate — always true at a scheduled garble time.  The random draw is
+    taken iff a random garble process is configured (scheduled atoms
+    never shift the stream). *)
 
-val misperceives : t -> source:int -> bool
-(** [misperceives t ~source] draws whether listening station [source]
-    misperceives the current slot.  Each live listener draws once per
-    slot from its own stream, so the draws of different sources never
-    interleave. *)
+val misperceives : t -> source:int -> now:int -> bool
+(** [misperceives t ~source ~now] draws whether listening station
+    [source] misperceives the slot starting at [now] — always true at
+    a scheduled [(source, now)] misperception.  Each live listener
+    draws once per slot from its own stream iff the random rate is
+    non-zero, so the draws of different sources never interleave and
+    scheduled atoms never shift a stream. *)
 
 val alive : t -> source:int -> now:int -> bool
 (** [alive t ~source ~now] is false iff [now] falls inside one of

@@ -13,6 +13,7 @@ module Json = Rtnet_util.Json
 type config = {
   cf_scenario : Spec.scenario;
   cf_horizon_ms : int;
+  cf_params : Ddcr_params.t option;
 }
 
 type t = {
@@ -43,7 +44,11 @@ let run cf cd =
   let inst = Spec.instance cf.cf_scenario in
   let horizon = cf.cf_horizon_ms * 1_000_000 in
   let trace = Instance.trace inst ~seed:cd.cd_trace_seed ~horizon in
-  let params = Ddcr_params.default inst in
+  let params =
+    match cf.cf_params with
+    | Some p -> p
+    | None -> Ddcr_params.default inst
+  in
   let record, finish = Ddcr_trace.collector () in
   let finish_with verdict fingerprint delivered misses =
     {

@@ -13,6 +13,11 @@
 type config = {
   cf_scenario : Rtnet_campaign.Spec.scenario;
   cf_horizon_ms : int;
+  cf_params : Rtnet_core.Ddcr_params.t option;
+      (** protocol-parameter override; [None] means
+          [Ddcr_params.default] of the scenario instance.  Model-checker
+          counterexamples seeded by a pathological configuration pin it
+          here so the repro replays against those exact parameters. *)
 }
 
 type t = {

@@ -2,14 +2,22 @@ module Json = Rtnet_util.Json
 module Spec = Rtnet_campaign.Spec
 module Fault_plan = Rtnet_channel.Fault_plan
 module Oracle = Rtnet_analysis.Oracle
+module Ddcr_params = Rtnet_core.Ddcr_params
 
 let ( let* ) = Result.bind
 
-let schema_version = 1
+(* v1: (scenario, horizon, plan, seeds, verdict, fingerprint, note).
+   v2 adds the optional "params" protocol-parameter override (model
+   checker counterexamples pin the exact — possibly pathological —
+   configuration they were found under) and the scheduled fault-plan
+   atoms inside "plan".  v1 artifacts are still decoded (params = None,
+   no scheduled atoms); v2 is always emitted. *)
+let schema_version = 2
 
 type t = {
   re_scenario : Spec.scenario;
   re_horizon_ms : int;
+  re_params : Ddcr_params.t option;
   re_plan : Fault_plan.spec;
   re_trace_seed : int;
   re_fault_seed : int;
@@ -22,6 +30,7 @@ let make ~config ~candidate ~report ~note =
   {
     re_scenario = config.Candidate.cf_scenario;
     re_horizon_ms = config.Candidate.cf_horizon_ms;
+    re_params = config.Candidate.cf_params;
     re_plan = candidate.Candidate.cd_plan;
     re_trace_seed = candidate.Candidate.cd_trace_seed;
     re_fault_seed = candidate.Candidate.cd_fault_seed;
@@ -31,7 +40,11 @@ let make ~config ~candidate ~report ~note =
   }
 
 let candidate t =
-  ( { Candidate.cf_scenario = t.re_scenario; cf_horizon_ms = t.re_horizon_ms },
+  ( {
+      Candidate.cf_scenario = t.re_scenario;
+      cf_horizon_ms = t.re_horizon_ms;
+      cf_params = t.re_params;
+    },
     {
       Candidate.cd_plan = t.re_plan;
       cd_trace_seed = t.re_trace_seed;
@@ -40,25 +53,38 @@ let candidate t =
 
 let to_json t =
   Json.Obj
-    [
-      ("chaos_repro_version", Json.Int schema_version);
-      ("scenario", Spec.scenario_to_json t.re_scenario);
-      ("horizon_ms", Json.Int t.re_horizon_ms);
-      ("plan", Fault_plan.spec_to_json t.re_plan);
-      ("trace_seed", Json.Int t.re_trace_seed);
-      ("fault_seed", Json.Int t.re_fault_seed);
-      ("verdict", Oracle.to_json t.re_verdict);
-      ("fingerprint", Json.String t.re_fingerprint);
-      ("note", Json.String t.re_note);
-    ]
+    ([
+       ("chaos_repro_version", Json.Int schema_version);
+       ("scenario", Spec.scenario_to_json t.re_scenario);
+       ("horizon_ms", Json.Int t.re_horizon_ms);
+     ]
+    @ (match t.re_params with
+      | None -> []
+      | Some p -> [ ("params", Ddcr_params.to_json p) ])
+    @ [
+        ("plan", Fault_plan.spec_to_json t.re_plan);
+        ("trace_seed", Json.Int t.re_trace_seed);
+        ("fault_seed", Json.Int t.re_fault_seed);
+        ("verdict", Oracle.to_json t.re_verdict);
+        ("fingerprint", Json.String t.re_fingerprint);
+        ("note", Json.String t.re_note);
+      ])
 
 let of_json j =
   let* v = Result.bind (Json.field "chaos_repro_version" j) Json.get_int in
-  if v <> schema_version then
+  if v < 1 || v > schema_version then
     Error (Printf.sprintf "unsupported chaos repro version %d" v)
   else
     let* scenario = Result.bind (Json.field "scenario" j) Spec.scenario_of_json in
     let* horizon_ms = Result.bind (Json.field "horizon_ms" j) Json.get_int in
+    let* params =
+      match Json.member "params" j with
+      | None | Some Json.Null -> Ok None
+      | Some pj when v >= 2 ->
+        Result.map Option.some
+          (Result.map_error (fun e -> "params: " ^ e) (Ddcr_params.of_json pj))
+      | Some _ -> Error "params override requires chaos repro version >= 2"
+    in
     let* plan = Result.bind (Json.field "plan" j) Fault_plan.spec_of_json in
     let* () =
       Result.map_error
@@ -80,6 +106,7 @@ let of_json j =
         {
           re_scenario = scenario;
           re_horizon_ms = horizon_ms;
+          re_params = params;
           re_plan = plan;
           re_trace_seed = trace_seed;
           re_fault_seed = fault_seed;

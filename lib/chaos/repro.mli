@@ -10,12 +10,16 @@
     [test/fixtures/] is replayed this way on every [make chaos-smoke]. *)
 
 val schema_version : int
-(** Bumped on any incompatible artifact change; {!of_json} rejects
-    other versions. *)
+(** The emitted version (2).  {!of_json} accepts 1 and 2: v2 added the
+    optional protocol-parameter override and the scheduled fault-plan
+    atoms; a v1 artifact decodes with [re_params = None].  Versions
+    outside [\[1, 2]] are rejected. *)
 
 type t = {
   re_scenario : Rtnet_campaign.Spec.scenario;
   re_horizon_ms : int;
+  re_params : Rtnet_core.Ddcr_params.t option;
+      (** protocol-parameter override (v2); [None] = scenario default *)
   re_plan : Rtnet_channel.Fault_plan.spec;
   re_trace_seed : int;
   re_fault_seed : int;

@@ -89,7 +89,7 @@ let config_of_json j =
     Ok
       {
         s_candidate =
-          { Candidate.cf_scenario = scenario; cf_horizon_ms = horizon_ms };
+          { Candidate.cf_scenario = scenario; cf_horizon_ms = horizon_ms; cf_params = None };
         s_seed = seed;
         s_count = count;
         s_budget = budget;

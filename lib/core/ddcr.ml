@@ -6,143 +6,155 @@ module Sink = Rtnet_telemetry.Sink
 
 exception Protocol_violation of string
 
-module Automaton = struct
+(* The pure per-replica transition function.  Every field is immutable:
+   [observe] maps (state, feedback) to a fresh state, so the same code
+   drives the production simulator (through the thin mutable [Automaton]
+   wrapper below), the lockstep-replication property tests and the
+   [rtnet.model] explicit-state explorer — which needs values it can
+   hash, dedup and stash in a frontier without defensive copies.  The
+   records are small (a handful of words; stack tails are shared
+   structurally), keeping the per-slot allocation cost to at most two
+   short-lived blocks — the same property the zero-alloc slot-loop work
+   relies on. *)
+module Step = struct
   type tts = {
-    mutable t_stack : (int * int) list; (* unsearched time-tree intervals *)
-    mutable f_star : int; (* highest searched time leaf, -1 at entry *)
-    mutable sent : bool; (* "out": something transmitted this TTs *)
+    t_stack : (int * int) list; (* unsearched time-tree intervals *)
+    f_star : int; (* highest searched time leaf, -1 at entry *)
+    sent : bool; (* "out": something transmitted this TTs *)
   }
 
   type sts = {
-    mutable s_stack : (int * int) list; (* unsearched static intervals *)
+    s_stack : (int * int) list; (* unsearched static intervals *)
     time_leaf : int; (* the colliding deadline class *)
   }
 
   type phase = Free | Attempt | Tts of tts | Sts of sts * tts
 
-  type t = {
-    params : Ddcr_params.t;
-    source : int;
-    mutable phase : phase;
-    mutable reft : int;
-    mutable rank : int; (* next unused own static index in current STs *)
-    mutable last_out : bool; (* [out] flag of the last completed TTs *)
+  type state = {
+    phase : phase;
+    reft : int;
+    rank : int; (* next unused own static index in current STs *)
+    last_out : bool; (* [out] flag of the last completed TTs *)
   }
 
-  let create params ~source =
-    { params; source; phase = Free; reft = 0; rank = 0; last_out = false }
+  let init = { phase = Free; reft = 0; rank = 0; last_out = false }
 
   (* f(reft, I.msg) = max(⌊(DM − (α + reft))/c⌋, f* + 1). *)
-  let time_index t tts msg =
-    let p = t.params in
+  let time_index p st tts msg =
     let natural =
       Rtnet_util.Int_math.fdiv
-        (Message.abs_deadline msg - p.Ddcr_params.alpha - t.reft)
+        (Message.abs_deadline msg - p.Ddcr_params.alpha - st.reft)
         p.Ddcr_params.class_width
     in
     max natural (tts.f_star + 1)
 
-  let attempt_of t msg =
+  let attempt_of ~source msg =
     {
-      Channel.att_source = t.source;
+      Channel.att_source = source;
       att_tag = msg.Message.uid;
       att_bits = msg.Message.cls.Message.cls_bits;
-      att_key = (Message.abs_deadline msg, t.source);
+      att_key = (Message.abs_deadline msg, source);
     }
 
-  let decide t ~msg_star =
-    match (t.phase, msg_star) with
-    | (Free | Attempt), Some m -> Some (attempt_of t m)
+  let decide p ~source st ~msg_star =
+    match (st.phase, msg_star) with
+    | (Free | Attempt), Some m -> Some (attempt_of ~source m)
     | (Free | Attempt), None -> None
     | Tts tts, Some m -> (
       match tts.t_stack with
       | (lo, w) :: _ ->
-        let idx = time_index t tts m in
-        if idx <= t.params.Ddcr_params.time_leaves - 1 && idx >= lo && idx < lo + w
-        then Some (attempt_of t m)
+        let idx = time_index p st tts m in
+        if idx <= p.Ddcr_params.time_leaves - 1 && idx >= lo && idx < lo + w
+        then Some (attempt_of ~source m)
         else None
       | [] -> raise (Protocol_violation "decide: empty time-tree stack"))
     | Tts _, None -> None
     | Sts (sts, tts), Some m -> (
       match sts.s_stack with
       | (lo, w) :: _ ->
-        let own = t.params.Ddcr_params.static_indices.(t.source) in
+        let own = p.Ddcr_params.static_indices.(source) in
         if
-          t.rank < Array.length own
-          && own.(t.rank) >= lo
-          && own.(t.rank) < lo + w
-          && time_index t tts m <= sts.time_leaf
-        then Some (attempt_of t m)
+          st.rank < Array.length own
+          && own.(st.rank) >= lo
+          && own.(st.rank) < lo + w
+          && time_index p st tts m <= sts.time_leaf
+        then Some (attempt_of ~source m)
         else None
       | [] -> raise (Protocol_violation "decide: empty static-tree stack"))
     | Sts _, None -> None
 
-  let enter_tts t ~reft =
-    t.reft <- reft;
-    t.phase <-
-      Tts { t_stack = [ (0, t.params.Ddcr_params.time_leaves) ]; f_star = -1; sent = false }
+  let enter_tts p ~reft st =
+    {
+      st with
+      reft;
+      phase =
+        Tts
+          {
+            t_stack = [ (0, p.Ddcr_params.time_leaves) ];
+            f_star = -1;
+            sent = false;
+          };
+    }
 
-  let finish_tts_if_done t tts =
+  let finish_tts_if_done p st tts =
     match tts.t_stack with
-    | _ :: _ -> ()
+    | _ :: _ -> { st with phase = Tts tts }
     | [] ->
-      if not tts.sent then t.reft <- t.reft + t.params.Ddcr_params.theta;
-      t.last_out <- tts.sent;
-      t.phase <- Attempt
+      {
+        st with
+        reft = (if tts.sent then st.reft else st.reft + p.Ddcr_params.theta);
+        last_out = tts.sent;
+        phase = Attempt;
+      }
 
   let split m (lo, w) =
     let child = w / m in
     List.init m (fun i -> (lo + (i * child), child))
 
-  let pop_time_interval t tts (lo, w) rest =
-    tts.t_stack <- rest;
-    tts.f_star <- lo + w - 1;
-    finish_tts_if_done t tts
+  let pop_time_interval p st tts (lo, w) rest =
+    finish_tts_if_done p st { tts with t_stack = rest; f_star = lo + w - 1 }
 
-  let finish_sts_if_done t sts tts ~next_free =
+  let finish_sts_if_done p st sts tts ~next_free =
     match sts.s_stack with
-    | _ :: _ -> ()
-    | [] ->
+    | _ :: _ -> { st with phase = Sts (sts, tts) }
+    | [] -> (
       (* STs completion: reft := local physical time; the colliding
          time leaf is now fully searched. *)
-      t.reft <- next_free;
-      (match tts.t_stack with
-      | leaf :: rest ->
-        t.phase <- Tts tts;
-        pop_time_interval t tts leaf rest
+      let st = { st with reft = next_free } in
+      match tts.t_stack with
+      | leaf :: rest -> pop_time_interval p st tts leaf rest
       | [] -> raise (Protocol_violation "sts completion: no time leaf"))
 
-  let observe t ~resolution ~next_free =
-    match t.phase with
+  let observe p ~source st ~resolution ~next_free =
+    match st.phase with
     | Free -> (
       match resolution with
       (* A garbled frame (channel noise) carries nothing and changes no
          protocol state, in any phase: the sender simply retries its
          current step at the next slot. *)
-      | Channel.Idle | Channel.Tx _ | Channel.Garbled _ -> ()
-      | Channel.Clash _ -> enter_tts t ~reft:next_free)
+      | Channel.Idle | Channel.Tx _ | Channel.Garbled _ -> st
+      | Channel.Clash _ -> enter_tts p ~reft:next_free st)
     | Attempt -> (
       match resolution with
-      | Channel.Idle -> t.phase <- Free
-      | Channel.Garbled _ -> ()
-      | Channel.Tx _ -> enter_tts t ~reft:t.reft
+      | Channel.Idle -> { st with phase = Free }
+      | Channel.Garbled _ -> st
+      | Channel.Tx _ -> enter_tts p ~reft:st.reft st
       | Channel.Clash _ ->
         (* Resetting reft below the value accumulated by compressed
            time would undo the compression; the max keeps it monotone
            while matching "reft := local physical time" whenever the
            mode is off (reft <= physical time then). *)
-        enter_tts t ~reft:(max t.reft next_free))
+        enter_tts p ~reft:(max st.reft next_free) st)
     | Tts tts -> (
       match tts.t_stack with
       | [] -> raise (Protocol_violation "observe: empty time-tree stack")
       | ((lo, w) as top) :: rest -> (
         match resolution with
-        | Channel.Idle -> pop_time_interval t tts top rest
-        | Channel.Garbled _ -> ()
+        | Channel.Idle -> pop_time_interval p st tts top rest
+        | Channel.Garbled _ -> st
         | Channel.Tx _ ->
-          tts.sent <- true;
-          t.reft <- next_free;
-          pop_time_interval t tts top rest
+          pop_time_interval p { st with reft = next_free }
+            { tts with sent = true } top rest
         | Channel.Clash { survivor; _ } -> (
           match survivor with
           | Some _ ->
@@ -151,41 +163,62 @@ module Automaton = struct
                the remaining contenders re-arbitrate and drain one per
                slot, in absolute-deadline order (CAN-style).  Splitting
                would only add empty probes of emptied leaves. *)
-            tts.sent <- true;
-            t.reft <- next_free
+            { st with reft = next_free; phase = Tts { tts with sent = true } }
           | None ->
             if w > 1 then
-              tts.t_stack <- split t.params.Ddcr_params.time_m top @ rest
-            else begin
-              t.rank <- 0;
-              t.phase <-
-                Sts
-                  ( { s_stack = [ (0, t.params.Ddcr_params.static_leaves) ]; time_leaf = lo },
-                    tts )
-            end)))
+              {
+                st with
+                phase =
+                  Tts
+                    {
+                      tts with
+                      t_stack = split p.Ddcr_params.time_m top @ rest;
+                    };
+              }
+            else
+              {
+                st with
+                rank = 0;
+                phase =
+                  Sts
+                    ( {
+                        s_stack = [ (0, p.Ddcr_params.static_leaves) ];
+                        time_leaf = lo;
+                      },
+                      tts );
+              })))
     | Sts (sts, tts) -> (
       match sts.s_stack with
       | [] -> raise (Protocol_violation "observe: empty static-tree stack")
       | ((_, w) as top) :: rest -> (
         match resolution with
         | Channel.Idle ->
-          sts.s_stack <- rest;
-          finish_sts_if_done t sts tts ~next_free
-        | Channel.Garbled _ -> ()
+          finish_sts_if_done p st { sts with s_stack = rest } tts ~next_free
+        | Channel.Garbled _ -> st
         | Channel.Tx { src; _ } ->
-          if src = t.source then t.rank <- t.rank + 1;
-          tts.sent <- true;
-          sts.s_stack <- rest;
-          finish_sts_if_done t sts tts ~next_free
+          let st = if src = source then { st with rank = st.rank + 1 } else st in
+          finish_sts_if_done p st { sts with s_stack = rest }
+            { tts with sent = true } ~next_free
         | Channel.Clash { survivor; _ } -> (
           match survivor with
           | Some (src, _, _) ->
             (* Arbitrated medium: carried frame, re-probe in place. *)
-            if src = t.source then t.rank <- t.rank + 1;
-            tts.sent <- true
+            let st =
+              if src = source then { st with rank = st.rank + 1 } else st
+            in
+            { st with phase = Sts (sts, { tts with sent = true }) }
           | None ->
             if w > 1 then
-              sts.s_stack <- split t.params.Ddcr_params.static_m top @ rest
+              {
+                st with
+                phase =
+                  Sts
+                    ( {
+                        sts with
+                        s_stack = split p.Ddcr_params.static_m top @ rest;
+                      },
+                      tts );
+              }
             else
               raise
                 (Protocol_violation
@@ -195,56 +228,123 @@ module Automaton = struct
   let pp_stack fmt stack =
     List.iter (fun (lo, w) -> Format.fprintf fmt "[%d+%d)" lo w) stack
 
-  let fingerprint t =
-    match t.phase with
-    | Free -> Printf.sprintf "free reft=%d" t.reft
-    | Attempt -> Printf.sprintf "attempt reft=%d" t.reft
+  let fingerprint st =
+    match st.phase with
+    | Free -> Printf.sprintf "free reft=%d" st.reft
+    | Attempt -> Printf.sprintf "attempt reft=%d" st.reft
     | Tts tts ->
-      Format.asprintf "tts reft=%d f*=%d sent=%b %a" t.reft tts.f_star tts.sent
-        pp_stack tts.t_stack
+      Format.asprintf "tts reft=%d f*=%d sent=%b %a" st.reft tts.f_star
+        tts.sent pp_stack tts.t_stack
     | Sts (sts, tts) ->
-      Format.asprintf "sts reft=%d leaf=%d f*=%d sent=%b %a / %a" t.reft
+      Format.asprintf "sts reft=%d leaf=%d f*=%d sent=%b %a / %a" st.reft
         sts.time_leaf tts.f_star tts.sent pp_stack sts.s_stack pp_stack
         tts.t_stack
 
-  let phase_name t =
-    match t.phase with
+  let phase_name st =
+    match st.phase with
     | Free -> "free"
     | Attempt -> "attempt"
     | Tts _ -> "tts"
     | Sts _ -> "sts"
 
-  let reft t = t.reft
+  let at_boundary st =
+    match st.phase with Free | Attempt -> true | Tts _ | Sts _ -> false
 
-  let last_tts_sent t = t.last_out
-
-  let sts_leaf t =
-    match t.phase with
+  let sts_leaf st =
+    match st.phase with
     | Sts (sts, _) -> Some sts.time_leaf
     | Free | Attempt | Tts _ -> None
 
-  let at_boundary t =
-    match t.phase with Free | Attempt -> true | Tts _ | Sts _ -> false
+  (* Structural well-formedness — the slot-accounting obligations the
+     model checker asserts on every reached state.  The proofs maintain
+     these implicitly; the checker makes them machine-checked. *)
+  let check_stack ~what ~leaves stack =
+    let rec go expect = function
+      | [] -> Ok ()
+      | (lo, w) :: rest ->
+        if w < 1 then Error (Printf.sprintf "%s: empty interval at %d" what lo)
+        else if lo < expect then
+          Error
+            (Printf.sprintf "%s: interval [%d+%d) overlaps or reorders" what
+               lo w)
+        else if lo + w > leaves then
+          Error
+            (Printf.sprintf "%s: interval [%d+%d) exceeds %d leaves" what lo w
+               leaves)
+        else go (lo + w) rest
+    in
+    go 0 stack
+
+  let wf p ~source st =
+    let ( let* ) = Result.bind in
+    let* () = if st.reft < 0 then Error "negative reft" else Ok () in
+    let* () =
+      let nu = Array.length p.Ddcr_params.static_indices.(source) in
+      if st.rank < 0 || st.rank > nu then
+        Error (Printf.sprintf "rank %d outside [0, %d]" st.rank nu)
+      else Ok ()
+    in
+    match st.phase with
+    | Free | Attempt -> Ok ()
+    | Tts tts ->
+      let* () =
+        check_stack ~what:"time stack" ~leaves:p.Ddcr_params.time_leaves
+          tts.t_stack
+      in
+      (match tts.t_stack with
+      | (lo, _) :: _ when tts.f_star <> lo - 1 ->
+        Error
+          (Printf.sprintf "f* = %d but the top interval starts at %d"
+             tts.f_star lo)
+      | [] -> Error "empty time stack in phase tts"
+      | _ -> Ok ())
+    | Sts (sts, tts) ->
+      let* () =
+        check_stack ~what:"static stack" ~leaves:p.Ddcr_params.static_leaves
+          sts.s_stack
+      in
+      let* () =
+        check_stack ~what:"time stack" ~leaves:p.Ddcr_params.time_leaves
+          tts.t_stack
+      in
+      if sts.s_stack = [] then Error "empty static stack in phase sts"
+      else if
+        sts.time_leaf < 0 || sts.time_leaf >= p.Ddcr_params.time_leaves
+      then Error (Printf.sprintf "sts leaf %d out of range" sts.time_leaf)
+      else Ok ()
+end
+
+(* The production wrapper: one mutable cell per replica around the pure
+   transition function, preserving the original imperative interface. *)
+module Automaton = struct
+  type t = { params : Ddcr_params.t; source : int; mutable st : Step.state }
+
+  let create params ~source = { params; source; st = Step.init }
+  let state t = t.st
+  let decide t ~msg_star = Step.decide t.params ~source:t.source t.st ~msg_star
+
+  let observe t ~resolution ~next_free =
+    t.st <- Step.observe t.params ~source:t.source t.st ~resolution ~next_free
+
+  let fingerprint t = Step.fingerprint t.st
+  let phase_name t = Step.phase_name t.st
+  let reft t = t.st.Step.reft
+  let last_tts_sent t = t.st.Step.last_out
+  let sts_leaf t = Step.sts_leaf t.st
+  let at_boundary t = Step.at_boundary t.st
 
   (* Divergence recovery (TDMH-style resync): a listen-only replica
      adopts the reference replica's shared state.  Only legal at a
-     tree-epoch boundary — [Free]/[Attempt] carry no mutable
-     tree-search state, so copying the constructors shares nothing. *)
+     tree-epoch boundary — [Free]/[Attempt] carry no tree-search state,
+     and the copied value is immutable, so nothing is shared unsafely. *)
   let resync t ~reference =
     if not (at_boundary reference) then
       invalid_arg "Automaton.resync: reference replica is inside a tree search";
-    t.phase <- reference.phase;
-    t.reft <- reference.reft;
-    t.rank <- 0;
-    t.last_out <- reference.last_out
+    t.st <- { reference.st with Step.rank = 0 }
 
   (* Cold restart: the only live station re-seeds the shared state from
      scratch (everyone else resyncs to it as it becomes the reference). *)
-  let restart t ~reft =
-    t.phase <- Free;
-    t.reft <- reft;
-    t.rank <- 0;
-    t.last_out <- false
+  let restart t ~reft = t.st <- { Step.init with Step.reft = reft }
 end
 
 let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze

@@ -31,11 +31,89 @@ exception Protocol_violation of string
     invariants (e.g. a collision on a static tree leaf, which disjoint
     index ownership makes impossible). *)
 
+(** The pure per-replica transition function: the whole DDCR step as a
+    [state -> feedback -> state] map over immutable records.  The
+    mutable {!Automaton} below is a thin wrapper over this module; the
+    explicit-state model checker ([Rtnet_model]) explores these values
+    directly — they are hashable, comparable and structurally shared,
+    so a frontier of reached states needs no defensive copies. *)
+module Step : sig
+  type tts = {
+    t_stack : (int * int) list;
+        (** unsearched time-tree intervals, ascending [(lo, width)] *)
+    f_star : int;  (** highest searched time leaf, [-1] at entry *)
+    sent : bool;  (** "out": something transmitted this TTs *)
+  }
+
+  type sts = {
+    s_stack : (int * int) list;  (** unsearched static intervals *)
+    time_leaf : int;  (** the colliding deadline class *)
+  }
+
+  type phase = Free | Attempt | Tts of tts | Sts of sts * tts
+
+  type state = {
+    phase : phase;
+    reft : int;  (** reference time *)
+    rank : int;  (** next unused own static index in current STs *)
+    last_out : bool;  (** [out] flag of the last completed TTs *)
+  }
+
+  val init : state
+  (** The initial (free CSMA-CD, [reft = 0]) state. *)
+
+  val decide :
+    Ddcr_params.t ->
+    source:int ->
+    state ->
+    msg_star:Rtnet_workload.Message.t option ->
+    Rtnet_channel.Channel.attempt option
+  (** Pure counterpart of {!Automaton.decide}. *)
+
+  val observe :
+    Ddcr_params.t ->
+    source:int ->
+    state ->
+    resolution:Rtnet_channel.Channel.resolution ->
+    next_free:int ->
+    state
+  (** Pure counterpart of {!Automaton.observe}: the state after the
+      slot's channel feedback.  [source] is needed only for the private
+      rank bump on the replica's own static-tree transmissions.
+      @raise Protocol_violation on inconsistent feedback. *)
+
+  val fingerprint : state -> string
+  (** Digest of the {b shared} state (phase, stacks, [reft], [f*]);
+      byte-identical to {!Automaton.fingerprint} on the wrapped state.
+      Private state (the rank) is excluded. *)
+
+  val phase_name : state -> string
+  (** ["free"], ["attempt"], ["tts"] or ["sts"]. *)
+
+  val at_boundary : state -> bool
+  (** Between tree epochs (phase free or attempt). *)
+
+  val sts_leaf : state -> int option
+  (** The colliding deadline class of an STs in progress, if any. *)
+
+  val wf : Ddcr_params.t -> source:int -> state -> (unit, string) result
+  (** [wf p ~source st] checks structural well-formedness — the
+      slot-accounting obligations the model checker asserts on every
+      reached state: stack intervals non-empty, in bounds, ascending
+      and disjoint; [f* + 1] equal to the top time interval's start;
+      [reft >= 0]; [0 <= rank <= ν(source)]; a non-empty stack in each
+      in-search phase and the STs leaf in range. *)
+end
+
 (** The per-source protocol automaton, exposed for unit tests and for
-    the lockstep-replication property test. *)
+    the lockstep-replication property test.  A thin mutable wrapper
+    around {!Step}. *)
 module Automaton : sig
   type t
   (** Replicated protocol state of one source. *)
+
+  val state : t -> Step.state
+  (** [state a] is the wrapped pure state (shared, immutable). *)
 
   val create : Ddcr_params.t -> source:int -> t
   (** [create params ~source] is the automaton of source [source] in

@@ -180,6 +180,79 @@ let with_theta p th =
 
 let horizon_classes p = p.class_width * p.time_leaves
 
+(* Canonical JSON codec (fixed key order) — repro artifacts embed a
+   parameter override so a model-checker counterexample seeded by a
+   pathological configuration replays against those exact parameters. *)
+module Json = Rtnet_util.Json
+
+let to_json p =
+  Json.Obj
+    [
+      ("time_m", Json.Int p.time_m);
+      ("time_leaves", Json.Int p.time_leaves);
+      ("class_width", Json.Int p.class_width);
+      ("alpha", Json.Int p.alpha);
+      ("theta", Json.Int p.theta);
+      ("static_m", Json.Int p.static_m);
+      ("static_leaves", Json.Int p.static_leaves);
+      ( "static_indices",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun idx ->
+                  Json.List
+                    (Array.to_list (Array.map (fun v -> Json.Int v) idx)))
+                p.static_indices)) );
+      ("burst_bits", Json.Int p.burst_bits);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int_field key = Result.bind (Json.field key j) Json.get_int in
+  let* time_m = int_field "time_m" in
+  let* time_leaves = int_field "time_leaves" in
+  let* class_width = int_field "class_width" in
+  let* alpha = int_field "alpha" in
+  let* theta = int_field "theta" in
+  let* static_m = int_field "static_m" in
+  let* static_leaves = int_field "static_leaves" in
+  let* burst_bits = int_field "burst_bits" in
+  let* rows = Result.bind (Json.field "static_indices" j) Json.get_list in
+  let* static_indices =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* l = Json.get_list row in
+        let* ints =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* i = Json.get_int v in
+              Ok (i :: acc))
+            (Ok []) l
+        in
+        Ok (Array.of_list (List.rev ints) :: acc))
+      (Ok []) rows
+    |> Result.map (fun rows -> Array.of_list (List.rev rows))
+  in
+  let p =
+    {
+      time_m;
+      time_leaves;
+      class_width;
+      alpha;
+      theta;
+      static_m;
+      static_leaves;
+      static_indices;
+      burst_bits;
+    }
+  in
+  (* Decoded parameters are validated at the boundary, with the same
+     diagnostics the constructors raise. *)
+  let* () = validate p ~num_sources:(Array.length static_indices) in
+  Ok p
+
 let pp fmt p =
   Format.fprintf fmt
     "ddcr(time %d^: F=%d c=%d α=%d θ=%d burst=%d; static %d^: q=%d, ν=[%s])"

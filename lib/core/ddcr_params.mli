@@ -92,5 +92,12 @@ val horizon_classes : t -> int
 (** [horizon_classes p] is the scheduling horizon [c·F] in
     bit-times. *)
 
+val to_json : t -> Rtnet_util.Json.t
+(** Canonical encoding (fixed key order); repro artifacts embed it. *)
+
+val of_json : Rtnet_util.Json.t -> (t, string) result
+(** Decodes and {!validate}s (against the number of index rows): a
+    malformed configuration is rejected at the JSON boundary. *)
+
 val pp : Format.formatter -> t -> unit
 (** [pp fmt p] prints a one-line parameter summary. *)

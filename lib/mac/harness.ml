@@ -261,7 +261,7 @@ let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null) ~phy
         end
         else begin
           let listener = not (List.mem s participants) in
-          let flips = Fault_plan.misperceives p ~source:s in
+          let flips = Fault_plan.misperceives p ~source:s ~now in
           let obs =
             if listener && flips then misperceived_view resolution
             else resolution

@@ -85,6 +85,15 @@ val mismatch_message : mismatch -> string
     ["slot at t=<slot>: source <src>, tag <tag>: <reason>"].  Also
     installed as the [Printexc] printer for {!Mismatch}. *)
 
+val misperceived_view :
+  Rtnet_channel.Channel.resolution -> Rtnet_channel.Channel.resolution
+(** [misperceived_view resolution] is what a misperceiving listener
+    decodes instead of [resolution]: a [Tx] as CRC-garbage
+    ([Garbled]), a destructive [Clash] as silence ([Idle]); [Idle],
+    [Garbled] and arbitrated-survivor slots pass through unchanged.
+    Exposed so model checkers ([Rtnet_model]) apply the {e exact} same
+    observation corruption the harness does. *)
+
 val run :
   protocol:string ->
   ?fault:Rtnet_channel.Channel.fault ->

@@ -40,7 +40,7 @@ let smoke_scenario =
     sc_deadline_windows = 1.5 }
 
 let smoke_candidate =
-  { Candidate.cf_scenario = smoke_scenario; cf_horizon_ms = 2 }
+  { Candidate.cf_scenario = smoke_scenario; cf_horizon_ms = 2; cf_params = None }
 
 let smoke_config =
   {
@@ -320,6 +320,60 @@ let test_repro_rejects_bad_artifacts () =
       (Astring_contains.contains e "plan")
   | Ok _ -> Alcotest.fail "accepted a plan reaching past the horizon"
 
+(* Schema v2 added the optional protocol-parameter override; a v1
+   artifact (no "params" key) must keep decoding, and a file claiming
+   v1 while carrying the v2-only key must be rejected, not silently
+   reinterpreted. *)
+let test_repro_v1_back_compat () =
+  let v2 =
+    Repro.to_json
+      (Repro.make
+         ~config:
+           { smoke_candidate with
+             Candidate.cf_params =
+               Some (Rtnet_core.Ddcr_params.default
+                       (Spec.instance smoke_scenario)) }
+         ~candidate:
+           { Candidate.cd_plan = Fault_plan.iid 0.1; cd_trace_seed = 1;
+             cd_fault_seed = 2 }
+         ~report:
+           {
+             Candidate.rp_verdict = Oracle.Pass;
+             rp_fingerprint = "00";
+             rp_delivered = 0;
+             rp_misses = 0;
+             rp_elapsed_s = 0.;
+           }
+         ~note:"")
+  in
+  let fields = match v2 with Json.Obj f -> f | _ -> Alcotest.fail "not an object" in
+  let v1 =
+    Json.Obj
+      (List.filter_map
+         (fun (k, x) ->
+           if k = "params" then None
+           else if k = "chaos_repro_version" then Some (k, Json.Int 1)
+           else Some (k, x))
+         fields)
+  in
+  (match Repro.of_json v1 with
+  | Ok r ->
+    Alcotest.(check bool) "v1 decodes without a params override" true
+      (r.Repro.re_params = None)
+  | Error e -> Alcotest.fail ("v1 artifact rejected: " ^ e));
+  let v1_with_params =
+    Json.Obj
+      (List.map
+         (fun (k, x) ->
+           (k, if k = "chaos_repro_version" then Json.Int 1 else x))
+         fields)
+  in
+  match Repro.of_json v1_with_params with
+  | Error e ->
+    Alcotest.(check bool) "v1 + params is diagnosed" true
+      (Astring_contains.contains e "version")
+  | Ok _ -> Alcotest.fail "accepted a v1 artifact with a v2-only key"
+
 let test_candidate_run_deterministic () =
   let f = four_event_finding () in
   let fp () =
@@ -383,6 +437,8 @@ let suite =
           test_repro_roundtrip_and_replay;
         Alcotest.test_case "repro rejects bad artifacts" `Quick
           test_repro_rejects_bad_artifacts;
+        Alcotest.test_case "repro v1 back-compat" `Quick
+          test_repro_v1_back_compat;
         Alcotest.test_case "candidate run deterministic" `Quick
           test_candidate_run_deterministic;
         Alcotest.test_case "soak collects deduped repros" `Quick

@@ -270,9 +270,9 @@ let test_draws_deterministic () =
   in
   let sample () =
     let p = Fault_plan.create ~seed:42 spec in
-    List.init 200 (fun _ ->
+    List.init 200 (fun i ->
         Fault_plan.tick p;
-        (Fault_plan.wire_garbles p, Fault_plan.misperceives p ~source:1))
+        (Fault_plan.wire_garbles p ~now:i, Fault_plan.misperceives p ~source:1 ~now:i))
   in
   Alcotest.(check bool) "same seed, same draws" true (sample () = sample ());
   let burst = sample () in
@@ -280,6 +280,61 @@ let test_draws_deterministic () =
     (List.exists fst burst);
   Alcotest.(check bool) "good states stay mostly clean" true
     (List.exists (fun (g, _) -> not g) burst)
+
+(* Scheduled atoms (the model checker's witness format): deterministic
+   garbles/misperceptions at pinned slot times, firing exactly there,
+   consuming zero PRNG draws, and surviving the JSON codec. *)
+let test_scheduled_atoms () =
+  let spec =
+    Fault_plan.merge
+      [
+        Fault_plan.garble_at [ 1024; 512; 512 ];
+        Fault_plan.misperceive_at [ (1, 2048); (0, 512) ];
+      ]
+  in
+  Alcotest.(check (list int)) "garble times sorted and deduped" [ 512; 1024 ]
+    spec.Fault_plan.sp_garbles_at;
+  Alcotest.(check string) "label names the scheduled atoms"
+    "g@512+g@1024+mp0@512+mp1@2048" (Fault_plan.label spec);
+  Alcotest.(check bool) "scheduled misperception is a local fault" true
+    (Fault_plan.has_local_faults spec);
+  (match Fault_plan.spec_of_json (Fault_plan.spec_to_json spec) with
+  | Error e -> Alcotest.fail e
+  | Ok spec' ->
+    Alcotest.(check string) "codec round trip"
+      (Json.to_string (Fault_plan.spec_to_json spec))
+      (Json.to_string (Fault_plan.spec_to_json spec')));
+  (* The fault seed is irrelevant for a scheduled-only plan — exactly
+     the property model-exported artifacts rely on. *)
+  let fire seed =
+    let p = Fault_plan.create ~seed spec in
+    List.map
+      (fun now ->
+        Fault_plan.tick p;
+        ( Fault_plan.wire_garbles p ~now,
+          Fault_plan.misperceives p ~source:0 ~now,
+          Fault_plan.misperceives p ~source:1 ~now ))
+      [ 0; 512; 1024; 2048 ]
+  in
+  let expected =
+    [
+      (false, false, false);
+      (true, true, false);
+      (true, false, false);
+      (false, false, true);
+    ]
+  in
+  Alcotest.(check bool) "atoms fire exactly at their slots" true
+    (fire 42 = expected);
+  Alcotest.(check bool) "fault seed is irrelevant" true (fire 0 = fire 99);
+  (* validate rejects atoms that would never fire. *)
+  (match Fault_plan.validate ~horizon:1000 (Fault_plan.garble_at [ 1024 ]) with
+  | Error e -> Alcotest.(check bool) "past-horizon garble rejected" true
+      (contains ~sub:"never fire" e)
+  | Ok () -> Alcotest.fail "accepted a garble past the horizon");
+  match Fault_plan.validate (Fault_plan.misperceive_at [ (0, -1) ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted a negative scheduled time"
 
 let test_alive_windows () =
   let p =
@@ -517,6 +572,7 @@ let suite =
         Alcotest.test_case "labels" `Quick test_labels;
         Alcotest.test_case "compose overlays" `Quick test_compose_overlays;
         Alcotest.test_case "draws deterministic" `Quick test_draws_deterministic;
+        Alcotest.test_case "scheduled atoms" `Quick test_scheduled_atoms;
         Alcotest.test_case "alive windows" `Quick test_alive_windows;
         Alcotest.test_case "safety under every builtin plan" `Slow
           test_safety_under_every_builtin_plan;
