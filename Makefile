@@ -7,7 +7,7 @@
 # committed golden report.
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
-  faults-smoke telemetry-smoke chaos-smoke model-smoke
+  faults-smoke telemetry-smoke chaos-smoke model-smoke topo-smoke
 
 all: build
 
@@ -65,6 +65,18 @@ chaos-smoke: build
 model-smoke: build
 	dune build @model-smoke
 
+# Multi-hop topology gate: the committed fixtures must keep their
+# documented admission verdicts (admitted / budget-below-B_DDCR /
+# malformed route), the admitted 1008-source star must simulate to the
+# horizon with zero unexcused end-to-end misses with the domain-sharded
+# run byte-identical to the single-domain one, and the topology_sweep
+# campaign must reproduce its committed golden report.
+topo-smoke: build
+	dune build @topo-smoke
+	dune exec bin/ddcr_campaign.exe -- compare topology_sweep --quiet \
+	  -o _build/BENCH_topology_sweep.current.json \
+	  --baseline test/fixtures/BENCH_topology_sweep.json
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -74,11 +86,13 @@ campaign-baseline: build
 	  -o test/fixtures/BENCH_smoke_golden.json
 	dune exec bin/ddcr_campaign.exe -- run fault_sweep -j 2 --quiet \
 	  -o test/fixtures/BENCH_fault_sweep.json
+	dune exec bin/ddcr_campaign.exe -- run topology_sweep --quiet \
+	  -o test/fixtures/BENCH_topology_sweep.json
 
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
 	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
-	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke
+	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke && $(MAKE) topo-smoke
 
 clean:
 	dune clean

@@ -16,6 +16,7 @@ let instance_of ~scenario ~size ~load ~deadline_windows =
       sc_size = size;
       sc_load = load;
       sc_deadline_windows = deadline_windows;
+      sc_fanout = 1;
     }
 
 let scenario =

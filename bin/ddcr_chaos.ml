@@ -128,6 +128,7 @@ let config_of_args config_file scenario size load deadline_windows horizon_ms
             sc_size = size;
             sc_load = load;
             sc_deadline_windows = deadline_windows;
+            sc_fanout = 1;
           };
         cf_horizon_ms = horizon_ms;
         cf_params = None;

@@ -100,6 +100,7 @@ let build ~scenario ~size ~load ~deadline_windows ~horizon_ms ~seed ~params_file
         sc_size = size;
         sc_load = load;
         sc_deadline_windows = deadline_windows;
+        sc_fanout = 1;
       }
     in
     match Spec.instance sc with

@@ -230,3 +230,135 @@ let check_fault ?horizon plan =
     else []
   in
   validity @ heuristics
+
+(* Topology lint ("CFG-TOPO"): the federated counterpart of the
+   per-segment passes.  Routing and acyclicity come first (elaboration
+   presupposes them); on an elaborable topology every flow hop is
+   priced against its decomposed budget and every bridge queue against
+   the NP-EDF demand-bound oracle. *)
+let check_topo ?policy topo =
+  let module Topo = Rtnet_topology.Topo in
+  let module Admit = Rtnet_topology.Admit in
+  let module Bridge = Rtnet_topology.Bridge in
+  let ref_topo = "Section 4.3, federated across segments" in
+  let routing =
+    List.map
+      (fun e ->
+        D.error ~rule_id:"CFG-TOPO" ~subject:topo.Topo.tp_name
+          ~paper_ref:ref_topo e)
+      (Topo.route_errors topo)
+  in
+  let cycle =
+    match Topo.toposort topo with
+    | Ok _ -> []
+    | Error e ->
+      [
+        D.error ~rule_id:"CFG-TOPO" ~subject:topo.Topo.tp_name
+          ~paper_ref:ref_topo e;
+      ]
+  in
+  if routing <> [] || cycle <> [] then routing @ cycle
+  else
+    match Admit.elaborate ?policy topo with
+    | Error e ->
+      [
+        D.error ~rule_id:"CFG-TOPO" ~subject:topo.Topo.tp_name
+          ~paper_ref:ref_topo e;
+      ]
+    | Ok e ->
+      let flow_diags =
+        List.concat_map
+          (fun (f : Admit.eflow) ->
+            let name = f.Admit.ef_flow.Rtnet_topology.Topo.fl_name in
+            (match f.Admit.ef_error with
+            | Some err ->
+              [
+                D.error ~rule_id:"CFG-TOPO" ~subject:name ~paper_ref:ref_topo
+                  err;
+              ]
+            | None -> [])
+            @ List.concat
+                (List.mapi
+                   (fun i (h : Admit.hop) ->
+                     if h.Admit.h_feasible then []
+                     else
+                       [
+                         D.error ~rule_id:"CFG-TOPO" ~subject:name
+                           ~paper_ref:ref_topo
+                           (Printf.sprintf
+                              "hop %d on segment %s: per-hop budget %d \
+                               bit-times is below the hop's B_DDCR %.1f"
+                              i h.Admit.h_segment h.Admit.h_budget
+                              h.Admit.h_bound);
+                       ])
+                   f.Admit.ef_hops))
+          e.Admit.e_flows
+      in
+      let bridge_diags =
+        List.filter_map
+          (fun (v : Bridge.verdict) ->
+            if v.Bridge.bv_feasible then None
+            else
+              Some
+                (D.error ~rule_id:"CFG-TOPO" ~subject:v.Bridge.bv_bridge
+                   ~paper_ref:"Section 3.1 (NP-EDF demand bound)"
+                   (Printf.sprintf
+                      "bridge queue overloaded: %d forwarded classes, \
+                       demand-bound margin %.3f > 1 — the relay cannot \
+                       sustain the aggregate flow demand under NP-EDF"
+                      v.Bridge.bv_classes v.Bridge.bv_margin)))
+          (Bridge.check e)
+      in
+      (* Local (non-flow) infeasibility predates the topology: the
+         segment's own workload already violates Section 4.3.  Warn
+         rather than error — CFG-TOPO is about the federation. *)
+      let hop_ids =
+        List.concat_map
+          (fun (f : Admit.eflow) ->
+            List.map
+              (fun (h : Admit.hop) ->
+                (h.Admit.h_segment, h.Admit.h_cls.Message.cls_id))
+              f.Admit.ef_hops)
+          e.Admit.e_flows
+      in
+      let local_diags =
+        List.concat_map
+          (fun (seg, rep) ->
+            List.filter_map
+              (fun (cr : Feasibility.class_report) ->
+                if
+                  cr.Feasibility.cr_feasible
+                  || List.mem
+                       (seg, cr.Feasibility.cr_cls.Message.cls_id)
+                       hop_ids
+                then None
+                else
+                  Some
+                    (D.warning ~rule_id:"CFG-TOPO" ~subject:seg
+                       ~paper_ref:s43
+                       (Printf.sprintf
+                          "local class %s is infeasible on its own segment \
+                           (B_DDCR %.1f > d = %d) independently of the \
+                           federation"
+                          cr.Feasibility.cr_cls.Message.cls_name
+                          cr.Feasibility.cr_bound
+                          cr.Feasibility.cr_cls.Message.cls_deadline)))
+              rep.Feasibility.per_class)
+          e.Admit.e_reports
+      in
+      let summary =
+        if flow_diags = [] && bridge_diags = [] then
+          [
+            D.info ~rule_id:"CFG-TOPO" ~subject:topo.Topo.tp_name
+              ~paper_ref:ref_topo
+              (Printf.sprintf
+                 "admitted: %d flow(s) across %d segment(s) (%d aggregate \
+                  sources); every hop budget covers its B_DDCR and every \
+                  bridge queue is schedulable"
+                 (List.length topo.Topo.tp_flows)
+                 (List.length topo.Topo.tp_segments)
+                 (Topo.aggregate_sources topo));
+          ]
+        else []
+      in
+      flow_diags @ bridge_diags @ local_diags @ summary

@@ -56,3 +56,17 @@ val check_fault :
     errors — including crash windows extending past [horizon]
     (bit-times), whose station would never rejoin — plus warnings for
     suspicious parameterizations. *)
+
+val check_topo :
+  ?policy:Rtnet_core.Decompose.policy ->
+  Rtnet_topology.Topo.t ->
+  Diagnostic.t list
+(** [check_topo topo] lints a multi-hop topology (rule ["CFG-TOPO"]):
+    unroutable flows and a cyclic bridge graph are errors (reported
+    granularly, one per problem); on an elaborable topology, a flow
+    whose deadline decomposition fails, a per-hop budget below the
+    hop's [B_DDCR], and a bridge whose forwarded-class demand fails
+    the NP-EDF demand-bound oracle are errors; a segment-local class
+    infeasible independently of the federation is a warning; an
+    admitted topology yields one informational summary.  [policy] is
+    the decomposition policy (default proportional). *)

@@ -16,6 +16,10 @@ module Tdma = Rtnet_baselines.Tdma
 module Np_edf = Rtnet_edf.Np_edf
 module Config_lint = Rtnet_analysis.Config_lint
 module Diagnostic = Rtnet_analysis.Diagnostic
+module Topo = Rtnet_topology.Topo
+module Admit = Rtnet_topology.Admit
+module Topo_driver = Rtnet_topology.Driver
+module Decompose = Rtnet_core.Decompose
 
 let ( let* ) = Result.bind
 
@@ -106,8 +110,40 @@ let bounds_for params inst =
       })
     report.Feasibility.per_class
 
+(* A topo scenario expands into a whole federated tree of uniform
+   4-source segments (one flow per non-root segment, routed up to the
+   root) — mirrored by Spec's scenario doc and the CFG-TOPO lint. *)
+let tree_of scenario =
+  Topo.tree
+    ~name:(Spec.scenario_label scenario)
+    ~segments:scenario.Spec.sc_size ~fanout:scenario.Spec.sc_fanout ~sources:4
+    ~load:scenario.Spec.sc_load
+    ~deadline_windows:scenario.Spec.sc_deadline_windows ()
+
+(* Campaign topo cells decompose slack-weighted: each hop gets its
+   B_DDCR bound plus an equal slack share, so a flow admits iff the
+   bounds (plus bridge delays) fit its deadline at all — under the
+   proportional split the deep hops of a 3-hop flow are starved no
+   matter how far the deadline is stretched. *)
+let topo_policy = Decompose.Slack_weighted
+
+let run_topo_cell spec c t0 =
+  let horizon = spec.Spec.horizon_ms * 1_000_000 in
+  match Admit.elaborate ~policy:topo_policy (tree_of c.scenario) with
+  | Error e -> failwith ("topo cell: " ^ e)
+  | Ok e ->
+    let res = Topo_driver.run_seeded e ~seed:c.trace_seed ~horizon in
+    {
+      r_metrics = res.Topo_driver.r_metrics;
+      r_channel = res.Topo_driver.r_outcome.Run.channel;
+      r_elapsed_s = Unix.gettimeofday () -. t0;
+      r_telemetry = None;
+    }
+
 let run_cell ?(telemetry = false) spec c =
   let t0 = Unix.gettimeofday () in
+  if c.protocol = Spec.Topo then run_topo_cell spec c t0
+  else
   let inst = Spec.instance c.scenario in
   let horizon = spec.Spec.horizon_ms * 1_000_000 in
   let trace = Instance.trace inst ~seed:c.trace_seed ~horizon in
@@ -150,6 +186,7 @@ let run_cell ?(telemetry = false) spec c =
       Dcr.run_trace (Dcr.of_ddcr (params_for c.variant inst)) inst trace ~horizon
     | Spec.Tdma -> Tdma.run_trace inst trace ~horizon
     | Spec.Oracle -> Np_edf.run inst.Instance.phy trace ~horizon
+    | Spec.Topo -> assert false (* handled by [run_topo_cell] above *)
   in
   {
     r_metrics = Run.metrics outcome;
@@ -228,16 +265,29 @@ let lint spec =
   fault_diags
   @ List.concat_map
       (fun scenario ->
-        let inst = Spec.instance scenario in
-        List.concat_map
-          (fun variant ->
-            let label =
-              Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
-                (Spec.variant_label variant)
-            in
-            List.map
-              (fun d ->
-                { d with Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject })
-              (Config_lint.check (params_for variant inst) inst))
-          spec.Spec.variants)
+        if scenario.Spec.sc_kind = "topo" then
+          (* A topo scenario is a whole federation: the CFG-TOPO lint
+             covers routing, per-hop budgets and bridge queues in one
+             pass (variants are pinned to the default by validation). *)
+          List.map
+            (fun d ->
+              {
+                d with
+                Diagnostic.subject =
+                  Spec.scenario_label scenario ^ ":" ^ d.Diagnostic.subject;
+              })
+            (Config_lint.check_topo ~policy:topo_policy (tree_of scenario))
+        else
+          let inst = Spec.instance scenario in
+          List.concat_map
+            (fun variant ->
+              let label =
+                Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
+                  (Spec.variant_label variant)
+              in
+              List.map
+                (fun d ->
+                  { d with Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject })
+                (Config_lint.check (params_for variant inst) inst))
+            spec.Spec.variants)
       spec.Spec.scenarios

@@ -4,8 +4,12 @@ module Fault_plan = Rtnet_channel.Fault_plan
 
 let ( let* ) = Result.bind
 
-type protocol = Ddcr | Beb | Dcr | Tdma | Oracle
+type protocol = Ddcr | Beb | Dcr | Tdma | Oracle | Topo
 
+(* [Topo] is deliberately not in [all_protocols]: it is a different
+   shape of cell (a federated tree of segments, not one medium), only
+   meaningful with "topo" scenarios, and adding it here would change
+   the cell grids — and golden baselines — of every shipped campaign. *)
 let all_protocols = [ Ddcr; Beb; Dcr; Tdma; Oracle ]
 
 let protocol_label = function
@@ -14,6 +18,7 @@ let protocol_label = function
   | Dcr -> "dcr"
   | Tdma -> "tdma"
   | Oracle -> "oracle"
+  | Topo -> "topo"
 
 let protocol_of_string = function
   | "ddcr" -> Ok Ddcr
@@ -21,6 +26,7 @@ let protocol_of_string = function
   | "dcr" -> Ok Dcr
   | "tdma" -> Ok Tdma
   | "oracle" -> Ok Oracle
+  | "topo" -> Ok Topo
   | other -> Error (Printf.sprintf "unknown protocol %S" other)
 
 type scenario = {
@@ -28,17 +34,20 @@ type scenario = {
   sc_size : int;
   sc_load : float;
   sc_deadline_windows : float;
+  sc_fanout : int;
 }
 
 let scenario_kinds =
   [
     "videoconference"; "atc"; "trading"; "atm"; "manufacturing"; "skewed";
-    "uniform";
+    "uniform"; "topo";
   ]
 
 let scenario_label sc =
   if sc.sc_kind = "uniform" then
     Printf.sprintf "uniform-%d-%.2f" sc.sc_size sc.sc_load
+  else if sc.sc_kind = "topo" then
+    Printf.sprintf "topo-%dseg-f%d-%.2f" sc.sc_size sc.sc_fanout sc.sc_load
   else Printf.sprintf "%s-%d" sc.sc_kind sc.sc_size
 
 let instance sc =
@@ -52,6 +61,10 @@ let instance sc =
   | "uniform" ->
     Scenarios.uniform ~sources:sc.sc_size ~classes_per_source:2
       ~load:sc.sc_load ~deadline_windows:sc.sc_deadline_windows
+  | "topo" ->
+    (* A "topo" scenario is a whole federation, not one medium —
+       Grid.run_cell builds it via Rtnet_topology.Topo.tree. *)
+    failwith "topo scenarios have no single-segment instance"
   | other -> failwith (Printf.sprintf "unknown scenario %S" other)
 
 type variant = {
@@ -124,11 +137,34 @@ let validate spec =
           else if sc.sc_kind = "skewed" && sc.sc_size < 2 then
             Error "skewed: size < 2"
           else if
-            sc.sc_kind = "uniform"
+            (sc.sc_kind = "uniform" || sc.sc_kind = "topo")
             && (sc.sc_load <= 0. || sc.sc_deadline_windows <= 0.)
-          then Error "uniform: load and deadline_windows must be positive"
+          then
+            Error
+              (Printf.sprintf "%s: load and deadline_windows must be positive"
+                 sc.sc_kind)
+          else if sc.sc_kind = "topo" && sc.sc_fanout < 1 then
+            Error "topo: fanout < 1"
           else Ok ())
         (Ok ()) spec.scenarios
+    in
+    (* Topo cells are a different shape (a federated tree, not one
+       medium): the protocol and the scenario kind must opt in
+       together, and the single-medium variant axes (faults, bursting,
+       theta) do not apply. *)
+    let* () =
+      let topo_scenario = List.exists (fun sc -> sc.sc_kind = "topo") spec.scenarios in
+      let topo_protocol = List.mem Topo spec.protocols in
+      if not (topo_scenario || topo_protocol) then Ok ()
+      else if spec.protocols <> [ Topo ] then
+        Error "topo scenarios require protocols = [topo] (and vice versa)"
+      else if List.exists (fun sc -> sc.sc_kind <> "topo") spec.scenarios then
+        Error "protocol topo requires every scenario to be of kind topo"
+      else if List.exists (fun v -> v <> default_variant) spec.variants then
+        Error
+          "topo campaigns take only the default variant (no faults, \
+           bursting or theta)"
+      else Ok ()
     in
     List.fold_left
       (fun acc v ->
@@ -178,13 +214,17 @@ let validate spec =
 (* explicit): [hash] and the determinism guarantee depend on it.      *)
 
 let scenario_to_json sc =
+  (* The "fanout" key is emitted only for topo scenarios, so the
+     canonical bytes — and therefore [hash] — of every pre-topology
+     spec are unchanged (committed baselines keep loading). *)
   Json.Obj
-    [
-      ("kind", Json.String sc.sc_kind);
-      ("size", Json.Int sc.sc_size);
-      ("load", Json.Float sc.sc_load);
-      ("deadline_windows", Json.Float sc.sc_deadline_windows);
-    ]
+    ([
+       ("kind", Json.String sc.sc_kind);
+       ("size", Json.Int sc.sc_size);
+       ("load", Json.Float sc.sc_load);
+       ("deadline_windows", Json.Float sc.sc_deadline_windows);
+     ]
+    @ if sc.sc_kind = "topo" then [ ("fanout", Json.Int sc.sc_fanout) ] else [])
 
 let variant_to_json v =
   (* The "fault_plan" key is emitted only when set, so the canonical
@@ -226,7 +266,15 @@ let scenario_of_json j =
   let* size = Result.bind (Json.field "size" j) Json.get_int in
   let* load = opt_field j "load" Json.get_float 0.3 in
   let* dw = opt_field j "deadline_windows" Json.get_float 2.0 in
-  Ok { sc_kind = kind; sc_size = size; sc_load = load; sc_deadline_windows = dw }
+  let* fanout = opt_field j "fanout" Json.get_int 1 in
+  Ok
+    {
+      sc_kind = kind;
+      sc_size = size;
+      sc_load = load;
+      sc_deadline_windows = dw;
+      sc_fanout = fanout;
+    }
 
 let variant_of_json j =
   let* fault = opt_field j "fault_rate" Json.get_float 0. in
@@ -291,7 +339,22 @@ let hash spec = Digest.to_hex (Digest.string (Json.to_string (to_json spec)))
 (* matters.                                                           *)
 
 let scenario ?(load = 0.3) ?(deadline_windows = 2.0) kind size =
-  { sc_kind = kind; sc_size = size; sc_load = load; sc_deadline_windows = deadline_windows }
+  {
+    sc_kind = kind;
+    sc_size = size;
+    sc_load = load;
+    sc_deadline_windows = deadline_windows;
+    sc_fanout = 1;
+  }
+
+let topo_scenario ~segments ~fanout ~load ~deadline_windows =
+  {
+    sc_kind = "topo";
+    sc_size = segments;
+    sc_load = load;
+    sc_deadline_windows = deadline_windows;
+    sc_fanout = fanout;
+  }
 
 let smoke =
   {
@@ -369,12 +432,34 @@ let fault_sweep =
       ];
   }
 
+let topology_sweep =
+  (* Federation sweep: segment count × fan-out over uniform trees of
+     4-source segments (Grid builds them with Rtnet_topology.Topo.tree).
+     The load/deadline point is chosen so every cell passes end-to-end
+     admission — the golden baseline then pins "admitted topology, zero
+     unexcused misses" across the grid. *)
+  {
+    name = "topology_sweep";
+    base_seed = 23;
+    replicates = 1;
+    horizon_ms = 5;
+    protocols = [ Topo ];
+    scenarios =
+      [
+        topo_scenario ~segments:3 ~fanout:2 ~load:0.1 ~deadline_windows:16.0;
+        topo_scenario ~segments:5 ~fanout:2 ~load:0.1 ~deadline_windows:16.0;
+        topo_scenario ~segments:7 ~fanout:3 ~load:0.1 ~deadline_windows:16.0;
+      ];
+    variants = [ default_variant ];
+  }
+
 let builtins =
   [
     ("smoke", smoke);
     ("campaign_v1", campaign_v1);
     ("load_sweep", load_sweep);
     ("fault_sweep", fault_sweep);
+    ("topology_sweep", topology_sweep);
   ]
 
 let find_builtin name = List.assoc_opt name builtins

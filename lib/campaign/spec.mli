@@ -14,25 +14,36 @@
     and the regression gate refuse to mix results from different spec
     hashes. *)
 
-type protocol = Ddcr | Beb | Dcr | Tdma | Oracle
+type protocol = Ddcr | Beb | Dcr | Tdma | Oracle | Topo
 
 val all_protocols : protocol list
-(** [all_protocols] is every protocol, in canonical order. *)
+(** [all_protocols] is every {e single-medium} protocol, in canonical
+    order.  {!Topo} is deliberately excluded: a topo cell is a whole
+    federated tree of segments, only meaningful with ["topo"]
+    scenarios, and including it here would change the cell grids (and
+    golden baselines) of every shipped campaign. *)
 
 val protocol_label : protocol -> string
-(** ["ddcr"], ["beb"], ["dcr"], ["tdma"] or ["oracle"] — the same
-    names the [ddcr_sim] CLI uses. *)
+(** ["ddcr"], ["beb"], ["dcr"], ["tdma"], ["oracle"] or ["topo"] — the
+    same names the [ddcr_sim] CLI uses. *)
 
 val protocol_of_string : string -> (protocol, string) result
 
 type scenario = {
   sc_kind : string;
       (** one of: videoconference, atc, trading, atm, manufacturing,
-          skewed, uniform *)
-  sc_size : int;  (** stations / radars / gateways / ports / sources *)
-  sc_load : float;  (** peak offered load (uniform scenario only) *)
+          skewed, uniform, topo *)
+  sc_size : int;
+      (** stations / radars / gateways / ports / sources; for topo:
+          the number of federated segments *)
+  sc_load : float;  (** peak offered load (uniform and topo only) *)
   sc_deadline_windows : float;
-      (** relative deadline in window units (uniform scenario only) *)
+      (** relative deadline in window units (uniform and topo only) *)
+  sc_fanout : int;
+      (** tree fan-out (topo only; 1 elsewhere).  A topo scenario is a
+          {!Rtnet_topology.Topo.tree} of [sc_size] uniform segments of
+          4 sources each, fan-out [sc_fanout], with one flow per
+          non-root segment routed up to the root. *)
 }
 
 val scenario_label : scenario -> string
@@ -44,13 +55,16 @@ val scenario_to_json : scenario -> Rtnet_util.Json.t
     and chaos replay artifacts alike. *)
 
 val scenario_of_json : Rtnet_util.Json.t -> (scenario, string) result
-(** [load]/[deadline_windows] may be omitted (defaults 0.3 / 2.0),
-    matching hand-written spec files. *)
+(** [load]/[deadline_windows]/[fanout] may be omitted (defaults 0.3 /
+    2.0 / 1), matching hand-written spec files; the ["fanout"] key is
+    only written for topo scenarios, so pre-topology specs round-trip
+    byte-identically. *)
 
 val instance : scenario -> Rtnet_workload.Instance.t
 (** [instance sc] builds the workload instance.
     @raise Failure on an unknown [sc_kind] ({!validate} rejects such
-    specs first). *)
+    specs first) and on ["topo"] — a topo scenario is a federation,
+    not one instance; [Grid] builds it via [Rtnet_topology.Topo.tree]. *)
 
 type variant = {
   v_fault_rate : float;  (** channel-noise probability (ddcr and beb) *)

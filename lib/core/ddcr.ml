@@ -348,7 +348,7 @@ module Automaton = struct
 end
 
 let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze
-    ?(sink = Sink.null) params inst trace
+    ?(sink = Sink.null) ?on_complete ?inject params inst trace
     ~horizon =
   (match Ddcr_params.validate params ~num_sources:inst.Instance.num_sources with
   | Ok () -> ()
@@ -679,10 +679,12 @@ let run_trace ?(check_lockstep = false) ?on_event ?fault ?plan ?analyze
     next_free
   in
   Rtnet_mac.Harness.run ~protocol:"csma-ddcr" ?fault ?plan ?analyze ~sink
-    ~phy:inst.Instance.phy ~num_sources:z ~horizon ~decide ~after trace
+    ?on_complete ?inject ~phy:inst.Instance.phy ~num_sources:z ~horizon
+    ~decide ~after trace
 
-let run ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink ?(seed = 1)
-    params inst ~horizon =
-  run_trace ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink params inst
+let run ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink ?on_complete
+    ?inject ?(seed = 1) params inst ~horizon =
+  run_trace ?check_lockstep ?on_event ?fault ?plan ?analyze ?sink ?on_complete
+    ?inject params inst
     (Instance.trace inst ~seed ~horizon)
     ~horizon

@@ -177,6 +177,9 @@ val run_trace :
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   ?sink:Rtnet_telemetry.Sink.t ->
+  ?on_complete:
+    (msg:Rtnet_workload.Message.t -> start:int -> finish:int -> unit) ->
+  ?inject:(now:int -> Rtnet_workload.Message.t list) ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->
   Rtnet_workload.Message.t list ->
@@ -223,6 +226,11 @@ val run_trace :
     the harness probes, the DDCR-specific ones: one [search] span per
     completed TTs/STs descent and one [jump] per compressed-time θ
     advance (an unproductive TTs).
+
+    [on_complete] and [inject] are forwarded verbatim to
+    {!Rtnet_mac.Harness.run} — the federation hooks a multi-hop
+    topology driver uses to ingest this segment's completions online
+    and to inject bridged arrivals from upstream segments.
     @raise Invalid_argument if [params] fail validation for [inst].
     @raise Protocol_violation on inconsistent channel feedback. *)
 
@@ -233,6 +241,9 @@ val run :
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   ?sink:Rtnet_telemetry.Sink.t ->
+  ?on_complete:
+    (msg:Rtnet_workload.Message.t -> start:int -> finish:int -> unit) ->
+  ?inject:(now:int -> Rtnet_workload.Message.t list) ->
   ?seed:int ->
   Ddcr_params.t ->
   Rtnet_workload.Instance.t ->

@@ -1,0 +1,96 @@
+type policy = Proportional | Slack_weighted
+
+let policy_label = function
+  | Proportional -> "proportional"
+  | Slack_weighted -> "slack-weighted"
+
+let policy_of_label = function
+  | "proportional" -> Ok Proportional
+  | "slack-weighted" | "slack_weighted" | "slack" -> Ok Slack_weighted
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown decomposition policy %S (expected proportional or \
+          slack-weighted)"
+         other)
+
+let split ~policy ~deadline ~bridge_delays ~bounds =
+  let n = List.length bounds in
+  if n = 0 then Error "deadline decomposition: empty hop path"
+  else if List.exists (fun d -> d < 0) bridge_delays then
+    Error "deadline decomposition: negative bridge delay"
+  else begin
+    let delays = List.fold_left ( + ) 0 bridge_delays in
+    let available = deadline - delays in
+    (* Each hop must at least cover its own B_DDCR (at least one
+       bit-time: a degenerate bound still needs time on the wire). *)
+    let needs =
+      Array.of_list
+        (List.map (fun b -> max 1 (int_of_float (ceil b))) bounds)
+    in
+    let need_total = Array.fold_left ( + ) 0 needs in
+    if need_total > available then
+      Error
+        (Printf.sprintf
+           "deadline decomposition: d(M) = %d leaves %d bit-times after %d \
+            of bridge delay, but the per-hop B_DDCR bounds already need %d"
+           deadline available delays need_total)
+    else begin
+      let slack = available - need_total in
+      let budgets =
+        match policy with
+        | Slack_weighted ->
+          let q = slack / n and r = slack mod n in
+          Array.mapi (fun i need -> need + q + if i < r then 1 else 0) needs
+        | Proportional ->
+          let weights = Array.of_list bounds in
+          let total_w = Array.fold_left ( +. ) 0. weights in
+          (* Degenerate weights (all ~0) fall back to equal shares. *)
+          let weights =
+            if total_w > 0. then weights else Array.make n 1.
+          in
+          let total_w = Array.fold_left ( +. ) 0. weights in
+          let ideal =
+            Array.map (fun w -> float_of_int available *. w /. total_w) weights
+          in
+          let budgets = Array.map (fun x -> int_of_float (floor x)) ideal in
+          let assigned = Array.fold_left ( + ) 0 budgets in
+          (* Largest-remainder apportionment of the leftover bit-times;
+             ties broken towards the lowest hop index so the result is
+             order-deterministic. *)
+          let by_remainder =
+            List.sort
+              (fun (i, ri) (j, rj) ->
+                match compare rj ri with 0 -> compare i j | c -> c)
+              (List.init n (fun i ->
+                   (i, ideal.(i) -. float_of_int budgets.(i))))
+          in
+          List.iteri
+            (fun k (i, _) ->
+              if k < available - assigned then budgets.(i) <- budgets.(i) + 1)
+            by_remainder;
+          (* Deterministic repair: raise every hop to its need, paying
+             out of the surplus hops scanned left to right.  Total
+             surplus covers the total deficit because
+             Σ budgets = available >= Σ needs. *)
+          let deficit = ref 0 in
+          Array.iteri
+            (fun i b ->
+              if b < needs.(i) then begin
+                deficit := !deficit + (needs.(i) - b);
+                budgets.(i) <- needs.(i)
+              end)
+            budgets;
+          let i = ref 0 in
+          while !deficit > 0 do
+            let surplus = budgets.(!i) - needs.(!i) in
+            let take = min surplus !deficit in
+            budgets.(!i) <- budgets.(!i) - take;
+            deficit := !deficit - take;
+            incr i
+          done;
+          budgets
+      in
+      Ok (Array.to_list budgets)
+    end
+  end

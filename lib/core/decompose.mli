@@ -1,0 +1,55 @@
+(** End-to-end deadline decomposition for multi-hop flows.
+
+    The paper's feasibility machinery (Section 4.3) bounds the latency
+    of a class on {e one} broadcast segment by [B_DDCR].  A flow routed
+    across several federated segments must meet its end-to-end deadline
+    [d(M)] over the whole path, so [d(M)] has to be split into per-hop
+    budgets: hop [i] receives [b_i] bit-times, each store-and-forward
+    bridge consumes its fixed relaying delay, and the decomposition is
+    sound iff
+
+    {[ Σ_i b_i + Σ bridge delays <= d(M)  and  b_i >= ceil B_DDCR_i ]}
+
+    because then (by induction over the path) every message that meets
+    its budget at every hop arrives within [d(M)].  This module owns
+    the arithmetic; [Rtnet_topology.Admit] feeds it the per-hop
+    [Feasibility.latency_bound] values and turns the budgets into
+    per-segment deadline classes. *)
+
+type policy =
+  | Proportional
+      (** split the whole post-bridge budget [d(M) − Σ delays] in
+          proportion to the hops' [B_DDCR] bounds (largest-remainder
+          apportionment, ties to the lowest hop index), then repair
+          deterministically so every hop still covers its bound — slack
+          goes where the bound says contention is worst *)
+  | Slack_weighted
+      (** give every hop exactly its bound [ceil B_DDCR_i], then share
+          the remaining slack {e equally} across hops (the first
+          [slack mod n] hops get one spare bit-time) — every hop gets
+          the same absolute headroom against jitter *)
+
+val policy_label : policy -> string
+(** ["proportional"] or ["slack-weighted"] — the CLI spelling. *)
+
+val policy_of_label : string -> (policy, string) result
+(** Inverse of {!policy_label} (also accepts ["slack"]). *)
+
+val split :
+  policy:policy ->
+  deadline:int ->
+  bridge_delays:int list ->
+  bounds:float list ->
+  (int list, string) result
+(** [split ~policy ~deadline ~bridge_delays ~bounds] decomposes the
+    end-to-end deadline over [List.length bounds] hops ([bounds] are
+    the per-hop [B_DDCR] values in bit-times; [bridge_delays] the fixed
+    store-and-forward delays between consecutive hops, one fewer than
+    the hops — only their sum matters).  Returns the per-hop budgets,
+    which always satisfy the soundness invariant above with
+    [Σ b_i + Σ delays = max (Σ needs) (d − Σ delays) + Σ delays <= d];
+    in fact both policies spend the full budget:
+    [Σ b_i = deadline − Σ delays].  Errors when there are no hops, a
+    delay is negative, or the deadline cannot cover the bounds plus the
+    bridge delays (the flow is unadmittable at any split).  Purely
+    arithmetic and deterministic: equal inputs give equal budgets. *)

@@ -1,7 +1,6 @@
 module Instance = Rtnet_workload.Instance
 module Message = Rtnet_workload.Message
 module Phy = Rtnet_channel.Phy
-module Channel = Rtnet_channel.Channel
 module Run = Rtnet_stats.Run
 
 type assignment = {
@@ -22,9 +21,18 @@ let partition inst ~buses =
       Error "fewer classes than busses"
     else begin
       let phy = inst.Instance.phy in
+      (* Explicit total order: heaviest load first, ties broken by
+         class id ascending.  Together with the worst-fit tie-break
+         below (equal-load busses resolve to the lowest index) the
+         partition is a pure function of the class set — independent of
+         input order, float comparison quirks and sort stability — as
+         topology fingerprints require. *)
       let heaviest_first =
         List.sort
-          (fun a b -> compare (class_load phy b) (class_load phy a))
+          (fun ((ca, _) as a) ((cb, _) as b) ->
+            match compare (class_load phy b) (class_load phy a) with
+            | 0 -> compare ca.Message.cls_id cb.Message.cls_id
+            | c -> c)
           classes
       in
       let loads = Array.make buses 0. in
@@ -32,6 +40,7 @@ let partition inst ~buses =
       let assigned =
         List.map
           (fun ((c, _) as cl) ->
+            (* Strict [<]: on equal load the lowest bus index wins. *)
             let lightest = ref 0 in
             Array.iteri
               (fun i l -> if l < loads.(!lightest) then lightest := i)
@@ -86,48 +95,17 @@ let check a =
         0. per_bus;
   }
 
-let merge_stats a b =
-  {
-    Channel.idle_slots = a.Channel.idle_slots + b.Channel.idle_slots;
-    collision_slots = a.Channel.collision_slots + b.Channel.collision_slots;
-    tx_count = a.Channel.tx_count + b.Channel.tx_count;
-    garbled_count = a.Channel.garbled_count + b.Channel.garbled_count;
-    busy_bits = a.Channel.busy_bits + b.Channel.busy_bits;
-    total_bits = a.Channel.total_bits + b.Channel.total_bits;
-  }
-
 let run ?check_lockstep ?(seed = 1) a ~horizon =
   let outcomes =
-    Array.map
+    List.map
       (fun bus ->
         let params = Ddcr_params.default bus in
         Ddcr.run ?check_lockstep ~seed params bus ~horizon)
-      a.buses
+      (Array.to_list a.buses)
   in
-  let completions =
-    List.sort
-      (fun c1 c2 -> compare c1.Run.c_finish c2.Run.c_finish)
-      (List.concat_map (fun o -> o.Run.completions) (Array.to_list outcomes))
-  in
-  let channel =
-    Array.fold_left
-      (fun acc o ->
-        match (acc, o.Run.channel) with
-        | None, s -> s
-        | Some s, None -> Some s
-        | Some s, Some s' -> Some (merge_stats s s'))
-      None outcomes
-  in
-  {
-    Run.protocol = Printf.sprintf "csma-ddcr/%d-bus" (Array.length a.buses);
-    completions;
-    unfinished =
-      List.concat_map (fun o -> o.Run.unfinished) (Array.to_list outcomes);
-    dropped = List.concat_map (fun o -> o.Run.dropped) (Array.to_list outcomes);
-    horizon;
-    channel;
-    faults = None;
-  }
+  Run.merge
+    ~protocol:(Printf.sprintf "csma-ddcr/%d-bus" (Array.length a.buses))
+    ~horizon outcomes
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";

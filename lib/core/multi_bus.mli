@@ -20,8 +20,12 @@ val partition :
 (** [partition inst ~buses] splits [inst]'s classes over [buses]
     parallel busses by greedy worst-fit on peak offered load (heaviest
     class first onto the least-loaded bus) — the classic bin-packing
-    heuristic for load balancing.  Fails if [buses < 1] or there are
-    fewer classes than busses. *)
+    heuristic for load balancing.  Tie-breaking is explicitly
+    deterministic: classes of equal load are taken in ascending class
+    id, and equal-load busses resolve to the lowest bus index, so the
+    partition is a pure function of the class set (independent of
+    input order) — required for reproducible topology fingerprints.
+    Fails if [buses < 1] or there are fewer classes than busses. *)
 
 val partition_exn :
   Rtnet_workload.Instance.t -> buses:int -> assignment
@@ -46,9 +50,14 @@ val run :
   horizon:int ->
   Rtnet_stats.Run.outcome
 (** [run a ~horizon] simulates every bus independently under CSMA/DDCR
-    (its own channel, its own replicas) and merges the outcomes:
-    completions concatenated, channel statistics summed.  The merged
-    protocol label is ["csma-ddcr/<n>-bus"]. *)
+    (its own channel, its own replicas) and merges the outcomes via
+    {!Rtnet_stats.Run.merge}: completions re-sorted by finish time,
+    channel statistics summed.  The merged protocol label is
+    ["csma-ddcr/<n>-bus"].  This is exactly the flowless star special
+    case of the [Rtnet_topology] driver ([Topo.of_assignment] builds
+    the equivalent bridge-free topology and its driver reproduces this
+    function's outcome completion for completion — pinned by a test),
+    so both scale stories share one merge code path. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** [pp_report fmt r] prints per-bus margins and the verdict. *)

@@ -102,22 +102,19 @@ let misperceived_view (resolution : Channel.resolution) =
     ->
     resolution
 
-let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null) ~phy
-    ~num_sources ~horizon ~decide ~after trace =
+let arrival_order a b =
+  compare
+    (a.Message.arrival, a.Message.uid)
+    (b.Message.arrival, b.Message.uid)
+
+let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null)
+    ?on_complete ?inject ~phy ~num_sources ~horizon ~decide ~after trace =
   let telemetry = sink.Sink.enabled in
   let channel = Channel.create ?fault ?plan phy in
   let queues = Array.make num_sources Edf_queue.empty in
   let completions = ref [] in
   let dropped = ref [] in
-  let arrivals =
-    ref
-      (List.sort
-         (fun a b ->
-           compare
-             (a.Message.arrival, a.Message.uid)
-             (b.Message.arrival, b.Message.uid))
-         trace)
-  in
+  let arrivals = ref (List.sort arrival_order trace) in
   let deliver now =
     let rec go = function
       | m :: rest when m.Message.arrival <= now ->
@@ -165,6 +162,9 @@ let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null) ~phy
       complete =
         (fun m ~start ~finish ->
           if telemetry then sink.Sink.complete ~msg:m ~start ~finish;
+          (match on_complete with
+          | None -> ()
+          | Some f -> f ~msg:m ~start ~finish);
           completions :=
             { Run.c_msg = m; c_start = start; c_finish = finish }
             :: !completions);
@@ -214,6 +214,20 @@ let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null) ~phy
   in
   let rec slot eng =
     let now = Engine.now eng in
+    (* Bridge ingress (multi-hop topologies): the injector may hand the
+       harness new messages at any slot boundary; they join the arrival
+       stream and become visible to the EDF queues exactly like trace
+       arrivals (at the first boundary at or after their arrival time). *)
+    (match inject with
+    | None -> ()
+    | Some f -> (
+      match f ~now with
+      | [] -> ()
+      | injected ->
+        arrivals :=
+          List.merge arrival_order
+            (List.sort arrival_order injected)
+            !arrivals));
     deliver now;
     slot_faulty := false;
     (match plan with

@@ -100,6 +100,9 @@ val run :
   ?plan:Rtnet_channel.Fault_plan.t ->
   ?analyze:bool ->
   ?sink:Rtnet_telemetry.Sink.t ->
+  ?on_complete:
+    (msg:Rtnet_workload.Message.t -> start:int -> finish:int -> unit) ->
+  ?inject:(now:int -> Rtnet_workload.Message.t list) ->
   phy:Rtnet_channel.Phy.t ->
   num_sources:int ->
   horizon:int ->
@@ -153,6 +156,21 @@ val run :
     [engine_event] per engine dispatch, and [epoch] for each merged
     fault epoch at the end of the run.  With the null sink every probe
     is a single boolean test.
+
+    [on_complete] and [inject] are the federation hooks for multi-hop
+    topologies ([Rtnet_topology]).  [on_complete] is called for every
+    recorded completion (main frames and burst frames alike), in
+    completion order, before the run's outcome is assembled — a bridge
+    station uses it to ingest frames bound for a downstream segment the
+    moment they finish on this one.  [inject ~now], polled at every
+    slot boundary before arrivals are delivered, returns messages to
+    merge into the arrival stream (the injector must return each
+    message exactly once); a message whose [arrival <= now] becomes
+    visible to the EDF queues this very slot, a later one when its
+    arrival time passes — exactly the visibility rule trace arrivals
+    follow.  Injected messages are indistinguishable from trace
+    arrivals afterwards: they are EDF-queued, completed, counted in
+    [unfinished] if still pending, and reconciled by [analyze].
 
     @raise Mismatch on tag/queue-head disagreement.
     @raise Failure if the channel safety check or the [analyze]

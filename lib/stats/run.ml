@@ -115,6 +115,67 @@ let metrics o =
     missed_offline = fault_sum (fun sf -> sf.sf_missed);
   }
 
+let merge_channel_stats a b =
+  {
+    Channel.idle_slots = a.Channel.idle_slots + b.Channel.idle_slots;
+    collision_slots = a.Channel.collision_slots + b.Channel.collision_slots;
+    tx_count = a.Channel.tx_count + b.Channel.tx_count;
+    garbled_count = a.Channel.garbled_count + b.Channel.garbled_count;
+    busy_bits = a.Channel.busy_bits + b.Channel.busy_bits;
+    total_bits = a.Channel.total_bits + b.Channel.total_bits;
+  }
+
+let merge_epochs lists =
+  let all = List.sort compare (List.concat lists) in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> (
+      match acc with
+      | (s0, e0) :: acc' when s <= e0 -> go ((s0, max e0 e) :: acc') rest
+      | acc -> go ((s, e) :: acc) rest)
+  in
+  go [] all
+
+let merge ~protocol ~horizon outcomes =
+  let completions =
+    List.sort
+      (fun a b ->
+        compare
+          (a.c_finish, a.c_start, a.c_msg.Message.uid)
+          (b.c_finish, b.c_start, b.c_msg.Message.uid))
+      (List.concat_map (fun o -> o.completions) outcomes)
+  in
+  let channel =
+    List.fold_left
+      (fun acc o ->
+        match (acc, o.channel) with
+        | None, s -> s
+        | Some s, None -> Some s
+        | Some s, Some s' -> Some (merge_channel_stats s s'))
+      None outcomes
+  in
+  let faults =
+    if List.for_all (fun o -> o.faults = None) outcomes then None
+    else
+      let stats =
+        List.filter_map (fun o -> o.faults) outcomes
+      in
+      Some
+        {
+          f_per_source = List.concat_map (fun fs -> fs.f_per_source) stats;
+          f_epochs = merge_epochs (List.map (fun fs -> fs.f_epochs) stats);
+        }
+  in
+  {
+    protocol;
+    completions;
+    unfinished = List.concat_map (fun o -> o.unfinished) outcomes;
+    dropped = List.concat_map (fun o -> o.dropped) outcomes;
+    horizon;
+    channel;
+    faults;
+  }
+
 let per_class_worst_latency o =
   let tbl = Hashtbl.create 16 in
   List.iter

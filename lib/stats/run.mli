@@ -91,6 +91,21 @@ val inversions : completion list -> int
 val metrics : outcome -> metrics
 (** [metrics o] computes the scoreboard for one run. *)
 
+val merge : protocol:string -> horizon:int -> outcome list -> outcome
+(** [merge ~protocol ~horizon outcomes] combines the outcomes of
+    several independent media simulated over the same span — parallel
+    busses ({!Rtnet_core.Multi_bus} — forward reference: core sits above
+    stats) or the federated segments of a multi-hop topology — into one
+    aggregate outcome under the given label: completions re-sorted by
+    [(c_finish, c_start, uid)] (a total order, so the merge is
+    deterministic whatever the per-medium simulation order was),
+    unfinished and dropped lists concatenated, channel statistics
+    summed ([None] only when no constituent simulated a medium), and
+    fault bookkeeping combined ([None] when every constituent ran
+    fault-free; otherwise per-source counters concatenated in outcome
+    order — station ids are per-medium, not renumbered — and fault
+    epochs re-merged by coalescing overlaps). *)
+
 val per_class_worst_latency : outcome -> (int * int) list
 (** [per_class_worst_latency o] maps each class id (that completed at
     least one message) to its worst observed latency — compared against

@@ -3,7 +3,6 @@ module Channel = Rtnet_channel.Channel
 module Message = Rtnet_workload.Message
 
 let pid_virtual = 0
-let pid_wall = 1
 let tid_channel = 1
 let tid_search = 2
 let tid_faults = 3
@@ -16,6 +15,8 @@ type t = {
   worst : (int, int * int) Hashtbl.t;  (** cls id -> (worst, count) *)
   named : (int * int, unit) Hashtbl.t;
   procs : (int, unit) Hashtbl.t;
+  pid0 : int;  (** pid of the virtual-time process track *)
+  plabel : string;  (** its Perfetto process name *)
   mutable wall0 : float option;
   mutable sink : Sink.t;
 }
@@ -29,16 +30,14 @@ let ensure_process t ~pid name =
 let ensure_thread t ~pid ~tid name =
   if not (Hashtbl.mem t.named (pid, tid)) then begin
     Hashtbl.add t.named (pid, tid) ();
-    (if pid = pid_virtual then
-       ensure_process t ~pid "virtual time (bit-times)"
+    (if pid = t.pid0 then ensure_process t ~pid t.plabel
      else ensure_process t ~pid "campaign (wall clock)");
     Trace_event.set_thread_name t.trace ~pid ~tid name
   end
 
 let virtual_span t ~tid ~track_name ~name ~cat ~ts ~dur args =
-  ensure_thread t ~pid:pid_virtual ~tid track_name;
-  Trace_event.complete t.trace ~pid:pid_virtual ~tid ~name ~cat ~ts ~dur ~args
-    ()
+  ensure_thread t ~pid:t.pid0 ~tid track_name;
+  Trace_event.complete t.trace ~pid:t.pid0 ~tid ~name ~cat ~ts ~dur ~args ()
 
 let on_slot t ~now ~next_free ~resolution =
   let dur = next_free - now in
@@ -65,9 +64,9 @@ let on_slot t ~now ~next_free ~resolution =
 let on_enqueue t ~now ~msg =
   Registry.incr t.reg "queue/enqueued";
   let s = msg.Message.cls.Message.cls_source in
-  ensure_thread t ~pid:pid_virtual ~tid:(tid_source s)
+  ensure_thread t ~pid:t.pid0 ~tid:(tid_source s)
     (Printf.sprintf "source %d" s);
-  Trace_event.instant t.trace ~pid:pid_virtual ~tid:(tid_source s)
+  Trace_event.instant t.trace ~pid:t.pid0 ~tid:(tid_source s)
     ~name:"enqueue" ~cat:"queue" ~ts:now
     ~args:
       [
@@ -125,8 +124,8 @@ let on_search t ~tree ~start ~finish ~sent =
 let on_jump t ~now ~reft_from ~reft_to =
   Registry.incr t.reg "reft/jumps";
   Registry.add t.reg "reft/compressed_bits" (reft_to - reft_from);
-  ensure_thread t ~pid:pid_virtual ~tid:tid_search "searches";
-  Trace_event.instant t.trace ~pid:pid_virtual ~tid:tid_search
+  ensure_thread t ~pid:t.pid0 ~tid:tid_search "searches";
+  Trace_event.instant t.trace ~pid:t.pid0 ~tid:tid_search
     ~name:"reft jump" ~cat:"search" ~ts:now
     ~args:[ ("from", Json.Int reft_from); ("to", Json.Int reft_to) ]
     ()
@@ -161,14 +160,17 @@ let on_worker_cell t ~worker ~key ~t0 ~t1 ~ok =
   Registry.add_gauge t.reg
     (Printf.sprintf "campaign/worker%d/busy_s" worker)
     (t1 -. t0);
-  ensure_thread t ~pid:pid_wall ~tid:worker (Printf.sprintf "worker %d" worker);
-  Trace_event.complete t.trace ~pid:pid_wall ~tid:worker ~name:key ~cat:"cell"
+  ensure_thread t ~pid:(t.pid0 + 1) ~tid:worker
+    (Printf.sprintf "worker %d" worker);
+  Trace_event.complete t.trace ~pid:(t.pid0 + 1) ~tid:worker ~name:key
+    ~cat:"cell"
     ~ts:(max 0 (us_of_s (t0 -. wall0)))
     ~dur:(max 0 (us_of_s (t1 -. t0)))
     ~args:[ ("ok", Json.Bool ok) ]
     ()
 
-let create ?(bounds = []) ?wall0 () =
+let create ?(bounds = []) ?wall0 ?(pid = pid_virtual)
+    ?(process_name = "virtual time (bit-times)") () =
   let t =
     {
       reg = Registry.create ();
@@ -177,6 +179,8 @@ let create ?(bounds = []) ?wall0 () =
       worst = Hashtbl.create 8;
       named = Hashtbl.create 8;
       procs = Hashtbl.create 4;
+      pid0 = pid;
+      plabel = process_name;
       wall0;
       sink = Sink.null;
     }

@@ -14,11 +14,23 @@
 
 type t
 
-val create : ?bounds:Headroom.bound list -> ?wall0:float -> unit -> t
+val create :
+  ?bounds:Headroom.bound list ->
+  ?wall0:float ->
+  ?pid:int ->
+  ?process_name:string ->
+  unit ->
+  t
 (** [create ()] is a fresh recorder.  [bounds] enables per-class
     headroom gauges and trace [args.headroom] annotations (see
     {!Headroom}).  [wall0] anchors the wall-clock track; it defaults
-    to the first worker event's start time. *)
+    to the first worker event's start time.  [pid] (default 0) and
+    [process_name] relabel the virtual-time process track — a
+    multi-segment topology run gives each segment its own recorder
+    with a distinct pid ([2·i], keeping [pid + 1] free for the
+    wall-clock track) and merges the traces into one timeline with
+    one Perfetto process per segment
+    ({!Trace_event.merge_json}). *)
 
 val sink : t -> Sink.t
 

@@ -58,6 +58,21 @@ let to_json t =
       ("displayTimeUnit", Json.String "ns");
     ]
 
+let merge_json traces =
+  let events =
+    List.concat_map
+      (fun j ->
+        match Json.member "traceEvents" j with
+        | Some (Json.List evts) -> evts
+        | Some _ | None -> [])
+      traces
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
 (* -------------------- validation -------------------- *)
 
 let ( let* ) = Result.bind

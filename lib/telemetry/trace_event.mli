@@ -47,6 +47,14 @@ val to_json : t -> Rtnet_util.Json.t
 (** [to_json t] is [{"traceEvents": [...], "displayTimeUnit": "ns"}]
     with events in emission order (metadata first). *)
 
+val merge_json : Rtnet_util.Json.t list -> Rtnet_util.Json.t
+(** [merge_json traces] concatenates the [traceEvents] of several
+    trace JSONs (in list order) into one trace — used to combine the
+    per-segment recorders of a multi-hop topology run into a single
+    timeline.  Callers must ensure the constituents use disjoint pids
+    (see {!Recorder.create}); inputs without a [traceEvents] list
+    contribute nothing. *)
+
 val validate : Rtnet_util.Json.t -> (int, string) result
 (** [validate j] checks that [j] is a well-formed trace: the
     [traceEvents] list exists, every ["X"] span has non-negative

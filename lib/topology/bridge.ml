@@ -1,0 +1,74 @@
+module Message = Rtnet_workload.Message
+module Instance = Rtnet_workload.Instance
+module Np_edf_fc = Rtnet_edf.Np_edf_fc
+
+type verdict = {
+  bv_bridge : string;
+  bv_classes : int;
+  bv_utilization : float;
+  bv_feasible : bool;
+  bv_margin : float;
+}
+
+(* The forwarded (class, law) pairs a bridge injects downstream: every
+   flow hop reached through this bridge, with the law looked up in the
+   elaborated downstream instance. *)
+let crossing (e : Admit.t) (b : Topo.bridge) =
+  List.concat_map
+    (fun (f : Admit.eflow) ->
+      List.filter_map
+        (fun (h : Admit.hop) ->
+          match h.Admit.h_bridge with
+          | Some hb when hb.Topo.br_name = b.Topo.br_name ->
+            let inst = Admit.instance_of e h.Admit.h_segment in
+            let _, law =
+              List.find
+                (fun (c, _) ->
+                  c.Message.cls_id = h.Admit.h_cls.Message.cls_id)
+                (Array.to_list inst.Instance.classes)
+            in
+            Some (h.Admit.h_cls, law)
+          | Some _ | None -> None)
+        f.Admit.ef_hops)
+    e.Admit.e_flows
+
+let check (e : Admit.t) =
+  List.map
+    (fun (b : Topo.bridge) ->
+      match crossing e b with
+      | [] ->
+        {
+          bv_bridge = b.Topo.br_name;
+          bv_classes = 0;
+          bv_utilization = 0.0;
+          bv_feasible = true;
+          bv_margin = 0.0;
+        }
+      | classes ->
+        let renumbered =
+          List.mapi
+            (fun i (c, law) ->
+              ({ c with Message.cls_id = i; cls_source = 0 }, law))
+            classes
+        in
+        let downstream = Admit.instance_of e b.Topo.br_to in
+        let inst =
+          Instance.create_exn
+            ~name:("bridge/" ^ b.Topo.br_name)
+            ~phy:downstream.Instance.phy ~num_sources:1 renumbered
+        in
+        let v = Np_edf_fc.check inst in
+        {
+          bv_bridge = b.Topo.br_name;
+          bv_classes = List.length classes;
+          bv_utilization = Np_edf_fc.utilization inst;
+          bv_feasible = v.Np_edf_fc.np_feasible;
+          bv_margin = v.Np_edf_fc.np_margin;
+        })
+    e.Admit.e_topo.Topo.tp_bridges
+
+let pp_verdict fmt v =
+  Format.fprintf fmt
+    "bridge %-10s %2d forwarded classes  util %5.3f  margin %6.3f  %s"
+    v.bv_bridge v.bv_classes v.bv_utilization v.bv_margin
+    (if v.bv_feasible then "ok" else "OVERLOADED")

@@ -1,0 +1,34 @@
+(** Bridge-queue overload analysis.
+
+    A bridge is a store-and-forward station: frames of the flows
+    crossing it arrive (complete upstream), wait [br_latency], and
+    contend downstream as the bridge's own NP-EDF-ranked backlog.  The
+    downstream segment's admission check already prices the forwarded
+    classes' {e medium} contention; what it cannot see is whether the
+    bridge's single transmit queue keeps up with the aggregate demand
+    routed through it — a bridge relaying many flows can be the
+    bottleneck even when every hop is feasible on the wire.
+
+    The oracle: gather the forwarded classes a bridge injects
+    downstream into a synthetic single-source instance and run the
+    centralized NP-EDF schedulability test
+    ({!Rtnet_edf.Np_edf_fc.check}) on it.  This is the exact demand
+    a dedicated server draining the bridge's queue in EDF order could
+    (not) sustain; a failed verdict means the relay itself is
+    overloaded regardless of how generous the per-hop budgets are.
+    The CFG-TOPO lint surfaces failed verdicts as errors. *)
+
+type verdict = {
+  bv_bridge : string;  (** bridge name *)
+  bv_classes : int;  (** forwarded classes crossing it *)
+  bv_utilization : float;  (** queue demand per unit time, [Σ a·l'/w] *)
+  bv_feasible : bool;  (** NP-EDF demand-bound test passed *)
+  bv_margin : float;  (** worst checkpoint ratio; [<= 1] iff feasible *)
+}
+
+val check : Admit.t -> verdict list
+(** [check e] runs the oracle for every bridge of the elaborated
+    topology, in declaration order.  A bridge no flow crosses is
+    trivially feasible ([bv_classes = 0], zero utilization). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,408 @@
+module Message = Rtnet_workload.Message
+module Instance = Rtnet_workload.Instance
+module Run = Rtnet_stats.Run
+module Ddcr = Rtnet_core.Ddcr
+module Prng = Rtnet_util.Prng
+
+type miss = {
+  ms_flow : string;
+  ms_uid : int;
+  ms_t0 : int;
+  ms_deadline : int;
+  ms_finish : int option;
+  ms_hop : string;
+  ms_hop_index : int;
+}
+
+type verdict = {
+  v_messages : int;
+  v_delivered : int;
+  v_met : int;
+  v_in_flight : int;
+  v_misses : miss list;
+}
+
+type seg_result = {
+  sr_segment : string;
+  sr_outcome : Run.outcome;
+}
+
+type result = {
+  r_segments : seg_result list;
+  r_outcome : Run.outcome;
+  r_metrics : Run.metrics;
+  r_verdict : verdict;
+  r_fingerprint : string;
+}
+
+(* Static per-(segment, class) routing info, derived from the
+   elaborated flows once per run. *)
+type hop_info = {
+  hi_flow : string;
+  hi_idx : int;
+  hi_e2e : int;  (* the flow's end-to-end relative deadline *)
+  hi_cls : Message.cls;  (* elaborated class on this segment *)
+  hi_next : (Topo.bridge * string * Message.cls) option;
+}
+
+(* A chain tracks one origin arrival across its hops. *)
+type chain = {
+  ch_flow : string;
+  ch_uid : int;
+  ch_t0 : int;
+  ch_deadline : int;  (* absolute *)
+  mutable ch_done : (int * string * int * int) list;
+      (* (hop idx, segment, hop arrival, hop finish), reverse order *)
+}
+
+let arrival_order (a : Message.t) (b : Message.t) =
+  match compare a.Message.arrival b.Message.arrival with
+  | 0 -> compare a.Message.uid b.Message.uid
+  | c -> c
+
+let rec chunk n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let batch, rest = take n [] xs in
+    batch :: chunk n rest
+
+(* Run the thunks of one wavefront level, at most [domains] at a time.
+   Each thunk owns all the mutable state it touches (its queue copy,
+   its completion accumulator, its telemetry sink), so spawning them
+   on separate domains is safe; everything cross-segment happens in
+   the sequential coordinator between levels. *)
+let run_batch ~domains thunks =
+  if domains <= 1 then List.map (fun f -> f ()) thunks
+  else
+    List.concat_map
+      (fun batch ->
+        match batch with
+        | [ f ] -> [ f () ]
+        | fs -> List.map Domain.join (List.map Domain.spawn fs))
+      (chunk domains thunks)
+
+let run ?(domains = 1) ?check_lockstep ?sink_for (e : Admit.t) ~traces
+    ~horizon =
+  let topo = e.Admit.e_topo in
+  let seg_names = List.map (fun s -> s.Topo.sg_name) topo.Topo.tp_segments in
+  (* (segment, cls id) -> hop routing info *)
+  let hops = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Admit.eflow) ->
+      let rec walk i = function
+        | [] -> ()
+        | (h : Admit.hop) :: rest ->
+          let next =
+            match rest with
+            | [] -> None
+            | nh :: _ ->
+              Some
+                ( Option.get nh.Admit.h_bridge,
+                  nh.Admit.h_segment,
+                  nh.Admit.h_cls )
+          in
+          Hashtbl.replace hops
+            (h.Admit.h_segment, h.Admit.h_cls.Message.cls_id)
+            {
+              hi_flow = f.Admit.ef_flow.Topo.fl_name;
+              hi_idx = i;
+              hi_e2e = f.Admit.ef_deadline;
+              hi_cls = h.Admit.h_cls;
+              hi_next = next;
+            };
+          walk (i + 1) rest
+      in
+      walk 0 f.Admit.ef_hops)
+    e.Admit.e_flows;
+  (* Open one chain per origin arrival while rewriting the trace's
+     origin-class messages to the elaborated hop-0 class (whose
+     deadline is the hop budget — EDF ranking and per-hop miss
+     accounting are budget-driven). *)
+  let chains = Hashtbl.create 64 in
+  let chain_keys = ref [] in
+  let prepared =
+    List.map
+      (fun name ->
+        let trace =
+          try List.assoc name traces
+          with Not_found ->
+            invalid_arg
+              (Printf.sprintf "Driver.run: no trace for segment %s" name)
+        in
+        let trace =
+          List.map
+            (fun (m : Message.t) ->
+              match
+                Hashtbl.find_opt hops (name, m.Message.cls.Message.cls_id)
+              with
+              | Some info when info.hi_idx = 0 ->
+                let key = (info.hi_flow, m.Message.uid) in
+                Hashtbl.replace chains key
+                  {
+                    ch_flow = info.hi_flow;
+                    ch_uid = m.Message.uid;
+                    ch_t0 = m.Message.arrival;
+                    ch_deadline = m.Message.arrival + info.hi_e2e;
+                    ch_done = [];
+                  };
+                chain_keys := key :: !chain_keys;
+                { m with Message.cls = info.hi_cls }
+              | Some _ | None -> m)
+            trace
+        in
+        (name, trace))
+      seg_names
+  in
+  let next_uid = Hashtbl.create 8 in
+  List.iter
+    (fun (name, trace) ->
+      let top =
+        List.fold_left (fun acc (m : Message.t) -> max acc m.Message.uid) (-1)
+          trace
+      in
+      Hashtbl.replace next_uid name (ref (top + 1)))
+    prepared;
+  let fresh_uid name =
+    let r = Hashtbl.find next_uid name in
+    let u = !r in
+    incr r;
+    u
+  in
+  let pending = Hashtbl.create 8 in
+  let pending_ref name =
+    match Hashtbl.find_opt pending name with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace pending name r;
+      r
+  in
+  (* (segment, injected uid) -> chain key *)
+  let injected = Hashtbl.create 64 in
+  let outcomes = Hashtbl.create 8 in
+  let seg_index =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i n -> Hashtbl.replace tbl n i) seg_names;
+    fun n -> Hashtbl.find tbl n
+  in
+  let post_process name comps =
+    let comps =
+      List.sort
+        (fun ((a : Message.t), fa) ((b : Message.t), fb) ->
+          match compare fa fb with
+          | 0 -> compare a.Message.uid b.Message.uid
+          | c -> c)
+        comps
+    in
+    List.iter
+      (fun ((m : Message.t), finish) ->
+        let info = Hashtbl.find hops (name, m.Message.cls.Message.cls_id) in
+        let key =
+          if info.hi_idx = 0 then (info.hi_flow, m.Message.uid)
+          else Hashtbl.find injected (name, m.Message.uid)
+        in
+        let chain = Hashtbl.find chains key in
+        chain.ch_done <-
+          (info.hi_idx, name, m.Message.arrival, finish) :: chain.ch_done;
+        match info.hi_next with
+        | None -> ()
+        | Some (bridge, next_seg, next_cls) ->
+          let uid = fresh_uid next_seg in
+          let m' =
+            {
+              Message.uid;
+              cls = next_cls;
+              arrival = finish + bridge.Topo.br_latency;
+            }
+          in
+          Hashtbl.replace injected (next_seg, uid) key;
+          let r = pending_ref next_seg in
+          r := m' :: !r)
+      comps
+  in
+  List.iter
+    (fun level ->
+      let jobs =
+        List.map
+          (fun name ->
+            let inst = Admit.instance_of e name in
+            let params = Admit.params_of e name in
+            let trace = List.assoc name prepared in
+            let pend0 = List.sort arrival_order !(pending_ref name) in
+            let flow_ids =
+              Hashtbl.fold
+                (fun (s, id) _ acc -> if s = name then id :: acc else acc)
+                hops []
+            in
+            let sink =
+              Option.map
+                (fun f -> f ~index:(seg_index name) ~segment:name)
+                sink_for
+            in
+            let thunk () =
+              let pend = ref pend0 in
+              let inject ~now =
+                let rec take acc = function
+                  | (m : Message.t) :: rest when m.Message.arrival <= now ->
+                    take (m :: acc) rest
+                  | rest ->
+                    pend := rest;
+                    List.rev acc
+                in
+                take [] !pend
+              in
+              let comps = ref [] in
+              let on_complete ~msg ~start:_ ~finish =
+                if List.mem msg.Message.cls.Message.cls_id flow_ids then
+                  comps := (msg, finish) :: !comps
+              in
+              let outcome =
+                Ddcr.run_trace ?check_lockstep ?sink ~on_complete ~inject
+                  params inst trace ~horizon
+              in
+              (outcome, List.rev !comps)
+            in
+            (name, thunk))
+          level
+      in
+      let results = run_batch ~domains (List.map snd jobs) in
+      List.iter2
+        (fun (name, _) (outcome, comps) ->
+          Hashtbl.replace outcomes name outcome;
+          post_process name comps)
+        jobs results)
+    e.Admit.e_levels;
+  (* End-to-end verdict, chains in deterministic (trace) order. *)
+  let misses = ref [] in
+  let delivered = ref 0 and met = ref 0 and in_flight = ref 0 in
+  let keys = List.rev !chain_keys in
+  List.iter
+    (fun key ->
+      let c = Hashtbl.find chains key in
+      let ef =
+        List.find
+          (fun (f : Admit.eflow) -> f.Admit.ef_flow.Topo.fl_name = c.ch_flow)
+          e.Admit.e_flows
+      in
+      let total = List.length ef.Admit.ef_hops in
+      let done_ = List.sort compare (List.rev c.ch_done) in
+      let miss ~finish ~hop ~idx =
+        misses :=
+          {
+            ms_flow = c.ch_flow;
+            ms_uid = c.ch_uid;
+            ms_t0 = c.ch_t0;
+            ms_deadline = c.ch_deadline;
+            ms_finish = finish;
+            ms_hop = hop;
+            ms_hop_index = idx;
+          }
+          :: !misses
+      in
+      if List.length done_ = total then begin
+        incr delivered;
+        let _, _, _, finish = List.nth done_ (total - 1) in
+        if finish <= c.ch_deadline then incr met
+        else begin
+          (* By the decomposition invariant a late chain overran some
+             hop budget; attribute the miss to the first such hop. *)
+          let over =
+            List.find_opt
+              (fun (idx, _, arr, fin) ->
+                fin
+                > arr + (List.nth ef.Admit.ef_hops idx).Admit.h_budget)
+              done_
+          in
+          match over with
+          | Some (idx, seg, _, _) -> miss ~finish:(Some finish) ~hop:seg ~idx
+          | None ->
+            let idx, seg, _, _ = List.nth done_ (total - 1) in
+            miss ~finish:(Some finish) ~hop:seg ~idx
+        end
+      end
+      else if c.ch_deadline >= horizon then incr in_flight
+      else begin
+        (* Hops complete strictly in path order, so the first
+           un-completed hop is where the chain is stuck. *)
+        let idx = List.length done_ in
+        miss ~finish:None
+          ~hop:(List.nth ef.Admit.ef_hops idx).Admit.h_segment ~idx
+      end)
+    keys;
+  let seg_outcomes =
+    List.map
+      (fun n -> { sr_segment = n; sr_outcome = Hashtbl.find outcomes n })
+      seg_names
+  in
+  let merged =
+    Run.merge
+      ~protocol:(Printf.sprintf "csma-ddcr/%d-seg" (List.length seg_names))
+      ~horizon
+      (List.map (fun sr -> sr.sr_outcome) seg_outcomes)
+  in
+  let fingerprint =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun sr ->
+        Buffer.add_string buf sr.sr_segment;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun (c : Run.completion) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d:%d:%d:%d\n"
+                 c.Run.c_msg.Message.cls.Message.cls_id c.Run.c_msg.Message.uid
+                 c.Run.c_start c.Run.c_finish))
+          sr.sr_outcome.Run.completions)
+      seg_outcomes;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  {
+    r_segments = seg_outcomes;
+    r_outcome = merged;
+    r_metrics = Run.metrics merged;
+    r_verdict =
+      {
+        v_messages = List.length keys;
+        v_delivered = !delivered;
+        v_met = !met;
+        v_in_flight = !in_flight;
+        v_misses = List.rev !misses;
+      };
+    r_fingerprint = fingerprint;
+  }
+
+let run_seeded ?domains ?check_lockstep ?sink_for (e : Admit.t) ~seed ~horizon
+    =
+  let traces =
+    List.mapi
+      (fun i (s : Topo.segment) ->
+        ( s.Topo.sg_name,
+          Instance.trace s.Topo.sg_instance ~seed:(Prng.derive seed i) ~horizon
+        ))
+      e.Admit.e_topo.Topo.tp_segments
+  in
+  run ?domains ?check_lockstep ?sink_for e ~traces ~horizon
+
+let pp_verdict fmt v =
+  Format.fprintf fmt
+    "@[<v>flows: %d messages, %d delivered (%d in time), %d in flight past \
+     the horizon, %d missed@,"
+    v.v_messages v.v_delivered v.v_met v.v_in_flight
+    (List.length v.v_misses);
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "  MISS %s uid %d: t0 %d, deadline %d, %s at hop %d (%s)@,"
+        m.ms_flow m.ms_uid m.ms_t0 m.ms_deadline
+        (match m.ms_finish with
+        | Some f -> Printf.sprintf "finished %d" f
+        | None -> "undelivered")
+        m.ms_hop_index m.ms_hop)
+    v.v_misses;
+  Format.fprintf fmt "@]"

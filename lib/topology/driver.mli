@@ -1,0 +1,97 @@
+(** Federated multi-segment simulation with end-to-end verdicts.
+
+    The driver executes an elaborated topology ({!Admit.t}) segment by
+    segment along the wavefront levels of the bridge DAG
+    ({!Topo.levels}).  Frames only travel {e down} the DAG, so running
+    a whole upstream segment to the horizon before its downstream
+    neighbours start is observationally equivalent to slot-lockstep
+    co-simulation (DESIGN.md §13) — and lets each level's segments run
+    in parallel OCaml domains.
+
+    Per segment it runs the ordinary CSMA/DDCR simulator
+    ({!Rtnet_core.Ddcr.run_trace}) with the two federation hooks of
+    {!Rtnet_mac.Harness.run}: [?on_complete] captures the completions
+    of flow-hop classes, [?inject] feeds the bridge deliveries
+    ([finish + br_latency] on the downstream segment) into the arrival
+    stream.  Between levels the (sequential, deterministic)
+    coordinator turns upstream completions into downstream arrivals —
+    so the parallel run is fingerprint-identical to [~domains:1].
+
+    Every origin arrival of a flow class opens a {e chain}; the
+    verdict classifies each chain: delivered in time, missed (with the
+    miss {b attributed} to a specific hop — the first hop that
+    overran its decomposed budget, which by the decomposition
+    invariant must exist whenever the end-to-end deadline is missed),
+    or still in flight (undelivered but with its deadline beyond the
+    horizon — excused, not a miss). *)
+
+type miss = {
+  ms_flow : string;
+  ms_uid : int;  (** origin message uid *)
+  ms_t0 : int;  (** origin arrival, bit-times *)
+  ms_deadline : int;  (** absolute end-to-end deadline [T0 + d(M)] *)
+  ms_finish : int option;  (** final-hop finish; [None] if undelivered *)
+  ms_hop : string;  (** segment of the attributed hop *)
+  ms_hop_index : int;  (** 0-based hop index on the flow's path *)
+}
+
+type verdict = {
+  v_messages : int;  (** chains opened (origin arrivals of flow classes) *)
+  v_delivered : int;  (** chains that completed every hop *)
+  v_met : int;  (** delivered within the end-to-end deadline *)
+  v_in_flight : int;
+      (** undelivered chains whose deadline lies beyond the horizon *)
+  v_misses : miss list;  (** everything else, attributed *)
+}
+
+type seg_result = {
+  sr_segment : string;
+  sr_outcome : Rtnet_stats.Run.outcome;
+}
+
+type result = {
+  r_segments : seg_result list;  (** declaration order *)
+  r_outcome : Rtnet_stats.Run.outcome;
+      (** all segments merged ({!Rtnet_stats.Run.merge}) *)
+  r_metrics : Rtnet_stats.Run.metrics;  (** scoreboard of the merge *)
+  r_verdict : verdict;
+  r_fingerprint : string;
+      (** digest of every segment's completion schedule, declaration
+          order — equal across [~domains] settings iff sharding is
+          transparent *)
+}
+
+val run :
+  ?domains:int ->
+  ?check_lockstep:bool ->
+  ?sink_for:(index:int -> segment:string -> Rtnet_telemetry.Sink.t) ->
+  Admit.t ->
+  traces:(string * Rtnet_workload.Message.t list) list ->
+  horizon:int ->
+  result
+(** [run e ~traces ~horizon] simulates every segment over
+    [\[0, horizon)].  [traces] carries one arrival trace per segment
+    name, generated from the {b original} (declared) instances — the
+    driver itself rewrites origin-class arrivals to the elaborated
+    hop-0 classes and synthesizes the forwarded arrivals, so traces
+    from elaborated instances would double-count.  [domains] (default
+    1) caps the OCaml domains running one wavefront level concurrently;
+    any value yields the same [r_fingerprint].  [sink_for] supplies a
+    per-segment telemetry sink (index = declaration position); each
+    sink is only ever touched by the one domain simulating its segment.
+    @raise Invalid_argument if a segment has no trace. *)
+
+val run_seeded :
+  ?domains:int ->
+  ?check_lockstep:bool ->
+  ?sink_for:(index:int -> segment:string -> Rtnet_telemetry.Sink.t) ->
+  Admit.t ->
+  seed:int ->
+  horizon:int ->
+  result
+(** [run_seeded e ~seed ~horizon] is {!run} on per-segment traces
+    drawn from the declared instances with
+    [Rtnet_util.Prng.derive seed i] (segment declaration index [i]) —
+    one seed reproduces the whole federation. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -10,4 +10,5 @@ let () =
    @ Test_multi_tree.suite @ Test_tree_search.suite @ Test_ddcr_params.suite
    @ Test_ddcr.suite @ Test_feasibility.suite @ Test_dimensioning.suite
    @ Test_baselines.suite @ Test_ddcr_trace.suite @ Test_faults.suite @ Test_multi_bus.suite @ Test_cos.suite @ Test_np_edf_fc.suite @ Test_harness.suite @ Test_conformance.suite @ Test_xi_arb.suite @ Test_analysis.suite @ Test_json.suite @ Test_campaign.suite @ Test_fault_plan.suite
-   @ Test_telemetry.suite @ Test_chaos.suite @ Test_model.suite)
+   @ Test_telemetry.suite @ Test_chaos.suite @ Test_model.suite
+   @ Test_topology.suite)

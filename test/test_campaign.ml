@@ -25,7 +25,7 @@ let tiny =
     scenarios =
       [
         { Spec.sc_kind = "trading"; sc_size = 3; sc_load = 0.3;
-          sc_deadline_windows = 2.0 };
+          sc_deadline_windows = 2.0; sc_fanout = 1 };
       ];
     variants = [ Spec.default_variant ];
   }
@@ -58,7 +58,7 @@ let overloaded =
     scenarios =
       [
         { Spec.sc_kind = "uniform"; sc_size = 8; sc_load = 5.0;
-          sc_deadline_windows = 2.0 };
+          sc_deadline_windows = 2.0; sc_fanout = 1 };
       ];
   }
 
@@ -128,7 +128,7 @@ let test_spec_validate () =
     { tiny with
       Spec.scenarios =
         [ { Spec.sc_kind = "nope"; sc_size = 2; sc_load = 0.3;
-            sc_deadline_windows = 2.0 } ] }
+            sc_deadline_windows = 2.0; sc_fanout = 1 } ] }
 
 let test_spec_load_file () =
   with_tmp_dir (fun dir ->

@@ -37,7 +37,7 @@ let with_tmp_dir f =
    their deadlines or strand a crashed source. *)
 let smoke_scenario =
   { Spec.sc_kind = "uniform"; sc_size = 4; sc_load = 0.55;
-    sc_deadline_windows = 1.5 }
+    sc_deadline_windows = 1.5; sc_fanout = 1 }
 
 let smoke_candidate =
   { Candidate.cf_scenario = smoke_scenario; cf_horizon_ms = 2; cf_params = None }

@@ -185,6 +185,74 @@ let test_after_may_extend_acquisition () =
     Alcotest.(check int) "burst frame contiguous" a.Run.c_finish b.Run.c_start
   | _ -> Alcotest.fail "expected two completions"
 
+let test_on_complete_sees_every_completion () =
+  (* The federation ingest hook: called once per completion, in
+     completion order, with the same (msg, start, finish) the outcome
+     records. *)
+  let seen = ref [] in
+  let on_complete ~msg ~start ~finish =
+    seen := (msg.Message.uid, start, finish) :: !seen
+  in
+  let trace = [ msg 0 0 0; msg 1 0 0; msg 2 0 5_000 ] in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~on_complete ~phy ~num_sources:2
+      ~horizon:50_000 ~decide:aloha_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check (list (triple int int int)))
+    "hook mirrors the outcome"
+    (List.map
+       (fun c -> (c.Run.c_msg.Message.uid, c.Run.c_start, c.Run.c_finish))
+       o.Run.completions)
+    (List.rev !seen)
+
+let test_inject_merges_into_arrival_stream () =
+  (* The federation inject hook: a message handed to the harness
+     mid-run is EDF-queued at its arrival time and afterwards
+     indistinguishable from a trace arrival. *)
+  let injected = ref false in
+  let inject ~now =
+    if (not !injected) && now >= 10_000 then begin
+      injected := true;
+      [ msg 7 0 12_000 ]
+    end
+    else []
+  in
+  let trace = [ msg 0 0 0 ] in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~inject ~phy ~num_sources:2
+      ~horizon:50_000 ~decide:aloha_decide ~after:passthrough_after trace
+  in
+  Alcotest.(check int) "trace + injected delivered" 2
+    (List.length o.Run.completions);
+  match
+    List.find_opt (fun c -> c.Run.c_msg.Message.uid = 7) o.Run.completions
+  with
+  | Some c ->
+    Alcotest.(check bool) "served no earlier than its arrival" true
+      (c.Run.c_start >= 12_000)
+  | None -> Alcotest.fail "injected message not completed"
+
+let test_inject_pending_counts_unfinished () =
+  (* An injected message the protocol never manages to serve must be
+     accounted exactly like a stranded trace arrival.  Two always-
+     attempting aloha sources livelock, so both messages stay pending. *)
+  let injected = ref false in
+  let inject ~now:_ =
+    if !injected then []
+    else begin
+      injected := true;
+      [ msg 9 1 0 ]
+    end
+  in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~inject ~phy ~num_sources:2
+      ~horizon:20_000 ~decide:aloha_decide ~after:passthrough_after
+      [ msg 0 0 0 ]
+  in
+  Alcotest.(check int) "nothing delivered" 0 (List.length o.Run.completions);
+  Alcotest.(check int) "trace + injected pending" 2
+    (List.length o.Run.unfinished)
+
 let suite =
   [
     ( "mac_harness",
@@ -200,5 +268,11 @@ let suite =
           test_arrivals_beyond_horizon_excluded;
         Alcotest.test_case "burst extension" `Quick
           test_after_may_extend_acquisition;
+        Alcotest.test_case "on_complete hook" `Quick
+          test_on_complete_sees_every_completion;
+        Alcotest.test_case "inject hook" `Quick
+          test_inject_merges_into_arrival_stream;
+        Alcotest.test_case "inject pending unfinished" `Quick
+          test_inject_pending_counts_unfinished;
       ] );
   ]

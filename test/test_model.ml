@@ -207,7 +207,7 @@ let prop_differential =
 
 let uniform2 =
   { Spec.sc_kind = "uniform"; sc_size = 2; sc_load = 0.3;
-    sc_deadline_windows = 2.0 }
+    sc_deadline_windows = 2.0; sc_fanout = 1 }
 
 let horizon = 1_000_000
 

@@ -39,6 +39,43 @@ let test_partition_balances_load () =
   Alcotest.(check bool) "roughly balanced" true
     (abs_float (loads.(0) -. loads.(1)) < 0.6 *. total)
 
+let test_partition_tie_break_deterministic () =
+  (* Six classes of identical load: worst-fit has to break every tie.
+     The documented rule — equal-load classes in ascending id, equal-
+     load busses to the lowest index — pins the exact assignment, and
+     it must not depend on class declaration order (topology
+     fingerprints rely on partitions being pure functions of the class
+     set). *)
+  let cls id =
+    {
+      Message.cls_id = id;
+      cls_name = "tie" ^ string_of_int id;
+      cls_source = id mod 2;
+      cls_bits = 1_000;
+      cls_deadline = 60_000;
+      cls_burst = 1;
+      cls_window = 50_000;
+    }
+  in
+  let mk order =
+    Instance.create_exn ~name:"ties" ~phy:Rtnet_channel.Phy.classic_ethernet
+      ~num_sources:2
+      (List.map
+         (fun i -> (cls i, Rtnet_workload.Arrival.Periodic { offset = 0 }))
+         order)
+  in
+  let ids = [ 0; 1; 2; 3; 4; 5 ] in
+  let a = Multi_bus.partition_exn (mk ids) ~buses:2 in
+  let b = Multi_bus.partition_exn (mk (List.rev ids)) ~buses:2 in
+  Alcotest.(check (list (pair int int)))
+    "declaration-order independent"
+    (List.sort compare a.Multi_bus.bus_of_class)
+    (List.sort compare b.Multi_bus.bus_of_class);
+  Alcotest.(check (list (pair int int)))
+    "documented round-robin on all-equal loads"
+    [ (0, 0); (1, 1); (2, 0); (3, 1); (4, 0); (5, 1) ]
+    (List.sort compare a.Multi_bus.bus_of_class)
+
 let test_partition_errors () =
   let inst = Scenarios.videoconference ~stations:2 (* 6 classes *) in
   (match Multi_bus.partition inst ~buses:0 with
@@ -151,6 +188,8 @@ let suite =
       [
         Alcotest.test_case "partition covers" `Quick test_partition_covers_all_classes;
         Alcotest.test_case "partition balances" `Quick test_partition_balances_load;
+        Alcotest.test_case "partition tie-break" `Quick
+          test_partition_tie_break_deterministic;
         Alcotest.test_case "partition errors" `Quick test_partition_errors;
         Alcotest.test_case "single bus identity" `Quick test_single_bus_is_identity;
         Alcotest.test_case "dual bus feasibility" `Quick

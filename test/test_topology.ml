@@ -1,0 +1,519 @@
+(* rtnet.topology: deadline decomposition arithmetic, topology shape
+   checks, end-to-end admission, the federated driver, the bridge-queue
+   oracle and the CFG-TOPO lint. *)
+
+module Topo = Rtnet_topology.Topo
+module Admit = Rtnet_topology.Admit
+module Bridge = Rtnet_topology.Bridge
+module Driver = Rtnet_topology.Driver
+module Decompose = Rtnet_core.Decompose
+module Multi_bus = Rtnet_core.Multi_bus
+module Config_lint = Rtnet_analysis.Config_lint
+module Diagnostic = Rtnet_analysis.Diagnostic
+module Instance = Rtnet_workload.Instance
+module Message = Rtnet_workload.Message
+module Scenarios = Rtnet_workload.Scenarios
+module Run = Rtnet_stats.Run
+
+let ms = 1_000_000
+
+let split_exn ~policy ~deadline ~bridge_delays ~bounds =
+  match Decompose.split ~policy ~deadline ~bridge_delays ~bounds with
+  | Ok budgets -> budgets
+  | Error e -> Alcotest.fail e
+
+(* -------------------- deadline decomposition -------------------- *)
+
+let test_split_proportional () =
+  (* Bounds 30 and 10 split 100 in proportion: 75 / 25. *)
+  Alcotest.(check (list int))
+    "proportional shares" [ 75; 25 ]
+    (split_exn ~policy:Decompose.Proportional ~deadline:100 ~bridge_delays:[]
+       ~bounds:[ 30.; 10. ]);
+  (* A single hop gets everything. *)
+  Alcotest.(check (list int))
+    "single hop" [ 100 ]
+    (split_exn ~policy:Decompose.Proportional ~deadline:100 ~bridge_delays:[]
+       ~bounds:[ 7. ])
+
+let test_split_slack_weighted () =
+  (* Each hop gets its bound, the slack (100 − 40 = 60) equally. *)
+  Alcotest.(check (list int))
+    "equal absolute headroom" [ 60; 40 ]
+    (split_exn ~policy:Decompose.Slack_weighted ~deadline:100 ~bridge_delays:[]
+       ~bounds:[ 30.; 10. ]);
+  (* Odd slack: the first hop gets the spare bit-time. *)
+  Alcotest.(check (list int))
+    "remainder to the first hop" [ 61; 40 ]
+    (split_exn ~policy:Decompose.Slack_weighted ~deadline:101 ~bridge_delays:[]
+       ~bounds:[ 30.; 10. ])
+
+let test_split_bridge_delays () =
+  (* A 20 bit-time bridge shrinks the splittable budget to 80. *)
+  Alcotest.(check (list int))
+    "proportional after delay" [ 60; 20 ]
+    (split_exn ~policy:Decompose.Proportional ~deadline:100
+       ~bridge_delays:[ 20 ] ~bounds:[ 30.; 10. ]);
+  Alcotest.(check (list int))
+    "slack-weighted after delay" [ 50; 30 ]
+    (split_exn ~policy:Decompose.Slack_weighted ~deadline:100
+       ~bridge_delays:[ 20 ] ~bounds:[ 30.; 10. ])
+
+let test_split_errors () =
+  let expect_error label = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": expected an error")
+  in
+  expect_error "no hops"
+    (Decompose.split ~policy:Decompose.Proportional ~deadline:100
+       ~bridge_delays:[] ~bounds:[]);
+  expect_error "negative delay"
+    (Decompose.split ~policy:Decompose.Proportional ~deadline:100
+       ~bridge_delays:[ -1 ] ~bounds:[ 10.; 10. ]);
+  expect_error "deadline below bounds + delays"
+    (Decompose.split ~policy:Decompose.Slack_weighted ~deadline:45
+       ~bridge_delays:[ 10 ] ~bounds:[ 20.; 20. ])
+
+let test_policy_labels () =
+  Alcotest.(check string) "proportional" "proportional"
+    (Decompose.policy_label Decompose.Proportional);
+  Alcotest.(check string) "slack" "slack-weighted"
+    (Decompose.policy_label Decompose.Slack_weighted);
+  (match Decompose.policy_of_label "slack" with
+  | Ok Decompose.Slack_weighted -> ()
+  | _ -> Alcotest.fail "slack alias not accepted");
+  match Decompose.policy_of_label "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown label accepted"
+
+(* Soundness invariant under random feasible inputs, both policies:
+   every hop covers its bound and the total (with bridge delays) stays
+   within the end-to-end deadline. *)
+let prop_split_invariant =
+  let arb =
+    QCheck.make ~print:(fun (p, bounds, delays, extra) ->
+        Printf.sprintf "%s bounds=[%s] delays=[%s] extra=%d"
+          (Decompose.policy_label p)
+          (String.concat ";" (List.map string_of_float bounds))
+          (String.concat ";" (List.map string_of_int delays))
+          extra)
+      QCheck.Gen.(
+        oneofl [ Decompose.Proportional; Decompose.Slack_weighted ]
+        >>= fun policy ->
+        int_range 1 4 >>= fun hops ->
+        list_size (return hops) (float_bound_exclusive 1_000_000.)
+        >>= fun bounds ->
+        list_size (return (hops - 1)) (int_bound 100_000) >>= fun delays ->
+        int_bound 1_000_000 >>= fun extra ->
+        return (policy, bounds, delays, extra))
+  in
+  QCheck.Test.make ~name:"split keeps every hop >= bound within d(M)"
+    ~count:300 arb
+    (fun (policy, bounds, delays, extra) ->
+      let need =
+        List.fold_left (fun acc b -> acc + int_of_float (Float.ceil b)) 0 bounds
+        + List.fold_left ( + ) 0 delays
+      in
+      let deadline = need + extra in
+      match Decompose.split ~policy ~deadline ~bridge_delays:delays ~bounds with
+      | Error _ -> false
+      | Ok budgets ->
+        List.length budgets = List.length bounds
+        && List.for_all2
+             (fun budget bound -> budget >= int_of_float (Float.ceil bound))
+             budgets bounds
+        && List.fold_left ( + ) 0 budgets + List.fold_left ( + ) 0 delays
+           <= deadline)
+
+(* -------------------- topology shape -------------------- *)
+
+let tree5 =
+  Topo.tree ~name:"t5" ~segments:5 ~fanout:2 ~sources:4 ~load:0.05
+    ~deadline_windows:16.0 ()
+
+let test_tree_shape () =
+  Alcotest.(check int) "segments" 5 (List.length tree5.Topo.tp_segments);
+  Alcotest.(check int) "bridges" 4 (List.length tree5.Topo.tp_bridges);
+  Alcotest.(check int) "flows" 4 (List.length tree5.Topo.tp_flows);
+  Alcotest.(check int) "aggregate sources" 20 (Topo.aggregate_sources tree5);
+  Alcotest.(check (list string)) "no route errors" [] (Topo.route_errors tree5);
+  (* The grandchild flows really are multi-hop. *)
+  match List.rev tree5.Topo.tp_flows with
+  | last :: _ ->
+    Alcotest.(check (list string))
+      "deep flow routed through its parent"
+      [ "seg4"; "seg1"; "seg0" ] last.Topo.fl_path
+  | [] -> Alcotest.fail "no flows"
+
+let test_toposort_and_levels () =
+  let order =
+    match Topo.toposort tree5 with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "order covers all" 5 (List.length order);
+  (* Every bridge goes from an earlier (upstream) to a later segment. *)
+  let index s =
+    let rec go i = function
+      | [] -> Alcotest.fail ("missing " ^ s)
+      | x :: _ when x = s -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 order
+  in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (b.Topo.br_name ^ " upstream first")
+        true
+        (index b.Topo.br_from < index b.Topo.br_to))
+    tree5.Topo.tp_bridges;
+  match Topo.levels tree5 with
+  | Error e -> Alcotest.fail e
+  | Ok levels ->
+    Alcotest.(check (list (list string)))
+      "wavefronts by longest path"
+      [ [ "seg2"; "seg3"; "seg4" ]; [ "seg1" ]; [ "seg0" ] ]
+      (List.map (List.sort compare) levels)
+
+let test_cycle_detected () =
+  let seg name =
+    match
+      Topo.segment_of_workload ~name
+        {
+          Topo.wk_kind = "uniform";
+          wk_size = 2;
+          wk_load = 0.05;
+          wk_deadline_windows = 8.0;
+        }
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let t =
+    Topo.create_exn ~name:"loop"
+      ~segments:[ seg "a"; seg "b" ]
+      ~bridges:
+        [
+          { Topo.br_name = "ab"; br_from = "a"; br_to = "b"; br_station = 2;
+            br_latency = 100 };
+          { Topo.br_name = "ba"; br_from = "b"; br_to = "a"; br_station = 2;
+            br_latency = 100 };
+        ]
+      ~flows:[]
+  in
+  (match Topo.toposort t with
+  | Error e ->
+    Alcotest.(check bool) "cycle names segments" true
+      (Astring_contains.contains e "a")
+  | Ok _ -> Alcotest.fail "cycle accepted");
+  match Admit.elaborate t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "elaborate accepted a cyclic graph"
+
+let test_route_errors_reported () =
+  let bad =
+    {
+      tree5 with
+      Topo.tp_flows =
+        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ] } ];
+    }
+  in
+  Alcotest.(check bool) "unroutable flow reported" true
+    (Topo.route_errors bad <> []);
+  match Admit.elaborate bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "elaborate accepted an unroutable flow"
+
+let test_json_roundtrip () =
+  let j1 =
+    match Topo.to_json tree5 with Ok j -> j | Error e -> Alcotest.fail e
+  in
+  let t2 =
+    match Topo.of_json j1 with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  let j2 =
+    match Topo.to_json t2 with Ok j -> j | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "canonical JSON round-trips"
+    (Rtnet_util.Json.to_string j1)
+    (Rtnet_util.Json.to_string j2);
+  Alcotest.(check int) "segments survive" 5 (List.length t2.Topo.tp_segments)
+
+(* -------------------- admission -------------------- *)
+
+let elaborate_exn ?policy topo =
+  match Admit.elaborate ?policy topo with
+  | Ok e -> e
+  | Error e -> Alcotest.fail e
+
+let test_admit_small_tree () =
+  let e = elaborate_exn tree5 in
+  Alcotest.(check bool) "admitted" true e.Admit.e_admitted;
+  Alcotest.(check int) "one eflow per flow" 4 (List.length e.Admit.e_flows);
+  List.iter
+    (fun ef ->
+      Alcotest.(check bool)
+        (ef.Admit.ef_flow.Topo.fl_name ^ " admitted")
+        true ef.Admit.ef_admitted;
+      Alcotest.(check int)
+        (ef.Admit.ef_flow.Topo.fl_name ^ " hop per path segment")
+        (List.length ef.Admit.ef_flow.Topo.fl_path)
+        (List.length ef.Admit.ef_hops);
+      (* The soundness invariant the driver's verdict relies on. *)
+      let budgets =
+        List.fold_left (fun acc h -> acc + h.Admit.h_budget) 0 ef.Admit.ef_hops
+      in
+      let delays =
+        List.fold_left
+          (fun acc h ->
+            acc
+            + match h.Admit.h_bridge with
+              | None -> 0
+              | Some b -> b.Topo.br_latency)
+          0 ef.Admit.ef_hops
+      in
+      Alcotest.(check bool)
+        (ef.Admit.ef_flow.Topo.fl_name ^ " budgets + delays <= d(M)")
+        true
+        (budgets + delays <= ef.Admit.ef_deadline);
+      (* Hop classes carry their budget as deadline, so the per-hop
+         feasibility test is exactly budget >= bound. *)
+      List.iter
+        (fun h ->
+          Alcotest.(check int) "budget is the hop deadline" h.Admit.h_budget
+            h.Admit.h_cls.Message.cls_deadline;
+          Alcotest.(check bool) "hop feasible" true h.Admit.h_feasible)
+        ef.Admit.ef_hops)
+    e.Admit.e_flows;
+  (* seg0 takes two bridge stations (4 and 5) on top of its 4 sources. *)
+  let seg0 = Admit.instance_of e "seg0" in
+  Alcotest.(check int) "root grows to host bridges" 6
+    seg0.Instance.num_sources;
+  (* The report printer mentions the verdict. *)
+  let s = Format.asprintf "%a" Admit.pp_report e in
+  Alcotest.(check bool) "report mentions flows" true
+    (Astring_contains.contains s "flow1")
+
+let test_admit_rejects_overload () =
+  let hot =
+    Topo.tree ~name:"hot" ~segments:3 ~fanout:2 ~sources:4 ~load:0.6
+      ~deadline_windows:2.0 ()
+  in
+  let e = elaborate_exn hot in
+  Alcotest.(check bool) "rejected" false e.Admit.e_admitted;
+  Alcotest.(check bool) "some flow not admitted" true
+    (List.exists (fun ef -> not ef.Admit.ef_admitted) e.Admit.e_flows)
+
+let test_both_policies_admit_small_tree () =
+  List.iter
+    (fun policy ->
+      let e = elaborate_exn ~policy tree5 in
+      Alcotest.(check bool)
+        (Decompose.policy_label policy ^ " admits")
+        true e.Admit.e_admitted)
+    [ Decompose.Proportional; Decompose.Slack_weighted ]
+
+(* -------------------- bridge oracle -------------------- *)
+
+let test_bridge_verdicts () =
+  let e = elaborate_exn tree5 in
+  let verdicts = Bridge.check e in
+  Alcotest.(check int) "one verdict per bridge" 4 (List.length verdicts);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v.Bridge.bv_bridge ^ " feasible") true
+        v.Bridge.bv_feasible)
+    verdicts;
+  (* br1 joins seg1 to seg0: crossed by seg1's own flow plus the two
+     grandchild flows forwarded through seg1. *)
+  match List.find_opt (fun v -> v.Bridge.bv_bridge = "br1") verdicts with
+  | Some v ->
+    Alcotest.(check int) "three flows across br1" 3 v.Bridge.bv_classes;
+    Alcotest.(check bool) "demand accounted" true (v.Bridge.bv_utilization > 0.)
+  | None -> Alcotest.fail "br1 verdict missing"
+
+(* -------------------- driver -------------------- *)
+
+let test_driver_zero_misses_when_admitted () =
+  let e = elaborate_exn tree5 in
+  let res = Driver.run_seeded e ~seed:11 ~horizon:(5 * ms) in
+  let v = res.Driver.r_verdict in
+  Alcotest.(check bool) "chains opened" true (v.Driver.v_messages > 0);
+  Alcotest.(check bool) "some delivered" true (v.Driver.v_delivered > 0);
+  Alcotest.(check int) "no unexcused end-to-end miss" 0
+    (List.length v.Driver.v_misses);
+  Alcotest.(check int) "delivered chains all in time" v.Driver.v_delivered
+    v.Driver.v_met;
+  Alcotest.(check int) "accounting closes" v.Driver.v_messages
+    (v.Driver.v_delivered + v.Driver.v_in_flight
+    + List.length v.Driver.v_misses);
+  Alcotest.(check int) "no local miss either" 0
+    res.Driver.r_metrics.Run.deadline_misses;
+  Alcotest.(check int) "one outcome per segment" 5
+    (List.length res.Driver.r_segments)
+
+let test_driver_domain_transparency () =
+  let e = elaborate_exn tree5 in
+  let r1 = Driver.run_seeded ~domains:1 e ~seed:11 ~horizon:(5 * ms) in
+  let r4 = Driver.run_seeded ~domains:4 e ~seed:11 ~horizon:(5 * ms) in
+  Alcotest.(check string) "fingerprint identical" r1.Driver.r_fingerprint
+    r4.Driver.r_fingerprint;
+  Alcotest.(check int) "verdicts identical" r1.Driver.r_verdict.Driver.v_met
+    r4.Driver.r_verdict.Driver.v_met
+
+let test_driver_attributes_misses () =
+  (* A rejected topology still runs; the predicted overload shows up as
+     end-to-end misses attributed to a specific hop of a specific
+     flow. *)
+  let hot =
+    Topo.tree ~name:"hot" ~segments:3 ~fanout:2 ~sources:4 ~load:0.9
+      ~deadline_windows:0.5 ()
+  in
+  let e = elaborate_exn hot in
+  Alcotest.(check bool) "rejected" false e.Admit.e_admitted;
+  let res = Driver.run_seeded e ~seed:7 ~horizon:(5 * ms) in
+  let v = res.Driver.r_verdict in
+  Alcotest.(check bool) "misses observed" true (v.Driver.v_misses <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "attributed to a path hop" true
+        (List.exists
+           (fun ef ->
+             ef.Admit.ef_flow.Topo.fl_name = m.Driver.ms_flow
+             && m.Driver.ms_hop_index < List.length ef.Admit.ef_hops
+             && List.exists
+                  (fun h -> h.Admit.h_segment = m.Driver.ms_hop)
+                  ef.Admit.ef_hops)
+           e.Admit.e_flows))
+    v.Driver.v_misses
+
+let test_star_reproduces_multi_bus () =
+  (* Satellite: Multi_bus.run is the flowless-star special case of the
+     topology driver — same seed, same busses, completion-for-
+     completion identical outcome. *)
+  let inst = Scenarios.trading ~gateways:4 in
+  let horizon = 10 * ms in
+  let seed = 3 in
+  let a = Multi_bus.partition_exn inst ~buses:2 in
+  let mb = Multi_bus.run ~seed a ~horizon in
+  let star = Topo.of_assignment ~name:"star" a in
+  let e = elaborate_exn star in
+  let traces =
+    List.map
+      (fun bus -> (bus.Instance.name, Instance.trace bus ~seed ~horizon))
+      (Array.to_list a.Multi_bus.buses)
+  in
+  let res = Driver.run e ~traces ~horizon in
+  let key c =
+    ( (c.Run.c_msg.Message.uid, c.Run.c_msg.Message.cls.Message.cls_id),
+      (c.Run.c_start, c.Run.c_finish) )
+  in
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "identical completion schedules"
+    (List.map key mb.Run.completions)
+    (List.map key res.Driver.r_outcome.Run.completions);
+  Alcotest.(check int) "same unfinished count"
+    (List.length mb.Run.unfinished)
+    (List.length res.Driver.r_outcome.Run.unfinished)
+
+(* Any admitted fault-free topology finishes with zero unexcused
+   end-to-end misses — the QCheck face of the acceptance criterion. *)
+let prop_admitted_runs_clean =
+  let arb =
+    QCheck.make ~print:(fun (segs, fanout, load, dw, seed) ->
+        Printf.sprintf "segs=%d fanout=%d load=%.3f dw=%.1f seed=%d" segs
+          fanout load dw seed)
+      QCheck.Gen.(
+        int_range 2 4 >>= fun segs ->
+        int_range 1 2 >>= fun fanout ->
+        float_range 0.02 0.08 >>= fun load ->
+        float_range 8.0 24.0 >>= fun dw ->
+        int_bound 1_000 >>= fun seed -> return (segs, fanout, load, dw, seed))
+  in
+  QCheck.Test.make ~name:"admitted topology => zero unexcused misses"
+    ~count:12 arb
+    (fun (segs, fanout, load, dw, seed) ->
+      let topo =
+        Topo.tree ~name:"q" ~segments:segs ~fanout ~sources:3 ~load
+          ~deadline_windows:dw ()
+      in
+      match Admit.elaborate topo with
+      | Error _ -> false
+      | Ok e ->
+        QCheck.assume e.Admit.e_admitted;
+        let res = Driver.run_seeded e ~seed ~horizon:(2 * ms) in
+        res.Driver.r_verdict.Driver.v_misses = [])
+
+(* -------------------- CFG-TOPO lint -------------------- *)
+
+let test_lint_admitted_clean () =
+  let ds = Config_lint.check_topo tree5 in
+  Alcotest.(check int) "no errors" 0 (List.length (Diagnostic.errors ds));
+  Alcotest.(check bool) "admission summarised" true
+    (List.exists
+       (fun d ->
+         d.Diagnostic.rule_id = "CFG-TOPO"
+         && d.Diagnostic.severity = Diagnostic.Info)
+       ds)
+
+let test_lint_flags_unroutable () =
+  let bad =
+    {
+      tree5 with
+      Topo.tp_flows =
+        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ] } ];
+    }
+  in
+  let ds = Config_lint.check_topo bad in
+  Alcotest.(check bool) "unroutable is an error" true
+    (List.exists
+       (fun d -> d.Diagnostic.rule_id = "CFG-TOPO")
+       (Diagnostic.errors ds))
+
+let test_lint_flags_budget_overrun () =
+  let hot =
+    Topo.tree ~name:"hot" ~segments:3 ~fanout:2 ~sources:4 ~load:0.6
+      ~deadline_windows:2.0 ()
+  in
+  let ds = Config_lint.check_topo hot in
+  Alcotest.(check bool) "budget below bound is an error" true
+    (Diagnostic.has_errors ds)
+
+let suite =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "split proportional" `Quick test_split_proportional;
+        Alcotest.test_case "split slack-weighted" `Quick
+          test_split_slack_weighted;
+        Alcotest.test_case "split bridge delays" `Quick test_split_bridge_delays;
+        Alcotest.test_case "split errors" `Quick test_split_errors;
+        Alcotest.test_case "policy labels" `Quick test_policy_labels;
+        QCheck_alcotest.to_alcotest prop_split_invariant;
+        Alcotest.test_case "tree shape" `Quick test_tree_shape;
+        Alcotest.test_case "toposort and levels" `Quick test_toposort_and_levels;
+        Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+        Alcotest.test_case "route errors" `Quick test_route_errors_reported;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "admit small tree" `Quick test_admit_small_tree;
+        Alcotest.test_case "admit rejects overload" `Quick
+          test_admit_rejects_overload;
+        Alcotest.test_case "both policies admit" `Quick
+          test_both_policies_admit_small_tree;
+        Alcotest.test_case "bridge verdicts" `Quick test_bridge_verdicts;
+        Alcotest.test_case "driver zero misses" `Slow
+          test_driver_zero_misses_when_admitted;
+        Alcotest.test_case "driver domain transparency" `Slow
+          test_driver_domain_transparency;
+        Alcotest.test_case "driver attributes misses" `Slow
+          test_driver_attributes_misses;
+        Alcotest.test_case "star reproduces multi_bus" `Slow
+          test_star_reproduces_multi_bus;
+        QCheck_alcotest.to_alcotest prop_admitted_runs_clean;
+        Alcotest.test_case "lint admitted clean" `Quick test_lint_admitted_clean;
+        Alcotest.test_case "lint unroutable" `Quick test_lint_flags_unroutable;
+        Alcotest.test_case "lint budget overrun" `Quick
+          test_lint_flags_budget_overrun;
+      ] );
+  ]
