@@ -7,7 +7,8 @@
 # committed golden report.
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
-  faults-smoke telemetry-smoke chaos-smoke model-smoke topo-smoke
+  faults-smoke telemetry-smoke chaos-smoke model-smoke topo-smoke \
+  topo-faults-smoke
 
 all: build
 
@@ -77,6 +78,21 @@ topo-smoke: build
 	  -o _build/BENCH_topology_sweep.current.json \
 	  --baseline test/fixtures/BENCH_topology_sweep.json
 
+# Fault-tolerant federation gate: the committed 3-segment tree must
+# keep its documented fault-aware admission verdicts (survivable crash
+# admitted / deadline-swallowing crash OVERLOADED / out-of-segment
+# station malformed), the admitted tree must simulate through the
+# bridge crash with zero unexcused misses and a DEGRADED/RESTORED
+# transition pair, the topology chaos search must still find the
+# seeded bridge-crash accept-then-violate counterexample and shrink it
+# to the committed artifact byte-for-byte, and the topology_fault_sweep
+# campaign must reproduce its committed golden report.
+topo-faults-smoke: build
+	dune build @topo-faults-smoke
+	dune exec bin/ddcr_campaign.exe -- compare topology_fault_sweep --quiet \
+	  -o _build/BENCH_topology_fault_sweep.current.json \
+	  --baseline test/fixtures/BENCH_topology_fault_sweep.json
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -88,11 +104,14 @@ campaign-baseline: build
 	  -o test/fixtures/BENCH_fault_sweep.json
 	dune exec bin/ddcr_campaign.exe -- run topology_sweep --quiet \
 	  -o test/fixtures/BENCH_topology_sweep.json
+	dune exec bin/ddcr_campaign.exe -- run topology_fault_sweep --quiet \
+	  -o test/fixtures/BENCH_topology_fault_sweep.json
 
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
 	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
-	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke && $(MAKE) topo-smoke
+	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke && $(MAKE) topo-smoke \
+	  && $(MAKE) topo-faults-smoke
 
 clean:
 	dune clean

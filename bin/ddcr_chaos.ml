@@ -110,6 +110,27 @@ let out_dir =
 let quiet =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
 
+let topo_segments =
+  Arg.(
+    value & opt int 0
+    & info [ "topo-segments" ] ~docv:"N"
+        ~doc:"Topology mode: hunt accept-then-violate bugs of the federated \
+              admission layer — candidates are per-segment fault plans over \
+              an N-segment uniform tree (N >= 2; 0 disables).  --load and \
+              --deadline-windows describe the per-segment workload; \
+              --scenario/--size are ignored.")
+
+let topo_fanout =
+  Arg.(
+    value & opt int 2
+    & info [ "topo-fanout" ] ~docv:"N" ~doc:"Topology mode: tree fan-out.")
+
+let topo_sources =
+  Arg.(
+    value & opt int 4
+    & info [ "topo-sources" ] ~docv:"N"
+        ~doc:"Topology mode: sources per segment.")
+
 let log_of quiet =
   if quiet then fun (_ : string) -> ()
   else fun m -> Printf.eprintf "ddcr_chaos: %s\n%!" m
@@ -157,6 +178,13 @@ let write_repro ~config ~note path finding =
     (Repro.make ~config ~candidate:finding.Search.fi_candidate
        ~report:finding.Search.fi_report ~note)
 
+let plans_label plans =
+  String.concat "; "
+    (List.map (fun (n, sp) -> n ^ ":" ^ Fault_plan.label sp) plans)
+
+let plans_events plans =
+  List.fold_left (fun a (_, sp) -> a + Fault_plan.event_count sp) 0 plans
+
 (* -------------------- search -------------------- *)
 
 let expect_finding =
@@ -167,9 +195,107 @@ let expect_finding =
               smoke gate's assertion that the seeded violation is still \
               found.")
 
+(* Topology mode: the same search loop over federated-tree candidates
+   (per-segment fault plans, end-to-end oracle verdicts). *)
+let run_topo_search ~segments ~fanout ~sources ~load ~deadline_windows
+    ~horizon_ms ~seed ~candidates ~jobs ~watchdog ~retries ~backoff
+    ~wall_budget ~max_events ~max_rate ~out ~out_dir ~quiet ~expect_finding =
+  let tc =
+    {
+      Candidate.tc_segments = segments;
+      tc_fanout = fanout;
+      tc_sources = sources;
+      tc_load = load;
+      tc_deadline_windows = deadline_windows;
+      tc_horizon_ms = horizon_ms;
+    }
+  in
+  let config =
+    {
+      (Search.default_topo_config tc) with
+      Search.t_seed = seed;
+      t_count = candidates;
+      t_jobs = jobs;
+      t_watchdog_s = (if watchdog <= 0. then None else Some watchdog);
+      t_retries = retries;
+      t_backoff_s = backoff;
+      t_wall_budget_s = wall_budget;
+      t_budget =
+        {
+          Generator.default_budget with
+          Generator.g_max_events = max_events;
+          g_max_rate = max_rate;
+        };
+    }
+  in
+  let log = log_of quiet in
+  let registry = Registry.create () in
+  let res = Search.run_topo ~registry ~log config in
+  Format.printf
+    "topo search: %d/%d candidates examined, %d finding(s), %d gave up%s@."
+    res.Search.tr_examined config.Search.t_count
+    (List.length res.Search.tr_findings)
+    (List.length res.Search.tr_gave_up)
+    (if res.Search.tr_exhausted then " (budget exhausted, partial)" else "");
+  List.iter
+    (fun f ->
+      Format.printf "  candidate %d [%s]: %s@." f.Search.tf_index
+        (plans_label f.Search.tf_candidate.Candidate.td_plans)
+        (Oracle.describe f.Search.tf_report.Candidate.rp_verdict))
+    res.Search.tr_findings;
+  let note i =
+    Printf.sprintf "topo search seed=%d candidate=%d" config.Search.t_seed i
+  in
+  let write path (f : Search.topo_finding) =
+    Repro.save_topo ~path
+      (Repro.make_topo ~config:tc ~candidate:f.Search.tf_candidate
+         ~report:f.Search.tf_report ~note:(note f.Search.tf_index))
+  in
+  (try
+     (match (out, res.Search.tr_findings) with
+     | Some path, f :: _ ->
+       write path f;
+       Format.printf "first finding written to %s@." path
+     | Some _, [] | None, _ -> ());
+     match out_dir with
+     | None -> Ok ()
+     | Some dir ->
+       List.iter
+         (fun f ->
+           write
+             (Filename.concat dir
+                (Printf.sprintf "topo_chaos_finding_%d.json" f.Search.tf_index))
+             f)
+         res.Search.tr_findings;
+       Ok ()
+   with Sys_error e -> Error e)
+  |> function
+  | Error e ->
+    Format.eprintf "ddcr_chaos: cannot write artifact: %s@." e;
+    2
+  | Ok () ->
+    if expect_finding && res.Search.tr_findings = [] then begin
+      Format.eprintf
+        "ddcr_chaos: --expect-finding: no violation found in %d candidates@."
+        res.Search.tr_examined;
+      1
+    end
+    else 0
+
 let run_search config_file scenario size load deadline_windows horizon_ms seed
     candidates jobs watchdog retries backoff wall_budget max_events max_rate
-    out out_dir quiet expect_finding =
+    out out_dir quiet expect_finding topo_segments topo_fanout topo_sources =
+  if topo_segments > 0 then
+    if topo_segments < 2 then begin
+      Format.eprintf "ddcr_chaos: --topo-segments must be >= 2@.";
+      2
+    end
+    else
+      run_topo_search ~segments:topo_segments ~fanout:topo_fanout
+        ~sources:topo_sources ~load ~deadline_windows ~horizon_ms ~seed
+        ~candidates ~jobs ~watchdog ~retries ~backoff ~wall_budget ~max_events
+        ~max_rate ~out ~out_dir ~quiet ~expect_finding
+  else
   match
     config_of_args config_file scenario size load deadline_windows horizon_ms
       seed candidates jobs watchdog retries backoff wall_budget max_events
@@ -237,7 +363,7 @@ let search_cmd =
       $ Cli_common.load $ Cli_common.deadline_windows $ Cli_common.horizon_ms
       $ Cli_common.seed $ candidates_t $ jobs $ watchdog $ retries $ backoff
       $ wall_budget $ max_events $ max_rate $ out $ out_dir $ quiet
-      $ expect_finding)
+      $ expect_finding $ topo_segments $ topo_fanout $ topo_sources)
   in
   Cmd.v
     (Cmd.info "search"
@@ -269,13 +395,73 @@ let max_fraction =
               original event count — the smoke gate's shrink-quality \
               assertion.")
 
+(* The shared tail of both shrink paths: report the reduction, enforce the
+   optional --max-fraction quality gate. *)
+let finish_shrink ~shrink_out ~max_fraction ~original_events ~shrunk_events
+    ~plan_label ~verdict =
+  Format.printf "shrink: %d -> %d event(s) [%s], verdict %s, written to %s@."
+    original_events shrunk_events plan_label (Oracle.label verdict) shrink_out;
+  match max_fraction with
+  | Some f when float_of_int shrunk_events > f *. float_of_int original_events
+    ->
+    Format.eprintf
+      "ddcr_chaos: --max-fraction %.2f: minimized plan still has %d of %d \
+       events@."
+      f shrunk_events original_events;
+    1
+  | _ -> 0
+
+let run_topo_shrink ~log ~repro_in ~shrink_out ~max_fraction
+    (repro : Repro.topo) =
+  let config, td = Repro.topo_candidate repro in
+  let oracle plans =
+    (Candidate.run_topo config { td with Candidate.td_plans = plans })
+      .Candidate.rp_verdict
+  in
+  let original_events = plans_events repro.Repro.rt_plans in
+  let res =
+    Shrink.run_topo ~oracle ~target:repro.Repro.rt_verdict repro.Repro.rt_plans
+  in
+  let shrunk_events = plans_events res.Shrink.st_plans in
+  if not (Oracle.same_class res.Shrink.st_verdict repro.Repro.rt_verdict) then begin
+    Format.eprintf
+      "ddcr_chaos: the repro does not reproduce its own verdict (%s vs \
+       expected %s) — nothing to shrink@."
+      (Oracle.label res.Shrink.st_verdict)
+      (Oracle.label repro.Repro.rt_verdict);
+    1
+  end
+  else begin
+    log
+      (Printf.sprintf "shrink: %d -> %d event(s) in %d oracle check(s)"
+         original_events shrunk_events res.Shrink.st_checks);
+    let minimized_cd = { td with Candidate.td_plans = res.Shrink.st_plans } in
+    let report = Candidate.run_topo config minimized_cd in
+    let minimized =
+      Repro.make_topo ~config ~candidate:minimized_cd ~report
+        ~note:
+          (Printf.sprintf "shrunk from %s (%d -> %d events)"
+             (Filename.basename repro_in) original_events shrunk_events)
+    in
+    match Repro.save_topo ~path:shrink_out minimized with
+    | () ->
+      finish_shrink ~shrink_out ~max_fraction ~original_events ~shrunk_events
+        ~plan_label:(plans_label res.Shrink.st_plans)
+        ~verdict:report.Candidate.rp_verdict
+    | exception Sys_error e ->
+      Format.eprintf "ddcr_chaos: cannot write %s: %s@." shrink_out e;
+      2
+  end
+
 let run_shrink repro_in shrink_out max_fraction quiet =
   let log = log_of quiet in
-  match Repro.load ~path:repro_in with
+  match Repro.load_any ~path:repro_in with
   | Error e ->
     Format.eprintf "ddcr_chaos: %s@." e;
     2
-  | Ok repro -> (
+  | Ok (Repro.Federated repro) ->
+    run_topo_shrink ~log ~repro_in ~shrink_out ~max_fraction repro
+  | Ok (Repro.Plain repro) -> (
     let config, cd = Repro.candidate repro in
     let oracle sp =
       (Candidate.run config { cd with Candidate.cd_plan = sp })
@@ -354,29 +540,38 @@ let replay_file =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Replay artifact to re-execute.")
 
+(* Shared verdict printing for both artifact flavors. *)
+let report_replay ~replay_file ~expected_verdict ~expected_fingerprint
+    (r : Repro.replay) =
+  Format.printf "replay %s: verdict %s (%s), fingerprint %s@."
+    (Filename.basename replay_file)
+    (Oracle.label r.Repro.rr_report.Candidate.rp_verdict)
+    (if r.Repro.rr_verdict_ok then "matches" else "DRIFTED")
+    (if r.Repro.rr_fingerprint_ok then "matches" else "DRIFTED");
+  if r.Repro.rr_verdict_ok && r.Repro.rr_fingerprint_ok then 0
+  else begin
+    Format.eprintf
+      "ddcr_chaos: %s no longer reproduces: expected %s / %s, got %s / %s@."
+      replay_file
+      (Oracle.describe expected_verdict)
+      expected_fingerprint
+      (Oracle.describe r.Repro.rr_report.Candidate.rp_verdict)
+      r.Repro.rr_report.Candidate.rp_fingerprint;
+    1
+  end
+
 let run_replay replay_file =
-  match Repro.load ~path:replay_file with
+  match Repro.load_any ~path:replay_file with
   | Error e ->
     Format.eprintf "ddcr_chaos: %s@." e;
     2
-  | Ok repro ->
-    let r = Repro.replay repro in
-    Format.printf "replay %s: verdict %s (%s), fingerprint %s@."
-      (Filename.basename replay_file)
-      (Oracle.label r.Repro.rr_report.Candidate.rp_verdict)
-      (if r.Repro.rr_verdict_ok then "matches" else "DRIFTED")
-      (if r.Repro.rr_fingerprint_ok then "matches" else "DRIFTED");
-    if r.Repro.rr_verdict_ok && r.Repro.rr_fingerprint_ok then 0
-    else begin
-      Format.eprintf
-        "ddcr_chaos: %s no longer reproduces: expected %s / %s, got %s / %s@."
-        replay_file
-        (Oracle.describe repro.Repro.re_verdict)
-        repro.Repro.re_fingerprint
-        (Oracle.describe r.Repro.rr_report.Candidate.rp_verdict)
-        r.Repro.rr_report.Candidate.rp_fingerprint;
-      1
-    end
+  | Ok (Repro.Plain repro) ->
+    report_replay ~replay_file ~expected_verdict:repro.Repro.re_verdict
+      ~expected_fingerprint:repro.Repro.re_fingerprint (Repro.replay repro)
+  | Ok (Repro.Federated repro) ->
+    report_replay ~replay_file ~expected_verdict:repro.Repro.rt_verdict
+      ~expected_fingerprint:repro.Repro.rt_fingerprint
+      (Repro.replay_topo repro)
 
 let replay_cmd =
   let term = Term.(const run_replay $ replay_file) in

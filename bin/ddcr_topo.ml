@@ -12,14 +12,24 @@
    the horizon.  `dimension` compares both decomposition policies side
    by side.
 
+   Both check and run understand per-segment fault plans — embedded in
+   the spec (a segment's "fault_plan" key) or overlaid from a separate
+   file (--fault-plan, a JSON object mapping segment names to plans).
+   A crash window naming a bridge station takes the bridge down: check
+   prices the worst window fault-aware, run holds / drains its
+   store-and-forward queue and reports Degraded/Shed/Restored events,
+   bridge drops and fault-attributed misses.
+
    Exit codes: 0 success (check: admitted; run: zero unexcused
-   end-to-end misses; dimension: some policy admits); 1 expectation
-   failed (rejected / misses observed / no policy admits); 2 malformed
-   spec or I/O error.
+   end-to-end misses, sheds or drops; dimension: some policy admits);
+   1 expectation failed (rejected / misses, sheds or drops observed /
+   no policy admits); 2 malformed spec, malformed fault plan or I/O
+   error.
 
    Examples:
      ddcr_topo check topo.json
      ddcr_topo run topo.json --domains 4 --horizon-ms 5 --trace-out t.json
+     ddcr_topo run topo.json --fault-plan faults.json
      ddcr_topo dimension topo.json *)
 
 module Topo = Rtnet_topology.Topo
@@ -27,6 +37,7 @@ module Admit = Rtnet_topology.Admit
 module Bridge = Rtnet_topology.Bridge
 module Driver = Rtnet_topology.Driver
 module Decompose = Rtnet_core.Decompose
+module Fault_plan = Rtnet_channel.Fault_plan
 module Run = Rtnet_stats.Run
 module Recorder = Rtnet_telemetry.Recorder
 module Trace_event = Rtnet_telemetry.Trace_event
@@ -74,13 +85,51 @@ let trace_out_t =
           "Write a merged Perfetto trace with one process track per \
            segment.")
 
-let load_spec path =
+let fault_plan_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "fault-plan" ] ~docv:"FAULTS.json"
+        ~doc:
+          "Overlay per-segment fault plans: a JSON object mapping segment \
+           names to fault-plan specs (garble / misperception / crashes).  A \
+           crash window naming a bridge station models that bridge going \
+           down.")
+
+(* { "<segment>": <fault plan spec>, ... } *)
+let load_faults path =
+  match Json.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok (Json.Obj fields) ->
+    List.fold_left
+      (fun acc (seg, pj) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok plans -> (
+          match Fault_plan.spec_of_json pj with
+          | Ok sp -> Ok ((seg, sp) :: plans)
+          | Error e ->
+            Error (Printf.sprintf "%s: segment %s: %s" path seg e)))
+      (Ok []) fields
+    |> Result.map List.rev
+  | Ok _ -> Error (Printf.sprintf "%s: expected an object of segment plans" path)
+
+let load_spec ?faults path =
   match Topo.load_file path with
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
-  | Ok topo -> Ok topo
+  | Ok topo -> (
+    match faults with
+    | None -> Ok topo
+    | Some fpath -> (
+      match load_faults fpath with
+      | Error e -> Error e
+      | Ok plans -> (
+        match Topo.with_faults topo plans with
+        | Error e -> Error (Printf.sprintf "%s: %s" fpath e)
+        | Ok topo -> Ok topo)))
 
-let elaborated ~policy path =
-  match load_spec path with
+let elaborated ?faults ~policy path =
+  match load_spec ?faults path with
   | Error e -> Error e
   | Ok topo -> (
     match Admit.elaborate ~policy topo with
@@ -89,14 +138,14 @@ let elaborated ~policy path =
 
 (* -------------------- check -------------------- *)
 
-let run_check path policy =
-  match elaborated ~policy path with
+let run_check path policy faults =
+  match elaborated ?faults ~policy path with
   | Error e ->
     Format.eprintf "ddcr_topo: %s@." e;
     2
   | Ok e ->
     Format.printf "%a@." Admit.pp_report e;
-    let bridges = Bridge.check e in
+    let bridges = Bridge.check ~fault_aware:true e in
     List.iter (fun v -> Format.printf "  %a@." Bridge.pp_verdict v) bridges;
     let bridges_ok = List.for_all (fun v -> v.Bridge.bv_feasible) bridges in
     if e.Admit.e_admitted && bridges_ok then begin
@@ -111,19 +160,20 @@ let run_check path policy =
     end
 
 let check_cmd =
-  let term = Term.(const run_check $ spec_file $ policy_t) in
+  let term = Term.(const run_check $ spec_file $ policy_t $ fault_plan_t) in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Admission-check a topology: decompose every flow deadline into \
           per-hop budgets, test B_DDCR <= budget on every hop and NP-EDF \
-          schedulability on every bridge queue (exit 0 iff admitted)")
+          schedulability on every bridge queue, fault-aware of the worst \
+          scheduled bridge crash window (exit 0 iff admitted)")
     term
 
 (* -------------------- run -------------------- *)
 
-let run_run path policy domains horizon_ms seed trace_out =
-  match elaborated ~policy path with
+let run_run path policy domains horizon_ms seed trace_out faults =
+  match elaborated ?faults ~policy path with
   | Error e ->
     Format.eprintf "ddcr_topo: %s@." e;
     2
@@ -145,11 +195,18 @@ let run_run path policy domains horizon_ms seed trace_out =
             recorders := (index, r) :: !recorders;
             Recorder.sink r)
     in
-    let res = Driver.run_seeded ?sink_for ~domains e ~seed ~horizon in
+    match Driver.run_seeded ?sink_for ~domains e ~seed ~horizon with
+    | Error msg ->
+      Format.eprintf "ddcr_topo: %s@." msg;
+      2
+    | Ok res ->
     if not e.Admit.e_admitted then
       Format.printf
         "note: topology NOT admitted — running anyway to observe the \
          predicted misses@.";
+    List.iter
+      (fun ev -> Format.printf "%a@." Driver.pp_event ev)
+      res.Driver.r_events;
     Format.printf "%a@." Driver.pp_verdict res.Driver.r_verdict;
     List.iter
       (fun sr ->
@@ -171,19 +228,24 @@ let run_run path policy domains horizon_ms seed trace_out =
       output_char oc '\n';
       close_out oc;
       Format.printf "trace: %s@." out);
-    if res.Driver.r_verdict.Driver.v_misses = [] then 0 else 1
+    let v = res.Driver.r_verdict in
+    if v.Driver.v_misses = [] && v.Driver.v_shed = 0 && v.Driver.v_bridge_drops = []
+    then 0
+    else 1
 
 let run_cmd =
   let term =
     Term.(
       const run_run $ spec_file $ policy_t $ domains_t $ Cli_common.horizon_ms
-      $ Cli_common.seed $ trace_out_t)
+      $ Cli_common.seed $ trace_out_t $ fault_plan_t)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Simulate the federated topology end to end and report per-chain \
-          verdicts (exit 0 iff no unexcused end-to-end miss)")
+         "Simulate the federated topology end to end — fault plans, bridge \
+          failover and degraded-mode shedding included — and report \
+          per-chain verdicts (exit 0 iff no unexcused end-to-end miss, \
+          shed or bridge drop)")
     term
 
 (* -------------------- dimension -------------------- *)

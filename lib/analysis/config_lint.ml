@@ -257,7 +257,18 @@ let check_topo ?policy topo =
           ~paper_ref:ref_topo e;
       ]
   in
-  if routing <> [] || cycle <> [] then routing @ cycle
+  (* CFG-TOPO-FAULT: a fault plan referencing a station that exists on
+     no segment (neither a declared source nor an incoming bridge
+     station) is a spec bug, not a fault model. *)
+  let faults =
+    List.map
+      (fun e ->
+        D.error ~rule_id:"CFG-TOPO-FAULT" ~subject:topo.Topo.tp_name
+          ~paper_ref:ref_topo e)
+      (Topo.fault_errors topo)
+  in
+  if routing <> [] || cycle <> [] || faults <> [] then
+    routing @ cycle @ faults
   else
     match Admit.elaborate ?policy topo with
     | Error e ->
@@ -302,12 +313,82 @@ let check_topo ?policy topo =
               Some
                 (D.error ~rule_id:"CFG-TOPO" ~subject:v.Bridge.bv_bridge
                    ~paper_ref:"Section 3.1 (NP-EDF demand bound)"
-                   (Printf.sprintf
-                      "bridge queue overloaded: %d forwarded classes, \
-                       demand-bound margin %.3f > 1 — the relay cannot \
-                       sustain the aggregate flow demand under NP-EDF"
-                      v.Bridge.bv_classes v.Bridge.bv_margin)))
-          (Bridge.check e)
+                   (if v.Bridge.bv_crash_window > 0 then
+                      Printf.sprintf
+                        "bridge queue overloaded once its worst crash window \
+                         (%d bit-times) is accounted: %d forwarded classes, \
+                         demand-bound margin %.3f > 1"
+                        v.Bridge.bv_crash_window v.Bridge.bv_classes
+                        v.Bridge.bv_margin
+                    else
+                      Printf.sprintf
+                        "bridge queue overloaded: %d forwarded classes, \
+                         demand-bound margin %.3f > 1 — the relay cannot \
+                         sustain the aggregate flow demand under NP-EDF"
+                        v.Bridge.bv_classes v.Bridge.bv_margin)))
+          (Bridge.check ~fault_aware:true e)
+      in
+      (* CFG-TOPO-FAULT heuristic: a crash window parking a segment's
+         only inbound bridge for longer than a crossing flow's whole
+         end-to-end slack cannot be absorbed downstream — every held
+         chain of that flow will miss or be shed. *)
+      let fault_diags =
+        List.concat_map
+          (fun (b : Topo.bridge) ->
+            let window =
+              match Topo.find_segment topo b.Topo.br_to with
+              | Some { Topo.sg_fault = Some sp; _ } ->
+                Rtnet_channel.Fault_plan.max_outage sp
+                  ~source:b.Topo.br_station
+              | Some _ | None -> 0
+            in
+            let only_inbound =
+              List.for_all
+                (fun (b' : Topo.bridge) ->
+                  b'.Topo.br_to <> b.Topo.br_to
+                  || b'.Topo.br_name = b.Topo.br_name)
+                topo.Topo.tp_bridges
+            in
+            if window = 0 || not only_inbound then []
+            else
+              List.filter_map
+                (fun (f : Admit.eflow) ->
+                  let crosses =
+                    List.exists
+                      (fun (h : Admit.hop) ->
+                        match h.Admit.h_bridge with
+                        | Some hb -> hb.Topo.br_name = b.Topo.br_name
+                        | None -> false)
+                      f.Admit.ef_hops
+                  in
+                  if not crosses then None
+                  else
+                    let slack =
+                      f.Admit.ef_deadline
+                      - List.fold_left
+                          (fun acc (h : Admit.hop) ->
+                            acc
+                            + int_of_float (ceil h.Admit.h_bound)
+                            + (match h.Admit.h_bridge with
+                              | Some hb -> hb.Topo.br_latency
+                              | None -> 0))
+                          0 f.Admit.ef_hops
+                    in
+                    if window <= slack then None
+                    else
+                      Some
+                        (D.warning ~rule_id:"CFG-TOPO-FAULT"
+                           ~subject:f.Admit.ef_flow.Topo.fl_name
+                           ~paper_ref:ref_topo
+                           (Printf.sprintf
+                              "crash window of %d bit-times parks bridge %s \
+                               — segment %s's only inbound bridge — longer \
+                               than the flow's end-to-end slack (%d \
+                               bit-times); held chains cannot recover \
+                               downstream"
+                              window b.Topo.br_name b.Topo.br_to (max slack 0))))
+                e.Admit.e_flows)
+          topo.Topo.tp_bridges
       in
       (* Local (non-flow) infeasibility predates the topology: the
          segment's own workload already violates Section 4.3.  Warn
@@ -361,4 +442,4 @@ let check_topo ?policy topo =
           ]
         else []
       in
-      flow_diags @ bridge_diags @ local_diags @ summary
+      flow_diags @ bridge_diags @ fault_diags @ local_diags @ summary

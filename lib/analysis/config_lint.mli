@@ -69,4 +69,14 @@ val check_topo :
     the NP-EDF demand-bound oracle are errors; a segment-local class
     infeasible independently of the federation is a warning; an
     admitted topology yields one informational summary.  [policy] is
-    the decomposition policy (default proportional). *)
+    the decomposition policy (default proportional).
+
+    Fault rules (["CFG-TOPO-FAULT"]): a per-segment fault plan whose
+    crash window names a station that is neither a declared source nor
+    an incoming bridge station of its segment is an error
+    ({!Rtnet_topology.Topo.fault_errors}); the bridge oracle runs
+    fault-aware (the worst scheduled crash window is deducted from
+    every forwarded deadline); and a crash window parking a segment's
+    {e only} inbound bridge for longer than a crossing flow's whole
+    end-to-end slack is a warning — no downstream re-decomposition can
+    absorb it. *)

@@ -1,5 +1,6 @@
 module Json = Rtnet_util.Json
 module Trace = Rtnet_core.Ddcr_trace
+module Topo_driver = Rtnet_topology.Driver
 module D = Diagnostic
 
 let ( let* ) = Result.bind
@@ -12,6 +13,9 @@ type verdict =
   | Invariant_violation of { rule : string; message : string }
   | Harness_mismatch of string
   | Run_crash of string
+  | Chain_deadline_miss of { misses : int; flow : string }
+  | Handoff_loss of { bridge : string; chains : int }
+  | Bridge_overflow of { bridge : string; dropped : int }
 
 let label = function
   | Pass -> "pass"
@@ -21,6 +25,9 @@ let label = function
   | Invariant_violation _ -> "invariant-violation"
   | Harness_mismatch _ -> "harness-mismatch"
   | Run_crash _ -> "run-crash"
+  | Chain_deadline_miss _ -> "chain-deadline-miss"
+  | Handoff_loss _ -> "handoff-loss"
+  | Bridge_overflow _ -> "bridge-overflow"
 
 let describe = function
   | Pass -> "pass: every oracle holds"
@@ -35,6 +42,19 @@ let describe = function
     Printf.sprintf "invariant violation [%s]: %s" rule message
   | Harness_mismatch m -> "harness mismatch: " ^ m
   | Run_crash m -> "run crashed: " ^ m
+  | Chain_deadline_miss { misses; flow } ->
+    Printf.sprintf
+      "%d end-to-end chain deadline miss(es) outside every fault epoch \
+       (first flow %s)"
+      misses flow
+  | Handoff_loss { bridge; chains } ->
+    Printf.sprintf
+      "%d chain(s) lost in the cross-segment hand-off at bridge %s" chains
+      bridge
+  | Bridge_overflow { bridge; dropped } ->
+    Printf.sprintf
+      "bridge %s store-and-forward queue overflowed: %d message(s) dropped"
+      bridge dropped
 
 let is_failure v = v <> Pass
 let same_class a b = String.equal (label a) (label b)
@@ -52,7 +72,13 @@ let to_json v =
       [ tag; ("misses", Json.Int misses); ("first_uid", Json.Int first_uid) ]
     | Failed_resync { source } -> [ tag; ("source", Json.Int source) ]
     | Invariant_violation { rule; message } ->
-      [ tag; ("rule", Json.String rule); ("message", Json.String message) ])
+      [ tag; ("rule", Json.String rule); ("message", Json.String message) ]
+    | Chain_deadline_miss { misses; flow } ->
+      [ tag; ("misses", Json.Int misses); ("flow", Json.String flow) ]
+    | Handoff_loss { bridge; chains } ->
+      [ tag; ("bridge", Json.String bridge); ("chains", Json.Int chains) ]
+    | Bridge_overflow { bridge; dropped } ->
+      [ tag; ("bridge", Json.String bridge); ("dropped", Json.Int dropped) ])
 
 let of_json j =
   let* tag = Result.bind (Json.field "verdict" j) Json.get_string in
@@ -79,6 +105,18 @@ let of_json j =
     let* rule = Result.bind (Json.field "rule" j) Json.get_string in
     let* message = msg () in
     Ok (Invariant_violation { rule; message })
+  | "chain-deadline-miss" ->
+    let* misses = Result.bind (Json.field "misses" j) Json.get_int in
+    let* flow = Result.bind (Json.field "flow" j) Json.get_string in
+    Ok (Chain_deadline_miss { misses; flow })
+  | "handoff-loss" ->
+    let* bridge = Result.bind (Json.field "bridge" j) Json.get_string in
+    let* chains = Result.bind (Json.field "chains" j) Json.get_int in
+    Ok (Handoff_loss { bridge; chains })
+  | "bridge-overflow" ->
+    let* bridge = Result.bind (Json.field "bridge" j) Json.get_string in
+    let* dropped = Result.bind (Json.field "dropped" j) Json.get_int in
+    Ok (Bridge_overflow { bridge; dropped })
   | other -> Error (Printf.sprintf "unknown verdict %S" other)
 
 (* -------------------- classification -------------------- *)
@@ -127,3 +165,38 @@ let classify ~workload ~outcome events =
         | d :: _ ->
           Invariant_violation { rule = d.D.rule_id; message = d.D.message }
         | [] -> Pass)))
+
+(* End-to-end classification of a federated run.  Shed and dropped
+   chains are already excluded from [v_misses] by the driver; what is
+   left is ranked most severe first: silent-loss-turned-structured
+   (queue overflow), degraded-mode shedding (a chain abandoned at a
+   hand-off), then chain deadline misses. *)
+let classify_topo (r : Topo_driver.result) =
+  let v = r.Topo_driver.r_verdict in
+  match v.Topo_driver.v_bridge_drops with
+  | d :: _ ->
+    Bridge_overflow
+      {
+        bridge = d.Topo_driver.bd_bridge;
+        dropped = List.length v.Topo_driver.v_bridge_drops;
+      }
+  | [] ->
+    if v.Topo_driver.v_shed > 0 then
+      let bridge =
+        List.find_map
+          (function
+            | Topo_driver.Shed { sh_bridge; _ } -> Some sh_bridge
+            | _ -> None)
+          r.Topo_driver.r_events
+        |> Option.value ~default:"?"
+      in
+      Handoff_loss { bridge; chains = v.Topo_driver.v_shed }
+    else
+      match v.Topo_driver.v_misses with
+      | m :: _ ->
+        Chain_deadline_miss
+          {
+            misses = List.length v.Topo_driver.v_misses;
+            flow = m.Topo_driver.ms_flow;
+          }
+      | [] -> Pass

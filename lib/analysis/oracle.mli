@@ -37,11 +37,23 @@ type verdict =
   | Run_crash of string
       (** the simulator itself raised (protocol violation, assertion)
           — always a finding *)
+  | Chain_deadline_miss of { misses : int; flow : string }
+      (** a federated chain completed its last hop after the end-to-end
+          deadline [T0 + d(M)] (shed / overflow-dropped chains are not
+          counted here — see the next two) *)
+  | Handoff_loss of { bridge : string; chains : int }
+      (** chains abandoned at a cross-segment hand-off: degraded-mode
+          operation shed them because their remaining budgets no
+          longer decomposed after a bridge crash *)
+  | Bridge_overflow of { bridge : string; dropped : int }
+      (** a crashed bridge's bounded store-and-forward queue
+          overflowed and dropped held messages (structured loss) *)
 
 val label : verdict -> string
 (** [label v] is the verdict's class name: ["pass"],
     ["safety-violation"], ["deadline-miss"], ["failed-resync"],
-    ["invariant-violation"], ["harness-mismatch"], ["run-crash"]. *)
+    ["invariant-violation"], ["harness-mismatch"], ["run-crash"],
+    ["chain-deadline-miss"], ["handoff-loss"], ["bridge-overflow"]. *)
 
 val describe : verdict -> string
 (** [describe v] is a one-line human-readable rendering including the
@@ -71,3 +83,15 @@ val classify :
     with no matching [Resync] by the end of the trace), then any other
     checker error.  Warnings (degraded epochs, truncated brackets)
     never fail a run. *)
+
+val classify_topo : Rtnet_topology.Driver.result -> verdict
+(** [classify_topo r] reduces a federated end-to-end run
+    ({!Rtnet_topology.Driver.run}) to one verdict, most severe first:
+    {!Bridge_overflow} (a crashed bridge's bounded store-and-forward
+    queue lost messages), {!Handoff_loss} (chains shed under
+    degraded-mode operation), {!Chain_deadline_miss} (delivered chains
+    that overran their end-to-end deadline; shed and dropped chains
+    are accounted by the former two, never double-counted), else
+    {!Pass}.  Exceptions the federation raises (harness mismatch,
+    protocol violation) are mapped by the caller, as with
+    {!classify}. *)

@@ -127,12 +127,34 @@ let tree_of scenario =
    matter how far the deadline is stretched. *)
 let topo_policy = Decompose.Slack_weighted
 
+(* A topo variant's fault plan lands on the tree's {e root} segment —
+   the hub every flow terminates at, so its inbound bridge stations
+   (the interesting crash targets, station [sources + ordinal]) are
+   all valid there.  [Topo.tree] names the root "seg0". *)
+let topo_tree_of scenario variant =
+  let tree = tree_of scenario in
+  match variant.Spec.v_fault_plan with
+  | None -> Ok tree
+  | Some plan -> Topo.with_faults tree [ ("seg0", plan) ]
+
 let run_topo_cell spec c t0 =
   let horizon = spec.Spec.horizon_ms * 1_000_000 in
-  match Admit.elaborate ~policy:topo_policy (tree_of c.scenario) with
+  let tree =
+    match topo_tree_of c.scenario c.variant with
+    | Ok t -> t
+    | Error e -> failwith ("topo cell: " ^ e)
+  in
+  match Admit.elaborate ~policy:topo_policy tree with
   | Error e -> failwith ("topo cell: " ^ e)
   | Ok e ->
-    let res = Topo_driver.run_seeded e ~seed:c.trace_seed ~horizon in
+    let res =
+      match
+        Topo_driver.run_seeded e ~seed:c.trace_seed
+          ~fault_seed:c.fault_seed ~horizon
+      with
+      | Ok res -> res
+      | Error e -> failwith ("topo cell: " ^ e)
+    in
     {
       r_metrics = res.Topo_driver.r_metrics;
       r_channel = res.Topo_driver.r_outcome.Run.channel;
@@ -268,7 +290,9 @@ let lint spec =
         if scenario.Spec.sc_kind = "topo" then
           (* A topo scenario is a whole federation: the CFG-TOPO lint
              covers routing, per-hop budgets and bridge queues in one
-             pass (variants are pinned to the default by validation). *)
+             pass.  Variants carrying a fault plan are linted again
+             with the plan attached (CFG-TOPO-FAULT: station validity,
+             fault-aware bridge oracle, slackless-window warnings). *)
           List.map
             (fun d ->
               {
@@ -277,6 +301,30 @@ let lint spec =
                   Spec.scenario_label scenario ^ ":" ^ d.Diagnostic.subject;
               })
             (Config_lint.check_topo ~policy:topo_policy (tree_of scenario))
+          @ List.concat_map
+              (fun variant ->
+                let label =
+                  Printf.sprintf "%s/%s" (Spec.scenario_label scenario)
+                    (Spec.variant_label variant)
+                in
+                match variant.Spec.v_fault_plan with
+                | None -> []
+                | Some _ -> (
+                  match topo_tree_of scenario variant with
+                  | Error e ->
+                    [
+                      Diagnostic.error ~rule_id:"CFG-TOPO-FAULT" ~subject:label
+                        ~paper_ref:"DESIGN.md #14" e;
+                    ]
+                  | Ok tree ->
+                    List.map
+                      (fun d ->
+                        {
+                          d with
+                          Diagnostic.subject = label ^ ":" ^ d.Diagnostic.subject;
+                        })
+                      (Config_lint.check_topo ~policy:topo_policy tree)))
+              spec.Spec.variants
         else
           let inst = Spec.instance scenario in
           List.concat_map

@@ -160,10 +160,17 @@ let validate spec =
         Error "topo scenarios require protocols = [topo] (and vice versa)"
       else if List.exists (fun sc -> sc.sc_kind <> "topo") spec.scenarios then
         Error "protocol topo requires every scenario to be of kind topo"
-      else if List.exists (fun v -> v <> default_variant) spec.variants then
+      else if
+        (* The fault-plan axis does apply to federations (Grid attaches
+           the plan to the tree's root segment); the single-medium axes
+           (fault_rate, bursting, theta) still do not. *)
+        List.exists
+          (fun v -> { v with v_fault_plan = None } <> default_variant)
+          spec.variants
+      then
         Error
-          "topo campaigns take only the default variant (no faults, \
-           bursting or theta)"
+          "topo campaigns take only default-shaped variants (a fault \
+           plan is allowed; fault_rate, bursting and theta are not)"
       else Ok ()
     in
     List.fold_left
@@ -193,18 +200,21 @@ let validate spec =
                  CSMA/DDCR implements; wire-level garbling is also
                  meaningful for BEB (it retries). *)
               Fault_plan.has_local_faults plan
-              && List.exists (fun p -> p <> Ddcr) spec.protocols
+              && List.exists (fun p -> p <> Ddcr && p <> Topo) spec.protocols
             then
               Error
                 (Printf.sprintf
                    "%s: per-source faults (misperception/crashes) require \
                     protocols = [ddcr]"
                    (variant_label v))
-            else if List.exists (fun p -> p <> Ddcr && p <> Beb) spec.protocols
+            else if
+              List.exists
+                (fun p -> p <> Ddcr && p <> Beb && p <> Topo)
+                spec.protocols
             then
               Error
                 (Printf.sprintf
-                   "%s: fault plans only apply to ddcr and beb"
+                   "%s: fault plans only apply to ddcr, beb and topo"
                    (variant_label v))
             else Ok ())
       (Ok ()) spec.variants
@@ -453,6 +463,33 @@ let topology_sweep =
     variants = [ default_variant ];
   }
 
+let topology_fault_sweep =
+  (* Degraded-mode sweep: the admitted 3-segment tree from
+     topology_sweep's first point, clean and under a scheduled crash
+     of the root's inbound bridge station (station 4 of seg0 = bridge
+     br1).  Grid attaches the plan to the tree's root segment; the
+     golden baseline pins the failover behaviour — held hand-offs,
+     catch-up drain at revival, miss attribution — byte-for-byte. *)
+  let ms = 1_000_000 in
+  {
+    name = "topology_fault_sweep";
+    base_seed = 29;
+    replicates = 1;
+    horizon_ms = 5;
+    protocols = [ Topo ];
+    scenarios =
+      [ topo_scenario ~segments:3 ~fanout:2 ~load:0.1 ~deadline_windows:16.0 ];
+    variants =
+      [
+        default_variant;
+        {
+          default_variant with
+          v_fault_plan =
+            Some (Fault_plan.crash ~source:4 ~from_:(1 * ms) ~until:(2 * ms));
+        };
+      ];
+  }
+
 let builtins =
   [
     ("smoke", smoke);
@@ -460,6 +497,7 @@ let builtins =
     ("load_sweep", load_sweep);
     ("fault_sweep", fault_sweep);
     ("topology_sweep", topology_sweep);
+    ("topology_fault_sweep", topology_fault_sweep);
   ]
 
 let find_builtin name = List.assoc_opt name builtins

@@ -133,6 +133,13 @@ val builtins : (string * t) list
     - ["fault_sweep"]: CSMA/DDCR under every builtin fault plan (clean,
       i.i.d. noise, Gilbert–Elliott bursts, misperception, crash/rejoin
       and their composition) — the robustness trajectory
-      ([BENCH_fault_sweep.json]). *)
+      ([BENCH_fault_sweep.json]).
+    - ["topology_sweep"]: federated trees (segment count × fan-out) at
+      an admitted load point — the end-to-end trajectory
+      ([BENCH_topology_sweep.json]).
+    - ["topology_fault_sweep"]: the 3-segment tree, clean and under a
+      scheduled crash of the root's inbound bridge — bridge failover
+      and degraded-mode drain as a pinned trajectory
+      ([BENCH_topology_fault_sweep.json]). *)
 
 val find_builtin : string -> t option

@@ -212,6 +212,15 @@ let scale_severity spec factor =
     sp_misperception = clamp01 (spec.sp_misperception *. factor);
   }
 
+let crashes_of spec ~source =
+  List.filter (fun w -> w.cw_source = source) spec.sp_crashes
+
+let max_outage spec ~source =
+  List.fold_left
+    (fun acc w ->
+      if w.cw_source = source then max acc (w.cw_until - w.cw_from) else acc)
+    0 spec.sp_crashes
+
 let split_crash w =
   let width = w.cw_until - w.cw_from in
   if width < 2 then None

@@ -145,6 +145,15 @@ val scale_severity : spec -> float -> spec
     clamped to [\[0, 1]].  Transition probabilities and crash windows
     are untouched — they are shrunk along the other two axes. *)
 
+val crashes_of : spec -> source:int -> crash_window list
+(** [crashes_of spec ~source] is the (declaration-ordered) list of
+    [source]'s crash windows. *)
+
+val max_outage : spec -> source:int -> int
+(** [max_outage spec ~source] is the length in bit-times of [source]'s
+    longest crash window (0 if it never crashes) — the worst service
+    interruption a fault-aware admission test must absorb. *)
+
 val split_crash : crash_window -> (crash_window * crash_window) option
 (** [split_crash w] halves the window at its midpoint, returning the
     left and right halves, or [None] if [w] spans fewer than 2

@@ -6,6 +6,10 @@ module Ddcr_params = Rtnet_core.Ddcr_params
 module Ddcr_trace = Rtnet_core.Ddcr_trace
 module Harness = Rtnet_mac.Harness
 module Oracle = Rtnet_analysis.Oracle
+module Topo = Rtnet_topology.Topo
+module Admit = Rtnet_topology.Admit
+module Topo_driver = Rtnet_topology.Driver
+module Decompose = Rtnet_core.Decompose
 module Run = Rtnet_stats.Run
 module Run_json = Rtnet_stats.Run_json
 module Json = Rtnet_util.Json
@@ -20,6 +24,21 @@ type t = {
   cd_plan : Fault_plan.spec;
   cd_trace_seed : int;
   cd_fault_seed : int;
+}
+
+type topo_config = {
+  tc_segments : int;
+  tc_fanout : int;
+  tc_sources : int;
+  tc_load : float;
+  tc_deadline_windows : float;
+  tc_horizon_ms : int;
+}
+
+type topo = {
+  td_plans : (string * Fault_plan.spec) list;
+  td_trace_seed : int;
+  td_fault_seed : int;
 }
 
 type report = {
@@ -84,3 +103,102 @@ let run cf cd =
   | exception Assert_failure _ ->
     let v = Oracle.Run_crash "assertion failure in the simulator" in
     finish_with v (fingerprint_verdict v) 0 0
+
+(* -------------------- topology candidates -------------------- *)
+
+let ( let* ) = Result.bind
+
+let topo_config_to_json tc =
+  Json.Obj
+    [
+      ("segments", Json.Int tc.tc_segments);
+      ("fanout", Json.Int tc.tc_fanout);
+      ("sources", Json.Int tc.tc_sources);
+      ("load", Json.Float tc.tc_load);
+      ("deadline_windows", Json.Float tc.tc_deadline_windows);
+      ("horizon_ms", Json.Int tc.tc_horizon_ms);
+    ]
+
+let topo_config_of_json j =
+  let* segments = Result.bind (Json.field "segments" j) Json.get_int in
+  let* fanout = Result.bind (Json.field "fanout" j) Json.get_int in
+  let* sources = Result.bind (Json.field "sources" j) Json.get_int in
+  let* load = Result.bind (Json.field "load" j) Json.get_float in
+  let* deadline_windows =
+    Result.bind (Json.field "deadline_windows" j) Json.get_float
+  in
+  let* horizon_ms = Result.bind (Json.field "horizon_ms" j) Json.get_int in
+  if segments < 2 then Error "segments < 2"
+  else if fanout < 1 then Error "fanout < 1"
+  else if sources < 1 then Error "sources < 1"
+  else if horizon_ms < 1 then Error "horizon_ms < 1"
+  else
+    Ok
+      {
+        tc_segments = segments;
+        tc_fanout = fanout;
+        tc_sources = sources;
+        tc_load = load;
+        tc_deadline_windows = deadline_windows;
+        tc_horizon_ms = horizon_ms;
+      }
+
+let topo_tree tc =
+  Topo.tree ~name:"chaos" ~segments:tc.tc_segments ~fanout:tc.tc_fanout
+    ~sources:tc.tc_sources ~load:tc.tc_load
+    ~deadline_windows:tc.tc_deadline_windows ()
+
+let run_topo tc td =
+  let t0 = Unix.gettimeofday () in
+  let horizon = tc.tc_horizon_ms * 1_000_000 in
+  let finish_with verdict fingerprint delivered misses =
+    {
+      rp_verdict = verdict;
+      rp_fingerprint = fingerprint;
+      rp_delivered = delivered;
+      rp_misses = misses;
+      rp_elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  let crash msg =
+    let v = Oracle.Run_crash msg in
+    finish_with v (fingerprint_verdict v) 0 0
+  in
+  match Topo.with_faults (topo_tree tc) td.td_plans with
+  | Error e -> crash ("topology fault plan: " ^ e)
+  | Ok tree -> (
+    match Admit.elaborate ~policy:Decompose.Slack_weighted tree with
+    | Error e -> crash ("admission: " ^ e)
+    | Ok e -> (
+      match
+        Topo_driver.run_seeded ~check_lockstep:true e ~seed:td.td_trace_seed
+          ~fault_seed:td.td_fault_seed ~horizon
+      with
+      | Ok res ->
+        let verdict = Oracle.classify_topo res in
+        (* The driver's fingerprint pins the completion schedules; the
+           verdict rendering pins the end-to-end classification — both
+           must survive replay byte-identically. *)
+        let fingerprint =
+          Digest.to_hex
+            (Digest.string
+               ("topo:" ^ res.Topo_driver.r_fingerprint ^ ":"
+              ^ Json.to_string (Oracle.to_json verdict)))
+        in
+        let m = res.Topo_driver.r_metrics in
+        finish_with verdict fingerprint m.Run.delivered m.Run.deadline_misses
+      | Error msg -> crash ("driver: " ^ msg)
+      | exception Harness.Mismatch m ->
+        let v = Oracle.Harness_mismatch (Harness.mismatch_message m) in
+        finish_with v (fingerprint_verdict v) 0 0
+      | exception Ddcr.Protocol_violation msg ->
+        let v = Oracle.Run_crash ("protocol violation: " ^ msg) in
+        finish_with v (fingerprint_verdict v) 0 0
+      | exception Failure msg ->
+        (* Safety or end-of-run reconciliation broke inside a segment's
+           harness. *)
+        let v = Oracle.Safety_violation msg in
+        finish_with v (fingerprint_verdict v) 0 0
+      | exception Assert_failure _ ->
+        let v = Oracle.Run_crash "assertion failure in the simulator" in
+        finish_with v (fingerprint_verdict v) 0 0))

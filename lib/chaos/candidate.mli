@@ -38,6 +38,33 @@ val fingerprint_outcome : Rtnet_stats.Run.outcome -> string
 (** Hex digest of {!Rtnet_stats.Run_json.outcome_to_json}'s canonical
     bytes. *)
 
+type topo_config = {
+  tc_segments : int;  (** tree size, [>= 2] (a 1-segment tree is flat) *)
+  tc_fanout : int;
+  tc_sources : int;  (** sources per segment *)
+  tc_load : float;  (** per-segment uniform offered load *)
+  tc_deadline_windows : float;
+  tc_horizon_ms : int;
+}
+(** The federated tree under topology chaos: the same uniform
+    [Topo.tree] shape the campaign's topo scenarios expand into,
+    described by its parameters so repro artifacts stay
+    self-contained. *)
+
+type topo = {
+  td_plans : (string * Rtnet_channel.Fault_plan.spec) list;
+      (** per-segment fault plans ({!Generator.sample_topo}) *)
+  td_trace_seed : int;
+  td_fault_seed : int;
+}
+(** One topology chaos candidate. *)
+
+val topo_config_to_json : topo_config -> Rtnet_util.Json.t
+val topo_config_of_json : Rtnet_util.Json.t -> (topo_config, string) result
+
+val topo_tree : topo_config -> Rtnet_topology.Topo.t
+(** The (fault-free) tree the config describes. *)
+
 val run : config -> t -> report
 (** [run cf cd] executes the candidate and classifies it.  Never
     raises on a protocol failure: {!Rtnet_mac.Harness.Mismatch},
@@ -46,3 +73,15 @@ val run : config -> t -> report
     deterministic fingerprint derived from the verdict itself, since
     no outcome exists).  Only truly unexpected conditions (e.g. an
     unknown scenario kind) escape. *)
+
+val run_topo : topo_config -> topo -> report
+(** [run_topo tc td] executes a topology candidate: build the tree,
+    attach the per-segment plans ({!Rtnet_topology.Topo.with_faults}),
+    admit slack-weighted, run the federated driver with the pinned
+    seeds, and classify end-to-end with
+    {!Rtnet_analysis.Oracle.classify_topo} — [Bridge_overflow],
+    [Handoff_loss] and [Chain_deadline_miss] are the accept-then-violate
+    verdicts the topology search hunts.  The fingerprint digests the
+    driver's completion-schedule fingerprint together with the verdict
+    rendering.  Driver configuration errors and protocol failures are
+    mapped to verdicts exactly as in {!run}. *)

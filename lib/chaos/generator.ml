@@ -1,6 +1,8 @@
 module Prng = Rtnet_util.Prng
 module Json = Rtnet_util.Json
 module Fault_plan = Rtnet_channel.Fault_plan
+module Topo = Rtnet_topology.Topo
+module Instance = Rtnet_workload.Instance
 
 let ( let* ) = Result.bind
 
@@ -93,15 +95,18 @@ let sample_misperception rng ~max_rate =
   Fault_plan.misperceive (rate_in rng ~lo:0.005 ~hi:(Float.min max_rate 0.25))
 
 (* Crash windows of one source must not overlap; draw up to 8 times,
-   then give up on this event (the plan just ends up smaller). *)
-let sample_crash rng ~budget ~horizon ~sources existing =
+   then give up on this event (the plan just ends up smaller).  [pick]
+   draws the target station — the plain sampler draws uniformly over
+   the instance's sources, the topology sampler over the segment's
+   station set including incoming bridge stations. *)
+let sample_crash rng ~budget ~horizon ~pick existing =
   let max_width =
     max 2 (int_of_float (budget.g_max_crash_fraction *. float_of_int horizon))
   in
   let rec try_ n =
     if n = 0 then None
     else
-      let source = Prng.int rng sources in
+      let source = pick () in
       let width = 2 + Prng.int rng (max 1 (max_width - 1)) in
       let width = min width (horizon - 1) in
       let from_ = Prng.int rng (max 1 (horizon - width)) in
@@ -118,22 +123,22 @@ let sample_crash rng ~budget ~horizon ~sources existing =
   in
   try_ 8
 
-let sample ~budget ~seed ~index ~horizon ~sources =
-  check_budget budget;
-  if horizon < 4 then invalid_arg "Generator.sample: horizon < 4";
-  if sources < 1 then invalid_arg "Generator.sample: sources < 1";
-  let rng = Prng.stream ~seed ~path:[ stream_tag; index ] in
+(* The common atom loop: draw up to [n_events] fault events, at most
+   one garble and one misperception, crash windows via [pick].  The
+   draw sequence on [rng] is exactly what [sample] always consumed, so
+   pre-topology plans are byte-identical. *)
+let sample_atoms rng ~budget ~horizon ~pick =
   let kinds =
     (if budget.g_garble then [ Garble ] else [])
     @ (if budget.g_misperceive then [ Misperceive ] else [])
     @ if budget.g_crash then [ Crash ] else []
   in
-  let pick () = List.nth kinds (Prng.int rng (List.length kinds)) in
+  let pick_kind () = List.nth kinds (Prng.int rng (List.length kinds)) in
   let n_events = 1 + Prng.int rng budget.g_max_events in
   let rec go i ~have_garble ~have_mp ~crashes acc =
     if i = n_events then acc
     else
-      match pick () with
+      match pick_kind () with
       | Garble when not have_garble ->
         go (i + 1) ~have_garble:true ~have_mp ~crashes
           (sample_garble rng ~max_rate:budget.g_max_rate :: acc)
@@ -141,7 +146,7 @@ let sample ~budget ~seed ~index ~horizon ~sources =
         go (i + 1) ~have_garble ~have_mp:true ~crashes
           (sample_misperception rng ~max_rate:budget.g_max_rate :: acc)
       | Crash -> (
-        match sample_crash rng ~budget ~horizon ~sources crashes with
+        match sample_crash rng ~budget ~horizon ~pick crashes with
         | Some w ->
           go (i + 1) ~have_garble ~have_mp ~crashes:(w :: crashes)
             ({ Fault_plan.none with sp_crashes = [ w ] } :: acc)
@@ -160,16 +165,131 @@ let sample ~budget ~seed ~index ~horizon ~sources =
         | Garble -> sample_garble rng ~max_rate:budget.g_max_rate
         | Misperceive -> sample_misperception rng ~max_rate:budget.g_max_rate
         | Crash -> (
-          match sample_crash rng ~budget ~horizon ~sources [] with
+          match sample_crash rng ~budget ~horizon ~pick [] with
           | Some w -> { Fault_plan.none with sp_crashes = [ w ] }
           | None -> sample_misperception rng ~max_rate:budget.g_max_rate));
       ]
     else atoms
   in
-  let spec = Fault_plan.merge atoms in
+  Fault_plan.merge atoms
+
+let sample ~budget ~seed ~index ~horizon ~sources =
+  check_budget budget;
+  if horizon < 4 then invalid_arg "Generator.sample: horizon < 4";
+  if sources < 1 then invalid_arg "Generator.sample: sources < 1";
+  let rng = Prng.stream ~seed ~path:[ stream_tag; index ] in
+  let spec =
+    sample_atoms rng ~budget ~horizon ~pick:(fun () -> Prng.int rng sources)
+  in
   match Fault_plan.validate ~horizon spec with
   | Ok () -> spec
   | Error e ->
     (* Unreachable by construction; fail loudly rather than feed the
        search an invalid plan. *)
     invalid_arg ("Generator.sample: internal: " ^ e)
+
+(* -------------------- topology plans -------------------- *)
+
+(* Disjoint stream family for per-segment topology plans; within one
+   candidate each segment draws from its own stream (path carries the
+   segment's declaration index). *)
+let topo_stream_tag = 0xC4A1
+
+let sample_topo ~budget ~seed ~index ~horizon topo =
+  check_budget budget;
+  if horizon < 4 then invalid_arg "Generator.sample_topo: horizon < 4";
+  if topo.Topo.tp_segments = [] then
+    invalid_arg "Generator.sample_topo: empty topology";
+  let bridge_stations_into name =
+    List.filter_map
+      (fun (b : Topo.bridge) ->
+        if b.Topo.br_to = name then Some b.Topo.br_station else None)
+      topo.Topo.tp_bridges
+  in
+  let stations_of (sg : Topo.segment) =
+    Array.of_list
+      (List.init sg.Topo.sg_instance.Instance.num_sources Fun.id
+      @ bridge_stations_into sg.Topo.sg_name)
+  in
+  let segment_plan rng sg =
+    let stations = stations_of sg in
+    sample_atoms rng ~budget ~horizon
+      ~pick:(fun () -> stations.(Prng.int rng (Array.length stations)))
+  in
+  let plans =
+    List.concat
+      (List.mapi
+         (fun i (sg : Topo.segment) ->
+           let rng = Prng.stream ~seed ~path:[ topo_stream_tag; index; i ] in
+           (* Each segment is hit with probability 1/2 — whole-federation
+              storms and single-segment plans both appear. *)
+           if not (Prng.bool rng) then []
+           else [ (sg.Topo.sg_name, segment_plan rng sg) ])
+         topo.Topo.tp_segments)
+  in
+  (* Guarantee every candidate exercises the failover machinery: at
+     least one crash window must park a bridge station (when the
+     topology has bridges at all). *)
+  let has_bridge_crash =
+    List.exists
+      (fun (name, sp) ->
+        let bs = bridge_stations_into name in
+        List.exists
+          (fun (w : Fault_plan.crash_window) ->
+            List.mem w.Fault_plan.cw_source bs)
+          sp.Fault_plan.sp_crashes)
+      plans
+  in
+  let plans =
+    if has_bridge_crash then plans
+    else
+      match
+        List.find_opt
+          (fun (sg : Topo.segment) ->
+            bridge_stations_into sg.Topo.sg_name <> [])
+          topo.Topo.tp_segments
+      with
+      | None ->
+        (* Bridge-less topology: just make sure the candidate is
+           non-empty. *)
+        if plans <> [] then plans
+        else
+          let sg = List.hd topo.Topo.tp_segments in
+          let rng = Prng.stream ~seed ~path:[ topo_stream_tag; index; 0xF0 ] in
+          [ (sg.Topo.sg_name, segment_plan rng sg) ]
+      | Some sg ->
+        let name = sg.Topo.sg_name in
+        let rng = Prng.stream ~seed ~path:[ topo_stream_tag; index; 0xB1 ] in
+        let bs = Array.of_list (bridge_stations_into name) in
+        let existing =
+          match List.assoc_opt name plans with
+          | Some sp -> sp.Fault_plan.sp_crashes
+          | None -> []
+        in
+        (match
+           sample_crash rng ~budget ~horizon
+             ~pick:(fun () -> bs.(Prng.int rng (Array.length bs)))
+             existing
+         with
+        | Some w ->
+          let atom = { Fault_plan.none with sp_crashes = [ w ] } in
+          if List.mem_assoc name plans then
+            List.map
+              (fun (n, p) ->
+                if n = name then (n, Fault_plan.compose p atom) else (n, p))
+              plans
+          else plans @ [ (name, atom) ]
+        | None ->
+          (* Only reachable when existing windows already blanket the
+             bridge station — the plan crashes it regardless. *)
+          plans)
+  in
+  List.iter
+    (fun (name, sp) ->
+      match Fault_plan.validate ~horizon sp with
+      | Ok () -> ()
+      | Error e ->
+        invalid_arg
+          (Printf.sprintf "Generator.sample_topo: internal (%s): %s" name e))
+    plans;
+  plans

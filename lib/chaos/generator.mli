@@ -48,3 +48,24 @@ val sample :
     event.
     @raise Invalid_argument if the budget is malformed (no family
     enabled, caps out of range) or [horizon]/[sources] are too small. *)
+
+val sample_topo :
+  budget:budget ->
+  seed:int ->
+  index:int ->
+  horizon:int ->
+  Rtnet_topology.Topo.t ->
+  (string * Rtnet_channel.Fault_plan.spec) list
+(** [sample_topo ~budget ~seed ~index ~horizon topo] draws candidate
+    [index]'s {e topology} fault schedule: per-segment plans (each
+    segment hit with probability 1/2, from its own PRNG stream — a
+    disjoint family from {!sample}'s) whose crash windows target that
+    segment's valid station set, {e including incoming bridge
+    stations}.  Every candidate is guaranteed at least one crash
+    window parking a bridge station (when the topology has bridges),
+    so the search always exercises bridge failover and degraded-mode
+    operation.  The result plugs into
+    {!Rtnet_topology.Topo.with_faults} and passes
+    {!Rtnet_topology.Topo.fault_errors} by construction.
+    @raise Invalid_argument on a malformed budget, [horizon < 4] or an
+    empty topology. *)

@@ -3,6 +3,7 @@ module Spec = Rtnet_campaign.Spec
 module Fault_plan = Rtnet_channel.Fault_plan
 module Oracle = Rtnet_analysis.Oracle
 module Ddcr_params = Rtnet_core.Ddcr_params
+module Topo = Rtnet_topology.Topo
 
 let ( let* ) = Result.bind
 
@@ -136,3 +137,138 @@ let replay t =
     rr_fingerprint_ok =
       String.equal report.Candidate.rp_fingerprint t.re_fingerprint;
   }
+
+(* -------------------- topology artifacts -------------------- *)
+
+let topo_schema_version = 1
+
+type topo = {
+  rt_config : Candidate.topo_config;
+  rt_plans : (string * Fault_plan.spec) list;
+  rt_trace_seed : int;
+  rt_fault_seed : int;
+  rt_verdict : Oracle.verdict;
+  rt_fingerprint : string;
+  rt_note : string;
+}
+
+let make_topo ~config ~candidate ~report ~note =
+  {
+    rt_config = config;
+    rt_plans = candidate.Candidate.td_plans;
+    rt_trace_seed = candidate.Candidate.td_trace_seed;
+    rt_fault_seed = candidate.Candidate.td_fault_seed;
+    rt_verdict = report.Candidate.rp_verdict;
+    rt_fingerprint = report.Candidate.rp_fingerprint;
+    rt_note = note;
+  }
+
+let topo_candidate t =
+  ( t.rt_config,
+    {
+      Candidate.td_plans = t.rt_plans;
+      td_trace_seed = t.rt_trace_seed;
+      td_fault_seed = t.rt_fault_seed;
+    } )
+
+let topo_to_json t =
+  Json.Obj
+    [
+      ("topo_chaos_repro_version", Json.Int topo_schema_version);
+      ("topology", Candidate.topo_config_to_json t.rt_config);
+      ( "plans",
+        Json.Obj
+          (List.map (fun (n, sp) -> (n, Fault_plan.spec_to_json sp)) t.rt_plans)
+      );
+      ("trace_seed", Json.Int t.rt_trace_seed);
+      ("fault_seed", Json.Int t.rt_fault_seed);
+      ("verdict", Oracle.to_json t.rt_verdict);
+      ("fingerprint", Json.String t.rt_fingerprint);
+      ("note", Json.String t.rt_note);
+    ]
+
+let topo_of_json j =
+  let* v = Result.bind (Json.field "topo_chaos_repro_version" j) Json.get_int in
+  if v <> topo_schema_version then
+    Error (Printf.sprintf "unsupported topo chaos repro version %d" v)
+  else
+    let* config =
+      Result.bind (Json.field "topology" j) Candidate.topo_config_of_json
+    in
+    let horizon = config.Candidate.tc_horizon_ms * 1_000_000 in
+    let* plans =
+      match Json.member "plans" j with
+      | Some (Json.Obj kvs) ->
+        let rec decode acc = function
+          | [] -> Ok (List.rev acc)
+          | (name, pj) :: tl ->
+            let* sp =
+              Result.map_error
+                (fun e -> Printf.sprintf "plans: %s: %s" name e)
+                (Fault_plan.spec_of_json pj)
+            in
+            let* () =
+              Result.map_error
+                (fun e -> Printf.sprintf "plans: %s: %s" name e)
+                (Fault_plan.validate ~horizon sp)
+            in
+            decode ((name, sp) :: acc) tl
+        in
+        decode [] kvs
+      | Some _ -> Error "plans: expected an object"
+      | None -> Error "missing plans"
+    in
+    (* The plan set must attach to the tree the config describes —
+       a renamed segment would otherwise fail only at replay time. *)
+    let* () =
+      match Topo.with_faults (Candidate.topo_tree config) plans with
+      | Ok _ -> Ok ()
+      | Error e -> Error ("plans: " ^ e)
+    in
+    let* trace_seed = Result.bind (Json.field "trace_seed" j) Json.get_int in
+    let* fault_seed = Result.bind (Json.field "fault_seed" j) Json.get_int in
+    let* verdict = Result.bind (Json.field "verdict" j) Oracle.of_json in
+    let* fingerprint = Result.bind (Json.field "fingerprint" j) Json.get_string in
+    let* note =
+      match Json.member "note" j with
+      | None -> Ok ""
+      | Some n -> Json.get_string n
+    in
+    Ok
+      {
+        rt_config = config;
+        rt_plans = plans;
+        rt_trace_seed = trace_seed;
+        rt_fault_seed = fault_seed;
+        rt_verdict = verdict;
+        rt_fingerprint = fingerprint;
+        rt_note = note;
+      }
+
+let save_topo ~path t = Json.to_file path (topo_to_json t)
+
+let load_topo ~path =
+  let* j = Json.parse_file path in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (topo_of_json j)
+
+let replay_topo t =
+  let config, td = topo_candidate t in
+  let report = Candidate.run_topo config td in
+  {
+    rr_report = report;
+    rr_verdict_ok = report.Candidate.rp_verdict = t.rt_verdict;
+    rr_fingerprint_ok =
+      String.equal report.Candidate.rp_fingerprint t.rt_fingerprint;
+  }
+
+(* -------------------- auto-detection -------------------- *)
+
+type any = Plain of t | Federated of topo
+
+let load_any ~path =
+  let* j = Json.parse_file path in
+  Result.map_error
+    (fun e -> Printf.sprintf "%s: %s" path e)
+    (match Json.member "topo_chaos_repro_version" j with
+    | Some _ -> Result.map (fun t -> Federated t) (topo_of_json j)
+    | None -> Result.map (fun t -> Plain t) (of_json j))

@@ -60,3 +60,53 @@ type replay = {
 val replay : t -> replay
 (** [replay t] re-executes the candidate with the frozen seeds and
     compares against the expectations. *)
+
+(** {1 Topology artifacts}
+
+    A federated-topology finding freezes the tree parameters, the
+    per-segment fault plans and the pinned seeds — everything
+    {!Candidate.run_topo} needs.  Its JSON carries the distinct
+    ["topo_chaos_repro_version"] key, so {!load_any} can dispatch a
+    file of either kind. *)
+
+val topo_schema_version : int
+(** The emitted (and only accepted) topology-artifact version (1). *)
+
+type topo = {
+  rt_config : Candidate.topo_config;
+  rt_plans : (string * Rtnet_channel.Fault_plan.spec) list;
+  rt_trace_seed : int;
+  rt_fault_seed : int;
+  rt_verdict : Rtnet_analysis.Oracle.verdict;
+  rt_fingerprint : string;
+  rt_note : string;
+}
+
+val make_topo :
+  config:Candidate.topo_config ->
+  candidate:Candidate.topo ->
+  report:Candidate.report ->
+  note:string ->
+  topo
+
+val topo_candidate : topo -> Candidate.topo_config * Candidate.topo
+val topo_to_json : topo -> Rtnet_util.Json.t
+
+val topo_of_json : Rtnet_util.Json.t -> (topo, string) result
+(** Decodes and validates: schema version, per-plan
+    {!Rtnet_channel.Fault_plan.validate} against the horizon, and
+    that every plan attaches to a segment of the described tree. *)
+
+val save_topo : path:string -> topo -> unit
+val load_topo : path:string -> (topo, string) result
+
+val replay_topo : topo -> replay
+(** [replay_topo t] re-executes the federated run with the frozen
+    seeds; same verdict + fingerprint contract as {!replay}. *)
+
+type any = Plain of t | Federated of topo
+
+val load_any : path:string -> (any, string) result
+(** [load_any ~path] loads an artifact of either kind, dispatching on
+    the version key — [ddcr_chaos replay] and [shrink] take whichever
+    file they are handed. *)

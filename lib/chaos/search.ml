@@ -144,31 +144,25 @@ type result = {
   r_exhausted : bool;
 }
 
-let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
+(* Shared supervised pool loop: execute [task] over the indexed
+   candidate array, classify completions with [Oracle.is_failure],
+   and collect failures as (index, report) pairs — the plain and
+   topology searches only differ in the candidate type, which this
+   driver never inspects. *)
+let drive ?registry ~sink ~log ~jobs ~watchdog_s ~retries ~backoff_s
+    ~wall_budget_s ~count:n ~task candidates =
   let count key = Option.iter (fun r -> Registry.incr r key) registry in
   let t0 = Unix.gettimeofday () in
   let should_stop () =
-    match config.s_wall_budget_s with
+    match wall_budget_s with
     | None -> false
     | Some b -> Unix.gettimeofday () -. t0 >= b
   in
   let stopped_early = ref false in
-  let candidates =
-    Array.init config.s_count (fun i -> (i, candidate_of config i))
-  in
-  let findings = ref [] in
+  let failures = ref [] in
   let task_errors = ref [] in
   let gave_up = ref [] in
   let examined = ref 0 in
-  let task (i, cd) =
-    (match config.s_hang_ms with
-    | Some ms when i = 0 ->
-      (* Deliberate hang, used by the watchdog tests: sleep far past
-         any sensible watchdog so the kill path is exercised. *)
-      Unix.sleepf (float_of_int ms /. 1000.)
-    | _ -> ());
-    Candidate.run config.s_candidate cd
-  in
   let on_event = function
     | Pool.Completed (pos, timing, report) ->
       incr examined;
@@ -179,10 +173,7 @@ let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
         ~t0:timing.Pool.t0 ~t1:timing.Pool.t1 ~ok;
       if not ok then begin
         count "chaos/findings";
-        let _, cd = candidates.(pos) in
-        findings :=
-          { fi_index = pos; fi_candidate = cd; fi_report = report }
-          :: !findings;
+        failures := (pos, report) :: !failures;
         log
           (Printf.sprintf "candidate %d: %s" pos
              (Oracle.describe report.Candidate.rp_verdict))
@@ -212,8 +203,7 @@ let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
            position attempts (Pool.reason_text reason))
   in
   let launched =
-    Pool.supervise ~jobs:config.s_jobs ?watchdog_s:config.s_watchdog_s
-      ~retries:config.s_retries ~backoff_s:config.s_backoff_s
+    Pool.supervise ~jobs ?watchdog_s ~retries ~backoff_s
       ~on_retry:(fun ~position ~attempt ~reason ->
         count "chaos/retries";
         log
@@ -229,10 +219,118 @@ let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
   in
   ignore launched;
   let by f l = List.sort (fun a b -> compare (f a) (f b)) l in
+  ( !examined,
+    by fst !failures,
+    by fst !task_errors,
+    by (fun g -> g.gu_index) !gave_up,
+    !stopped_early || !examined < n )
+
+let run ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ()) config =
+  let candidates =
+    Array.init config.s_count (fun i -> (i, candidate_of config i))
+  in
+  let task (i, cd) =
+    (match config.s_hang_ms with
+    | Some ms when i = 0 ->
+      (* Deliberate hang, used by the watchdog tests: sleep far past
+         any sensible watchdog so the kill path is exercised. *)
+      Unix.sleepf (float_of_int ms /. 1000.)
+    | _ -> ());
+    Candidate.run config.s_candidate cd
+  in
+  let examined, failures, task_errors, gave_up, exhausted =
+    drive ?registry ~sink ~log ~jobs:config.s_jobs
+      ~watchdog_s:config.s_watchdog_s ~retries:config.s_retries
+      ~backoff_s:config.s_backoff_s ~wall_budget_s:config.s_wall_budget_s
+      ~count:config.s_count ~task candidates
+  in
   {
-    r_examined = !examined;
-    r_findings = by (fun f -> f.fi_index) !findings;
-    r_task_errors = by fst !task_errors;
-    r_gave_up = by (fun g -> g.gu_index) !gave_up;
-    r_exhausted = !stopped_early || !examined < config.s_count;
+    r_examined = examined;
+    r_findings =
+      List.map
+        (fun (pos, report) ->
+          { fi_index = pos; fi_candidate = snd candidates.(pos); fi_report = report })
+        failures;
+    r_task_errors = task_errors;
+    r_gave_up = gave_up;
+    r_exhausted = exhausted;
+  }
+
+(* -------------------- topology search -------------------- *)
+
+type topo_config = {
+  t_candidate : Candidate.topo_config;
+  t_seed : int;
+  t_count : int;
+  t_budget : Generator.budget;
+  t_jobs : int;
+  t_watchdog_s : float option;
+  t_retries : int;
+  t_backoff_s : float;
+  t_wall_budget_s : float option;
+}
+
+let default_topo_config candidate =
+  {
+    t_candidate = candidate;
+    t_seed = 1;
+    t_count = 64;
+    t_budget = Generator.default_budget;
+    t_jobs = 2;
+    t_watchdog_s = Some 30.;
+    t_retries = 1;
+    t_backoff_s = 0.1;
+    t_wall_budget_s = None;
+  }
+
+(* Same derive chains as the plain search: plans from the generator's
+   (disjoint) topo stream family, per-index trace/fault seeds from
+   branches 1 and 2 of the root. *)
+let topo_candidate_of config i =
+  let horizon = config.t_candidate.Candidate.tc_horizon_ms * 1_000_000 in
+  let topo = Candidate.topo_tree config.t_candidate in
+  {
+    Candidate.td_plans =
+      Generator.sample_topo ~budget:config.t_budget ~seed:config.t_seed
+        ~index:i ~horizon topo;
+    td_trace_seed = Prng.derive (Prng.derive config.t_seed 1) i;
+    td_fault_seed = Prng.derive (Prng.derive config.t_seed 2) i;
+  }
+
+type topo_finding = {
+  tf_index : int;
+  tf_candidate : Candidate.topo;
+  tf_report : Candidate.report;
+}
+
+type topo_result = {
+  tr_examined : int;
+  tr_findings : topo_finding list;
+  tr_task_errors : (int * string) list;
+  tr_gave_up : gave_up list;
+  tr_exhausted : bool;
+}
+
+let run_topo ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ())
+    config =
+  let candidates =
+    Array.init config.t_count (fun i -> (i, topo_candidate_of config i))
+  in
+  let task (_, td) = Candidate.run_topo config.t_candidate td in
+  let examined, failures, task_errors, gave_up, exhausted =
+    drive ?registry ~sink ~log ~jobs:config.t_jobs
+      ~watchdog_s:config.t_watchdog_s ~retries:config.t_retries
+      ~backoff_s:config.t_backoff_s ~wall_budget_s:config.t_wall_budget_s
+      ~count:config.t_count ~task candidates
+  in
+  {
+    tr_examined = examined;
+    tr_findings =
+      List.map
+        (fun (pos, report) ->
+          { tf_index = pos; tf_candidate = snd candidates.(pos); tf_report = report })
+        failures;
+    tr_task_errors = task_errors;
+    tr_gave_up = gave_up;
+    tr_exhausted = exhausted;
   }

@@ -80,3 +80,57 @@ val run :
     timeline, Perfetto-exportable via
     {!Rtnet_telemetry.Recorder}); [log] receives one progress line
     per notable event. *)
+
+(** {1 Topology search}
+
+    The same supervised loop over {e federated-topology} candidates:
+    per-segment fault plans from {!Generator.sample_topo}, executed
+    through {!Candidate.run_topo} and classified with the end-to-end
+    oracle verdicts — this is how [ddcr_chaos] hunts
+    accept-then-violate bugs of the admission layer (topologies the
+    checker admits that a bridge crash then makes miss, shed or
+    drop). *)
+
+type topo_config = {
+  t_candidate : Candidate.topo_config;
+  t_seed : int;
+  t_count : int;
+  t_budget : Generator.budget;
+  t_jobs : int;
+  t_watchdog_s : float option;
+  t_retries : int;
+  t_backoff_s : float;
+  t_wall_budget_s : float option;
+}
+
+val default_topo_config : Candidate.topo_config -> topo_config
+(** Same defaults as {!default_config}: 64 candidates, default
+    budget, 2 jobs, 30 s watchdog, 1 retry, 0.1 s backoff. *)
+
+val topo_candidate_of : topo_config -> int -> Candidate.topo
+(** [topo_candidate_of config i] is topology candidate [i] — a pure
+    function of [(config, i)], like {!candidate_of}. *)
+
+type topo_finding = {
+  tf_index : int;
+  tf_candidate : Candidate.topo;
+  tf_report : Candidate.report;
+}
+
+type topo_result = {
+  tr_examined : int;
+  tr_findings : topo_finding list;
+  tr_task_errors : (int * string) list;
+  tr_gave_up : gave_up list;
+  tr_exhausted : bool;
+}
+
+val run_topo :
+  ?registry:Rtnet_telemetry.Registry.t ->
+  ?sink:Rtnet_telemetry.Sink.t ->
+  ?log:(string -> unit) ->
+  topo_config ->
+  topo_result
+(** [run_topo config] is {!run} over topology candidates: same pool
+    supervision, same counters and probes, findings carrying the
+    per-segment plans. *)

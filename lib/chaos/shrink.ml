@@ -109,3 +109,61 @@ let run ~oracle ~target plan =
     let sp = weaken_severities check sp in
     { sh_plan = sp; sh_verdict = oracle sp; sh_checks = !checks }
   end
+
+(* -------------------- topology plans -------------------- *)
+
+type topo_result = {
+  st_plans : (string * Fault_plan.spec) list;
+  st_verdict : Oracle.verdict;
+  st_checks : int;
+}
+
+let run_topo ~oracle ~target plans =
+  let checks = ref 0 in
+  (* ddmin works over (segment, atom) pairs; rebuilding preserves the
+     original segment order so the minimized plan set composes onto
+     the topology deterministically. *)
+  let order = List.map fst plans in
+  let rebuild pairs =
+    List.filter_map
+      (fun seg ->
+        match
+          List.filter_map (fun (s, a) -> if s = seg then Some a else None) pairs
+        with
+        | [] -> None
+        | atoms -> Some (seg, Fault_plan.merge atoms))
+      order
+  in
+  let check_pairs pairs =
+    pairs <> []
+    && (incr checks;
+        Oracle.same_class (oracle (rebuild pairs)) target)
+  in
+  let all_pairs =
+    List.concat_map
+      (fun (seg, sp) -> List.map (fun a -> (seg, a)) (Fault_plan.atoms sp))
+      plans
+  in
+  if not (check_pairs all_pairs) then
+    { st_plans = plans; st_verdict = oracle plans; st_checks = !checks }
+  else begin
+    let pairs = ddmin check_pairs all_pairs in
+    let cur = ref (rebuild pairs) in
+    let with_seg seg sp =
+      List.map (fun (s, sp0) -> if s = seg then (s, sp) else (s, sp0)) !cur
+    in
+    (* Per-segment window narrowing and severity weakening, each
+       candidate mutation re-checked against the whole plan set. *)
+    List.iter
+      (fun (seg, _) ->
+        let check_sp sp' =
+          (not (Fault_plan.is_empty sp'))
+          && (incr checks;
+              Oracle.same_class (oracle (with_seg seg sp')) target)
+        in
+        let sp' = narrow_windows check_sp (List.assoc seg !cur) in
+        let sp' = weaken_severities check_sp sp' in
+        cur := with_seg seg sp')
+      !cur;
+    { st_plans = !cur; st_verdict = oracle !cur; st_checks = !checks }
+  end

@@ -34,3 +34,25 @@ val run :
     [target] is the verdict to preserve.  If [plan] itself does not
     reproduce [target]'s class under [oracle], it is returned
     unchanged with [sh_checks = 1]. *)
+
+type topo_result = {
+  st_plans : (string * Rtnet_channel.Fault_plan.spec) list;
+      (** the minimized per-segment plan set (segments whose plan
+          shrank to nothing are removed) *)
+  st_verdict : Rtnet_analysis.Oracle.verdict;
+  st_checks : int;
+}
+
+val run_topo :
+  oracle:
+    ((string * Rtnet_channel.Fault_plan.spec) list ->
+    Rtnet_analysis.Oracle.verdict) ->
+  target:Rtnet_analysis.Oracle.verdict ->
+  (string * Rtnet_channel.Fault_plan.spec) list ->
+  topo_result
+(** [run_topo ~oracle ~target plans] minimizes a topology fault
+    schedule: ddmin over the {e union} of (segment, fault-event)
+    pairs — so a whole-federation storm shrinks down to the one
+    segment (typically the one bridge crash) that carries the verdict
+    — followed by per-segment crash-window narrowing and severity
+    weakening, every mutation re-checked against the full plan set. *)

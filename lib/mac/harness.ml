@@ -119,6 +119,12 @@ let run ~protocol ?fault ?plan ?(analyze = true) ?(sink = Sink.null)
     let rec go = function
       | m :: rest when m.Message.arrival <= now ->
         let s = m.Message.cls.Message.cls_source in
+        if s < 0 || s >= num_sources then
+          failwith
+            (Printf.sprintf
+               "harness: arrival for unknown source %d (instance has %d \
+                sources)"
+               s num_sources);
         queues.(s) <- Edf_queue.insert queues.(s) m;
         if telemetry then sink.Sink.enqueue ~now ~msg:m;
         go rest

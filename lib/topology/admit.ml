@@ -168,7 +168,7 @@ let class_report priced seg cls_id =
     rep.Feasibility.per_class
 
 let elaborate ?(policy = Decompose.Proportional) topo =
-  match Topo.route_errors topo with
+  match Topo.route_errors topo @ Topo.fault_errors topo with
   | _ :: _ as errs -> Error (String.concat "; " errs)
   | [] -> (
     match (Topo.toposort topo, Topo.levels topo) with

@@ -73,7 +73,8 @@ val elaborate :
 (** [elaborate topo] runs both passes under [policy] (default
     {!Rtnet_core.Decompose.Proportional}).  Errors on structural
     problems that preclude elaboration entirely — routing errors
-    ({!Topo.route_errors}) or a cyclic bridge graph; admission
+    ({!Topo.route_errors}), malformed per-segment fault plans
+    ({!Topo.fault_errors}) or a cyclic bridge graph; admission
     {e failures} are not errors (inspect [e_admitted] / [ef_admitted],
     the driver can still simulate a rejected topology to observe the
     predicted misses). *)

@@ -24,11 +24,23 @@ type verdict = {
   bv_utilization : float;  (** queue demand per unit time, [Σ a·l'/w] *)
   bv_feasible : bool;  (** NP-EDF demand-bound test passed *)
   bv_margin : float;  (** worst checkpoint ratio; [<= 1] iff feasible *)
+  bv_crash_window : int;
+      (** longest scheduled outage of the bridge station accounted for
+          (0 unless [~fault_aware] and the downstream segment's plan
+          crashes the station) *)
 }
 
-val check : Admit.t -> verdict list
+val check : ?fault_aware:bool -> Admit.t -> verdict list
 (** [check e] runs the oracle for every bridge of the elaborated
     topology, in declaration order.  A bridge no flow crosses is
-    trivially feasible ([bv_classes = 0], zero utilization). *)
+    trivially feasible ([bv_classes = 0], zero utilization).
+
+    With [~fault_aware:true], each bridge's worst scheduled crash
+    window [W] (per the downstream segment's fault plan, see
+    {!Topo.segment.sg_fault}) is deducted from every forwarded class's
+    deadline before the NP-EDF test: a queue that only keeps up when
+    never interrupted is not admissible under the planned outage.  A
+    class whose deadline [W] swallows entirely is reported infeasible
+    with infinite margin. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

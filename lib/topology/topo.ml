@@ -2,6 +2,7 @@ module Instance = Rtnet_workload.Instance
 module Scenarios = Rtnet_workload.Scenarios
 module Json = Rtnet_util.Json
 module Multi_bus = Rtnet_core.Multi_bus
+module Fault_plan = Rtnet_channel.Fault_plan
 
 type workload = {
   wk_kind : string;
@@ -14,6 +15,7 @@ type segment = {
   sg_name : string;
   sg_instance : Instance.t;
   sg_workload : workload option;
+  sg_fault : Fault_plan.spec option;
 }
 
 type bridge = {
@@ -22,9 +24,17 @@ type bridge = {
   br_to : string;
   br_station : int;
   br_latency : int;
+  br_capacity : int;
 }
 
-type flow = { fl_name : string; fl_cls : int; fl_path : string list }
+type flow = {
+  fl_name : string;
+  fl_cls : int;
+  fl_path : string list;
+  fl_criticality : int;
+}
+
+let default_capacity = 64
 
 type t = {
   tp_name : string;
@@ -60,7 +70,13 @@ let segment_of_workload ~name wk =
   match workload_instance wk with
   | Error e -> Error (Printf.sprintf "segment %s: %s" name e)
   | Ok inst ->
-    Ok { sg_name = name; sg_instance = relabel ~name inst; sg_workload = Some wk }
+    Ok
+      {
+        sg_name = name;
+        sg_instance = relabel ~name inst;
+        sg_workload = Some wk;
+        sg_fault = None;
+      }
 
 let rec dup = function
   | [] -> None
@@ -90,14 +106,15 @@ let create ~name ~segments ~bridges ~flows =
                   (not (List.mem b.br_from seg_names))
                   || (not (List.mem b.br_to seg_names))
                   || b.br_from = b.br_to || b.br_station < 0
-                  || b.br_latency < 0)
+                  || b.br_latency < 0 || b.br_capacity < 1)
                 bridges
             in
             (match bad with
             | Some b ->
               err
                 "bridge %s is malformed (endpoints must name distinct \
-                 existing segments, station and latency must be >= 0)"
+                 existing segments, station and latency must be >= 0, \
+                 capacity >= 1)"
                 b.br_name
             | None ->
               Ok
@@ -263,6 +280,7 @@ let tree ~name ~segments ~fanout ~sources ~load ~deadline_windows
           br_to = seg_name p;
           br_station = sources + ordinal;
           br_latency = bridge_latency;
+          br_capacity = default_capacity;
         })
   in
   let flows =
@@ -273,6 +291,7 @@ let tree ~name ~segments ~fanout ~sources ~load ~deadline_windows
           fl_name = Printf.sprintf "flow%d" i;
           fl_cls = 0;
           fl_path = path i [];
+          fl_criticality = 0;
         })
   in
   create_exn ~name ~segments:segs ~bridges ~flows
@@ -281,10 +300,74 @@ let of_assignment ~name (a : Multi_bus.assignment) =
   let segments =
     List.map
       (fun inst ->
-        { sg_name = inst.Instance.name; sg_instance = inst; sg_workload = None })
+        {
+          sg_name = inst.Instance.name;
+          sg_instance = inst;
+          sg_workload = None;
+          sg_fault = None;
+        })
       (Array.to_list a.Multi_bus.buses)
   in
   create_exn ~name ~segments ~bridges:[] ~flows:[]
+
+(* Per-segment fault plans.  A plan's crash-window sources must name a
+   station that exists on its segment: a declared traffic source, or an
+   incoming bridge's station (which the elaboration adds when it is
+   [>= num_sources]).  Anything else is a spec bug — caught here (and
+   surfaced by the CFG-TOPO-FAULT lint) rather than silently simulating
+   the crash of a station nobody listens to. *)
+let with_faults t plans =
+  let seg_names = List.map (fun s -> s.sg_name) t.tp_segments in
+  match List.find_opt (fun (n, _) -> not (List.mem n seg_names)) plans with
+  | Some (n, _) -> Error (Printf.sprintf "fault plan names unknown segment %S" n)
+  | None ->
+    let segments =
+      List.map
+        (fun s ->
+          match List.assoc_opt s.sg_name plans with
+          | None -> s
+          | Some sp ->
+            let sp =
+              match s.sg_fault with
+              | None -> sp
+              | Some prev -> Fault_plan.compose prev sp
+            in
+            { s with sg_fault = Some sp })
+        t.tp_segments
+    in
+    Ok { t with tp_segments = segments }
+
+let fault_errors t =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun s ->
+      match s.sg_fault with
+      | None -> ()
+      | Some sp ->
+        (match Fault_plan.validate sp with
+        | Ok () -> ()
+        | Error e -> add "segment %s: invalid fault plan: %s" s.sg_name e);
+        let num_sources = s.sg_instance.Instance.num_sources in
+        let stations =
+          List.filter_map
+            (fun b -> if b.br_to = s.sg_name then Some b.br_station else None)
+            t.tp_bridges
+        in
+        List.iter
+          (fun w ->
+            let src = w.Fault_plan.cw_source in
+            if
+              (src < 0 || src >= num_sources) && not (List.mem src stations)
+            then
+              add
+                "segment %s: crash window names station %d, which is \
+                 neither a declared source (0..%d) nor an incoming bridge \
+                 station"
+                s.sg_name src (num_sources - 1))
+          sp.Fault_plan.sp_crashes)
+    t.tp_segments;
+  List.rev !errs
 
 (* JSON spec codec.  Canonical key order; floats only where the value
    is genuinely fractional, so specs round-trip byte-identically. *)
@@ -321,10 +404,16 @@ let to_json t =
         | Some wk ->
           Ok
             (Json.Obj
-               [
-                 ("name", Json.String s.sg_name);
-                 ("workload", workload_to_json wk);
-               ]
+               ([
+                  ("name", Json.String s.sg_name);
+                  ("workload", workload_to_json wk);
+                ]
+               (* Emitted only when set, so pre-fault specs (and the
+                  campaign hashes derived from them) stay byte-identical. *)
+               @
+               match s.sg_fault with
+               | None -> []
+               | Some sp -> [ ("fault_plan", Fault_plan.spec_to_json sp) ])
             :: acc))
       (Ok []) t.tp_segments
   in
@@ -338,26 +427,32 @@ let to_json t =
              (List.map
                 (fun b ->
                   Json.Obj
-                    [
-                      ("name", Json.String b.br_name);
-                      ("from", Json.String b.br_from);
-                      ("to", Json.String b.br_to);
-                      ("station", Json.Int b.br_station);
-                      ("latency", Json.Int b.br_latency);
-                    ])
+                    ([
+                       ("name", Json.String b.br_name);
+                       ("from", Json.String b.br_from);
+                       ("to", Json.String b.br_to);
+                       ("station", Json.Int b.br_station);
+                       ("latency", Json.Int b.br_latency);
+                     ]
+                    @
+                    if b.br_capacity = default_capacity then []
+                    else [ ("capacity", Json.Int b.br_capacity) ]))
                 t.tp_bridges) );
          ( "flows",
            Json.List
              (List.map
                 (fun f ->
                   Json.Obj
-                    [
-                      ("name", Json.String f.fl_name);
-                      ("class", Json.Int f.fl_cls);
-                      ( "path",
-                        Json.List
-                          (List.map (fun s -> Json.String s) f.fl_path) );
-                    ])
+                    ([
+                       ("name", Json.String f.fl_name);
+                       ("class", Json.Int f.fl_cls);
+                       ( "path",
+                         Json.List
+                           (List.map (fun s -> Json.String s) f.fl_path) );
+                     ]
+                    @
+                    if f.fl_criticality = 0 then []
+                    else [ ("criticality", Json.Int f.fl_criticality) ]))
                 t.tp_flows) );
        ])
 
@@ -373,7 +468,16 @@ let of_json j =
         let* wj = Json.field "workload" sj in
         let* wk = workload_of_json wj in
         let* seg = segment_of_workload ~name:sname wk in
-        Ok (seg :: acc))
+        let* fault =
+          match Json.member "fault_plan" sj with
+          | None -> Ok None
+          | Some fj -> (
+            match Fault_plan.spec_of_json fj with
+            | Ok sp -> Ok (Some sp)
+            | Error e ->
+              Error (Printf.sprintf "segment %s: fault_plan: %s" sname e))
+        in
+        Ok ({ seg with sg_fault = fault } :: acc))
       (Ok []) seg_list
   in
   let* bridge_list =
@@ -390,6 +494,11 @@ let of_json j =
         let* to_ = Result.bind (Json.field "to" bj) Json.get_string in
         let* station = Result.bind (Json.field "station" bj) Json.get_int in
         let* latency = Result.bind (Json.field "latency" bj) Json.get_int in
+        let* capacity =
+          match Json.member "capacity" bj with
+          | None -> Ok default_capacity
+          | Some cj -> Json.get_int cj
+        in
         Ok
           ({
              br_name = bname;
@@ -397,6 +506,7 @@ let of_json j =
              br_to = to_;
              br_station = station;
              br_latency = latency;
+             br_capacity = capacity;
            }
           :: acc))
       (Ok []) bridge_list
@@ -421,8 +531,19 @@ let of_json j =
               Ok (s :: acc))
             (Ok []) pathj
         in
+        let* criticality =
+          match Json.member "criticality" fj with
+          | None -> Ok 0
+          | Some cj -> Json.get_int cj
+        in
         Ok
-          ({ fl_name = fname; fl_cls = cls; fl_path = List.rev path } :: acc))
+          ({
+             fl_name = fname;
+             fl_cls = cls;
+             fl_path = List.rev path;
+             fl_criticality = criticality;
+           }
+          :: acc))
       (Ok []) flow_list
   in
   create ~name ~segments:(List.rev segments) ~bridges:(List.rev bridges)
@@ -441,9 +562,12 @@ let pp fmt t =
     (List.length t.tp_flows);
   List.iter
     (fun s ->
-      Format.fprintf fmt "  segment %s: %d sources, %d classes@," s.sg_name
+      Format.fprintf fmt "  segment %s: %d sources, %d classes%s@," s.sg_name
         s.sg_instance.Instance.num_sources
-        (Array.length s.sg_instance.Instance.classes))
+        (Array.length s.sg_instance.Instance.classes)
+        (match s.sg_fault with
+        | None -> ""
+        | Some sp -> Printf.sprintf " (faults: %s)" (Fault_plan.label sp)))
     t.tp_segments;
   List.iter
     (fun b ->

@@ -43,6 +43,13 @@ type segment = {
   sg_workload : workload option;
       (** the descriptor the instance was built from, when it was —
           required to serialize the topology back to JSON *)
+  sg_fault : Rtnet_channel.Fault_plan.spec option;
+      (** the segment's fault plan, if any: garbling, misperception and
+          crash windows local to this broadcast medium.  A crash window
+          naming a bridge's [br_station] models that {e bridge} going
+          down (see {!fault_errors}).  Sampler seeds are derived
+          protocol-blind by the driver from the run seed and the
+          segment's declaration index. *)
 }
 
 type bridge = {
@@ -54,6 +61,11 @@ type bridge = {
           station when [>= num_sources] (the elaborated instance
           grows), or a double-duty existing one *)
   br_latency : int;  (** fixed store-and-forward delay, bit-times *)
+  br_capacity : int;
+      (** store-and-forward queue depth, messages ([>= 1], default 64).
+          While the bridge is crashed the queue stops draining; held
+          messages beyond this bound are dropped oldest-past-deadline
+          first and surface as a [Bridge_overflow] verdict. *)
 }
 
 type flow = {
@@ -62,7 +74,16 @@ type flow = {
   fl_path : string list;
       (** hop path, at least 2 segment names; consecutive hops must be
           joined by a bridge *)
+  fl_criticality : int;
+      (** shedding priority under degraded-mode operation: when a
+          revived bridge's backlog cannot be re-decomposed feasibly,
+          flows are shed lowest-criticality-first (default 0) *)
 }
+
+val default_capacity : int
+(** Default [br_capacity] (64 messages); the JSON codec omits the
+    [capacity] key at this value so pre-fault specs round-trip
+    byte-identically. *)
 
 type t = {
   tp_name : string;
@@ -124,6 +145,22 @@ val route_errors : t -> string list
     consecutive hop pair, an existing origin class, and no two flows
     sharing an origin class.  Returns one message per problem (empty =
     routable). *)
+
+val with_faults :
+  t -> (string * Rtnet_channel.Fault_plan.spec) list -> (t, string) result
+(** [with_faults t plans] attaches each [(segment, spec)] to its
+    segment, {!Rtnet_channel.Fault_plan.compose}-overlaying onto any
+    plan already present.  [Error] if a pair names an unknown segment.
+    Station validity is {e not} checked here — see {!fault_errors}. *)
+
+val fault_errors : t -> string list
+(** [fault_errors t] checks every segment's fault plan: the spec itself
+    must {!Rtnet_channel.Fault_plan.validate}, and each crash window's
+    [cw_source] must be a station that exists on that segment — a
+    declared source or an incoming bridge's [br_station].  One message
+    per problem (empty = fault-clean), mirroring {!route_errors};
+    surfaced as CFG-TOPO-FAULT by the lint and rejected by
+    [Admit.elaborate]. *)
 
 val aggregate_sources : t -> int
 (** Total stations across segments (bridge stations not counted

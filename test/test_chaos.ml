@@ -10,6 +10,7 @@
 
 module Json = Rtnet_util.Json
 module Fault_plan = Rtnet_channel.Fault_plan
+module Topo = Rtnet_topology.Topo
 module Spec = Rtnet_campaign.Spec
 module Oracle = Rtnet_analysis.Oracle
 module Generator = Rtnet_chaos.Generator
@@ -409,6 +410,193 @@ let test_soak_collects_deduped_repros () =
           | Error e -> Alcotest.fail e)
         res.Soak.so_repro_paths)
 
+(* -------------------- federated (topology) chaos -------------------- *)
+
+let topo_fixture = Filename.concat "fixtures" "topo_chaos_repro_min.json"
+
+let topo_config =
+  { Candidate.tc_segments = 3; tc_fanout = 2; tc_sources = 4; tc_load = 0.3;
+    tc_deadline_windows = 8.0; tc_horizon_ms = 5 }
+
+let plans_bytes plans =
+  String.concat ";" (List.map (fun (n, sp) -> n ^ "=" ^ plan_bytes sp) plans)
+
+let test_sample_topo_deterministic_and_targeted () =
+  let topo = Candidate.topo_tree topo_config in
+  let horizon = topo_config.Candidate.tc_horizon_ms * 1_000_000 in
+  let sample i =
+    Generator.sample_topo ~budget:Generator.default_budget ~seed:5 ~index:i
+      ~horizon topo
+  in
+  Alcotest.(check string) "pure function of (seed, index)"
+    (plans_bytes (sample 3))
+    (plans_bytes (sample 3));
+  Alcotest.(check bool) "different indices draw different plans" true
+    (plans_bytes (sample 3) <> plans_bytes (sample 4)
+    || plans_bytes (sample 5) <> plans_bytes (sample 6));
+  for i = 0 to 15 do
+    let plans = sample i in
+    List.iter
+      (fun (seg, sp) ->
+        Alcotest.(check bool) "plan targets a known segment" true
+          (Topo.find_segment topo seg <> None);
+        match Fault_plan.validate ~horizon sp with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e)
+      plans;
+    (* The tentpole guarantee: a non-empty federated plan always
+       exercises bridge failover — at least one crash window parks an
+       incoming bridge station. *)
+    if plans <> [] then
+      Alcotest.(check bool)
+        (Printf.sprintf "sample %d crashes a bridge station" i)
+        true
+        (List.exists
+           (fun (seg, sp) ->
+             List.exists
+               (fun cw ->
+                 List.exists
+                   (fun b ->
+                     b.Topo.br_to = seg
+                     && b.Topo.br_station = cw.Fault_plan.cw_source)
+                   topo.Topo.tp_bridges)
+               sp.Fault_plan.sp_crashes)
+           plans)
+  done
+
+let load_topo_fixture () =
+  match Repro.load_topo ~path:topo_fixture with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_run_topo_deterministic_and_classified () =
+  let repro = load_topo_fixture () in
+  let config, td = Repro.topo_candidate repro in
+  let r1 = Candidate.run_topo config td in
+  let r2 = Candidate.run_topo config td in
+  Alcotest.(check string) "same candidate, same fingerprint"
+    r1.Candidate.rp_fingerprint r2.Candidate.rp_fingerprint;
+  Alcotest.(check bool) "verdict matches the frozen one" true
+    (Oracle.same_class r1.Candidate.rp_verdict repro.Repro.rt_verdict);
+  match r1.Candidate.rp_verdict with
+  | Oracle.Handoff_loss { bridge; chains } ->
+    Alcotest.(check string) "shed at the crashed bridge" "br2" bridge;
+    Alcotest.(check bool) "chains counted" true (chains > 0)
+  | v -> Alcotest.fail ("expected a hand-off loss, got " ^ Oracle.label v)
+
+let test_topo_repro_replay_and_load_any () =
+  let repro = load_topo_fixture () in
+  let r = Repro.replay_topo repro in
+  Alcotest.(check bool) "verdict reproduces" true r.Repro.rr_verdict_ok;
+  Alcotest.(check bool) "fingerprint reproduces" true r.Repro.rr_fingerprint_ok;
+  (* Tampering with the frozen fault plan must be caught: without the
+     bridge crash the run passes, which matches neither the expected
+     verdict nor the expected fingerprint. *)
+  let tampered = { repro with Repro.rt_plans = [] } in
+  let r = Repro.replay_topo tampered in
+  Alcotest.(check bool) "tampered plan detected" false
+    (r.Repro.rr_verdict_ok && r.Repro.rr_fingerprint_ok);
+  (* load_any dispatches on the version key, for both kinds. *)
+  (match Repro.load_any ~path:topo_fixture with
+  | Ok (Repro.Federated _) -> ()
+  | Ok (Repro.Plain _) -> Alcotest.fail "topo artifact loaded as plain"
+  | Error e -> Alcotest.fail e);
+  let f = four_event_finding () in
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "plain.json" in
+      Repro.save ~path
+        (Repro.make ~config:smoke_candidate ~candidate:f.Search.fi_candidate
+           ~report:f.Search.fi_report ~note:"");
+      match Repro.load_any ~path with
+      | Ok (Repro.Plain _) -> ()
+      | Ok (Repro.Federated _) -> Alcotest.fail "plain artifact loaded as topo"
+      | Error e -> Alcotest.fail e)
+
+let test_shrink_topo_preserves_class () =
+  let repro = load_topo_fixture () in
+  let config, td = Repro.topo_candidate repro in
+  let oracle plans =
+    (Candidate.run_topo config { td with Candidate.td_plans = plans })
+      .Candidate.rp_verdict
+  in
+  let res =
+    Shrink.run_topo ~oracle ~target:repro.Repro.rt_verdict repro.Repro.rt_plans
+  in
+  Alcotest.(check bool) "verdict class preserved" true
+    (Oracle.same_class res.Shrink.st_verdict repro.Repro.rt_verdict);
+  Alcotest.(check bool) "oracle consulted" true (res.Shrink.st_checks > 0);
+  let events plans =
+    List.fold_left (fun a (_, sp) -> a + Fault_plan.event_count sp) 0 plans
+  in
+  Alcotest.(check bool) "never grows" true
+    (events res.Shrink.st_plans <= events repro.Repro.rt_plans);
+  (* An unreproducible input comes back unchanged, as with plain
+     shrinking. *)
+  let res =
+    Shrink.run_topo
+      ~oracle:(fun _ -> Oracle.Pass)
+      ~target:repro.Repro.rt_verdict repro.Repro.rt_plans
+  in
+  Alcotest.(check string) "plans unchanged"
+    (plans_bytes repro.Repro.rt_plans)
+    (plans_bytes res.Shrink.st_plans)
+
+let test_topo_repro_rejects_bad_artifacts () =
+  let good = Repro.topo_to_json (load_topo_fixture ()) in
+  let patch key v =
+    match good with
+    | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, x) -> (k, if k = key then v else x)) fields)
+    | _ -> Alcotest.fail "artifact is not an object"
+  in
+  (match Repro.topo_of_json (patch "topo_chaos_repro_version" (Json.Int 99)) with
+  | Error e ->
+    Alcotest.(check bool) "version mismatch diagnosed" true
+      (Astring_contains.contains e "version")
+  | Ok _ -> Alcotest.fail "accepted an unknown schema version");
+  (match
+     Repro.topo_of_json
+       (patch "plans"
+          (Json.Obj
+             [ ("ghost", Fault_plan.spec_to_json (Fault_plan.iid 0.1)) ]))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a plan naming an unknown segment");
+  match
+    Repro.topo_of_json
+      (patch "plans"
+         (Json.Obj
+            [
+              ( "seg0",
+                Fault_plan.spec_to_json
+                  (Fault_plan.crash ~source:4 ~from_:0 ~until:(50 * 1_000_000))
+              );
+            ]))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a plan reaching past the horizon"
+
+let test_search_topo_deterministic () =
+  let config =
+    {
+      (Search.default_topo_config topo_config) with
+      Search.t_seed = 29;
+      t_count = 4;
+      t_jobs = 2;
+    }
+  in
+  let key r =
+    List.map
+      (fun f ->
+        (f.Search.tf_index, f.Search.tf_report.Candidate.rp_fingerprint))
+      r.Search.tr_findings
+  in
+  let r1 = Search.run_topo config in
+  let r2 = Search.run_topo config in
+  Alcotest.(check int) "all candidates examined" 4 r1.Search.tr_examined;
+  Alcotest.(check (list (pair int string)))
+    "same seed, same findings" (key r1) (key r2)
+
 let suite =
   [
     ( "chaos",
@@ -443,5 +631,17 @@ let suite =
           test_candidate_run_deterministic;
         Alcotest.test_case "soak collects deduped repros" `Quick
           test_soak_collects_deduped_repros;
+        Alcotest.test_case "sample_topo deterministic and targeted" `Quick
+          test_sample_topo_deterministic_and_targeted;
+        Alcotest.test_case "run_topo deterministic and classified" `Slow
+          test_run_topo_deterministic_and_classified;
+        Alcotest.test_case "topo repro replay and load_any" `Slow
+          test_topo_repro_replay_and_load_any;
+        Alcotest.test_case "shrink_topo preserves class" `Slow
+          test_shrink_topo_preserves_class;
+        Alcotest.test_case "topo repro rejects bad artifacts" `Quick
+          test_topo_repro_rejects_bad_artifacts;
+        Alcotest.test_case "search_topo deterministic" `Slow
+          test_search_topo_deterministic;
       ] );
   ]

@@ -1,6 +1,7 @@
 module Harness = Rtnet_mac.Harness
 module Channel = Rtnet_channel.Channel
 module Phy = Rtnet_channel.Phy
+module Fault_plan = Rtnet_channel.Fault_plan
 module Message = Rtnet_workload.Message
 module Run = Rtnet_stats.Run
 
@@ -253,6 +254,61 @@ let test_inject_pending_counts_unfinished () =
   Alcotest.(check int) "trace + injected pending" 2
     (List.length o.Run.unfinished)
 
+let test_inject_while_all_crashed_accounted () =
+  (* A federation hand-off arriving while every station of the segment
+     is crashed must be queued and served after revival (or reported
+     pending) — never silently lost.  Both stations are down during
+     [0, 15000); the injected message arrives at 5000. *)
+  let plan =
+    Fault_plan.create ~seed:3
+      (Fault_plan.merge
+         [
+           Fault_plan.crash ~source:0 ~from_:0 ~until:15_000;
+           Fault_plan.crash ~source:1 ~from_:0 ~until:15_000;
+         ])
+  in
+  let injected = ref false in
+  let inject ~now =
+    if (not !injected) && now >= 2_000 then begin
+      injected := true;
+      [ msg 7 0 5_000 ]
+    end
+    else []
+  in
+  let o =
+    Harness.run ~protocol:"test-aloha" ~plan ~inject ~phy ~num_sources:2
+      ~horizon:80_000 ~decide:aloha_decide ~after:passthrough_after []
+  in
+  (match
+     List.find_opt (fun c -> c.Run.c_msg.Message.uid = 7) o.Run.completions
+   with
+  | Some c ->
+    Alcotest.(check bool) "served only after the outage" true
+      (c.Run.c_start >= 15_000)
+  | None ->
+    Alcotest.(check bool) "undelivered hand-off reported pending" true
+      (List.exists (fun m -> m.Message.uid = 7) o.Run.unfinished));
+  match o.Run.faults with
+  | Some f ->
+    Alcotest.(check int) "both outages on the record" 2
+      (List.length
+         (List.filter (fun sf -> sf.Run.sf_crashed_slots > 0) f.Run.f_per_source))
+  | None -> Alcotest.fail "fault accounting missing under a plan"
+
+let test_inject_unknown_source_rejected () =
+  (* A malformed hand-off — a message whose class names a station the
+     segment does not have — must be a structured failure, not an
+     out-of-bounds write. *)
+  let inject ~now = if now = 0 then [ msg 9 5 0 ] else [] in
+  match
+    Harness.run ~protocol:"test-aloha" ~inject ~phy ~num_sources:2
+      ~horizon:10_000 ~decide:aloha_decide ~after:passthrough_after []
+  with
+  | exception Failure e ->
+    Alcotest.(check bool) "diagnostic names the unknown source" true
+      (Astring_contains.contains e "unknown source 5")
+  | _ -> Alcotest.fail "expected a structured failure"
+
 let suite =
   [
     ( "mac_harness",
@@ -274,5 +330,9 @@ let suite =
           test_inject_merges_into_arrival_stream;
         Alcotest.test_case "inject pending unfinished" `Quick
           test_inject_pending_counts_unfinished;
+        Alcotest.test_case "inject while all crashed" `Quick
+          test_inject_while_all_crashed_accounted;
+        Alcotest.test_case "inject unknown source" `Quick
+          test_inject_unknown_source_rejected;
       ] );
   ]

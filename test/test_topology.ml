@@ -8,6 +8,7 @@ module Bridge = Rtnet_topology.Bridge
 module Driver = Rtnet_topology.Driver
 module Decompose = Rtnet_core.Decompose
 module Multi_bus = Rtnet_core.Multi_bus
+module Fault_plan = Rtnet_channel.Fault_plan
 module Config_lint = Rtnet_analysis.Config_lint
 module Diagnostic = Rtnet_analysis.Diagnostic
 module Instance = Rtnet_workload.Instance
@@ -196,9 +197,9 @@ let test_cycle_detected () =
       ~bridges:
         [
           { Topo.br_name = "ab"; br_from = "a"; br_to = "b"; br_station = 2;
-            br_latency = 100 };
+            br_latency = 100; br_capacity = Topo.default_capacity };
           { Topo.br_name = "ba"; br_from = "b"; br_to = "a"; br_station = 2;
-            br_latency = 100 };
+            br_latency = 100; br_capacity = Topo.default_capacity };
         ]
       ~flows:[]
   in
@@ -216,7 +217,8 @@ let test_route_errors_reported () =
     {
       tree5 with
       Topo.tp_flows =
-        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ] } ];
+        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ];
+            fl_criticality = 0 } ];
     }
   in
   Alcotest.(check bool) "unroutable flow reported" true
@@ -335,9 +337,13 @@ let test_bridge_verdicts () =
 
 (* -------------------- driver -------------------- *)
 
+let driver_ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("driver: " ^ e)
+
 let test_driver_zero_misses_when_admitted () =
   let e = elaborate_exn tree5 in
-  let res = Driver.run_seeded e ~seed:11 ~horizon:(5 * ms) in
+  let res = driver_ok (Driver.run_seeded e ~seed:11 ~horizon:(5 * ms)) in
   let v = res.Driver.r_verdict in
   Alcotest.(check bool) "chains opened" true (v.Driver.v_messages > 0);
   Alcotest.(check bool) "some delivered" true (v.Driver.v_delivered > 0);
@@ -355,8 +361,8 @@ let test_driver_zero_misses_when_admitted () =
 
 let test_driver_domain_transparency () =
   let e = elaborate_exn tree5 in
-  let r1 = Driver.run_seeded ~domains:1 e ~seed:11 ~horizon:(5 * ms) in
-  let r4 = Driver.run_seeded ~domains:4 e ~seed:11 ~horizon:(5 * ms) in
+  let r1 = driver_ok (Driver.run_seeded ~domains:1 e ~seed:11 ~horizon:(5 * ms)) in
+  let r4 = driver_ok (Driver.run_seeded ~domains:4 e ~seed:11 ~horizon:(5 * ms)) in
   Alcotest.(check string) "fingerprint identical" r1.Driver.r_fingerprint
     r4.Driver.r_fingerprint;
   Alcotest.(check int) "verdicts identical" r1.Driver.r_verdict.Driver.v_met
@@ -372,7 +378,7 @@ let test_driver_attributes_misses () =
   in
   let e = elaborate_exn hot in
   Alcotest.(check bool) "rejected" false e.Admit.e_admitted;
-  let res = Driver.run_seeded e ~seed:7 ~horizon:(5 * ms) in
+  let res = driver_ok (Driver.run_seeded e ~seed:7 ~horizon:(5 * ms)) in
   let v = res.Driver.r_verdict in
   Alcotest.(check bool) "misses observed" true (v.Driver.v_misses <> []);
   List.iter
@@ -404,7 +410,7 @@ let test_star_reproduces_multi_bus () =
       (fun bus -> (bus.Instance.name, Instance.trace bus ~seed ~horizon))
       (Array.to_list a.Multi_bus.buses)
   in
-  let res = Driver.run e ~traces ~horizon in
+  let res = driver_ok (Driver.run e ~traces ~horizon) in
   let key c =
     ( (c.Run.c_msg.Message.uid, c.Run.c_msg.Message.cls.Message.cls_id),
       (c.Run.c_start, c.Run.c_finish) )
@@ -442,8 +448,319 @@ let prop_admitted_runs_clean =
       | Error _ -> false
       | Ok e ->
         QCheck.assume e.Admit.e_admitted;
-        let res = Driver.run_seeded e ~seed ~horizon:(2 * ms) in
-        res.Driver.r_verdict.Driver.v_misses = [])
+        (match Driver.run_seeded e ~seed ~horizon:(2 * ms) with
+        | Error _ -> false
+        | Ok res -> res.Driver.r_verdict.Driver.v_misses = []))
+
+(* -------------------- fault plans on topologies -------------------- *)
+
+let tree3 =
+  Topo.tree ~name:"t3" ~segments:3 ~fanout:2 ~sources:4 ~load:0.1
+    ~deadline_windows:16.0 ()
+
+let with_faults_exn topo plans =
+  match Topo.with_faults topo plans with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_with_faults_and_fault_errors () =
+  (* Attaching to a known segment composes; station validity is the
+     granular fault_errors / CFG-TOPO-FAULT check, exactly like
+     route_errors: a declared source or an incoming bridge station is
+     fine, anything else is one message per problem. *)
+  let bridge_ok =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  Alcotest.(check (list string)) "bridge station accepted" []
+    (Topo.fault_errors bridge_ok);
+  let source_ok =
+    with_faults_exn tree3
+      [ ("seg1", Fault_plan.crash ~source:3 ~from_:ms ~until:(2 * ms)) ]
+  in
+  Alcotest.(check (list string)) "declared source accepted" []
+    (Topo.fault_errors source_ok);
+  let ghost =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:99 ~from_:ms ~until:(2 * ms)) ]
+  in
+  Alcotest.(check int) "unknown station reported" 1
+    (List.length (Topo.fault_errors ghost));
+  (match Admit.elaborate ghost with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "elaborate accepted an invalid fault plan");
+  match
+    Topo.with_faults tree3
+      [ ("nowhere", Fault_plan.crash ~source:0 ~from_:0 ~until:1) ]
+  with
+  | Error e ->
+    Alcotest.(check bool) "unknown segment named" true
+      (Astring_contains.contains e "nowhere")
+  | Ok _ -> Alcotest.fail "attached a plan to an unknown segment"
+
+let test_json_fault_roundtrip () =
+  (* fault_plan / capacity / criticality keys survive the codec — and
+     are omitted at their defaults so pre-fault specs stay
+     byte-identical. *)
+  let t =
+    with_faults_exn
+      {
+        tree3 with
+        Topo.tp_bridges =
+          List.map
+            (fun b ->
+              if b.Topo.br_name = "br1" then { b with Topo.br_capacity = 2 }
+              else b)
+            tree3.Topo.tp_bridges;
+        tp_flows =
+          List.map
+            (fun f ->
+              if f.Topo.fl_name = "flow2" then
+                { f with Topo.fl_criticality = 3 }
+              else f)
+            tree3.Topo.tp_flows;
+      }
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  let json =
+    match Topo.to_json t with Ok j -> j | Error e -> Alcotest.fail e
+  in
+  (match Topo.of_json json with
+  | Error e -> Alcotest.fail e
+  | Ok t' -> (
+    (match Topo.find_segment t' "seg0" with
+    | Some { Topo.sg_fault = Some sp; _ } ->
+      Alcotest.(check int) "crash window survives" 1
+        (List.length sp.Fault_plan.sp_crashes)
+    | _ -> Alcotest.fail "fault plan lost in round-trip");
+    (match Topo.find_bridge t' ~from_:"seg1" ~to_:"seg0" with
+    | Some b -> Alcotest.(check int) "capacity survives" 2 b.Topo.br_capacity
+    | None -> Alcotest.fail "br1 lost");
+    match List.find_opt (fun f -> f.Topo.fl_name = "flow2") t'.Topo.tp_flows with
+    | Some f -> Alcotest.(check int) "criticality survives" 3 f.Topo.fl_criticality
+    | None -> Alcotest.fail "flow2 lost"));
+  let clean_json =
+    match Topo.to_json tree3 with Ok j -> j | Error e -> Alcotest.fail e
+  in
+  let bytes = Rtnet_util.Json.to_string clean_json in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " omitted at default") false
+        (Astring_contains.contains bytes key))
+    [ "fault_plan"; "capacity"; "criticality" ]
+
+(* -------------------- bridge oracle edge cases -------------------- *)
+
+let uniform_segment name =
+  match
+    Topo.segment_of_workload ~name
+      { Topo.wk_kind = "uniform"; wk_size = 3; wk_load = 0.1;
+        wk_deadline_windows = 8.0 }
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let test_bridge_check_edge_cases () =
+  (* A bridge no flow crosses is trivially feasible, even with zero
+     store-and-forward latency. *)
+  let nf =
+    Topo.create_exn ~name:"nf"
+      ~segments:[ uniform_segment "a"; uniform_segment "b" ]
+      ~bridges:
+        [ { Topo.br_name = "ab"; br_from = "a"; br_to = "b"; br_station = 3;
+            br_latency = 0; br_capacity = Topo.default_capacity } ]
+      ~flows:[]
+  in
+  (match Bridge.check (elaborate_exn nf) with
+  | [ v ] ->
+    Alcotest.(check int) "no forwarded classes" 0 v.Bridge.bv_classes;
+    Alcotest.(check (float 0.)) "zero utilization" 0. v.Bridge.bv_utilization;
+    Alcotest.(check bool) "trivially feasible" true v.Bridge.bv_feasible;
+    Alcotest.(check int) "no crash window" 0 v.Bridge.bv_crash_window
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs)));
+  (* Saturation boundary: on every verdict, feasible <=> margin <= 1. *)
+  let hot =
+    Topo.tree ~name:"hot" ~segments:3 ~fanout:2 ~sources:4 ~load:0.9
+      ~deadline_windows:0.5 ()
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v.Bridge.bv_bridge ^ " margin consistent with verdict")
+        v.Bridge.bv_feasible
+        (v.Bridge.bv_margin <= 1.))
+    (Bridge.check (elaborate_exn hot) @ Bridge.check (elaborate_exn tree3))
+
+let test_bridge_check_fault_aware () =
+  (* A survivable crash window is priced but admitted; a window that
+     swallows the forwarded hop's deadline flips the bridge to
+     infeasible with infinite margin.  The fault-blind check ignores
+     the plan entirely. *)
+  let survivable =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  (match
+     List.find_opt
+       (fun v -> v.Bridge.bv_bridge = "br1")
+       (Bridge.check ~fault_aware:true (elaborate_exn survivable))
+   with
+  | Some v ->
+    Alcotest.(check int) "window deducted" ms v.Bridge.bv_crash_window;
+    Alcotest.(check bool) "still feasible" true v.Bridge.bv_feasible
+  | None -> Alcotest.fail "br1 verdict missing");
+  let swallowing =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:4096 ~until:5_600_000) ]
+  in
+  let e = elaborate_exn swallowing in
+  (match
+     List.find_opt
+       (fun v -> v.Bridge.bv_bridge = "br1")
+       (Bridge.check ~fault_aware:true e)
+   with
+  | Some v ->
+    Alcotest.(check bool) "overloaded under the outage" false
+      v.Bridge.bv_feasible;
+    Alcotest.(check bool) "infinite margin" true
+      (v.Bridge.bv_margin = Float.infinity)
+  | None -> Alcotest.fail "br1 verdict missing");
+  match
+    List.find_opt (fun v -> v.Bridge.bv_bridge = "br1") (Bridge.check e)
+  with
+  | Some v ->
+    Alcotest.(check bool) "fault-blind check unchanged" true
+      v.Bridge.bv_feasible;
+    Alcotest.(check int) "no window accounted" 0 v.Bridge.bv_crash_window
+  | None -> Alcotest.fail "br1 verdict missing"
+
+(* -------------------- degraded-mode driver -------------------- *)
+
+let test_driver_degraded_restored () =
+  (* The acceptance walkthrough: a mid-trace bridge crash on an
+     admitted tree completes with zero unexcused misses, a DEGRADED /
+     RESTORED transition pair, and a deterministic fingerprint. *)
+  let t =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  let e = elaborate_exn t in
+  let res = driver_ok (Driver.run_seeded e ~seed:11 ~horizon:(5 * ms)) in
+  let v = res.Driver.r_verdict in
+  Alcotest.(check (list string)) "no unexcused end-to-end miss" []
+    (List.map (fun m -> m.Driver.ms_flow) v.Driver.v_misses);
+  Alcotest.(check bool) "degraded transition emitted" true
+    (List.exists
+       (function
+         | Driver.Degraded { dg_bridge = "br1"; dg_from; dg_until; _ } ->
+           dg_from = ms && dg_until = 2 * ms
+         | _ -> false)
+       res.Driver.r_events);
+  Alcotest.(check bool) "restored transition emitted" true
+    (List.exists
+       (function
+         | Driver.Restored { rs_bridge = "br1"; rs_at; _ } -> rs_at = 2 * ms
+         | _ -> false)
+       res.Driver.r_events);
+  let res' = driver_ok (Driver.run_seeded e ~seed:11 ~horizon:(5 * ms)) in
+  Alcotest.(check string) "fault runs are deterministic"
+    res.Driver.r_fingerprint res'.Driver.r_fingerprint
+
+let test_driver_sheds_lowest_criticality () =
+  (* Tighter deadlines: the backlog held across the outage no longer
+     decomposes for one chain, which is shed (structured, counted) —
+     never a silent loss, never an unexcused miss. *)
+  let t =
+    Topo.tree ~name:"shed" ~segments:3 ~fanout:2 ~sources:4 ~load:0.3
+      ~deadline_windows:8.0 ()
+  in
+  let t =
+    with_faults_exn t
+      [ ("seg0", Fault_plan.crash ~source:5 ~from_:854_885 ~until:1_402_498) ]
+  in
+  let e = elaborate_exn ~policy:Decompose.Slack_weighted t in
+  let res = driver_ok (Driver.run_seeded e ~seed:11 ~horizon:(5 * ms)) in
+  let v = res.Driver.r_verdict in
+  Alcotest.(check int) "one chain shed" 1 v.Driver.v_shed;
+  Alcotest.(check int) "no unexcused miss" 0 (List.length v.Driver.v_misses);
+  Alcotest.(check bool) "shed event names the parked bridge" true
+    (List.exists
+       (function
+         | Driver.Shed { sh_bridge = "br2"; sh_criticality = 0; _ } -> true
+         | _ -> false)
+       res.Driver.r_events);
+  Alcotest.(check int) "accounting closes" v.Driver.v_messages
+    (v.Driver.v_delivered + v.Driver.v_in_flight + v.Driver.v_shed
+    + List.length v.Driver.v_misses)
+
+let test_driver_bridge_overflow_drops () =
+  (* A bounded store-and-forward queue: with capacity 1 and a long
+     outage, held hand-offs overflow and are dropped
+     oldest-past-deadline first — surfaced as structured bridge_drops,
+     not silence. *)
+  let t =
+    Topo.tree ~name:"ovf" ~segments:3 ~fanout:2 ~sources:4 ~load:0.3
+      ~deadline_windows:16.0 ()
+  in
+  let t =
+    {
+      t with
+      Topo.tp_bridges =
+        List.map
+          (fun b ->
+            if b.Topo.br_name = "br1" then { b with Topo.br_capacity = 1 }
+            else b)
+          t.Topo.tp_bridges;
+    }
+  in
+  let t =
+    with_faults_exn t
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(4 * ms)) ]
+  in
+  let e = elaborate_exn ~policy:Decompose.Slack_weighted t in
+  let res = driver_ok (Driver.run_seeded e ~seed:11 ~horizon:(5 * ms)) in
+  let v = res.Driver.r_verdict in
+  Alcotest.(check bool) "overflow drops recorded" true
+    (v.Driver.v_bridge_drops <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "drop names the parked bridge" "br1"
+        d.Driver.bd_bridge;
+      Alcotest.(check string) "drop names the crossing flow" "flow1"
+        d.Driver.bd_flow)
+    v.Driver.v_bridge_drops;
+  Alcotest.(check int) "accounting closes" v.Driver.v_messages
+    (v.Driver.v_delivered + v.Driver.v_in_flight + v.Driver.v_shed
+    + List.length v.Driver.v_bridge_drops
+    + List.length v.Driver.v_misses)
+
+let test_driver_miss_attribution_names_fault () =
+  (* On an overloaded tree running under a fault plan, misses on the
+     faulty segment's hops carry the fault attribution. *)
+  let hot =
+    Topo.tree ~name:"hot" ~segments:3 ~fanout:2 ~sources:4 ~load:0.9
+      ~deadline_windows:0.5 ()
+  in
+  let hot =
+    with_faults_exn hot
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  let e = elaborate_exn hot in
+  let res = driver_ok (Driver.run_seeded e ~seed:7 ~horizon:(5 * ms)) in
+  let v = res.Driver.r_verdict in
+  let faulted =
+    List.filter (fun m -> m.Driver.ms_fault <> None) v.Driver.v_misses
+  in
+  Alcotest.(check bool) "some misses blame the faulty hop" true (faulted <> []);
+  List.iter
+    (fun m ->
+      match m.Driver.ms_fault with
+      | Some f ->
+        Alcotest.(check bool) "attribution names a bridge or faulty segment"
+          true
+          (f = "br1" || f = "br2" || f = "seg0")
+      | None -> ())
+    v.Driver.v_misses
 
 (* -------------------- CFG-TOPO lint -------------------- *)
 
@@ -462,7 +779,8 @@ let test_lint_flags_unroutable () =
     {
       tree5 with
       Topo.tp_flows =
-        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ] } ];
+        [ { Topo.fl_name = "ghost"; fl_cls = 0; fl_path = [ "seg1"; "nowhere" ];
+            fl_criticality = 0 } ];
     }
   in
   let ds = Config_lint.check_topo bad in
@@ -479,6 +797,50 @@ let test_lint_flags_budget_overrun () =
   let ds = Config_lint.check_topo hot in
   Alcotest.(check bool) "budget below bound is an error" true
     (Diagnostic.has_errors ds)
+
+let test_lint_flags_bad_fault_plan () =
+  (* An out-of-segment crash station is a spec bug: CFG-TOPO-FAULT
+     error, reported before (and instead of) admission. *)
+  let bad =
+    with_faults_exn tree3
+      [ ("seg0", Fault_plan.crash ~source:99 ~from_:ms ~until:(2 * ms)) ]
+  in
+  let ds = Config_lint.check_topo bad in
+  Alcotest.(check bool) "CFG-TOPO-FAULT error" true
+    (List.exists
+       (fun d -> d.Diagnostic.rule_id = "CFG-TOPO-FAULT")
+       (Diagnostic.errors ds))
+
+let test_lint_warns_unabsorbable_outage () =
+  (* A crash window parking a segment's only inbound bridge for longer
+     than a crossing flow's end-to-end slack cannot be absorbed: the
+     lint warns even though the spec is well-formed. *)
+  let chain =
+    Topo.tree ~name:"chain" ~segments:2 ~fanout:1 ~sources:4 ~load:0.1
+      ~deadline_windows:16.0 ()
+  in
+  let t =
+    with_faults_exn chain
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:4096 ~until:(12 * ms)) ]
+  in
+  let ds = Config_lint.check_topo t in
+  Alcotest.(check bool) "unabsorbable outage warned" true
+    (List.exists
+       (fun d ->
+         d.Diagnostic.rule_id = "CFG-TOPO-FAULT"
+         && d.Diagnostic.severity = Diagnostic.Warning)
+       ds);
+  (* The same window on the survivable scale stays clean. *)
+  let ok =
+    with_faults_exn chain
+      [ ("seg0", Fault_plan.crash ~source:4 ~from_:ms ~until:(2 * ms)) ]
+  in
+  Alcotest.(check bool) "survivable window not warned" false
+    (List.exists
+       (fun d ->
+         d.Diagnostic.rule_id = "CFG-TOPO-FAULT"
+         && d.Diagnostic.severity = Diagnostic.Warning)
+       (Config_lint.check_topo ok))
 
 let suite =
   [
@@ -515,5 +877,25 @@ let suite =
         Alcotest.test_case "lint unroutable" `Quick test_lint_flags_unroutable;
         Alcotest.test_case "lint budget overrun" `Quick
           test_lint_flags_budget_overrun;
+        Alcotest.test_case "with_faults and fault_errors" `Quick
+          test_with_faults_and_fault_errors;
+        Alcotest.test_case "json fault roundtrip" `Quick
+          test_json_fault_roundtrip;
+        Alcotest.test_case "bridge check edge cases" `Quick
+          test_bridge_check_edge_cases;
+        Alcotest.test_case "bridge check fault aware" `Quick
+          test_bridge_check_fault_aware;
+        Alcotest.test_case "driver degraded restored" `Slow
+          test_driver_degraded_restored;
+        Alcotest.test_case "driver sheds lowest criticality" `Slow
+          test_driver_sheds_lowest_criticality;
+        Alcotest.test_case "driver bridge overflow drops" `Slow
+          test_driver_bridge_overflow_drops;
+        Alcotest.test_case "driver miss attribution names fault" `Slow
+          test_driver_miss_attribution_names_fault;
+        Alcotest.test_case "lint flags bad fault plan" `Quick
+          test_lint_flags_bad_fault_plan;
+        Alcotest.test_case "lint warns unabsorbable outage" `Quick
+          test_lint_warns_unabsorbable_outage;
       ] );
   ]
