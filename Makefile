@@ -8,7 +8,7 @@
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
   faults-smoke telemetry-smoke chaos-smoke model-smoke topo-smoke \
-  topo-faults-smoke
+  topo-faults-smoke obs-smoke
 
 all: build
 
@@ -93,6 +93,22 @@ topo-faults-smoke: build
 	  -o _build/BENCH_topology_fault_sweep.current.json \
 	  --baseline test/fixtures/BENCH_topology_fault_sweep.json
 
+# Observability gate: the seeded federated fault run must dump a
+# postmortem byte-identical to the committed golden (and ddcr_chaos
+# replay must regenerate the frozen failure's postmortem likewise),
+# the stitched cross-segment causal flows must pass ddcr_lint
+# --check-perfetto (with the corrupted-flow fixture asserted to exit
+# 1), an attached-but-disabled flight recorder must cost within noise
+# of no recorder at all (Bechamel guard), and the perf_v1 campaign
+# must reproduce the metrics frozen in BENCH_perf.json (the slots/sec
+# trajectory rides in its stripped "perf" section).
+obs-smoke: build
+	dune build @obs-smoke
+	dune exec bench/obs_guard.exe
+	dune exec bin/ddcr_campaign.exe -- compare perf_v1 --quiet \
+	  -o _build/BENCH_perf.current.json \
+	  --baseline BENCH_perf.json
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -106,12 +122,14 @@ campaign-baseline: build
 	  -o test/fixtures/BENCH_topology_sweep.json
 	dune exec bin/ddcr_campaign.exe -- run topology_fault_sweep --quiet \
 	  -o test/fixtures/BENCH_topology_fault_sweep.json
+	dune exec bin/ddcr_campaign.exe -- run perf_v1 --profile --quiet \
+	  -o BENCH_perf.json
 
 check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
 	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
 	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke && $(MAKE) topo-smoke \
-	  && $(MAKE) topo-faults-smoke
+	  && $(MAKE) topo-faults-smoke && $(MAKE) obs-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,95 @@
+(* obs_guard: the disabled-flight-recorder overhead gate (ISSUE 9).
+
+   The black-box recorder rides on the same Sink API as the telemetry
+   layer, so an attached-but-disabled probe must cost one boolean load
+   per instrumentation point and nothing else.  This guard measures the
+   simulator three ways — implicit default sink, explicit Sink.null,
+   and a live flight-recorder ring — and fails (exit 1) if the
+   null-sink run exceeds the default run by more than the noise
+   threshold.  The live ring is reported for context but not gated: it
+   is allowed to cost what a bounded int-array push costs.
+
+   Run directly (it is part of `make obs-smoke`):
+     dune exec bench/obs_guard.exe *)
+
+module Ddcr = Rtnet_core.Ddcr
+module Ddcr_params = Rtnet_core.Ddcr_params
+module Instance = Rtnet_workload.Instance
+module Scenarios = Rtnet_workload.Scenarios
+module Sink = Rtnet_telemetry.Sink
+module Flight = Rtnet_obs.Flight
+
+let ms = 1_000_000
+
+(* Ratio above which the "disabled probe" claim is considered broken.
+   Generous: CI machines are noisy and the runs are short; a real
+   regression (allocation or branch on the hot path) lands far above
+   this. *)
+let threshold = 1.5
+
+let () =
+  let uniform =
+    Scenarios.uniform ~sources:8 ~classes_per_source:2 ~load:0.4
+      ~deadline_windows:2.0
+  in
+  let params = Ddcr_params.default uniform in
+  let trace = Instance.trace uniform ~seed:1 ~horizon:(2 * ms) in
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"obs_guard"
+      [
+        Test.make ~name:"default"
+          (Staged.stage (fun () ->
+               ignore (Ddcr.run_trace params uniform trace ~horizon:(2 * ms))));
+        Test.make ~name:"sink_null"
+          (Staged.stage (fun () ->
+               ignore
+                 (Ddcr.run_trace ~sink:Sink.null params uniform trace
+                    ~horizon:(2 * ms))));
+        Test.make ~name:"flight_ring"
+          (Staged.stage (fun () ->
+               let f = Flight.create ~segment:"guard" () in
+               ignore
+                 (Ddcr.run_trace ~sink:(Flight.sink f) params uniform trace
+                    ~horizon:(2 * ms))));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate name =
+    let key = "obs_guard/" ^ name in
+    match Hashtbl.find_opt results key with
+    | None -> None
+    | Some r -> (
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Some est
+      | Some [] | None -> None)
+  in
+  match (estimate "default", estimate "sink_null", estimate "flight_ring") with
+  | Some base, Some null, Some ring ->
+    let ratio_null = null /. base and ratio_ring = ring /. base in
+    Printf.printf
+      "obs_guard: default %.0f ns/run, sink_null %.0f ns/run (%.3fx), \
+       flight_ring %.0f ns/run (%.3fx)\n"
+      base null ratio_null ring ratio_ring;
+    if ratio_null > threshold then begin
+      Printf.printf
+        "obs_guard: FAIL — disabled recorder costs %.3fx > %.2fx the \
+         unprobed run; the one-boolean-load discipline is broken\n"
+        ratio_null threshold;
+      exit 1
+    end
+    else Printf.printf "obs_guard: ok (threshold %.2fx)\n" threshold
+  | _ ->
+    (* A missing estimate means Bechamel could not fit the model —
+       treat as an infrastructure failure, not a perf regression. *)
+    Printf.printf "obs_guard: could not estimate all three runs\n";
+    exit 2

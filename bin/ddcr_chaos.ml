@@ -33,6 +33,9 @@ module Shrink = Rtnet_chaos.Shrink
 module Repro = Rtnet_chaos.Repro
 module Soak = Rtnet_chaos.Soak
 module Registry = Rtnet_telemetry.Registry
+module Topo = Rtnet_topology.Topo
+module Flight = Rtnet_obs.Flight
+module Postmortem = Rtnet_obs.Postmortem
 
 open Cmdliner
 
@@ -540,6 +543,18 @@ let replay_file =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Replay artifact to re-execute.")
 
+let replay_postmortem_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem-out" ] ~docv:"FILE"
+        ~doc:
+          "Federated artifacts only: attach black-box flight recorders to \
+           the replayed run and regenerate the postmortem of the frozen \
+           failure at $(docv), cross-linked to this repro's note and \
+           fingerprint.  Because the seeds are frozen, re-running the same \
+           replay writes a byte-identical artifact.")
+
 (* Shared verdict printing for both artifact flavors. *)
 let report_replay ~replay_file ~expected_verdict ~expected_fingerprint
     (r : Repro.replay) =
@@ -560,21 +575,70 @@ let report_replay ~replay_file ~expected_verdict ~expected_fingerprint
     1
   end
 
-let run_replay replay_file =
+let run_replay replay_file postmortem_out =
   match Repro.load_any ~path:replay_file with
   | Error e ->
     Format.eprintf "ddcr_chaos: %s@." e;
     2
   | Ok (Repro.Plain repro) ->
+    if postmortem_out <> None then
+      Format.eprintf
+        "ddcr_chaos: --postmortem-out applies to federated artifacts only; \
+         ignoring@.";
     report_replay ~replay_file ~expected_verdict:repro.Repro.re_verdict
       ~expected_fingerprint:repro.Repro.re_fingerprint (Repro.replay repro)
   | Ok (Repro.Federated repro) ->
+    let flights = ref [] in
+    let result = ref None in
+    let sink_for, on_result =
+      match postmortem_out with
+      | None -> (None, None)
+      | Some _ ->
+        ( Some
+            (fun ~index ~segment ->
+              let f = Flight.create ~segment () in
+              flights := (index, f) :: !flights;
+              Flight.sink f),
+          Some (fun r -> result := Some r) )
+    in
+    let r = Repro.replay_topo ?sink_for ?on_result repro in
+    (match (postmortem_out, !result) with
+    | Some out, Some res ->
+      (* Re-freeze the black box of the frozen failure.  The trigger is
+         taken from the replayed result itself; if the oracle verdict
+         fired on evidence outside the driver's own miss accounting,
+         fall back to the artifact's frozen verdict label. *)
+      let trigger =
+        match Postmortem.trigger_of_result res with
+        | Some t -> t
+        | None -> Postmortem.Verdict (Oracle.label repro.Repro.rt_verdict)
+      in
+      let pm =
+        Postmortem.build ~trigger
+          ~topology:
+            (Candidate.topo_tree repro.Repro.rt_config).Topo.tp_name
+          ~seed:repro.Repro.rt_trace_seed
+          ~fault_seed:repro.Repro.rt_fault_seed
+          ~horizon:(repro.Repro.rt_config.Candidate.tc_horizon_ms * 1_000_000)
+          ~result:res
+          ~flights:(List.map snd (List.sort compare !flights))
+          ~repro:(repro.Repro.rt_note, repro.Repro.rt_fingerprint)
+          ()
+      in
+      Postmortem.save ~path:out pm;
+      Format.printf "postmortem: %s (trigger: %a)@." out Postmortem.pp_trigger
+        trigger
+    | Some out, None ->
+      Format.eprintf
+        "ddcr_chaos: replay ended in a configuration error — no driver \
+         result, %s not written@."
+        out
+    | None, _ -> ());
     report_replay ~replay_file ~expected_verdict:repro.Repro.rt_verdict
-      ~expected_fingerprint:repro.Repro.rt_fingerprint
-      (Repro.replay_topo repro)
+      ~expected_fingerprint:repro.Repro.rt_fingerprint r
 
 let replay_cmd =
-  let term = Term.(const run_replay $ replay_file) in
+  let term = Term.(const run_replay $ replay_file $ replay_postmortem_out) in
   Cmd.v
     (Cmd.info "replay"
        ~doc:

@@ -86,10 +86,12 @@ let check_perfetto_file =
     & opt (some file) None
     & info [ "check-perfetto" ] ~docv:"FILE"
         ~doc:
-          "Validate a Chrome trace-event JSON file written by ddcr_sim \
-           --trace-out: the JSON must parse, spans on every track must \
-           nest, and no transmission span may carry negative bound \
-           headroom.  Exit 0 if valid, 1 if not, 2 on parse failure.")
+          "Validate a Chrome trace-event JSON file written by ddcr_sim or \
+           ddcr_topo --trace-out: the JSON must parse, spans on every \
+           track must nest, no transmission span may carry negative bound \
+           headroom, and every cross-segment causal flow chain must read \
+           s -> t* -> f in non-decreasing timestamp order.  Exit 0 if \
+           valid, 1 if not, 2 on parse failure.")
 
 let check_repro_file =
   Arg.(
@@ -219,7 +221,9 @@ let main scenario size load deadline_windows indices burst theta allocation
     | Ok j -> (
       match Rtnet_telemetry.Trace_event.validate j with
       | Ok spans ->
-        Format.printf "perfetto trace %s: %d spans, nesting and headroom ok@."
+        Format.printf
+          "perfetto trace %s: %d events, nesting, headroom and causal \
+           flows ok@."
           path spans;
         0
       | Error e ->

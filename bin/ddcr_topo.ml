@@ -37,10 +37,19 @@ module Admit = Rtnet_topology.Admit
 module Bridge = Rtnet_topology.Bridge
 module Driver = Rtnet_topology.Driver
 module Decompose = Rtnet_core.Decompose
+module Feasibility = Rtnet_core.Feasibility
 module Fault_plan = Rtnet_channel.Fault_plan
+module Message = Rtnet_workload.Message
 module Run = Rtnet_stats.Run
+module Sink = Rtnet_telemetry.Sink
 module Recorder = Rtnet_telemetry.Recorder
+module Registry = Rtnet_telemetry.Registry
+module Headroom = Rtnet_telemetry.Headroom
 module Trace_event = Rtnet_telemetry.Trace_event
+module Flight = Rtnet_obs.Flight
+module Causal = Rtnet_obs.Causal
+module Postmortem = Rtnet_obs.Postmortem
+module Prng = Rtnet_util.Prng
 module Json = Rtnet_util.Json
 
 open Cmdliner
@@ -95,6 +104,33 @@ let fault_plan_t =
            names to fault-plan specs (garble / misperception / crashes).  A \
            crash window naming a bridge station models that bridge going \
            down.")
+
+let telemetry_t =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Record per-segment telemetry and print each segment's metrics \
+           registry plus its per-class bound-headroom table.")
+
+let headroom_t =
+  Arg.(
+    value & flag
+    & info [ "headroom" ]
+        ~doc:
+          "Print the per-segment bound-headroom tables (observed worst \
+           access delay vs the admitted hop bounds) without the full \
+           registry dump.")
+
+let postmortem_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem-out" ] ~docv:"FILE"
+        ~doc:
+          "On a failure verdict (chain miss, shed, or bridge overflow), \
+           dump the black-box flight recorders into a versioned postmortem \
+           artifact at $(docv).  Nothing is written for a clean run.")
 
 (* { "<segment>": <fault plan spec>, ... } *)
 let load_faults path =
@@ -172,28 +208,63 @@ let check_cmd =
 
 (* -------------------- run -------------------- *)
 
-let run_run path policy domains horizon_ms seed trace_out faults =
+(* Same analytic bounds ddcr_sim annotates its recorder with, per
+   segment of the elaborated federation: the admitted hop classes
+   priced by the Section 4.3 feasibility checker. *)
+let seg_bounds e name =
+  let params = Admit.params_of e name in
+  let inst = Admit.instance_of e name in
+  List.map
+    (fun cr ->
+      {
+        Headroom.b_cls = cr.Feasibility.cr_cls.Message.cls_id;
+        b_name = cr.Feasibility.cr_cls.Message.cls_name;
+        b_deadline = cr.Feasibility.cr_cls.Message.cls_deadline;
+        b_bound = cr.Feasibility.cr_bound;
+        b_bound_impl = cr.Feasibility.cr_bound_impl;
+      })
+    (Feasibility.check params inst).Feasibility.per_class
+
+let run_run path policy domains horizon_ms seed trace_out faults telemetry
+    headroom postmortem_out =
   match elaborated ?faults ~policy path with
   | Error e ->
     Format.eprintf "ddcr_topo: %s@." e;
     2
   | Ok e ->
     let horizon = horizon_ms * 1_000_000 in
+    let want_recorder = trace_out <> None || telemetry || headroom in
+    let want_flight = postmortem_out <> None in
     let recorders = ref [] in
+    let flights = ref [] in
     let sink_for =
-      match trace_out with
-      | None -> None
-      | Some _ ->
+      if not (want_recorder || want_flight) then None
+      else
         Some
           (fun ~index ~segment ->
-            let r =
-              Recorder.create ~pid:(2 * index)
-                ~process_name:
-                  (Printf.sprintf "segment %s (bit-times)" segment)
-                ()
+            let rec_sink =
+              if not want_recorder then Sink.null
+              else begin
+                let r =
+                  Recorder.create ~bounds:(seg_bounds e segment)
+                    ~pid:(2 * index)
+                    ~process_name:
+                      (Printf.sprintf "segment %s (bit-times)" segment)
+                    ()
+                in
+                recorders := (index, segment, r) :: !recorders;
+                Recorder.sink r
+              end
             in
-            recorders := (index, r) :: !recorders;
-            Recorder.sink r)
+            let fl_sink =
+              if not want_flight then Sink.null
+              else begin
+                let f = Flight.create ~segment () in
+                flights := (index, f) :: !flights;
+                Flight.sink f
+              end
+            in
+            Sink.tee rec_sink fl_sink)
     in
     match Driver.run_seeded ?sink_for ~domains e ~seed ~horizon with
     | Error msg ->
@@ -216,18 +287,56 @@ let run_run path policy domains horizon_ms seed trace_out faults =
       res.Driver.r_segments;
     Format.printf "merged: %a@." Run.pp_metrics res.Driver.r_metrics;
     Format.printf "fingerprint: %s@." res.Driver.r_fingerprint;
+    let ordered_recorders = List.sort compare !recorders in
+    if telemetry || headroom then
+      List.iter
+        (fun (_, segment, r) ->
+          Format.printf "segment %s:@." segment;
+          if telemetry then print_string (Registry.render (Recorder.snapshot r));
+          Format.printf "  bound headroom (bit-times):@.";
+          print_string (Headroom.render (Recorder.headroom_table r)))
+        ordered_recorders;
     (match trace_out with
     | None -> ()
     | Some out ->
+      (* Causal flows ride in their own buffer, merged after the
+         per-segment timelines so the spans they bind to come first. *)
+      let flows = Trace_event.create () in
+      let seg_idx =
+        let tbl = Hashtbl.create 8 in
+        List.iteri
+          (fun i (s : Topo.segment) -> Hashtbl.replace tbl s.Topo.sg_name i)
+          e.Admit.e_topo.Topo.tp_segments;
+        fun ~segment -> 2 * Hashtbl.find tbl segment
+      in
+      let stitched =
+        Causal.stitch ~into:flows ~seg_pid:seg_idx ~chains:res.Driver.r_chains
+      in
       let traces =
-        List.sort compare !recorders
-        |> List.map (fun (_, r) -> Recorder.trace_json r)
+        List.map (fun (_, _, r) -> Recorder.trace_json r) ordered_recorders
+        @ [ Trace_event.to_json flows ]
       in
       let oc = open_out out in
       output_string oc (Json.to_string (Trace_event.merge_json traces));
       output_char oc '\n';
       close_out oc;
-      Format.printf "trace: %s@." out);
+      Format.printf "trace: %s (%d cross-segment chains stitched)@." out
+        stitched);
+    (match postmortem_out with
+    | None -> ()
+    | Some out -> (
+      match Postmortem.trigger_of_result res with
+      | None -> Format.printf "postmortem: clean run, nothing written@."
+      | Some trigger ->
+        let pm =
+          Postmortem.build ~trigger ~topology:e.Admit.e_topo.Topo.tp_name
+            ~seed ~fault_seed:(Prng.derive seed 0xFA) ~horizon ~result:res
+            ~flights:(List.map snd (List.sort compare !flights))
+            ()
+        in
+        Postmortem.save ~path:out pm;
+        Format.printf "postmortem: %s (trigger: %a)@." out
+          Postmortem.pp_trigger trigger));
     let v = res.Driver.r_verdict in
     if v.Driver.v_misses = [] && v.Driver.v_shed = 0 && v.Driver.v_bridge_drops = []
     then 0
@@ -237,7 +346,8 @@ let run_cmd =
   let term =
     Term.(
       const run_run $ spec_file $ policy_t $ domains_t $ Cli_common.horizon_ms
-      $ Cli_common.seed $ trace_out_t $ fault_plan_t)
+      $ Cli_common.seed $ trace_out_t $ fault_plan_t $ telemetry_t
+      $ headroom_t $ postmortem_out_t)
   in
   Cmd.v
     (Cmd.info "run"

@@ -490,6 +490,28 @@ let topology_fault_sweep =
       ];
   }
 
+let perf_v1 =
+  (* The slots/sec trajectory workload: one protocol per simulator
+     family (contention, slotted, federation) at a fixed size/load
+     point, single replicate — small enough for `make obs-smoke`, big
+     enough that the slots/sec headline measures the simulator and not
+     process startup.  Its deterministic cell metrics are gated by
+     `ddcr_campaign compare perf_v1 --baseline BENCH_perf.json`; the
+     wall-clock "perf" section rides along fingerprint-stripped. *)
+  {
+    name = "perf_v1";
+    base_seed = 31;
+    replicates = 1;
+    horizon_ms = 5;
+    protocols = [ Ddcr; Tdma ];
+    scenarios =
+      [
+        scenario "videoconference" 6;
+        scenario "uniform" 8 ~load:0.5 ~deadline_windows:2.0;
+      ];
+    variants = [ default_variant ];
+  }
+
 let builtins =
   [
     ("smoke", smoke);
@@ -498,6 +520,7 @@ let builtins =
     ("fault_sweep", fault_sweep);
     ("topology_sweep", topology_sweep);
     ("topology_fault_sweep", topology_fault_sweep);
+    ("perf_v1", perf_v1);
   ]
 
 let find_builtin name = List.assoc_opt name builtins

@@ -140,6 +140,10 @@ val builtins : (string * t) list
     - ["topology_fault_sweep"]: the 3-segment tree, clean and under a
       scheduled crash of the root's inbound bridge — bridge failover
       and degraded-mode drain as a pinned trajectory
-      ([BENCH_topology_fault_sweep.json]). *)
+      ([BENCH_topology_fault_sweep.json]).
+    - ["perf_v1"]: the slots/sec perf trajectory — two protocols × two
+      scenarios at 5 ms, run with [--profile] so the report carries the
+      wall-clock ["perf"] section ([BENCH_perf.json]); the regression
+      gate compares only the deterministic cell metrics. *)
 
 val find_builtin : string -> t option

@@ -58,7 +58,7 @@ let fingerprint_outcome outcome =
 let fingerprint_verdict v =
   Digest.to_hex (Digest.string ("verdict:" ^ Json.to_string (Oracle.to_json v)))
 
-let run cf cd =
+let run ?sink cf cd =
   let t0 = Unix.gettimeofday () in
   let inst = Spec.instance cf.cf_scenario in
   let horizon = cf.cf_horizon_ms * 1_000_000 in
@@ -80,8 +80,8 @@ let run cf cd =
   in
   match
     let plan = Fault_plan.create ~horizon ~seed:cd.cd_fault_seed cd.cd_plan in
-    Ddcr.run_trace ~check_lockstep:true ~on_event:record ~plan params inst
-      trace ~horizon
+    Ddcr.run_trace ~check_lockstep:true ~on_event:record ~plan ?sink params
+      inst trace ~horizon
   with
   | outcome ->
     let events = finish () in
@@ -148,7 +148,7 @@ let topo_tree tc =
     ~sources:tc.tc_sources ~load:tc.tc_load
     ~deadline_windows:tc.tc_deadline_windows ()
 
-let run_topo tc td =
+let run_topo ?sink_for ?on_result tc td =
   let t0 = Unix.gettimeofday () in
   let horizon = tc.tc_horizon_ms * 1_000_000 in
   let finish_with verdict fingerprint delivered misses =
@@ -171,10 +171,11 @@ let run_topo tc td =
     | Error e -> crash ("admission: " ^ e)
     | Ok e -> (
       match
-        Topo_driver.run_seeded ~check_lockstep:true e ~seed:td.td_trace_seed
-          ~fault_seed:td.td_fault_seed ~horizon
+        Topo_driver.run_seeded ~check_lockstep:true ?sink_for e
+          ~seed:td.td_trace_seed ~fault_seed:td.td_fault_seed ~horizon
       with
       | Ok res ->
+        Option.iter (fun f -> f res) on_result;
         let verdict = Oracle.classify_topo res in
         (* The driver's fingerprint pins the completion schedules; the
            verdict rendering pins the end-to-end classification — both

@@ -65,8 +65,10 @@ val topo_config_of_json : Rtnet_util.Json.t -> (topo_config, string) result
 val topo_tree : topo_config -> Rtnet_topology.Topo.t
 (** The (fault-free) tree the config describes. *)
 
-val run : config -> t -> report
-(** [run cf cd] executes the candidate and classifies it.  Never
+val run : ?sink:Rtnet_telemetry.Sink.t -> config -> t -> report
+(** [run cf cd] executes the candidate and classifies it.  [sink]
+    attaches a telemetry/flight-recorder probe to the run (default
+    {!Rtnet_telemetry.Sink.null}).  Never
     raises on a protocol failure: {!Rtnet_mac.Harness.Mismatch},
     safety/reconciliation [Failure]s and protocol violations are
     caught and mapped to the corresponding verdicts (with a
@@ -74,7 +76,12 @@ val run : config -> t -> report
     no outcome exists).  Only truly unexpected conditions (e.g. an
     unknown scenario kind) escape. *)
 
-val run_topo : topo_config -> topo -> report
+val run_topo :
+  ?sink_for:(index:int -> segment:string -> Rtnet_telemetry.Sink.t) ->
+  ?on_result:(Rtnet_topology.Driver.result -> unit) ->
+  topo_config ->
+  topo ->
+  report
 (** [run_topo tc td] executes a topology candidate: build the tree,
     attach the per-segment plans ({!Rtnet_topology.Topo.with_faults}),
     admit slack-weighted, run the federated driver with the pinned

@@ -128,9 +128,9 @@ type replay = {
   rr_fingerprint_ok : bool;
 }
 
-let replay t =
+let replay ?sink t =
   let config, cd = candidate t in
-  let report = Candidate.run config cd in
+  let report = Candidate.run ?sink config cd in
   {
     rr_report = report;
     rr_verdict_ok = report.Candidate.rp_verdict = t.re_verdict;
@@ -251,9 +251,9 @@ let load_topo ~path =
   let* j = Json.parse_file path in
   Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (topo_of_json j)
 
-let replay_topo t =
+let replay_topo ?sink_for ?on_result t =
   let config, td = topo_candidate t in
-  let report = Candidate.run_topo config td in
+  let report = Candidate.run_topo ?sink_for ?on_result config td in
   {
     rr_report = report;
     rr_verdict_ok = report.Candidate.rp_verdict = t.rt_verdict;

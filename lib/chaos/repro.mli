@@ -57,9 +57,10 @@ type replay = {
   rr_fingerprint_ok : bool;  (** fingerprint byte-equal to expected *)
 }
 
-val replay : t -> replay
+val replay : ?sink:Rtnet_telemetry.Sink.t -> t -> replay
 (** [replay t] re-executes the candidate with the frozen seeds and
-    compares against the expectations. *)
+    compares against the expectations.  [sink] attaches a telemetry
+    probe (e.g. a flight recorder) to the replayed run. *)
 
 (** {1 Topology artifacts}
 
@@ -100,9 +101,17 @@ val topo_of_json : Rtnet_util.Json.t -> (topo, string) result
 val save_topo : path:string -> topo -> unit
 val load_topo : path:string -> (topo, string) result
 
-val replay_topo : topo -> replay
+val replay_topo :
+  ?sink_for:(index:int -> segment:string -> Rtnet_telemetry.Sink.t) ->
+  ?on_result:(Rtnet_topology.Driver.result -> unit) ->
+  topo ->
+  replay
 (** [replay_topo t] re-executes the federated run with the frozen
-    seeds; same verdict + fingerprint contract as {!replay}. *)
+    seeds; same verdict + fingerprint contract as {!replay}.
+    [sink_for] attaches per-segment probes; [on_result] observes the
+    raw driver result (when the run completes without a configuration
+    error) — [ddcr_chaos replay --postmortem-out] uses both to
+    regenerate the postmortem artifact of the frozen failure. *)
 
 type any = Plain of t | Federated of topo
 

@@ -1,0 +1,90 @@
+module Json = Rtnet_util.Json
+module Sink = Rtnet_telemetry.Sink
+module Channel = Rtnet_channel.Channel
+module Message = Rtnet_workload.Message
+
+(* Event-kind codes stored in the ring's [kind] column. *)
+let k_idle = 0
+let k_garbled = 1
+let k_collision = 2
+let k_enqueue = 3
+let k_complete = 4
+let k_drop = 5
+let k_epoch = 6
+
+let kind_name = function
+  | 0 -> "idle"
+  | 1 -> "garbled"
+  | 2 -> "collision"
+  | 3 -> "enqueue"
+  | 4 -> "complete"
+  | 5 -> "drop"
+  | 6 -> "epoch"
+  | k -> Printf.sprintf "kind%d" k
+
+type t = { f_segment : string; ring : Ring.t; f_sink : Sink.t }
+
+let default_capacity = 256
+
+let make_sink ring =
+  Sink.create
+    ~slot:(fun ~now ~next_free ~resolution ->
+      match (resolution : Channel.resolution) with
+      | Channel.Idle -> Ring.push ring ~kind:k_idle ~t0:now ~t1:next_free ~a:0 ~b:0
+      | Channel.Tx _ ->
+        (* the [complete] record carries the frame *)
+        ()
+      | Channel.Garbled _ ->
+        Ring.push ring ~kind:k_garbled ~t0:now ~t1:next_free ~a:0 ~b:0
+      | Channel.Clash { contenders; survivor = _ } ->
+        Ring.push ring ~kind:k_collision ~t0:now ~t1:next_free
+          ~a:(List.length contenders) ~b:0)
+    ~enqueue:(fun ~now ~msg ->
+      Ring.push ring ~kind:k_enqueue ~t0:now ~t1:now ~a:msg.Message.uid
+        ~b:msg.Message.cls.Message.cls_id)
+    ~complete:(fun ~msg ~start ~finish ->
+      Ring.push ring ~kind:k_complete ~t0:start ~t1:finish ~a:msg.Message.uid
+        ~b:msg.Message.cls.Message.cls_id)
+    ~drop:(fun ~msg ->
+      Ring.push ring ~kind:k_drop ~t0:msg.Message.arrival
+        ~t1:msg.Message.arrival ~a:msg.Message.uid
+        ~b:msg.Message.cls.Message.cls_id)
+    ~epoch:(fun ~start ~finish ->
+      Ring.push ring ~kind:k_epoch ~t0:start ~t1:finish ~a:0 ~b:0)
+    ()
+
+let create ?(capacity = default_capacity) ~segment () =
+  let ring = Ring.create ~capacity in
+  { f_segment = segment; ring; f_sink = make_sink ring }
+
+let sink t = t.f_sink
+let segment t = t.f_segment
+let recorded t = Ring.recorded t.ring
+
+let event_json ~kind ~t0 ~t1 ~a ~b =
+  let base = [ ("k", Json.String (kind_name kind)); ("t0", Json.Int t0) ] in
+  let fields =
+    if kind = k_idle || kind = k_garbled || kind = k_epoch then
+      base @ [ ("t1", Json.Int t1) ]
+    else if kind = k_collision then
+      base @ [ ("t1", Json.Int t1); ("contenders", Json.Int a) ]
+    else
+      (* queue events: uid + class id; [complete] also keeps its span *)
+      base
+      @ (if kind = k_complete then [ ("t1", Json.Int t1) ] else [])
+      @ [ ("uid", Json.Int a); ("cls", Json.Int b) ]
+  in
+  Json.Obj fields
+
+let to_json t =
+  let events = ref [] in
+  Ring.iter_oldest_first t.ring (fun ~kind ~t0 ~t1 ~a ~b ->
+      events := event_json ~kind ~t0 ~t1 ~a ~b :: !events);
+  Json.Obj
+    [
+      ("segment", Json.String t.f_segment);
+      ("capacity", Json.Int (Ring.capacity t.ring));
+      ("recorded", Json.Int (Ring.recorded t.ring));
+      ("overwritten", Json.Int (Ring.overwritten t.ring));
+      ("events", Json.List (List.rev !events));
+    ]

@@ -1,0 +1,36 @@
+(** Black-box flight recorder for one segment.
+
+    Wraps a pre-allocated {!Ring} behind the {!Rtnet_telemetry.Sink}
+    API: attach [Flight.sink] to a harness (or tee it next to a
+    {!Rtnet_telemetry.Recorder}) and the last [capacity] slot / queue /
+    fault-epoch events are always on hand, allocation-free, ready to be
+    dumped into a {!Postmortem} when a run ends in a failure verdict.
+    When nothing fails the recorder is never read — like its aircraft
+    namesake it costs the same whether or not the flight ends well. *)
+
+type t
+
+val default_capacity : int
+(** 256 events — a few contention windows' worth of context. *)
+
+val create : ?capacity:int -> segment:string -> unit -> t
+(** [create ~segment ()] pre-allocates the ring.  [segment] labels the
+    dump (use the topology segment name, or the scenario name for a
+    single-segment run). *)
+
+val sink : t -> Rtnet_telemetry.Sink.t
+(** The recording sink.  Records channel slots (idle / garbled /
+    collision; [Tx] slots are skipped — the [complete] frame record
+    already carries them), queue events (enqueue / complete / drop)
+    and fault epochs.  Searches, jumps and engine steps are not
+    black-box material and are ignored. *)
+
+val segment : t -> string
+val recorded : t -> int
+(** Total events recorded (monotone, wrap-insensitive). *)
+
+val to_json : t -> Rtnet_util.Json.t
+(** Deterministic dump:
+    [{"segment"; "capacity"; "recorded"; "overwritten"; "events"}]
+    with events oldest-first, each
+    [{"k": kind; "t0"; "t1"?; "uid"?; "cls"?; "contenders"?}]. *)

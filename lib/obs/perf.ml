@@ -1,0 +1,125 @@
+module Json = Rtnet_util.Json
+
+let ( let* ) = Result.bind
+
+type phase = { ph_name : string; ph_wall_s : float; ph_alloc_words : float }
+
+type t = {
+  p_slots : int;
+  p_wall_s : float;
+  p_slots_per_sec : float;
+  p_alloc_words : float;
+  p_phases : phase list;
+}
+
+type ctl = {
+  mutable cur_name : string;
+  mutable cur_t0 : float;
+  mutable cur_w0 : float;
+  mutable rev_phases : phase list;
+}
+
+(* [Gc.minor_words] reads the live young-pointer, so small phases that
+   never trigger a minor collection still count ([quick_stat]'s copy
+   only refreshes at GC time).  Promoted words are subtracted so a
+   value survives promotion without being billed twice. *)
+let words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let start ?(phase = "run") () =
+  {
+    cur_name = phase;
+    cur_t0 = Unix.gettimeofday ();
+    cur_w0 = words ();
+    rev_phases = [];
+  }
+
+let close c =
+  let t1 = Unix.gettimeofday () and w1 = words () in
+  c.rev_phases <-
+    {
+      ph_name = c.cur_name;
+      ph_wall_s = t1 -. c.cur_t0;
+      ph_alloc_words = w1 -. c.cur_w0;
+    }
+    :: c.rev_phases;
+  (t1, w1)
+
+let phase c name =
+  let t1, w1 = close c in
+  c.cur_name <- name;
+  c.cur_t0 <- t1;
+  c.cur_w0 <- w1
+
+let finish c ~slots =
+  ignore (close c);
+  let phases = List.rev c.rev_phases in
+  let wall = List.fold_left (fun acc p -> acc +. p.ph_wall_s) 0. phases in
+  let alloc = List.fold_left (fun acc p -> acc +. p.ph_alloc_words) 0. phases in
+  {
+    p_slots = slots;
+    p_wall_s = wall;
+    p_slots_per_sec = (if wall > 0. then float_of_int slots /. wall else 0.);
+    p_alloc_words = alloc;
+    p_phases = phases;
+  }
+
+let phase_to_json p =
+  Json.Obj
+    [
+      ("name", Json.String p.ph_name);
+      ("wall_clock_s", Json.Float p.ph_wall_s);
+      ("alloc_words", Json.Float p.ph_alloc_words);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("slots", Json.Int t.p_slots);
+      ("wall_clock_s", Json.Float t.p_wall_s);
+      ("slots_per_sec", Json.Float t.p_slots_per_sec);
+      ("alloc_words", Json.Float t.p_alloc_words);
+      ("phases", Json.List (List.map phase_to_json t.p_phases));
+    ]
+
+let phase_of_json j =
+  let* name = Result.bind (Json.field "name" j) Json.get_string in
+  let* wall = Result.bind (Json.field "wall_clock_s" j) Json.get_float in
+  let* alloc = Result.bind (Json.field "alloc_words" j) Json.get_float in
+  Ok { ph_name = name; ph_wall_s = wall; ph_alloc_words = alloc }
+
+let of_json j =
+  let* slots = Result.bind (Json.field "slots" j) Json.get_int in
+  let* wall = Result.bind (Json.field "wall_clock_s" j) Json.get_float in
+  let* sps = Result.bind (Json.field "slots_per_sec" j) Json.get_float in
+  let* alloc = Result.bind (Json.field "alloc_words" j) Json.get_float in
+  let* phases =
+    let* l = Result.bind (Json.field "phases" j) Json.get_list in
+    List.fold_left
+      (fun acc pj ->
+        let* acc = acc in
+        let* p = phase_of_json pj in
+        Ok (p :: acc))
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  Ok
+    {
+      p_slots = slots;
+      p_wall_s = wall;
+      p_slots_per_sec = sps;
+      p_alloc_words = alloc;
+      p_phases = phases;
+    }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>perf: %d slots in %.3f s = %.3g slots/sec, %.3g words allocated@,"
+    t.p_slots t.p_wall_s t.p_slots_per_sec t.p_alloc_words;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %-12s %8.3f s  %.3g words@," p.ph_name p.ph_wall_s
+        p.ph_alloc_words)
+    t.p_phases;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Perf-counter layer: the slots/sec trajectory.
+
+    A tiny phase-structured profiler for the ROADMAP's committed
+    performance headline: virtual bit-times simulated per wall-clock
+    second, GC allocation words, and per-phase wall timing.  A {!ctl}
+    is opened with {!start}, split into named phases with {!phase},
+    and closed with {!finish} into an immutable {!t} that serializes
+    into the ["perf"] section of [BENCH_perf.json].
+
+    Wall-clock numbers are machine-dependent by nature; the report
+    layer strips them from fingerprints ({!Rtnet_campaign.Report}
+    [strip_timings]) so the perf section never perturbs the regression
+    gate's deterministic comparisons — the trajectory is advisory,
+    tracked PR over PR, while the gate stays byte-exact. *)
+
+type phase = {
+  ph_name : string;
+  ph_wall_s : float;
+  ph_alloc_words : float;  (** minor + major words allocated *)
+}
+
+type t = {
+  p_slots : int;  (** virtual bit-times simulated *)
+  p_wall_s : float;  (** total wall time over all phases *)
+  p_slots_per_sec : float;  (** the headline: [slots / wall] *)
+  p_alloc_words : float;  (** total words allocated *)
+  p_phases : phase list;  (** in open order *)
+}
+
+type ctl
+
+val start : ?phase:string -> unit -> ctl
+(** Begin profiling; an implicit first phase (default ["run"]) opens
+    immediately. *)
+
+val phase : ctl -> string -> unit
+(** [phase c name] closes the current phase and opens [name]. *)
+
+val finish : ctl -> slots:int -> t
+(** Close the last phase and total everything up.  [slots] is the
+    virtual time simulated (bit-times), the numerator of the
+    headline. *)
+
+val to_json : t -> Rtnet_util.Json.t
+val of_json : Rtnet_util.Json.t -> (t, string) result
+val pp : Format.formatter -> t -> unit

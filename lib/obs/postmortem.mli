@@ -1,0 +1,65 @@
+(** Versioned postmortem artifact: the flight recorder's dump format.
+
+    When a federated run ends badly — a chain missed its end-to-end
+    deadline, a bridge queue overflowed, or the chaos oracle returned a
+    failure verdict — the driver's structured verdict, its degraded-
+    mode timeline, the failing chains' per-hop records and every
+    segment's flight-recorder ring are frozen into one deterministic
+    JSON artifact.  Everything in it is virtual-time data from a
+    seeded run, so re-running the same seeds (directly or through
+    [ddcr_chaos replay]) regenerates the artifact byte-for-byte; the
+    optional [repro] block cross-links the chaos artifact that
+    reproduces the run. *)
+
+type trigger =
+  | Chain_miss  (** at least one unexcused end-to-end deadline miss *)
+  | Bridge_overflow  (** a bridge store-and-forward queue overflowed *)
+  | Verdict of string
+      (** a chaos / oracle failure verdict (its label, e.g.
+          ["bridge_overflow"], ["chain_deadline_miss"]) *)
+
+val trigger_of_result : Rtnet_topology.Driver.result -> trigger option
+(** The dump decision: [Some Bridge_overflow] when the verdict carries
+    bridge drops, else [Some Chain_miss] when it carries misses (shed
+    chains count — they are abandoned hand-offs), else [None] — no
+    postmortem for a clean run. *)
+
+type t = {
+  pm_trigger : trigger;
+  pm_topology : string;  (** topology name *)
+  pm_seed : int;
+  pm_fault_seed : int;
+  pm_horizon : int;
+  pm_fingerprint : string;  (** the driver's completion fingerprint *)
+  pm_verdict : Rtnet_util.Json.t;
+  pm_events : Rtnet_util.Json.t;  (** degraded-mode timeline *)
+  pm_chains : Rtnet_util.Json.t;  (** failing chains' hop records *)
+  pm_flight : Rtnet_util.Json.t;  (** per-segment ring dumps *)
+  pm_repro : (string * string) option;
+      (** cross-link to a chaos repro artifact: (note, fingerprint) *)
+}
+
+val build :
+  trigger:trigger ->
+  topology:string ->
+  seed:int ->
+  fault_seed:int ->
+  horizon:int ->
+  result:Rtnet_topology.Driver.result ->
+  flights:Flight.t list ->
+  ?repro:string * string ->
+  unit ->
+  t
+(** Freeze a failed run.  Only the {e failing} chains (missed, shed,
+    dropped, or held by a faulty bridge) keep their hop records — the
+    healthy ones are summarized by the verdict counts. *)
+
+val to_json : t -> Rtnet_util.Json.t
+val of_json : Rtnet_util.Json.t -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Canonical pretty-printed JSON + trailing newline
+    ({!Rtnet_util.Json.to_file}) — byte-stable across runs. *)
+
+val load : path:string -> (t, string) result
+val pp_trigger : Format.formatter -> trigger -> unit

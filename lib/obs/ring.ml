@@ -1,0 +1,44 @@
+type t = {
+  cap : int;
+  kind : int array;
+  t0 : int array;
+  t1 : int array;
+  a : int array;
+  b : int array;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then
+    invalid_arg (Printf.sprintf "Ring.create: capacity %d <= 0" capacity);
+  {
+    cap = capacity;
+    kind = Array.make capacity 0;
+    t0 = Array.make capacity 0;
+    t1 = Array.make capacity 0;
+    a = Array.make capacity 0;
+    b = Array.make capacity 0;
+    pushed = 0;
+  }
+
+let capacity t = t.cap
+let recorded t = t.pushed
+let length t = min t.pushed t.cap
+let overwritten t = t.pushed - length t
+
+let push t ~kind ~t0 ~t1 ~a ~b =
+  let i = t.pushed mod t.cap in
+  t.kind.(i) <- kind;
+  t.t0.(i) <- t0;
+  t.t1.(i) <- t1;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.pushed <- t.pushed + 1
+
+let iter_oldest_first t f =
+  let n = length t in
+  let first = t.pushed - n in
+  for j = 0 to n - 1 do
+    let i = (first + j) mod t.cap in
+    f ~kind:t.kind.(i) ~t0:t.t0.(i) ~t1:t.t1.(i) ~a:t.a.(i) ~b:t.b.(i)
+  done

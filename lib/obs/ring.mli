@@ -1,0 +1,36 @@
+(** Fixed-capacity, pre-allocated event ring.
+
+    The flight recorder's storage: a struct-of-arrays ring of integer
+    event records, allocated once at creation.  [push] writes into the
+    pre-allocated arrays and never allocates, so an attached recorder
+    adds only array stores to the hot path; once full, the oldest
+    record is overwritten — the ring always holds the {e most recent}
+    [capacity] events, exactly like an aircraft black box. *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] pre-allocates a ring of [capacity] records
+    (raises [Invalid_argument] when [capacity <= 0]). *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever pushed (monotone; exceeds [capacity] once the
+    ring has wrapped). *)
+
+val length : t -> int
+(** Events currently held: [min (recorded t) (capacity t)]. *)
+
+val overwritten : t -> int
+(** Events lost to wrapping: [recorded - length]. *)
+
+val push : t -> kind:int -> t0:int -> t1:int -> a:int -> b:int -> unit
+(** [push t ~kind ~t0 ~t1 ~a ~b] appends one record.  The field
+    meaning is the caller's convention ({!Flight} uses [kind] as an
+    event-kind code, [t0]/[t1] as a bit-time interval and [a]/[b] as
+    uid / class id). *)
+
+val iter_oldest_first :
+  t -> (kind:int -> t0:int -> t1:int -> a:int -> b:int -> unit) -> unit
+(** Visit the held records in push order, oldest surviving first. *)

@@ -42,6 +42,52 @@ let null =
     worker_cell = nop_worker_cell;
   }
 
+let tee a b =
+  match (a.enabled, b.enabled) with
+  | false, false -> null
+  | true, false -> a
+  | false, true -> b
+  | true, true ->
+    {
+      enabled = true;
+      slot =
+        (fun ~now ~next_free ~resolution ->
+          a.slot ~now ~next_free ~resolution;
+          b.slot ~now ~next_free ~resolution);
+      enqueue =
+        (fun ~now ~msg ->
+          a.enqueue ~now ~msg;
+          b.enqueue ~now ~msg);
+      complete =
+        (fun ~msg ~start ~finish ->
+          a.complete ~msg ~start ~finish;
+          b.complete ~msg ~start ~finish);
+      drop =
+        (fun ~msg ->
+          a.drop ~msg;
+          b.drop ~msg);
+      search =
+        (fun ~tree ~start ~finish ~sent ->
+          a.search ~tree ~start ~finish ~sent;
+          b.search ~tree ~start ~finish ~sent);
+      jump =
+        (fun ~now ~reft_from ~reft_to ->
+          a.jump ~now ~reft_from ~reft_to;
+          b.jump ~now ~reft_from ~reft_to);
+      epoch =
+        (fun ~start ~finish ->
+          a.epoch ~start ~finish;
+          b.epoch ~start ~finish);
+      engine_event =
+        (fun ~time ->
+          a.engine_event ~time;
+          b.engine_event ~time);
+      worker_cell =
+        (fun ~worker ~key ~t0 ~t1 ~ok ->
+          a.worker_cell ~worker ~key ~t0 ~t1 ~ok;
+          b.worker_cell ~worker ~key ~t0 ~t1 ~ok);
+    }
+
 let create ?(slot = nop_slot) ?(enqueue = nop_enqueue) ?(complete = nop_complete)
     ?(drop = nop_drop) ?(search = nop_search) ?(jump = nop_jump)
     ?(epoch = nop_epoch) ?(engine_event = nop_engine_event)

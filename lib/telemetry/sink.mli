@@ -52,6 +52,12 @@ type t = {
 val null : t
 (** The no-op sink; [enabled = false]. *)
 
+val tee : t -> t -> t
+(** [tee a b] fans every probe out to both sinks, in order [a] then
+    [b].  Disabled operands are elided: [tee a null] is [a], and
+    [tee null null] is {!null}, so the one-boolean-load-when-off
+    discipline is preserved when both halves are off. *)
+
 val create :
   ?slot:
     (now:int ->

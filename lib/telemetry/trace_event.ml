@@ -49,6 +49,28 @@ let instant t ~pid ~tid ~name ~cat ~ts ?(args = []) () =
          args)
     :: t.rev_events
 
+(* Flow events bind to the enclosing slice on their (pid, tid) track
+   at [ts]; Perfetto draws an arrow s -> t* -> f per (cat, id). *)
+let flow_phase t ~pid ~tid ~name ~cat ~ts ~id ~ph more =
+  t.rev_events <-
+    Json.Obj
+      (event_fields ~pid ~tid ~name ~cat ~ph ~ts
+         (("id", Json.Int id) :: more)
+         [])
+    :: t.rev_events
+
+let flow_start t ~pid ~tid ~name ~cat ~ts ~id () =
+  flow_phase t ~pid ~tid ~name ~cat ~ts ~id ~ph:"s" []
+
+let flow_step t ~pid ~tid ~name ~cat ~ts ~id () =
+  flow_phase t ~pid ~tid ~name ~cat ~ts ~id ~ph:"t" []
+
+let flow_end t ~pid ~tid ~name ~cat ~ts ~id () =
+  (* ["bp": "e"] binds the arrow head to the enclosing slice rather
+     than the next slice on the track. *)
+  flow_phase t ~pid ~tid ~name ~cat ~ts ~id ~ph:"f"
+    [ ("bp", Json.String "e") ]
+
 let events t = List.length t.rev_meta + List.length t.rev_events
 
 let to_json t =
@@ -128,16 +150,61 @@ let check_track ~pid ~tid spans =
         Ok ())
     (Ok ()) spans
 
+(* One flow / async event in emission order. *)
+type flow_ev = { f_ph : string; f_name : string; f_ts : int }
+
+let decode_flow ~ph ev =
+  let* name = Result.bind (Json.field "name" ev) Json.get_string in
+  let* ts = Result.bind (Json.field "ts" ev) Json.get_int in
+  let* () =
+    if ts < 0 then
+      Error (Printf.sprintf "flow event %S (ph %S): negative ts %d" name ph ts)
+    else Ok ()
+  in
+  let* _id =
+    Result.map_error
+      (fun _ ->
+        Printf.sprintf "flow event %S (ph %S) at ts=%d: missing integer id"
+          name ph ts)
+      (Result.bind (Json.field "id" ev) Json.get_int)
+  in
+  Ok { f_ph = ph; f_name = name; f_ts = ts }
+
+(* A flow chain (one (cat, id)) must read s -> t* -> f in emission
+   order with non-decreasing timestamps. *)
+let check_flow ~cat ~id evs =
+  let describe e = Printf.sprintf "%S (ph %S) at ts=%d" e.f_name e.f_ph e.f_ts in
+  let fail e msg =
+    Error (Printf.sprintf "flow (%s,%d): %s %s" cat id (describe e) msg)
+  in
+  let rec go prev = function
+    | [] -> (
+      match prev with
+      | Some e when e.f_ph <> "f" -> fail e "ends an unterminated chain (no \"f\")"
+      | _ -> Ok ())
+    | e :: rest -> (
+      match (prev, e.f_ph) with
+      | None, "s" -> go (Some e) rest
+      | None, _ -> fail e "opens a chain without a flow start (\"s\")"
+      | Some p, _ when e.f_ts < p.f_ts ->
+        fail e
+          (Printf.sprintf "steps backwards in time (previous ts=%d)" p.f_ts)
+      | Some p, ("t" | "f") when p.f_ph <> "f" -> go (Some e) rest
+      | Some _, _ -> fail e "is out of order (expected \"t\" or \"f\")")
+  in
+  go None evs
+
 let validate j =
   let* events = Result.bind (Json.field "traceEvents" j) Json.get_list in
   let tracks : (int * int, span list) Hashtbl.t = Hashtbl.create 16 in
+  let flows : (string * int, flow_ev list) Hashtbl.t = Hashtbl.create 16 in
   let* checked =
     List.fold_left
       (fun acc ev ->
         let* n = acc in
         let* ph = Result.bind (Json.field "ph" ev) Json.get_string in
-        if ph <> "X" then Ok n
-        else
+        match ph with
+        | "X" ->
           let* pid = Result.bind (Json.field "pid" ev) Json.get_int in
           let* tid = Result.bind (Json.field "tid" ev) Json.get_int in
           let* s = decode_span ev in
@@ -162,7 +229,22 @@ let validate j =
             Option.value ~default:[] (Hashtbl.find_opt tracks (pid, tid))
           in
           Hashtbl.replace tracks (pid, tid) (s :: prev);
-          Ok (n + 1))
+          Ok (n + 1)
+        | "s" | "t" | "f" ->
+          let* fe = decode_flow ~ph ev in
+          let* cat = Result.bind (Json.field "cat" ev) Json.get_string in
+          let* id = Result.bind (Json.field "id" ev) Json.get_int in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt flows (cat, id))
+          in
+          Hashtbl.replace flows (cat, id) (fe :: prev);
+          Ok (n + 1)
+        | "b" | "e" | "n" ->
+          (* Async events: accept, requiring only a well-formed header
+             (name, non-negative ts, integer id). *)
+          let* _ = decode_flow ~ph ev in
+          Ok (n + 1)
+        | _ -> Ok n)
       (Ok 0) events
   in
   let keys =
@@ -174,5 +256,15 @@ let validate j =
         let* () = acc in
         check_track ~pid ~tid (Hashtbl.find tracks (pid, tid)))
       (Ok ()) keys
+  in
+  let flow_keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) flows [] |> List.sort compare
+  in
+  let* () =
+    List.fold_left
+      (fun acc (cat, id) ->
+        let* () = acc in
+        check_flow ~cat ~id (List.rev (Hashtbl.find flows (cat, id))))
+      (Ok ()) flow_keys
   in
   Ok checked

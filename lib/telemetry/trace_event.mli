@@ -40,6 +40,25 @@ val instant :
   unit ->
   unit
 
+val flow_start :
+  t -> pid:int -> tid:int -> name:string -> cat:string -> ts:int -> id:int ->
+  unit -> unit
+(** [flow_start t ~pid ~tid ~name ~cat ~ts ~id ()] opens flow chain
+    [(cat, id)] (["ph": "s"]), binding the arrow tail to the slice
+    enclosing [ts] on track [(pid, tid)].  Used to stitch a message's
+    per-hop frame spans across segments into one causal chain. *)
+
+val flow_step :
+  t -> pid:int -> tid:int -> name:string -> cat:string -> ts:int -> id:int ->
+  unit -> unit
+(** Intermediate hop on an open flow chain (["ph": "t"]). *)
+
+val flow_end :
+  t -> pid:int -> tid:int -> name:string -> cat:string -> ts:int -> id:int ->
+  unit -> unit
+(** Terminates flow chain [(cat, id)] (["ph": "f"], ["bp": "e"] so the
+    arrow head binds to the enclosing slice). *)
+
 val events : t -> int
 (** Number of buffered events (metadata included). *)
 
@@ -59,5 +78,9 @@ val validate : Rtnet_util.Json.t -> (int, string) result
 (** [validate j] checks that [j] is a well-formed trace: the
     [traceEvents] list exists, every ["X"] span has non-negative
     integer [ts]/[dur], spans on each [(pid, tid)] track nest properly
-    (no partial overlap), and no span carries a negative
-    [args.headroom].  Returns the number of spans checked. *)
+    (no partial overlap), no span carries a negative [args.headroom],
+    every flow event (["s"]/["t"]/["f"]) carries an integer [id] and a
+    non-negative [ts], each flow chain [(cat, id)] reads
+    [s -> t* -> f] with non-decreasing timestamps, and async events
+    (["b"]/["e"]/["n"]) have well-formed headers.  Returns the number
+    of events checked (spans + flow + async). *)

@@ -56,12 +56,33 @@ type seg_result = {
   sr_outcome : Run.outcome;
 }
 
+type hop_record = {
+  hr_index : int;
+  hr_segment : string;
+  hr_arrival : int;
+  hr_start : int;
+  hr_finish : int;
+  hr_source : int;
+}
+
+type chain_record = {
+  cr_flow : string;
+  cr_uid : int;
+  cr_t0 : int;
+  cr_deadline : int;
+  cr_fault : string option;
+  cr_shed : bool;
+  cr_dropped : bool;
+  cr_hops : hop_record list;
+}
+
 type result = {
   r_segments : seg_result list;
   r_outcome : Run.outcome;
   r_metrics : Run.metrics;
   r_verdict : verdict;
   r_events : event list;
+  r_chains : chain_record list;
   r_fingerprint : string;
 }
 
@@ -87,8 +108,9 @@ type chain = {
   ch_uid : int;
   ch_t0 : int;
   ch_deadline : int;  (* absolute *)
-  mutable ch_done : (int * string * int * int) list;
-      (* (hop idx, segment, hop arrival, hop finish), reverse order *)
+  mutable ch_done : (int * string * int * int * int * int) list;
+      (* (hop idx, segment, hop arrival, frame start, hop finish,
+         transmitting station), reverse order *)
   mutable ch_fault : string option;
       (* first bridge whose crash window held this chain *)
   mutable ch_shed : bool;  (* shed under degraded-mode operation *)
@@ -449,14 +471,14 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
   let post_process name comps =
     let comps =
       List.sort
-        (fun ((a : Message.t), fa) ((b : Message.t), fb) ->
+        (fun ((a : Message.t), _, fa) ((b : Message.t), _, fb) ->
           match compare fa fb with
           | 0 -> compare a.Message.uid b.Message.uid
           | c -> c)
         comps
     in
     List.iter
-      (fun ((m : Message.t), finish) ->
+      (fun ((m : Message.t), start, finish) ->
         let info = Hashtbl.find hops (name, m.Message.cls.Message.cls_id) in
         let key =
           if info.hi_idx = 0 then (info.hi_flow, m.Message.uid)
@@ -472,7 +494,13 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
         in
         let chain = Hashtbl.find chains key in
         chain.ch_done <-
-          (info.hi_idx, name, m.Message.arrival, finish) :: chain.ch_done;
+          ( info.hi_idx,
+            name,
+            m.Message.arrival,
+            start,
+            finish,
+            m.Message.cls.Message.cls_source )
+          :: chain.ch_done;
         match info.hi_next with
         | None -> ()
         | Some (bridge, next_seg, next_cls) -> (
@@ -570,9 +598,9 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
                 take [] !pend
               in
               let comps = ref [] in
-              let on_complete ~msg ~start:_ ~finish =
+              let on_complete ~msg ~start ~finish =
                 if List.mem msg.Message.cls.Message.cls_id flow_ids then
-                  comps := (msg, finish) :: !comps
+                  comps := (msg, start, finish) :: !comps
               in
               let outcome =
                 Ddcr.run_trace ?check_lockstep ?plan ?sink ~on_complete ~inject
@@ -633,22 +661,22 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
       in
       if List.length done_ = total then begin
         incr delivered;
-        let _, _, _, finish = List.nth done_ (total - 1) in
+        let _, _, _, _, finish, _ = List.nth done_ (total - 1) in
         if finish <= c.ch_deadline then incr met
         else begin
           (* By the decomposition invariant a late chain overran some
              hop budget; attribute the miss to the first such hop. *)
           let over =
             List.find_opt
-              (fun (idx, _, arr, fin) ->
+              (fun (idx, _, arr, _, fin, _) ->
                 fin
                 > arr + (List.nth ef.Admit.ef_hops idx).Admit.h_budget)
               done_
           in
           match over with
-          | Some (idx, seg, _, _) -> miss ~finish:(Some finish) ~hop:seg ~idx
+          | Some (idx, seg, _, _, _, _) -> miss ~finish:(Some finish) ~hop:seg ~idx
           | None ->
-            let idx, seg, _, _ = List.nth done_ (total - 1) in
+            let idx, seg, _, _, _, _ = List.nth done_ (total - 1) in
             miss ~finish:(Some finish) ~hop:seg ~idx
         end
       end
@@ -661,6 +689,35 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
           ~hop:(List.nth ef.Admit.ef_hops idx).Admit.h_segment ~idx
       end)
     keys;
+  (* Deterministic per-chain hop records (trace order), for causal
+     tracing and postmortem artifacts. *)
+  let chain_records =
+    List.map
+      (fun key ->
+        let c = Hashtbl.find chains key in
+        {
+          cr_flow = c.ch_flow;
+          cr_uid = c.ch_uid;
+          cr_t0 = c.ch_t0;
+          cr_deadline = c.ch_deadline;
+          cr_fault = c.ch_fault;
+          cr_shed = c.ch_shed;
+          cr_dropped = c.ch_dropped;
+          cr_hops =
+            List.map
+              (fun (idx, seg, arr, start, fin, src) ->
+                {
+                  hr_index = idx;
+                  hr_segment = seg;
+                  hr_arrival = arr;
+                  hr_start = start;
+                  hr_finish = fin;
+                  hr_source = src;
+                })
+              (List.sort compare (List.rev c.ch_done));
+        })
+      keys
+  in
   let seg_outcomes =
     List.map
       (fun n -> { sr_segment = n; sr_outcome = Hashtbl.find outcomes n })
@@ -703,6 +760,7 @@ let run_exn ~domains ?check_lockstep ?sink_for ~fault_seed (e : Admit.t)
         v_misses = List.rev !misses;
       };
     r_events = List.rev !events;
+    r_chains = chain_records;
     r_fingerprint = fingerprint;
   }
 

@@ -94,6 +94,32 @@ type seg_result = {
   sr_outcome : Rtnet_stats.Run.outcome;
 }
 
+type hop_record = {
+  hr_index : int;  (** 0-based hop index on the flow's path *)
+  hr_segment : string;
+  hr_arrival : int;  (** arrival on the hop's segment, bit-times *)
+  hr_start : int;  (** frame start on the wire *)
+  hr_finish : int;  (** frame finish *)
+  hr_source : int;  (** transmitting station on the segment *)
+}
+(** One completed hop of a chain — the raw material for cross-segment
+    causal tracing ([Rtnet_obs.Causal]) and postmortem artifacts. *)
+
+type chain_record = {
+  cr_flow : string;
+  cr_uid : int;  (** origin message uid *)
+  cr_t0 : int;  (** origin arrival *)
+  cr_deadline : int;  (** absolute end-to-end deadline *)
+  cr_fault : string option;
+      (** first bridge whose crash window held the chain *)
+  cr_shed : bool;  (** shed under degraded-mode operation *)
+  cr_dropped : bool;  (** lost to a bridge-queue overflow *)
+  cr_hops : hop_record list;  (** completed hops, path order *)
+}
+(** The full per-hop story of one origin arrival.  [cr_hops] stops at
+    the last completed hop — shorter than the flow's path for chains
+    still in flight, shed, dropped, or stuck. *)
+
 type result = {
   r_segments : seg_result list;  (** declaration order *)
   r_outcome : Rtnet_stats.Run.outcome;
@@ -101,6 +127,8 @@ type result = {
   r_metrics : Rtnet_stats.Run.metrics;  (** scoreboard of the merge *)
   r_verdict : verdict;
   r_events : event list;  (** degraded-mode timeline (empty = no faults) *)
+  r_chains : chain_record list;
+      (** every chain, deterministic (trace) order *)
   r_fingerprint : string;
       (** digest of every segment's completion schedule, declaration
           order — equal across [~domains] settings iff sharding is
