@@ -8,7 +8,7 @@
 
 .PHONY: all build lint test check clean campaign-smoke campaign-baseline \
   faults-smoke telemetry-smoke chaos-smoke model-smoke topo-smoke \
-  topo-faults-smoke obs-smoke
+  topo-faults-smoke obs-smoke admit-smoke
 
 all: build
 
@@ -109,6 +109,32 @@ obs-smoke: build
 	  -o _build/BENCH_perf.current.json \
 	  --baseline BENCH_perf.json
 
+# Crash-safe admission gate: replay the committed churn fixture in
+# paranoid mode against the golden decision log and run the seeded
+# accept-then-violate chaos pipeline (@admit-smoke); kill -9 the
+# service mid-trace with a torn journal record and assert --resume
+# completes a decision log byte-identical to the golden; re-measure
+# the churn throughput and gate it against the committed
+# BENCH_admit_churn.json (counts exact, decisions/s within the floor);
+# and pin the incremental engine at >= 10x the from-scratch analysis
+# (Bechamel guard).
+admit-smoke: build
+	dune build @admit-smoke
+	rm -f _build/admit_crash.log _build/admit_crash.wal _build/admit_crash.wal.snap
+	-dune exec bin/ddcr_admit.exe -- run test/fixtures/admit_churn_smoke.json \
+	  -o _build/admit_crash.log --journal _build/admit_crash.wal \
+	  --crash-after 97 --crash-torn --quiet
+	dune exec bin/ddcr_admit.exe -- run test/fixtures/admit_churn_smoke.json \
+	  -o _build/admit_crash.log --journal _build/admit_crash.wal --resume \
+	  --quiet
+	cmp test/fixtures/admit_decisions_golden.log _build/admit_crash.log
+	dune exec bin/ddcr_admit.exe -- run test/fixtures/admit_churn_smoke.json \
+	  -o _build/admit_bench.log \
+	  --bench-out _build/BENCH_admit_churn.current.json --quiet
+	dune exec bin/ddcr_admit.exe -- compare \
+	  _build/BENCH_admit_churn.current.json --baseline BENCH_admit_churn.json
+	dune exec bench/admit_guard.exe
+
 # Refresh the committed campaign baselines after an intentional
 # behaviour change (review the diff before committing!).
 campaign-baseline: build
@@ -129,7 +155,8 @@ check:
 	dune build @all @lint && dune runtest && $(MAKE) campaign-smoke \
 	  && $(MAKE) faults-smoke && $(MAKE) telemetry-smoke \
 	  && $(MAKE) chaos-smoke && $(MAKE) model-smoke && $(MAKE) topo-smoke \
-	  && $(MAKE) topo-faults-smoke && $(MAKE) obs-smoke
+	  && $(MAKE) topo-faults-smoke && $(MAKE) obs-smoke \
+	  && $(MAKE) admit-smoke
 
 clean:
 	dune clean

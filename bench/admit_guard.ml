@@ -1,0 +1,131 @@
+(* admit_guard: the incremental-admission speedup gate (ISSUE 10).
+
+   The admission engine answers each request by updating cached
+   per-class interference sums in O(n) instead of re-running the O(n²)
+   pairwise Section 4.3 analysis; Engine.decide_full is the deliberate
+   from-scratch path kept for the differential self-check.  This guard
+   drains the same churn stream both ways through fresh engines and
+   fails (exit 1) unless the incremental path is at least [threshold]
+   times faster — the regression it pins is the incremental path
+   silently degrading into re-analysis (a dropped cache, an
+   accidentally-quadratic delta).
+
+   Run directly (it is part of `make admit-smoke`):
+     dune exec bench/admit_guard.exe *)
+
+module Engine = Rtnet_admit.Engine
+module Request = Rtnet_admit.Request
+module Ddcr_params = Rtnet_core.Ddcr_params
+
+(* The pinned floor.  The asymptotic gap grows with the resident flow
+   count, so the stream below (hundreds of admitted low-rate flows)
+   lands the measured ratio well above this. *)
+let threshold = 10.
+
+let sources = 4
+
+(* Same shape as ddcr_admit gen's defaults: quaternary trees, horizon
+   c·F past the largest sampled deadline, round-robin static leaves. *)
+let params =
+  let rec pow4 n = if n >= 2 * sources then n else pow4 (4 * n) in
+  let q = pow4 4 in
+  let static_indices =
+    Array.init sources (fun i ->
+        let rec walk j acc =
+          if j >= q then List.rev acc else walk (j + sources) (j :: acc)
+        in
+        Array.of_list (walk i []))
+  in
+  {
+    Ddcr_params.time_m = 4;
+    time_leaves = 1024;
+    class_width = 8192;
+    alpha = 8192;
+    theta = 0;
+    static_m = 4;
+    static_leaves = q;
+    static_indices;
+    burst_bits = 0;
+  }
+
+(* Build-up then steady-state churn: 200 adds of distinct low-rate
+   flows (each contributes ~1 interference term to every class, so the
+   resident set grows into the hundreds before the bound binds),
+   followed by 100 modifies at full population.  Deciding one request
+   against n residents is O(n) incrementally and O(n²) from scratch;
+   a rejected add pays the same attach/evaluate/detach, so the
+   comparison holds whether or not the tail of the stream is
+   admitted. *)
+let requests =
+  let flow i =
+    {
+      Request.fl_id = Printf.sprintf "g%d" i;
+      fl_source = i mod sources;
+      fl_bits = 1600;
+      fl_deadline = 4_000_000;
+      fl_burst = 1;
+      fl_window = 16_000_000;
+      fl_offset = 0;
+    }
+  in
+  List.init 200 (fun i -> Request.Add (flow i))
+  @ List.init 100 (fun i -> Request.Modify (flow (i * 2)))
+
+let phy =
+  match Request.phy_of_name "gigabit-ethernet" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let drain decide () =
+  match Engine.create ~phy ~num_sources:sources ~params with
+  | Error e -> failwith e
+  | Ok eng -> List.iter (fun r -> ignore (decide eng r)) requests
+
+let () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"admit_guard"
+      [
+        Test.make ~name:"incremental" (Staged.stage (drain Engine.decide));
+        Test.make ~name:"from_scratch"
+          (Staged.stage (drain Engine.decide_full));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate name =
+    let key = "admit_guard/" ^ name in
+    match Hashtbl.find_opt results key with
+    | None -> None
+    | Some r -> (
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Some est
+      | Some [] | None -> None)
+  in
+  match (estimate "incremental", estimate "from_scratch") with
+  | Some inc, Some full ->
+    let ratio = full /. inc in
+    Printf.printf
+      "admit_guard: incremental %.0f ns/stream, from_scratch %.0f \
+       ns/stream (%.1fx)\n"
+      inc full ratio;
+    if ratio < threshold then begin
+      Printf.printf
+        "admit_guard: FAIL — incremental admission is only %.1fx the \
+         from-scratch analysis (pinned floor %.0fx); the cached sums \
+         have stopped paying for themselves\n"
+        ratio threshold;
+      exit 1
+    end
+    else Printf.printf "admit_guard: ok (floor %.0fx)\n" threshold
+  | _ ->
+    (* A missing estimate means Bechamel could not fit the model —
+       treat as an infrastructure failure, not a perf regression. *)
+    Printf.printf "admit_guard: could not estimate both runs\n";
+    exit 2

@@ -134,6 +134,44 @@ let topo_sources =
     & info [ "topo-sources" ] ~docv:"N"
         ~doc:"Topology mode: sources per segment.")
 
+let admit_params =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "admit-params" ] ~docv:"FILE"
+        ~doc:"Admission mode: hunt accept-then-violate bugs of the \
+              admission-control engine — candidates are churn streams \
+              (flow add/remove/modify) decided by rtnet.admit under the \
+              protocol parameters in $(docv), after which the admitted set \
+              is simulated; a deadline miss in an accepted set is the \
+              violation.  --scenario/--size are ignored.")
+
+let admit_sources =
+  Arg.(
+    value & opt int 2
+    & info [ "admit-sources" ] ~docv:"N"
+        ~doc:"Admission mode: station count.")
+
+let admit_pool =
+  Arg.(
+    value & opt int 8
+    & info [ "admit-pool" ] ~docv:"N"
+        ~doc:"Admission mode: flow-id pool size per candidate stream.")
+
+let admit_requests =
+  Arg.(
+    value & opt int 64
+    & info [ "admit-requests" ] ~docv:"N"
+        ~doc:"Admission mode: churn-stream length per candidate.")
+
+let admit_phy =
+  Arg.(
+    value
+    & opt string "gigabit-ethernet"
+    & info [ "admit-phy" ] ~docv:"NAME"
+        ~doc:"Admission mode: broadcast medium (gigabit-ethernet, \
+              classic-ethernet, atm-bus).")
+
 let log_of quiet =
   if quiet then fun (_ : string) -> ()
   else fun m -> Printf.eprintf "ddcr_chaos: %s\n%!" m
@@ -285,9 +323,107 @@ let run_topo_search ~segments ~fanout ~sources ~load ~deadline_windows
     end
     else 0
 
+(* Admission mode: the same search loop over churn-stream candidates
+   (admit the stream, simulate the admitted set). *)
+let run_admit_search ~params_file ~sources ~pool ~requests ~phy ~horizon_ms
+    ~seed ~candidates ~jobs ~watchdog ~retries ~backoff ~wall_budget ~out
+    ~out_dir ~quiet ~expect_finding =
+  match
+    Result.bind (Rtnet_util.Json.parse_file params_file)
+      Rtnet_core.Ddcr_params.of_json
+  with
+  | Error e ->
+    Format.eprintf "ddcr_chaos: --admit-params %s: %s@." params_file e;
+    2
+  | Ok params ->
+    let ac =
+      {
+        Candidate.an_phy = phy;
+        an_sources = sources;
+        an_params = params;
+        an_horizon_ms = horizon_ms;
+      }
+    in
+    let config =
+      {
+        (Search.default_admit_config ac) with
+        Search.a_seed = seed;
+        a_count = candidates;
+        a_pool = pool;
+        a_requests = requests;
+        a_jobs = jobs;
+        a_watchdog_s = (if watchdog <= 0. then None else Some watchdog);
+        a_retries = retries;
+        a_backoff_s = backoff;
+        a_wall_budget_s = wall_budget;
+      }
+    in
+    let log = log_of quiet in
+    let registry = Registry.create () in
+    let res = Search.run_admit ~registry ~log config in
+    Format.printf
+      "admit search: %d/%d candidates examined, %d finding(s), %d gave up%s@."
+      res.Search.as_examined config.Search.a_count
+      (List.length res.Search.as_findings)
+      (List.length res.Search.as_gave_up)
+      (if res.Search.as_exhausted then " (budget exhausted, partial)" else "");
+    List.iter
+      (fun f ->
+        Format.printf "  candidate %d [%d request(s)]: %s@." f.Search.af_index
+          (List.length f.Search.af_candidate.Candidate.ar_requests)
+          (Oracle.describe f.Search.af_report.Candidate.rp_verdict))
+      res.Search.as_findings;
+    let note i =
+      Printf.sprintf "admit search seed=%d candidate=%d" config.Search.a_seed i
+    in
+    let write path (f : Search.admit_finding) =
+      Repro.save_admission ~path
+        (Repro.make_admission ~config:ac ~candidate:f.Search.af_candidate
+           ~report:f.Search.af_report ~note:(note f.Search.af_index))
+    in
+    (try
+       (match (out, res.Search.as_findings) with
+       | Some path, f :: _ ->
+         write path f;
+         Format.printf "first finding written to %s@." path
+       | Some _, [] | None, _ -> ());
+       match out_dir with
+       | None -> Ok ()
+       | Some dir ->
+         List.iter
+           (fun f ->
+             write
+               (Filename.concat dir
+                  (Printf.sprintf "admit_chaos_finding_%d.json"
+                     f.Search.af_index))
+               f)
+           res.Search.as_findings;
+         Ok ()
+     with Sys_error e -> Error e)
+    |> ( function
+    | Error e ->
+      Format.eprintf "ddcr_chaos: cannot write artifact: %s@." e;
+      2
+    | Ok () ->
+      if expect_finding && res.Search.as_findings = [] then begin
+        Format.eprintf
+          "ddcr_chaos: --expect-finding: no violation found in %d candidates@."
+          res.Search.as_examined;
+        1
+      end
+      else 0 )
+
 let run_search config_file scenario size load deadline_windows horizon_ms seed
     candidates jobs watchdog retries backoff wall_budget max_events max_rate
-    out out_dir quiet expect_finding topo_segments topo_fanout topo_sources =
+    out out_dir quiet expect_finding topo_segments topo_fanout topo_sources
+    admit_params admit_sources admit_pool admit_requests admit_phy =
+  match admit_params with
+  | Some params_file ->
+    run_admit_search ~params_file ~sources:admit_sources ~pool:admit_pool
+      ~requests:admit_requests ~phy:admit_phy ~horizon_ms ~seed ~candidates
+      ~jobs ~watchdog ~retries ~backoff ~wall_budget ~out ~out_dir ~quiet
+      ~expect_finding
+  | None ->
   if topo_segments > 0 then
     if topo_segments < 2 then begin
       Format.eprintf "ddcr_chaos: --topo-segments must be >= 2@.";
@@ -366,7 +502,9 @@ let search_cmd =
       $ Cli_common.load $ Cli_common.deadline_windows $ Cli_common.horizon_ms
       $ Cli_common.seed $ candidates_t $ jobs $ watchdog $ retries $ backoff
       $ wall_budget $ max_events $ max_rate $ out $ out_dir $ quiet
-      $ expect_finding $ topo_segments $ topo_fanout $ topo_sources)
+      $ expect_finding $ topo_segments $ topo_fanout $ topo_sources
+      $ admit_params $ admit_sources $ admit_pool $ admit_requests
+      $ admit_phy)
   in
   Cmd.v
     (Cmd.info "search"
@@ -456,6 +594,53 @@ let run_topo_shrink ~log ~repro_in ~shrink_out ~max_fraction
       2
   end
 
+(* Admission findings shrink over the churn stream itself: ddmin drops
+   requests (an order-preserving subsequence) while the verdict class
+   holds.  "Events" are requests here. *)
+let run_admit_shrink ~log ~repro_in ~shrink_out ~max_fraction
+    (repro : Repro.admission) =
+  let config, ad = Repro.admission_candidate repro in
+  let oracle reqs =
+    (Candidate.run_admit config { ad with Candidate.ar_requests = reqs })
+      .Candidate.rp_verdict
+  in
+  let original_events = List.length repro.Repro.ra_requests in
+  let res =
+    Shrink.run_admit ~oracle ~target:repro.Repro.ra_verdict
+      repro.Repro.ra_requests
+  in
+  let shrunk_events = List.length res.Shrink.sa_requests in
+  if not (Oracle.same_class res.Shrink.sa_verdict repro.Repro.ra_verdict)
+  then begin
+    Format.eprintf
+      "ddcr_chaos: the repro does not reproduce its own verdict (%s vs \
+       expected %s) — nothing to shrink@."
+      (Oracle.label res.Shrink.sa_verdict)
+      (Oracle.label repro.Repro.ra_verdict);
+    1
+  end
+  else begin
+    log
+      (Printf.sprintf "shrink: %d -> %d request(s) in %d oracle check(s)"
+         original_events shrunk_events res.Shrink.sa_checks);
+    let minimized_cd = { ad with Candidate.ar_requests = res.Shrink.sa_requests } in
+    let report = Candidate.run_admit config minimized_cd in
+    let minimized =
+      Repro.make_admission ~config ~candidate:minimized_cd ~report
+        ~note:
+          (Printf.sprintf "shrunk from %s (%d -> %d requests)"
+             (Filename.basename repro_in) original_events shrunk_events)
+    in
+    match Repro.save_admission ~path:shrink_out minimized with
+    | () ->
+      finish_shrink ~shrink_out ~max_fraction ~original_events ~shrunk_events
+        ~plan_label:(Printf.sprintf "%d request(s)" shrunk_events)
+        ~verdict:report.Candidate.rp_verdict
+    | exception Sys_error e ->
+      Format.eprintf "ddcr_chaos: cannot write %s: %s@." shrink_out e;
+      2
+  end
+
 let run_shrink repro_in shrink_out max_fraction quiet =
   let log = log_of quiet in
   match Repro.load_any ~path:repro_in with
@@ -464,6 +649,8 @@ let run_shrink repro_in shrink_out max_fraction quiet =
     2
   | Ok (Repro.Federated repro) ->
     run_topo_shrink ~log ~repro_in ~shrink_out ~max_fraction repro
+  | Ok (Repro.Admission repro) ->
+    run_admit_shrink ~log ~repro_in ~shrink_out ~max_fraction repro
   | Ok (Repro.Plain repro) -> (
     let config, cd = Repro.candidate repro in
     let oracle sp =
@@ -587,6 +774,14 @@ let run_replay replay_file postmortem_out =
          ignoring@.";
     report_replay ~replay_file ~expected_verdict:repro.Repro.re_verdict
       ~expected_fingerprint:repro.Repro.re_fingerprint (Repro.replay repro)
+  | Ok (Repro.Admission repro) ->
+    if postmortem_out <> None then
+      Format.eprintf
+        "ddcr_chaos: --postmortem-out applies to federated artifacts only; \
+         ignoring@.";
+    report_replay ~replay_file ~expected_verdict:repro.Repro.ra_verdict
+      ~expected_fingerprint:repro.Repro.ra_fingerprint
+      (Repro.replay_admission repro)
   | Ok (Repro.Federated repro) ->
     let flights = ref [] in
     let result = ref None in

@@ -99,12 +99,26 @@ let check_repro_file =
     & opt (some file) None
     & info [ "check-repro" ] ~docv:"FILE"
         ~doc:
-          "Validate a chaos replay artifact written by ddcr_chaos: the \
-           schema version must match, the embedded fault plan must pass \
-           construction validation against the artifact's horizon, and \
-           the scenario must decode.  Exit 0 if valid, 2 if not.  The \
+          "Validate a chaos replay artifact written by ddcr_chaos (plain, \
+           federated-topology or admission flavor, dispatched on the \
+           version key): the schema version must match, the embedded \
+           fault plan or churn stream must pass construction validation, \
+           and the scenario must decode.  Exit 0 if valid, 2 if not.  The \
            artifact is not re-executed; use $(b,ddcr_chaos replay) for \
            that.")
+
+let check_admit_trace_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-admit-trace" ] ~docv:"FILE"
+        ~doc:
+          "Lint an admission request trace written by ddcr_admit gen: \
+           replay the churn stream through a fresh engine and report \
+           CFG-ADMIT diagnostics (duplicate live flow ids are errors, \
+           bindings within one frame of infeasibility are warnings).  \
+           Exit 0 if clean, 1 on lint errors, 2 if the file does not \
+           decode.")
 
 let dump_trace_file =
   Arg.(
@@ -178,9 +192,22 @@ let dump ~seed ~horizon params inst path =
 
 let main scenario size load deadline_windows indices burst theta allocation
     seed horizon_ms strict with_trace bounded max_m max_leaves all_scenarios
-    check_trace_file check_perfetto_file check_repro_file dump_trace_file sd
-    sw =
+    check_trace_file check_perfetto_file check_repro_file
+    check_admit_trace_file dump_trace_file sd sw =
   let horizon = horizon_ms * 1_000_000 in
+  match check_admit_trace_file with
+  | Some path -> (
+    match Rtnet_admit.Request.load_trace ~path with
+    | Error e ->
+      Format.eprintf "ddcr_lint: %s@." e;
+      2
+    | Ok trace ->
+      let diags = Config_lint.check_admit trace in
+      Format.printf "== admission trace %s (%d requests) ==@.%a" path
+        (List.length trace.Rtnet_admit.Request.tr_requests)
+        Diagnostic.pp_report diags;
+      Diagnostic.exit_code diags)
+  | None -> (
   match check_repro_file with
   | Some path -> (
     match Rtnet_util.Json.parse_file path with
@@ -190,23 +217,40 @@ let main scenario size load deadline_windows indices burst theta allocation
     | Ok j -> (
       (* Report the version the artifact DECLARES, not the current
          constant: a back-compatible v1 file must read as v1. *)
-      let declared =
+      let declared key =
         match
-          Result.bind (Rtnet_util.Json.field "chaos_repro_version" j)
-            Rtnet_util.Json.get_int
+          Result.bind (Rtnet_util.Json.field key j) Rtnet_util.Json.get_int
         with
         | Ok v -> string_of_int v
         | Error _ -> "?"
       in
-      match Rtnet_chaos.Repro.of_json j with
-      | Ok r ->
+      match Rtnet_chaos.Repro.load_any ~path with
+      | Ok (Rtnet_chaos.Repro.Plain r) ->
         Format.printf "chaos repro %s: schema v%s, plan [%s]%s, verdict %s ok@."
-          path declared
+          path
+          (declared "chaos_repro_version")
           (Rtnet_channel.Fault_plan.label r.Rtnet_chaos.Repro.re_plan)
           (match r.Rtnet_chaos.Repro.re_params with
           | Some _ -> ", params override"
           | None -> "")
           (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.re_verdict);
+        0
+      | Ok (Rtnet_chaos.Repro.Federated r) ->
+        Format.printf
+          "topo chaos repro %s: schema v%s, %d segment plan(s), verdict %s \
+           ok@."
+          path
+          (declared "topo_chaos_repro_version")
+          (List.length r.Rtnet_chaos.Repro.rt_plans)
+          (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.rt_verdict);
+        0
+      | Ok (Rtnet_chaos.Repro.Admission r) ->
+        Format.printf
+          "admit chaos repro %s: schema v%s, %d request(s), verdict %s ok@."
+          path
+          (declared "admit_chaos_repro_version")
+          (List.length r.Rtnet_chaos.Repro.ra_requests)
+          (Rtnet_analysis.Oracle.label r.Rtnet_chaos.Repro.ra_verdict);
         0
       | Error e ->
         Format.eprintf "ddcr_lint: %s@." e;
@@ -282,7 +326,7 @@ let main scenario size load deadline_windows indices burst theta allocation
         end
         else []
       in
-      Diagnostic.exit_code (scenario_diags @ bounded_diags))))
+      Diagnostic.exit_code (scenario_diags @ bounded_diags)))))
 
 let cmd =
   let term =
@@ -292,8 +336,8 @@ let cmd =
       $ Cli_common.burst_bits $ Cli_common.theta $ Cli_common.allocation
       $ Cli_common.seed $ Cli_common.horizon_ms $ strict $ with_trace
       $ bounded $ max_m $ max_leaves $ all_scenarios $ check_trace_file
-      $ check_perfetto_file $ check_repro_file $ dump_trace_file
-      $ scale_deadlines $ scale_windows)
+      $ check_perfetto_file $ check_repro_file $ check_admit_trace_file
+      $ dump_trace_file $ scale_deadlines $ scale_windows)
   in
   Cmd.v
     (Cmd.info "ddcr_lint"

@@ -1,0 +1,116 @@
+(** Incremental admission engine: the Section 4.3 feasibility analysis
+    maintained as a running data structure instead of recomputed per
+    request.
+
+    For every admitted flow [M] the engine caches the integer
+    quantities [r(M)], [u(M)] and the interference transmission time,
+    all of which are sums of per-pair terms; admitting or evicting a
+    flow [f] adds or subtracts [f]'s term from each resident class in
+    O(1) per class (with only the classes whose sums moved marked
+    dirty), instead of re-running the O(n²) pairwise analysis.  The ξ
+    machinery is cached too: the time-tree bound [ξ₂ = Xi.eq5] is a
+    per-engine constant of the parameters, and the static-tree bound
+    [S₁ = Multi_tree.bound] is memoized by its only inputs [(u, v)].
+
+    Because all cached quantities are exact integers and the final
+    bound is the same float expression Feasibility evaluates, the
+    incremental answer is bit-identical to a from-scratch
+    {!Rtnet_core.Feasibility.check} — an invariant {!selfcheck}
+    asserts and the service's differential mode gates on. *)
+
+type t
+
+val create :
+  phy:Rtnet_channel.Phy.t ->
+  num_sources:int ->
+  params:Rtnet_core.Ddcr_params.t ->
+  (t, string) result
+(** [create ~phy ~num_sources ~params] is an empty engine; the
+    parameters are validated against [num_sources]. *)
+
+type reject_code =
+  | Infeasible of { binding : string; headroom : float }
+      (** some class's [B_DDCR] would exceed its deadline; [binding]
+          is the worst class and [headroom] its (negative) slack *)
+  | Unknown_flow  (** remove/modify of a flow that is not admitted *)
+  | Duplicate_flow  (** add of a flow id that is already admitted *)
+  | Invalid_params of string  (** malformed flow parameters *)
+  | Overloaded of { retry_after : int }
+      (** shed by the service's backpressure (never emitted by the
+          engine itself); [retry_after] is the backlog hint *)
+
+type decision =
+  | Accepted of { binding : (string * float) option }
+      (** admitted; [binding] is the tightest class and its headroom
+          [d − B_DDCR] after the change ([None] when the flow set
+          became empty) *)
+  | Rejected of reject_code
+
+val decision_code : decision -> string
+(** Stable short code: ["accepted"], ["infeasible"], ["unknown-flow"],
+    ["duplicate-flow"], ["invalid-params"] or ["overloaded"]. *)
+
+val decision_to_json : decision -> Rtnet_util.Json.t
+val decision_of_json : Rtnet_util.Json.t -> (decision, string) result
+
+val decide : t -> Request.t -> decision
+(** [decide t req] answers [req] and, if accepted, mutates the
+    admitted set.  Malformed or inconsistent requests yield structured
+    rejections — never an exception.  A rejected [Modify] leaves the
+    old flow admitted (atomic replace). *)
+
+val decide_full : t -> Request.t -> decision
+(** [decide_full t req] reaches the same decision as {!decide} but
+    evaluates feasibility from scratch: every per-class sum recomputed
+    by the O(n²) pairwise loops, every [S₁] by a direct [Multi_tree]
+    call, no cache consulted.  The bench guard pins {!decide} at ≥10×
+    this path. *)
+
+val apply : t -> Request.t -> decision -> (unit, string) result
+(** [apply t req d] replays a journaled decision without re-deciding:
+    accepted requests mutate the admitted set, rejections are no-ops.
+    Errors indicate a journal inconsistent with the engine state. *)
+
+val selfcheck : t -> (unit, string) result
+(** [selfcheck t] runs a from-scratch {!Rtnet_core.Feasibility.check}
+    over the current admitted set and demands exact equality — integer
+    for integer, float bit for float bit — with the cached values.
+    [Ok ()] on an empty set. *)
+
+val size : t -> int
+val params : t -> Rtnet_core.Ddcr_params.t
+val phy : t -> Rtnet_channel.Phy.t
+val num_sources : t -> int
+
+val flows : t -> (Request.flow * int) list
+(** Admitted flows with their engine-assigned class ids, in class-id
+    (= admission) order. *)
+
+val headroom : t -> (string * float) option
+(** Current binding class and its headroom; [None] when empty. *)
+
+val instance : t -> (Rtnet_workload.Instance.t, string) result
+(** [instance t] materializes the admitted set as a workload instance
+    (periodic arrivals phased at each flow's offset) — the bridge to
+    the simulator and to {!Rtnet_core.Feasibility}. *)
+
+val snapshot : t -> Rtnet_util.Json.t
+(** Serialize the admitted set (flows + class-id counter).  The caches
+    are not serialized; {!restore} rebuilds them. *)
+
+val restore :
+  phy:Rtnet_channel.Phy.t ->
+  num_sources:int ->
+  params:Rtnet_core.Ddcr_params.t ->
+  Rtnet_util.Json.t ->
+  (t, string) result
+(** [restore ~phy ~num_sources ~params j] rebuilds an engine from a
+    {!snapshot}, recomputing every cached sum from scratch. *)
+
+type stats = {
+  st_decisions : int;  (** decisions answered *)
+  st_s1_hits : int;  (** S₁ memo hits *)
+  st_s1_misses : int;  (** S₁ memo misses (fresh Multi_tree calls) *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,63 @@
+(** Admission-request vocabulary: flow descriptions, the three request
+    operations, and self-contained churn trace files.
+
+    A {!flow} is a named message class in the making: once admitted it
+    becomes a {!Rtnet_workload.Message.cls} with an engine-assigned
+    class id and a periodic arrival law phased at [fl_offset].  All
+    quantities are in bit-times, exactly as in the feasibility
+    conditions of Section 4.3. *)
+
+type flow = {
+  fl_id : string;  (** service-scoped flow name, e.g. ["f12"] *)
+  fl_source : int;  (** owning station, [0 <= fl_source < sources] *)
+  fl_bits : int;  (** Data-Link frame length [l] *)
+  fl_deadline : int;  (** relative deadline [d(M)], bit-times *)
+  fl_burst : int;  (** burst size [a(M)] *)
+  fl_window : int;  (** arrival window [w(M)], bit-times *)
+  fl_offset : int;  (** periodic arrival phase, bit-times *)
+}
+
+type t =
+  | Add of flow  (** admit a new flow *)
+  | Remove of string  (** evict the named flow *)
+  | Modify of flow
+      (** atomically replace the named flow's parameters; if the new
+          parameters are infeasible the old flow stays admitted *)
+
+val flow_id : t -> string
+(** [flow_id r] is the flow name the request targets. *)
+
+val op : t -> string
+(** [op r] is ["add"], ["remove"] or ["modify"]. *)
+
+val flow_to_json : flow -> Rtnet_util.Json.t
+val flow_of_json : Rtnet_util.Json.t -> (flow, string) result
+val to_json : t -> Rtnet_util.Json.t
+val of_json : Rtnet_util.Json.t -> (t, string) result
+
+val phy_of_name : string -> (Rtnet_channel.Phy.t, string) result
+(** [phy_of_name n] resolves one of the shipped media by its [name]
+    field (["gigabit-ethernet"], ["classic-ethernet"], ["atm-bus"]). *)
+
+type trace = {
+  tr_phy : Rtnet_channel.Phy.t;  (** broadcast medium *)
+  tr_sources : int;  (** station count [z] *)
+  tr_params : Rtnet_core.Ddcr_params.t;  (** protocol parameters *)
+  tr_requests : t list;  (** the churn stream, in arrival order *)
+}
+(** A self-contained churn trace: everything [ddcr_admit run] needs.
+    Embedding the parameters keeps broken-params fixtures (the
+    accept-then-violate seeds) reproducible from one file. *)
+
+val trace_to_json : trace -> Rtnet_util.Json.t
+val trace_of_json : Rtnet_util.Json.t -> (trace, string) result
+(** Decoding validates the parameters against [tr_sources] and knows
+    only schema version 1 (key ["admit_trace_version"]). *)
+
+val save_trace : path:string -> trace -> unit
+val load_trace : path:string -> (trace, string) result
+
+val trace_hash : trace -> string
+(** [trace_hash tr] is the hex digest of the canonical trace JSON —
+    journal and snapshot files record it so [--resume] refuses to
+    replay a journal against a different trace. *)

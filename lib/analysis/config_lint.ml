@@ -231,6 +231,77 @@ let check_fault ?horizon plan =
   in
   validity @ heuristics
 
+(* Admission-trace lint ("CFG-ADMIT"): churn traces for the admission
+   service are checked by replaying them through a scratch engine, so
+   every diagnostic refers to the state the service would actually be
+   in.  Two rules ride on the replay: re-adding a still-admitted flow
+   id is a spec bug (the service will reject it, but the trace author
+   almost certainly meant modify), and an accepted decision that
+   leaves the binding class within one of its own frames of B_DDCR is
+   running without slack — the next add of any consequence flips it. *)
+let check_admit (tr : Rtnet_admit.Request.trace) =
+  let module Req = Rtnet_admit.Request in
+  let module Eng = Rtnet_admit.Engine in
+  match
+    Eng.create ~phy:tr.Req.tr_phy ~num_sources:tr.Req.tr_sources
+      ~params:tr.Req.tr_params
+  with
+  | Error e ->
+    [ D.error ~rule_id:"CFG-ADMIT" ~subject:"admit trace" ~paper_ref:s32 e ]
+  | Ok eng ->
+    let live : (string, Req.flow) Hashtbl.t = Hashtbl.create 32 in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    List.iteri
+      (fun i req ->
+        let id = Req.flow_id req in
+        (match req with
+        | Req.Add _ when Hashtbl.mem live id ->
+          emit
+            (D.error ~rule_id:"CFG-ADMIT-DUP" ~subject:id ~paper_ref:s43
+               (Printf.sprintf
+                  "request %d re-adds flow %s while it is still admitted \
+                   (use modify to replace its parameters)"
+                  i id))
+        | _ -> ());
+        let d = Eng.decide eng req in
+        (match (d, req) with
+        | Eng.Accepted _, (Req.Add f | Req.Modify f) ->
+          Hashtbl.replace live id f
+        | Eng.Accepted _, Req.Remove _ -> Hashtbl.remove live id
+        | Eng.Rejected _, _ -> ());
+        match d with
+        | Eng.Accepted { binding = Some (cls, headroom) } ->
+          let wire =
+            match Hashtbl.find_opt live cls with
+            | Some f -> Phy.tx_bits tr.Req.tr_phy f.Req.fl_bits
+            | None -> 0
+          in
+          if headroom < float_of_int wire then
+            emit
+              (D.warning ~rule_id:"CFG-ADMIT-HEADROOM" ~subject:cls
+                 ~paper_ref:s43
+                 (Printf.sprintf
+                    "after request %d (%s %s) the binding class %s has \
+                     headroom %.1f bit-times — within one %d-bit on-wire \
+                     frame of B_DDCR"
+                    i (Req.op req) id cls headroom wire))
+        | _ -> ())
+      tr.Req.tr_requests;
+    let summary =
+      if !diags = [] then
+        [
+          D.info ~rule_id:"CFG-ADMIT" ~subject:"admit trace" ~paper_ref:s43
+            (Printf.sprintf
+               "replayed %d request(s): %d flow(s) admitted at the end, no \
+                duplicate ids, binding headroom always at least one frame"
+               (List.length tr.Req.tr_requests)
+               (Eng.size eng));
+        ]
+      else []
+    in
+    List.rev !diags @ summary
+
 (* Topology lint ("CFG-TOPO"): the federated counterpart of the
    per-segment passes.  Routing and acyclicity come first (elaboration
    presupposes them); on an elaborable topology every flow hop is

@@ -57,6 +57,20 @@ val check_fault :
     (bit-times), whose station would never rejoin — plus warnings for
     suspicious parameterizations. *)
 
+val check_admit : Rtnet_admit.Request.trace -> Diagnostic.t list
+(** [check_admit tr] lints an admission churn trace by replaying it
+    through a scratch {!Rtnet_admit.Engine}:
+
+    - ["CFG-ADMIT"]: engine construction failure (invalid parameters
+      for the trace's source count) as an error; one informational
+      summary when the trace is clean;
+    - ["CFG-ADMIT-DUP"]: an [add] of a flow id that is still admitted
+      at that point of the trace is an error (the service will reject
+      it; the author almost certainly meant [modify]);
+    - ["CFG-ADMIT-HEADROOM"]: an accepted decision that leaves the
+      binding class within one of its own on-wire frames of [B_DDCR]
+      is a warning — admission is running without slack. *)
+
 val check_topo :
   ?policy:Rtnet_core.Decompose.policy ->
   Rtnet_topology.Topo.t ->

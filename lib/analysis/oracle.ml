@@ -16,6 +16,7 @@ type verdict =
   | Chain_deadline_miss of { misses : int; flow : string }
   | Handoff_loss of { bridge : string; chains : int }
   | Bridge_overflow of { bridge : string; dropped : int }
+  | Admission_violation of { flow : string; misses : int }
 
 let label = function
   | Pass -> "pass"
@@ -28,6 +29,7 @@ let label = function
   | Chain_deadline_miss _ -> "chain-deadline-miss"
   | Handoff_loss _ -> "handoff-loss"
   | Bridge_overflow _ -> "bridge-overflow"
+  | Admission_violation _ -> "admission-violation"
 
 let describe = function
   | Pass -> "pass: every oracle holds"
@@ -55,6 +57,10 @@ let describe = function
     Printf.sprintf
       "bridge %s store-and-forward queue overflowed: %d message(s) dropped"
       bridge dropped
+  | Admission_violation { flow; misses } ->
+    Printf.sprintf
+      "admission control accepted flow %s yet the run misses %d deadline(s)"
+      flow misses
 
 let is_failure v = v <> Pass
 let same_class a b = String.equal (label a) (label b)
@@ -78,7 +84,9 @@ let to_json v =
     | Handoff_loss { bridge; chains } ->
       [ tag; ("bridge", Json.String bridge); ("chains", Json.Int chains) ]
     | Bridge_overflow { bridge; dropped } ->
-      [ tag; ("bridge", Json.String bridge); ("dropped", Json.Int dropped) ])
+      [ tag; ("bridge", Json.String bridge); ("dropped", Json.Int dropped) ]
+    | Admission_violation { flow; misses } ->
+      [ tag; ("flow", Json.String flow); ("misses", Json.Int misses) ])
 
 let of_json j =
   let* tag = Result.bind (Json.field "verdict" j) Json.get_string in
@@ -117,6 +125,10 @@ let of_json j =
     let* bridge = Result.bind (Json.field "bridge" j) Json.get_string in
     let* dropped = Result.bind (Json.field "dropped" j) Json.get_int in
     Ok (Bridge_overflow { bridge; dropped })
+  | "admission-violation" ->
+    let* flow = Result.bind (Json.field "flow" j) Json.get_string in
+    let* misses = Result.bind (Json.field "misses" j) Json.get_int in
+    Ok (Admission_violation { flow; misses })
   | other -> Error (Printf.sprintf "unknown verdict %S" other)
 
 (* -------------------- classification -------------------- *)

@@ -48,12 +48,19 @@ type verdict =
   | Bridge_overflow of { bridge : string; dropped : int }
       (** a crashed bridge's bounded store-and-forward queue
           overflowed and dropped held messages (structured loss) *)
+  | Admission_violation of { flow : string; misses : int }
+      (** the admission engine accepted a flow set as feasible (every
+          [B_DDCR] within its deadline) yet simulating exactly that set
+          misses deadlines — the accept-then-violate bug class
+          [rtnet.admit]'s chaos mode hunts; [flow] is the first missing
+          class *)
 
 val label : verdict -> string
 (** [label v] is the verdict's class name: ["pass"],
     ["safety-violation"], ["deadline-miss"], ["failed-resync"],
     ["invariant-violation"], ["harness-mismatch"], ["run-crash"],
-    ["chain-deadline-miss"], ["handoff-loss"], ["bridge-overflow"]. *)
+    ["chain-deadline-miss"], ["handoff-loss"], ["bridge-overflow"],
+    ["admission-violation"]. *)
 
 val describe : verdict -> string
 (** [describe v] is a one-line human-readable rendering including the

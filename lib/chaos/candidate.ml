@@ -203,3 +203,149 @@ let run_topo ?sink_for ?on_result tc td =
       | exception Assert_failure _ ->
         let v = Oracle.Run_crash "assertion failure in the simulator" in
         finish_with v (fingerprint_verdict v) 0 0))
+
+(* -------------------- admission candidates -------------------- *)
+
+module A_request = Rtnet_admit.Request
+module A_engine = Rtnet_admit.Engine
+module A_journal = Rtnet_admit.Journal
+module Message = Rtnet_workload.Message
+
+type admit_config = {
+  an_phy : string;
+  an_sources : int;
+  an_params : Ddcr_params.t;
+  an_horizon_ms : int;
+}
+
+type admit = {
+  ar_requests : A_request.t list;
+  ar_trace_seed : int;
+}
+
+let admit_config_to_json ac =
+  Json.Obj
+    [
+      ("phy", Json.String ac.an_phy);
+      ("sources", Json.Int ac.an_sources);
+      ("params", Ddcr_params.to_json ac.an_params);
+      ("horizon_ms", Json.Int ac.an_horizon_ms);
+    ]
+
+let admit_config_of_json j =
+  let* phy = Result.bind (Json.field "phy" j) Json.get_string in
+  let* sources = Result.bind (Json.field "sources" j) Json.get_int in
+  let* params = Result.bind (Json.field "params" j) Ddcr_params.of_json in
+  let* horizon_ms = Result.bind (Json.field "horizon_ms" j) Json.get_int in
+  if sources < 1 then Error "sources < 1"
+  else if horizon_ms < 1 then Error "horizon_ms < 1"
+  else
+    Ok
+      {
+        an_phy = phy;
+        an_sources = sources;
+        an_params = params;
+        an_horizon_ms = horizon_ms;
+      }
+
+(* The first class the run actually failed: completions that finished
+   late, then outright drops, then messages still queued though their
+   deadline fell inside the horizon — the same accounting order
+   [Run.metrics] uses for [deadline_misses]. *)
+let first_missed_flow (outcome : Run.outcome) =
+  let late =
+    List.find_map
+      (fun c ->
+        if Run.missed c then Some c.Run.c_msg.Message.cls.Message.cls_name
+        else None)
+      outcome.Run.completions
+  in
+  let due m = Message.abs_deadline m <= outcome.Run.horizon in
+  let first_due msgs =
+    List.find_map
+      (fun m -> if due m then Some m.Message.cls.Message.cls_name else None)
+      msgs
+  in
+  match late with
+  | Some f -> Some f
+  | None -> (
+    match first_due outcome.Run.dropped with
+    | Some f -> Some f
+    | None -> first_due outcome.Run.unfinished)
+
+let run_admit ?sink ac ad =
+  let t0 = Unix.gettimeofday () in
+  let finish_with verdict fingerprint delivered misses =
+    {
+      rp_verdict = verdict;
+      rp_fingerprint = fingerprint;
+      rp_delivered = delivered;
+      rp_misses = misses;
+      rp_elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  let crash msg =
+    let v = Oracle.Run_crash msg in
+    finish_with v (fingerprint_verdict v) 0 0
+  in
+  match
+    let* phy = A_request.phy_of_name ac.an_phy in
+    A_engine.create ~phy ~num_sources:ac.an_sources ~params:ac.an_params
+  with
+  | Error e -> crash ("admission setup: " ^ e)
+  | Ok eng -> (
+    (* Decide the whole churn stream first; the decision lines are part
+       of the fingerprint, so replay asserts the decisions themselves,
+       not just the simulation outcome. *)
+    let lines =
+      List.mapi
+        (fun seq req ->
+          let decision = A_engine.decide eng req in
+          A_journal.record_line
+            { A_journal.jr_seq = seq; jr_request = req; jr_decision = decision })
+        ad.ar_requests
+    in
+    let decisions = String.concat "\n" lines in
+    let fingerprint_with suffix =
+      Digest.to_hex (Digest.string ("admit:" ^ decisions ^ ":" ^ suffix))
+    in
+    if A_engine.size eng = 0 then
+      (* Nothing admitted, nothing to violate. *)
+      finish_with Oracle.Pass (fingerprint_with "empty") 0 0
+    else
+      match A_engine.instance eng with
+      | Error e -> crash ("admitted set not instantiable: " ^ e)
+      | Ok inst -> (
+        let horizon = ac.an_horizon_ms * 1_000_000 in
+        let trace = Instance.trace inst ~seed:ad.ar_trace_seed ~horizon in
+        match
+          Ddcr.run_trace ~check_lockstep:true ?sink ac.an_params inst trace
+            ~horizon
+        with
+        | outcome ->
+          let m = Run.metrics outcome in
+          let verdict =
+            if m.Run.deadline_misses = 0 then Oracle.Pass
+            else
+              Oracle.Admission_violation
+                {
+                  flow =
+                    Option.value ~default:"?" (first_missed_flow outcome);
+                  misses = m.Run.deadline_misses;
+                }
+          in
+          finish_with verdict
+            (fingerprint_with (fingerprint_outcome outcome))
+            m.Run.delivered m.Run.deadline_misses
+        | exception Harness.Mismatch mm ->
+          let v = Oracle.Harness_mismatch (Harness.mismatch_message mm) in
+          finish_with v (fingerprint_verdict v) 0 0
+        | exception Ddcr.Protocol_violation msg ->
+          let v = Oracle.Run_crash ("protocol violation: " ^ msg) in
+          finish_with v (fingerprint_verdict v) 0 0
+        | exception Failure msg ->
+          let v = Oracle.Safety_violation msg in
+          finish_with v (fingerprint_verdict v) 0 0
+        | exception Assert_failure _ ->
+          let v = Oracle.Run_crash "assertion failure in the simulator" in
+          finish_with v (fingerprint_verdict v) 0 0))

@@ -76,6 +76,40 @@ val run : ?sink:Rtnet_telemetry.Sink.t -> config -> t -> report
     no outcome exists).  Only truly unexpected conditions (e.g. an
     unknown scenario kind) escape. *)
 
+type admit_config = {
+  an_phy : string;  (** medium, by {!Rtnet_admit.Request.phy_of_name} *)
+  an_sources : int;
+  an_params : Rtnet_core.Ddcr_params.t;
+      (** the parameters under test — broken-params fixtures plant the
+          accept-then-violate bug here *)
+  an_horizon_ms : int;  (** simulated span for the violation check *)
+}
+(** The admission-control environment under chaos, self-contained for
+    repro artifacts. *)
+
+type admit = {
+  ar_requests : Rtnet_admit.Request.t list;
+      (** the churn stream ({!Generator.sample_churn}) *)
+  ar_trace_seed : int;  (** arrival-trace stream for the final set *)
+}
+(** One admission chaos candidate. *)
+
+val admit_config_to_json : admit_config -> Rtnet_util.Json.t
+val admit_config_of_json : Rtnet_util.Json.t -> (admit_config, string) result
+
+val run_admit :
+  ?sink:Rtnet_telemetry.Sink.t -> admit_config -> admit -> report
+(** [run_admit ac ad] executes an admission candidate: drive the whole
+    churn stream through a fresh {!Rtnet_admit.Engine}, then simulate
+    the finally-admitted set (periodic arrivals, pinned trace seed)
+    over the horizon.  A deadline miss in a set the engine accepted as
+    feasible is the accept-then-violate bug:
+    {!Rtnet_analysis.Oracle.Admission_violation} naming the first
+    missing flow.  An empty final set passes trivially.  The
+    fingerprint digests the decision log lines {e and} the outcome, so
+    replay asserts the decisions themselves.  Protocol failures map to
+    verdicts exactly as in {!run}. *)
+
 val run_topo :
   ?sink_for:(index:int -> segment:string -> Rtnet_telemetry.Sink.t) ->
   ?on_result:(Rtnet_topology.Driver.result -> unit) ->

@@ -293,3 +293,42 @@ let sample_topo ~budget ~seed ~index ~horizon topo =
           (Printf.sprintf "Generator.sample_topo: internal (%s): %s" name e))
     plans;
   plans
+
+(* -------------------- admission churn -------------------- *)
+
+(* Disjoint stream family for admission churn streams.  The id pool is
+   deliberately small relative to the request count, so the stream
+   naturally exercises duplicate adds, removes of unknown flows and
+   modifies of evicted flows — the structured-rejection paths — as
+   well as ordinary accept/evict churn. *)
+let churn_stream_tag = 0xC4A2
+
+let sample_churn ~seed ~index ~sources ~pool ~requests =
+  if sources < 1 then invalid_arg "Generator.sample_churn: sources < 1";
+  if pool < 1 then invalid_arg "Generator.sample_churn: pool < 1";
+  if requests < 0 then invalid_arg "Generator.sample_churn: requests < 0";
+  let module Request = Rtnet_admit.Request in
+  let rng = Prng.stream ~seed ~path:[ churn_stream_tag; index ] in
+  let bits_menu = [| 1600; 4000; 8000; 16000 |] in
+  let flow id =
+    let bits = bits_menu.(Prng.int rng (Array.length bits_menu)) in
+    (* Per-flow load bits/window in roughly [1/128, 1/16]: a handful
+       of flows is feasible, a pile-up saturates and draws rejections. *)
+    let window = bits * (16 + Prng.int rng 112) in
+    let deadline = window * (1 + Prng.int rng 4) in
+    {
+      Request.fl_id = id;
+      fl_source = Prng.int rng sources;
+      fl_bits = bits;
+      fl_deadline = deadline;
+      fl_burst = 1 + Prng.int rng 2;
+      fl_window = window;
+      fl_offset = Prng.int rng window;
+    }
+  in
+  List.init requests (fun _ ->
+      let id = Printf.sprintf "f%d" (Prng.int rng pool) in
+      match Prng.int rng 10 with
+      | 0 | 1 -> Request.Remove id
+      | 2 | 3 -> Request.Modify (flow id)
+      | _ -> Request.Add (flow id))

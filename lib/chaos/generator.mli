@@ -69,3 +69,21 @@ val sample_topo :
     {!Rtnet_topology.Topo.fault_errors} by construction.
     @raise Invalid_argument on a malformed budget, [horizon < 4] or an
     empty topology. *)
+
+val sample_churn :
+  seed:int ->
+  index:int ->
+  sources:int ->
+  pool:int ->
+  requests:int ->
+  Rtnet_admit.Request.t list
+(** [sample_churn ~seed ~index ~sources ~pool ~requests] draws
+    candidate [index]'s admission churn stream (a disjoint PRNG
+    family from {!sample} and {!sample_topo}): [requests] operations
+    over a pool of [pool] flow ids.  Roughly 60% adds, 20% modifies,
+    20% removes; the small id pool guarantees the stream exercises
+    duplicate adds and unknown removes/modifies — the
+    structured-rejection paths — alongside ordinary churn.  Pure in
+    all its arguments.
+    @raise Invalid_argument on non-positive [sources]/[pool] or
+    negative [requests]. *)

@@ -261,14 +261,130 @@ let replay_topo ?sink_for ?on_result t =
       String.equal report.Candidate.rp_fingerprint t.rt_fingerprint;
   }
 
+(* -------------------- admission artifacts -------------------- *)
+
+module A_request = Rtnet_admit.Request
+
+let admit_schema_version = 1
+
+type admission = {
+  ra_config : Candidate.admit_config;
+  ra_requests : A_request.t list;
+  ra_trace_seed : int;
+  ra_verdict : Oracle.verdict;
+  ra_fingerprint : string;
+  ra_note : string;
+}
+
+let make_admission ~config ~candidate ~report ~note =
+  {
+    ra_config = config;
+    ra_requests = candidate.Candidate.ar_requests;
+    ra_trace_seed = candidate.Candidate.ar_trace_seed;
+    ra_verdict = report.Candidate.rp_verdict;
+    ra_fingerprint = report.Candidate.rp_fingerprint;
+    ra_note = note;
+  }
+
+let admission_candidate t =
+  ( t.ra_config,
+    {
+      Candidate.ar_requests = t.ra_requests;
+      ar_trace_seed = t.ra_trace_seed;
+    } )
+
+let admission_to_json t =
+  Json.Obj
+    [
+      ("admit_chaos_repro_version", Json.Int admit_schema_version);
+      ("admit", Candidate.admit_config_to_json t.ra_config);
+      ("requests", Json.List (List.map A_request.to_json t.ra_requests));
+      ("trace_seed", Json.Int t.ra_trace_seed);
+      ("verdict", Oracle.to_json t.ra_verdict);
+      ("fingerprint", Json.String t.ra_fingerprint);
+      ("note", Json.String t.ra_note);
+    ]
+
+let admission_of_json j =
+  let* v = Result.bind (Json.field "admit_chaos_repro_version" j) Json.get_int in
+  if v <> admit_schema_version then
+    Error (Printf.sprintf "unsupported admit chaos repro version %d" v)
+  else
+    let* config =
+      Result.bind (Json.field "admit" j) Candidate.admit_config_of_json
+    in
+    (* The environment must reconstruct: unknown phy names and
+       parameters invalid for the source count fail here, not at
+       replay time. *)
+    let* () =
+      let* phy = A_request.phy_of_name config.Candidate.an_phy in
+      match
+        Rtnet_admit.Engine.create ~phy
+          ~num_sources:config.Candidate.an_sources
+          ~params:config.Candidate.an_params
+      with
+      | Ok _ -> Ok ()
+      | Error e -> Error ("admit: " ^ e)
+    in
+    let* reqs = Result.bind (Json.field "requests" j) Json.get_list in
+    let* requests =
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: tl -> (
+          match A_request.of_json r with
+          | Ok req -> go (i + 1) (req :: acc) tl
+          | Error e -> Error (Printf.sprintf "requests: %d: %s" i e))
+      in
+      go 0 [] reqs
+    in
+    let* trace_seed = Result.bind (Json.field "trace_seed" j) Json.get_int in
+    let* verdict = Result.bind (Json.field "verdict" j) Oracle.of_json in
+    let* fingerprint = Result.bind (Json.field "fingerprint" j) Json.get_string in
+    let* note =
+      match Json.member "note" j with
+      | None -> Ok ""
+      | Some n -> Json.get_string n
+    in
+    Ok
+      {
+        ra_config = config;
+        ra_requests = requests;
+        ra_trace_seed = trace_seed;
+        ra_verdict = verdict;
+        ra_fingerprint = fingerprint;
+        ra_note = note;
+      }
+
+let save_admission ~path t = Json.to_file path (admission_to_json t)
+
+let load_admission ~path =
+  let* j = Json.parse_file path in
+  Result.map_error
+    (fun e -> Printf.sprintf "%s: %s" path e)
+    (admission_of_json j)
+
+let replay_admission ?sink t =
+  let config, ad = admission_candidate t in
+  let report = Candidate.run_admit ?sink config ad in
+  {
+    rr_report = report;
+    rr_verdict_ok = report.Candidate.rp_verdict = t.ra_verdict;
+    rr_fingerprint_ok =
+      String.equal report.Candidate.rp_fingerprint t.ra_fingerprint;
+  }
+
 (* -------------------- auto-detection -------------------- *)
 
-type any = Plain of t | Federated of topo
+type any = Plain of t | Federated of topo | Admission of admission
 
 let load_any ~path =
   let* j = Json.parse_file path in
   Result.map_error
     (fun e -> Printf.sprintf "%s: %s" path e)
-    (match Json.member "topo_chaos_repro_version" j with
-    | Some _ -> Result.map (fun t -> Federated t) (topo_of_json j)
-    | None -> Result.map (fun t -> Plain t) (of_json j))
+    (match
+       ( Json.member "topo_chaos_repro_version" j,
+         Json.member "admit_chaos_repro_version" j )
+     with
+    | Some _, _ -> Result.map (fun t -> Federated t) (topo_of_json j)
+    | None, Some _ -> Result.map (fun t -> Admission t) (admission_of_json j)
+    | None, None -> Result.map (fun t -> Plain t) (of_json j))

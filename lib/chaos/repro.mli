@@ -113,9 +113,53 @@ val replay_topo :
     error) — [ddcr_chaos replay --postmortem-out] uses both to
     regenerate the postmortem artifact of the frozen failure. *)
 
-type any = Plain of t | Federated of topo
+(** {1 Admission artifacts}
+
+    An admission finding freezes the environment (phy, sources,
+    protocol parameters, horizon), the churn stream and the pinned
+    arrival-trace seed — everything {!Candidate.run_admit} needs.
+    Its JSON carries the distinct ["admit_chaos_repro_version"] key
+    for {!load_any} dispatch. *)
+
+val admit_schema_version : int
+(** The emitted (and only accepted) admission-artifact version (1). *)
+
+type admission = {
+  ra_config : Candidate.admit_config;
+  ra_requests : Rtnet_admit.Request.t list;
+  ra_trace_seed : int;
+  ra_verdict : Rtnet_analysis.Oracle.verdict;
+  ra_fingerprint : string;
+  ra_note : string;
+}
+
+val make_admission :
+  config:Candidate.admit_config ->
+  candidate:Candidate.admit ->
+  report:Candidate.report ->
+  note:string ->
+  admission
+
+val admission_candidate : admission -> Candidate.admit_config * Candidate.admit
+val admission_to_json : admission -> Rtnet_util.Json.t
+
+val admission_of_json : Rtnet_util.Json.t -> (admission, string) result
+(** Decodes and validates: schema version, resolvable phy name,
+    parameters valid for the source count, well-formed requests and
+    verdict. *)
+
+val save_admission : path:string -> admission -> unit
+val load_admission : path:string -> (admission, string) result
+
+val replay_admission : ?sink:Rtnet_telemetry.Sink.t -> admission -> replay
+(** [replay_admission t] re-decides the frozen churn stream and
+    re-simulates the admitted set; same verdict + fingerprint contract
+    as {!replay} (the fingerprint covers the decision log lines, so
+    byte-identity asserts the decisions too). *)
+
+type any = Plain of t | Federated of topo | Admission of admission
 
 val load_any : path:string -> (any, string) result
-(** [load_any ~path] loads an artifact of either kind, dispatching on
+(** [load_any ~path] loads an artifact of any kind, dispatching on
     the version key — [ddcr_chaos replay] and [shrink] take whichever
     file they are handed. *)

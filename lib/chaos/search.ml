@@ -334,3 +334,81 @@ let run_topo ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ())
     tr_gave_up = gave_up;
     tr_exhausted = exhausted;
   }
+
+(* -------------------- admission search -------------------- *)
+
+type admit_config = {
+  a_candidate : Candidate.admit_config;
+  a_seed : int;
+  a_count : int;
+  a_pool : int;
+  a_requests : int;
+  a_jobs : int;
+  a_watchdog_s : float option;
+  a_retries : int;
+  a_backoff_s : float;
+  a_wall_budget_s : float option;
+}
+
+let default_admit_config candidate =
+  {
+    a_candidate = candidate;
+    a_seed = 1;
+    a_count = 64;
+    a_pool = 8;
+    a_requests = 64;
+    a_jobs = 2;
+    a_watchdog_s = Some 30.;
+    a_retries = 1;
+    a_backoff_s = 0.1;
+    a_wall_budget_s = None;
+  }
+
+(* Churn streams from the generator's (disjoint) churn family; the
+   per-index trace seed from branch 1 of the root, as everywhere. *)
+let admit_candidate_of config i =
+  {
+    Candidate.ar_requests =
+      Generator.sample_churn ~seed:config.a_seed ~index:i
+        ~sources:config.a_candidate.Candidate.an_sources ~pool:config.a_pool
+        ~requests:config.a_requests;
+    ar_trace_seed = Prng.derive (Prng.derive config.a_seed 1) i;
+  }
+
+type admit_finding = {
+  af_index : int;
+  af_candidate : Candidate.admit;
+  af_report : Candidate.report;
+}
+
+type admit_result = {
+  as_examined : int;
+  as_findings : admit_finding list;
+  as_task_errors : (int * string) list;
+  as_gave_up : gave_up list;
+  as_exhausted : bool;
+}
+
+let run_admit ?registry ?(sink = Sink.null) ?(log = fun (_ : string) -> ())
+    config =
+  let candidates =
+    Array.init config.a_count (fun i -> (i, admit_candidate_of config i))
+  in
+  let task (_, ad) = Candidate.run_admit config.a_candidate ad in
+  let examined, failures, task_errors, gave_up, exhausted =
+    drive ?registry ~sink ~log ~jobs:config.a_jobs
+      ~watchdog_s:config.a_watchdog_s ~retries:config.a_retries
+      ~backoff_s:config.a_backoff_s ~wall_budget_s:config.a_wall_budget_s
+      ~count:config.a_count ~task candidates
+  in
+  {
+    as_examined = examined;
+    as_findings =
+      List.map
+        (fun (pos, report) ->
+          { af_index = pos; af_candidate = snd candidates.(pos); af_report = report })
+        failures;
+    as_task_errors = task_errors;
+    as_gave_up = gave_up;
+    as_exhausted = exhausted;
+  }

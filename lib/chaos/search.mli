@@ -134,3 +134,57 @@ val run_topo :
 (** [run_topo config] is {!run} over topology candidates: same pool
     supervision, same counters and probes, findings carrying the
     per-segment plans. *)
+
+(** {1 Admission search}
+
+    The same supervised loop over {e admission churn} candidates:
+    request streams from {!Generator.sample_churn}, executed through
+    {!Candidate.run_admit} — admit the stream, simulate the admitted
+    set — hunting flow sets the engine accepts that the simulator then
+    makes miss deadlines
+    ({!Rtnet_analysis.Oracle.Admission_violation}). *)
+
+type admit_config = {
+  a_candidate : Candidate.admit_config;  (** environment under test *)
+  a_seed : int;
+  a_count : int;
+  a_pool : int;  (** flow-id pool size per candidate *)
+  a_requests : int;  (** churn-stream length per candidate *)
+  a_jobs : int;
+  a_watchdog_s : float option;
+  a_retries : int;
+  a_backoff_s : float;
+  a_wall_budget_s : float option;
+}
+
+val default_admit_config : Candidate.admit_config -> admit_config
+(** 64 candidates of 64 requests over an 8-id pool; pool supervision
+    defaults as in {!default_config}. *)
+
+val admit_candidate_of : admit_config -> int -> Candidate.admit
+(** [admit_candidate_of config i] is admission candidate [i] — a pure
+    function of [(config, i)], like {!candidate_of}. *)
+
+type admit_finding = {
+  af_index : int;
+  af_candidate : Candidate.admit;
+  af_report : Candidate.report;
+}
+
+type admit_result = {
+  as_examined : int;
+  as_findings : admit_finding list;
+  as_task_errors : (int * string) list;
+  as_gave_up : gave_up list;
+  as_exhausted : bool;
+}
+
+val run_admit :
+  ?registry:Rtnet_telemetry.Registry.t ->
+  ?sink:Rtnet_telemetry.Sink.t ->
+  ?log:(string -> unit) ->
+  admit_config ->
+  admit_result
+(** [run_admit config] is {!run} over admission candidates: same pool
+    supervision, same counters and probes, findings carrying the churn
+    stream that elicited the verdict. *)

@@ -167,3 +167,28 @@ let run_topo ~oracle ~target plans =
       !cur;
     { st_plans = !cur; st_verdict = oracle !cur; st_checks = !checks }
   end
+
+(* -------------------- admission churn -------------------- *)
+
+type admit_result = {
+  sa_requests : Rtnet_admit.Request.t list;
+  sa_verdict : Oracle.verdict;
+  sa_checks : int;
+}
+
+(* Request streams shrink by ddmin alone: requests are the atoms, and
+   order is preserved (ddmin only ever removes), so the minimized
+   stream is a subsequence of the original — any decision it elicits
+   the original also explains. *)
+let run_admit ~oracle ~target requests =
+  let checks = ref 0 in
+  let check reqs =
+    reqs <> []
+    && (incr checks;
+        Oracle.same_class (oracle reqs) target)
+  in
+  if not (check requests) then
+    { sa_requests = requests; sa_verdict = oracle requests; sa_checks = !checks }
+  else
+    let reqs = ddmin check requests in
+    { sa_requests = reqs; sa_verdict = oracle reqs; sa_checks = !checks }

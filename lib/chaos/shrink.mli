@@ -56,3 +56,20 @@ val run_topo :
     segment (typically the one bridge crash) that carries the verdict
     — followed by per-segment crash-window narrowing and severity
     weakening, every mutation re-checked against the full plan set. *)
+
+type admit_result = {
+  sa_requests : Rtnet_admit.Request.t list;  (** minimized churn stream *)
+  sa_verdict : Rtnet_analysis.Oracle.verdict;
+  sa_checks : int;
+}
+
+val run_admit :
+  oracle:(Rtnet_admit.Request.t list -> Rtnet_analysis.Oracle.verdict) ->
+  target:Rtnet_analysis.Oracle.verdict ->
+  Rtnet_admit.Request.t list ->
+  admit_result
+(** [run_admit ~oracle ~target requests] minimizes an admission churn
+    stream by ddmin over the requests (order-preserving removal only:
+    the result is a subsequence of the original stream).  The usual
+    outcome for an accept-then-violate finding is the single [add]
+    whose acceptance the simulation contradicts. *)

@@ -16,6 +16,7 @@ type t = {
   engine_event : time:int -> unit;
   worker_cell :
     worker:int -> key:string -> t0:float -> t1:float -> ok:bool -> unit;
+  service : component:string -> degraded:bool -> backlog:int -> unit;
 }
 
 let nop_slot ~now:_ ~next_free:_ ~resolution:_ = ()
@@ -27,6 +28,7 @@ let nop_jump ~now:_ ~reft_from:_ ~reft_to:_ = ()
 let nop_epoch ~start:_ ~finish:_ = ()
 let nop_engine_event ~time:_ = ()
 let nop_worker_cell ~worker:_ ~key:_ ~t0:_ ~t1:_ ~ok:_ = ()
+let nop_service ~component:_ ~degraded:_ ~backlog:_ = ()
 
 let null =
   {
@@ -40,6 +42,7 @@ let null =
     epoch = nop_epoch;
     engine_event = nop_engine_event;
     worker_cell = nop_worker_cell;
+    service = nop_service;
   }
 
 let tee a b =
@@ -86,12 +89,16 @@ let tee a b =
         (fun ~worker ~key ~t0 ~t1 ~ok ->
           a.worker_cell ~worker ~key ~t0 ~t1 ~ok;
           b.worker_cell ~worker ~key ~t0 ~t1 ~ok);
+      service =
+        (fun ~component ~degraded ~backlog ->
+          a.service ~component ~degraded ~backlog;
+          b.service ~component ~degraded ~backlog);
     }
 
 let create ?(slot = nop_slot) ?(enqueue = nop_enqueue) ?(complete = nop_complete)
     ?(drop = nop_drop) ?(search = nop_search) ?(jump = nop_jump)
     ?(epoch = nop_epoch) ?(engine_event = nop_engine_event)
-    ?(worker_cell = nop_worker_cell) () =
+    ?(worker_cell = nop_worker_cell) ?(service = nop_service) () =
   {
     enabled = true;
     slot;
@@ -103,4 +110,5 @@ let create ?(slot = nop_slot) ?(enqueue = nop_enqueue) ?(complete = nop_complete
     epoch;
     engine_event;
     worker_cell;
+    service;
   }

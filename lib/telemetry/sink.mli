@@ -47,6 +47,11 @@ type t = {
       (** Campaign worker [worker] ran cell [key] over wall-clock
           [\[t0, t1\]] (Unix epoch seconds); [ok] is false if the cell
           raised. *)
+  service : component:string -> degraded:bool -> backlog:int -> unit;
+      (** Long-running service [component] crossed a load watermark:
+          [degraded = true] when backpressure engages (Degraded),
+          [false] when it releases (Restored); [backlog] is the queue
+          depth at the transition. *)
 }
 
 val null : t
@@ -73,6 +78,7 @@ val create :
   ?engine_event:(time:int -> unit) ->
   ?worker_cell:
     (worker:int -> key:string -> t0:float -> t1:float -> ok:bool -> unit) ->
+  ?service:(component:string -> degraded:bool -> backlog:int -> unit) ->
   unit ->
   t
 (** [create ()] is an enabled sink whose unspecified callbacks are

@@ -1,0 +1,629 @@
+(* rtnet.admit: the incremental admission engine, the crash-safe
+   decision journal, the overload-protected service loop, the CFG-ADMIT
+   lint rules and the admission chaos closure (generator, candidate,
+   shrinker, repro artifacts). *)
+
+module Json = Rtnet_util.Json
+module Request = Rtnet_admit.Request
+module Engine = Rtnet_admit.Engine
+module Journal = Rtnet_admit.Journal
+module Service = Rtnet_admit.Service
+module Config_lint = Rtnet_analysis.Config_lint
+module Diagnostic = Rtnet_analysis.Diagnostic
+module Oracle = Rtnet_analysis.Oracle
+module Generator = Rtnet_chaos.Generator
+module Candidate = Rtnet_chaos.Candidate
+module Shrink = Rtnet_chaos.Shrink
+module Repro = Rtnet_chaos.Repro
+module Ddcr_params = Rtnet_core.Ddcr_params
+
+let ok_exn = function Ok v -> v | Error e -> Alcotest.fail e
+
+let phy = ok_exn (Request.phy_of_name "gigabit-ethernet")
+
+(* Same derivation as ddcr_admit gen's defaults: horizon c·F past the
+   largest deadline sample_churn can emit. *)
+let good_params ~sources =
+  let rec pow4 n = if n >= 2 * sources then n else pow4 (4 * n) in
+  let q = pow4 4 in
+  let static_indices =
+    Array.init sources (fun i ->
+        let rec walk j acc =
+          if j >= q then List.rev acc else walk (j + sources) (j :: acc)
+        in
+        Array.of_list (walk i []))
+  in
+  {
+    Ddcr_params.time_m = 4;
+    time_leaves = 1024;
+    class_width = 8192;
+    alpha = 8192;
+    theta = 0;
+    static_m = 4;
+    static_leaves = q;
+    static_indices;
+    burst_bits = 0;
+  }
+
+let broken_params =
+  ok_exn
+    (Result.bind
+       (Json.parse_file "fixtures/model_params_broken.json")
+       Ddcr_params.of_json)
+
+let fresh_engine ?(sources = 2) () =
+  ok_exn
+    (Engine.create ~phy ~num_sources:sources ~params:(good_params ~sources))
+
+let flow ?(id = "f0") ?(source = 0) ?(bits = 4000) ?(deadline = 800_000)
+    ?(burst = 1) ?(window = 400_000) ?(offset = 0) () =
+  {
+    Request.fl_id = id;
+    fl_source = source;
+    fl_bits = bits;
+    fl_deadline = deadline;
+    fl_burst = burst;
+    fl_window = window;
+    fl_offset = offset;
+  }
+
+let churn ?(seed = 3) ?(index = 0) ?(sources = 2) ?(pool = 8) n =
+  Generator.sample_churn ~seed ~index ~sources ~pool ~requests:n
+
+let code d = Engine.decision_code d
+
+(* -------------------- engine semantics -------------------- *)
+
+let test_engine_rejections () =
+  let eng = fresh_engine () in
+  Alcotest.(check string)
+    "bad source" "invalid-params"
+    (code (Engine.decide eng (Request.Add (flow ~source:7 ()))));
+  Alcotest.(check string)
+    "bad bits" "invalid-params"
+    (code (Engine.decide eng (Request.Add (flow ~bits:0 ()))));
+  Alcotest.(check string)
+    "remove unknown" "unknown-flow"
+    (code (Engine.decide eng (Request.Remove "ghost")));
+  Alcotest.(check string)
+    "modify unknown" "unknown-flow"
+    (code (Engine.decide eng (Request.Modify (flow ()))));
+  Alcotest.(check string)
+    "first add" "accepted"
+    (code (Engine.decide eng (Request.Add (flow ()))));
+  Alcotest.(check string)
+    "duplicate add" "duplicate-flow"
+    (code (Engine.decide eng (Request.Add (flow ~deadline:900_000 ()))));
+  Alcotest.(check int) "still one flow" 1 (Engine.size eng);
+  Alcotest.(check string)
+    "remove" "accepted"
+    (code (Engine.decide eng (Request.Remove "f0")));
+  Alcotest.(check string)
+    "re-add after remove" "accepted"
+    (code (Engine.decide eng (Request.Add (flow ()))))
+
+let test_engine_atomic_modify () =
+  let eng = fresh_engine () in
+  let original = flow ~deadline:800_000 () in
+  ignore (Engine.decide eng (Request.Add original));
+  (* A modify whose parameters cannot fit (absurd rate) must bounce and
+     leave the original admitted with its original class id. *)
+  let absurd = flow ~deadline:100 ~window:100 ~bits:100_000 ~burst:64 () in
+  (match Engine.decide eng (Request.Modify absurd) with
+  | Engine.Rejected (Engine.Infeasible _) -> ()
+  | d -> Alcotest.failf "expected infeasible, got %s" (code d));
+  (match Engine.flows eng with
+  | [ (f, _) ] ->
+    Alcotest.(check int) "original deadline" 800_000 f.Request.fl_deadline
+  | l -> Alcotest.failf "expected 1 flow, got %d" (List.length l));
+  ignore (ok_exn (Engine.selfcheck eng))
+
+let test_engine_never_raises () =
+  let eng = fresh_engine () in
+  List.iter
+    (fun r -> ignore (Engine.decide eng r))
+    (churn 500 ~pool:6);
+  ignore (ok_exn (Engine.selfcheck eng))
+
+(* -------------------- differential equivalence -------------------- *)
+
+(* The tentpole invariant: the incremental decision and the from-scratch
+   one agree on EVERY request of a churn stream — structurally equal
+   decisions, float bit for float bit — and the per-decision sampled
+   self-check (a third, Feasibility-based path) agrees too. *)
+let test_differential_churn () =
+  let inc = fresh_engine () in
+  let full = fresh_engine () in
+  List.iteri
+    (fun i req ->
+      let a = Engine.decide inc req in
+      let b = Engine.decide_full full req in
+      if a <> b then
+        Alcotest.failf "decision %d diverged: %s vs %s" i
+          (Json.to_string (Engine.decision_to_json a))
+          (Json.to_string (Engine.decision_to_json b));
+      if i mod 17 = 0 then ignore (ok_exn (Engine.selfcheck inc)))
+    (churn 400);
+  ignore (ok_exn (Engine.selfcheck inc))
+
+let test_differential_broken_params () =
+  (* The broken (horizon-starved) parameters are still internally
+     consistent for the analysis: incremental == from-scratch there
+     too.  The bug they plant is accept-then-violate, not a cache
+     divergence. *)
+  let mk () =
+    ok_exn (Engine.create ~phy ~num_sources:2 ~params:broken_params)
+  in
+  let inc = mk () and full = mk () in
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        "same decision" true
+        (Engine.decide inc req = Engine.decide_full full req))
+    (churn 200 ~seed:9);
+  ignore (ok_exn (Engine.selfcheck inc))
+
+(* -------------------- snapshots -------------------- *)
+
+let test_snapshot_roundtrip () =
+  let eng = fresh_engine () in
+  let reqs = churn 120 in
+  List.iter (fun r -> ignore (Engine.decide eng r)) reqs;
+  let restored =
+    ok_exn
+      (Engine.restore ~phy ~num_sources:2 ~params:(good_params ~sources:2)
+         (Engine.snapshot eng))
+  in
+  ignore (ok_exn (Engine.selfcheck restored));
+  Alcotest.(check bool)
+    "same flows" true
+    (Engine.flows eng = Engine.flows restored);
+  (* The restored engine must keep deciding identically. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "post-restore decision" true
+        (Engine.decide eng r = Engine.decide restored r))
+    (churn 80 ~seed:5)
+
+(* -------------------- journal -------------------- *)
+
+let temp_journal () = Filename.temp_file "admit_journal" ".wal"
+
+let decide_all eng reqs =
+  List.mapi
+    (fun i req ->
+      {
+        Journal.jr_seq = i;
+        jr_request = req;
+        jr_decision = Engine.decide eng req;
+      })
+    reqs
+
+let test_journal_roundtrip () =
+  let path = temp_journal () in
+  let records = decide_all (fresh_engine ()) (churn 50) in
+  let w = ok_exn (Journal.create ~path ~trace_hash:"h1") in
+  List.iter (Journal.append w) records;
+  Journal.close w;
+  let loaded = ok_exn (Journal.load ~path ~trace_hash:"h1") in
+  Alcotest.(check bool) "no tear" false loaded.Journal.lo_torn;
+  Alcotest.(check bool) "records" true (loaded.Journal.lo_records = records);
+  (match Journal.load ~path ~trace_hash:"other" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "journal accepted under a different trace");
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = temp_journal () in
+  let records = decide_all (fresh_engine ()) (churn 20) in
+  let keep, torn =
+    match List.rev records with
+    | last :: rest -> (List.rev rest, last)
+    | [] -> assert false
+  in
+  let w = ok_exn (Journal.create ~path ~trace_hash:"h1") in
+  List.iter (Journal.append w) keep;
+  Journal.append_torn w torn;
+  Journal.close w;
+  let loaded = ok_exn (Journal.load ~path ~trace_hash:"h1") in
+  Alcotest.(check bool) "tear detected" true loaded.Journal.lo_torn;
+  Alcotest.(check int)
+    "records before the tear" (List.length keep)
+    (List.length loaded.Journal.lo_records);
+  (* open_append truncates the tear and appending the lost record
+     completes the journal. *)
+  let w =
+    ok_exn
+      (Journal.open_append ~path ~valid_bytes:loaded.Journal.lo_valid_bytes)
+  in
+  Journal.append w torn;
+  Journal.close w;
+  let healed = ok_exn (Journal.load ~path ~trace_hash:"h1") in
+  Alcotest.(check bool) "healed" true (healed.Journal.lo_records = records);
+  Alcotest.(check bool) "no tear left" false healed.Journal.lo_torn;
+  Sys.remove path
+
+(* The crash-recovery property: truncate the journal at EVERY byte
+   length; the intact prefix always loads (torn tail dropped, never an
+   error), and resuming — replaying the prefix through Engine.apply and
+   re-deciding the rest — reproduces the uninterrupted decision
+   sequence exactly. *)
+let test_journal_prefix_truncation () =
+  let reqs = churn 30 ~seed:13 in
+  let golden = decide_all (fresh_engine ()) reqs in
+  let golden_lines = List.map Journal.record_line golden in
+  let path = temp_journal () in
+  let w = ok_exn (Journal.create ~path ~trace_hash:"h1") in
+  List.iter (Journal.append w) golden;
+  Journal.close w;
+  let bytes =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  let cut = Filename.temp_file "admit_cut" ".wal" in
+  let total = String.length bytes in
+  for len = 0 to total do
+    let oc = open_out_bin cut in
+    output_string oc (String.sub bytes 0 len);
+    close_out oc;
+    match Journal.load ~path:cut ~trace_hash:"h1" with
+    | Error e -> Alcotest.failf "truncation at %d/%d: %s" len total e
+    | Ok loaded ->
+      let k = List.length loaded.Journal.lo_records in
+      let eng = fresh_engine () in
+      List.iter
+        (fun r ->
+          ignore
+            (ok_exn (Engine.apply eng r.Journal.jr_request r.Journal.jr_decision)))
+        loaded.Journal.lo_records;
+      let resumed =
+        List.map Journal.record_line loaded.Journal.lo_records
+        @ List.mapi
+            (fun i req ->
+              Journal.record_line
+                {
+                  Journal.jr_seq = k + i;
+                  jr_request = req;
+                  jr_decision = Engine.decide eng req;
+                })
+            (List.filteri (fun i _ -> i >= k) reqs)
+      in
+      if resumed <> golden_lines then
+        Alcotest.failf "truncation at %d/%d: resumed log diverged (%d replayed)"
+          len total k
+  done;
+  Sys.remove cut;
+  Sys.remove path
+
+let test_snapshot_file_roundtrip () =
+  let path = temp_journal () in
+  let eng = fresh_engine () in
+  List.iter (fun r -> ignore (Engine.decide eng r)) (churn 60);
+  ok_exn
+    (Journal.save_snapshot ~path ~trace_hash:"h1" ~seq:60 (Engine.snapshot eng));
+  (match Journal.load_snapshot ~path ~trace_hash:"h1" with
+  | None -> Alcotest.fail "snapshot did not load"
+  | Some (seq, state) ->
+    Alcotest.(check int) "seq" 60 seq;
+    let restored =
+      ok_exn
+        (Engine.restore ~phy ~num_sources:2 ~params:(good_params ~sources:2)
+           state)
+    in
+    Alcotest.(check bool)
+      "same flows" true
+      (Engine.flows eng = Engine.flows restored));
+  Alcotest.(check bool)
+    "stale hash ignored" true
+    (Journal.load_snapshot ~path ~trace_hash:"other" = None);
+  (* A torn snapshot degrades to None, never an error. *)
+  let sp = Journal.snapshot_path path in
+  let ic = open_in_bin sp in
+  let half = in_channel_length ic / 2 in
+  let prefix = really_input_string ic half in
+  close_in ic;
+  let oc = open_out_bin sp in
+  output_string oc prefix;
+  close_out oc;
+  Alcotest.(check bool)
+    "torn snapshot ignored" true
+    (Journal.load_snapshot ~path ~trace_hash:"h1" = None);
+  Sys.remove sp;
+  Sys.remove path
+
+(* -------------------- service -------------------- *)
+
+let service_log reqs config =
+  let eng = fresh_engine () in
+  let records = ref [] in
+  let summary =
+    Service.run
+      ~journal:(fun r -> records := r :: !records)
+      config eng ~start:0 reqs
+  in
+  (summary, List.rev !records, eng)
+
+let test_service_summary () =
+  let reqs = churn 200 in
+  let summary, records, eng =
+    service_log reqs { Service.default with Service.sv_paranoid = true }
+  in
+  Alcotest.(check int) "processed" 200 summary.Service.sm_processed;
+  Alcotest.(check int) "journaled" 200 (List.length records);
+  Alcotest.(check int) "selfchecks" 200 summary.Service.sm_selfchecks;
+  Alcotest.(check bool) "no mismatch" true (summary.Service.sm_mismatch = None);
+  Alcotest.(check int) "flows" (Engine.size eng) summary.Service.sm_flows;
+  let rejected = List.fold_left (fun a (_, n) -> a + n) 0 summary.Service.sm_rejected in
+  Alcotest.(check int)
+    "accepted + rejected = processed" 200
+    (summary.Service.sm_accepted + rejected)
+
+let test_service_overload () =
+  (* One chunk of 40 against capacity 10 / high 20 / low 5: the chunk
+     size 40 >= high 20 engages degraded mode from position 0, shedding
+     Add/Modify (a Remove still runs) while the backlog stays above
+     low 5; positions >= capacity 10 shed everything outright.  The
+     whole pattern is a pure function of the absolute index. *)
+  let reqs = churn 40 ~seed:21 in
+  let config =
+    {
+      Service.sv_chunk = 40;
+      sv_capacity = 10;
+      sv_high = 20;
+      sv_low = 5;
+      sv_selfcheck_every = 0;
+      sv_paranoid = false;
+      sv_snapshot_every = 0;
+    }
+  in
+  let summary, golden, _ = service_log reqs config in
+  Alcotest.(check int) "one degraded window" 1 summary.Service.sm_degraded;
+  Alcotest.(check int) "restored" 1 summary.Service.sm_restored;
+  let overloaded =
+    try List.assoc "overloaded" summary.Service.sm_rejected with Not_found -> 0
+  in
+  Alcotest.(check bool) "sheds happened" true (overloaded > 0);
+  (* Only Removes survive inside the degraded head of the chunk. *)
+  List.iter
+    (fun r ->
+      match (r.Journal.jr_request, r.Journal.jr_decision) with
+      | (Request.Add _ | Request.Modify _), d
+        when Engine.decision_code d <> "overloaded" ->
+        Alcotest.failf "request %d: add/modify survived the degraded chunk"
+          r.Journal.jr_seq
+      | _ -> ())
+    golden;
+  (* Resume determinism incl. the shed pattern: replay the journaled
+     prefix through Engine.apply (exactly what [--resume] does), then
+     let the service decide the tail — the journal tail must be
+     byte-identical from any split point. *)
+  let golden_lines = List.map Journal.record_line golden in
+  List.iter
+    (fun split ->
+      let eng = fresh_engine () in
+      List.iteri
+        (fun i r ->
+          if i < split then
+            ignore
+              (ok_exn
+                 (Engine.apply eng r.Journal.jr_request r.Journal.jr_decision)))
+        golden;
+      let tail = List.filteri (fun i _ -> i >= split) reqs in
+      let lines = ref [] in
+      let journal r = lines := Journal.record_line r :: !lines in
+      ignore (Service.run ~journal config eng ~start:split tail);
+      Alcotest.(check bool)
+        (Printf.sprintf "split at %d" split)
+        true
+        (List.rev !lines
+        = List.filteri (fun i _ -> i >= split) golden_lines))
+    [ 3; 10; 25; 36 ]
+
+let test_service_churn_stress () =
+  (* The stress gate: a long sampled stream drains with zero
+     differential divergence and bounded state. *)
+  let reqs = churn 20_000 ~pool:16 in
+  let config =
+    { Service.default with Service.sv_selfcheck_every = 1000 }
+  in
+  let eng = fresh_engine () in
+  let summary = Service.run config eng ~start:0 reqs in
+  Alcotest.(check int) "processed" 20_000 summary.Service.sm_processed;
+  Alcotest.(check bool) "no mismatch" true (summary.Service.sm_mismatch = None);
+  Alcotest.(check int) "selfchecks" 20 summary.Service.sm_selfchecks;
+  Alcotest.(check bool) "resident set bounded" true (Engine.size eng <= 16);
+  ignore (ok_exn (Engine.selfcheck eng))
+
+(* -------------------- lint rules -------------------- *)
+
+let trace_of requests =
+  {
+    Request.tr_phy = phy;
+    tr_sources = 2;
+    tr_params = good_params ~sources:2;
+    tr_requests = requests;
+  }
+
+let test_lint_clean () =
+  let diags =
+    Config_lint.check_admit
+      (trace_of [ Request.Add (flow ()); Request.Remove "f0" ])
+  in
+  Alcotest.(check bool) "no errors" false (Diagnostic.has_errors diags);
+  Alcotest.(check bool) "summary info present" true (diags <> [])
+
+let test_lint_duplicate_add () =
+  let diags =
+    Config_lint.check_admit
+      (trace_of [ Request.Add (flow ()); Request.Add (flow ~deadline:900_000 ()) ])
+  in
+  Alcotest.(check bool) "errors" true (Diagnostic.has_errors diags);
+  Alcotest.(check bool)
+    "CFG-ADMIT-DUP fired" true
+    (List.exists (fun d -> d.Diagnostic.rule_id = "CFG-ADMIT-DUP") diags)
+
+let test_lint_headroom_warning () =
+  (* The committed smoke fixture (same sample as ddcr_admit gen
+     --seed 1) drives the binding class within one frame of B_DDCR a
+     few times. *)
+  let trace = ok_exn (Request.load_trace ~path:"fixtures/admit_churn_smoke.json") in
+  let diags = Config_lint.check_admit trace in
+  Alcotest.(check bool)
+    "CFG-ADMIT-HEADROOM fired" true
+    (List.exists (fun d -> d.Diagnostic.rule_id = "CFG-ADMIT-HEADROOM") diags)
+
+(* -------------------- chaos closure -------------------- *)
+
+let test_sample_churn_deterministic () =
+  let a = churn 64 ~seed:7 and b = churn 64 ~seed:7 in
+  Alcotest.(check bool) "same seed same stream" true (a = b);
+  Alcotest.(check bool)
+    "different index different stream" true
+    (churn 64 ~seed:7 <> churn 64 ~seed:7 ~index:1);
+  Alcotest.(check int) "length" 64 (List.length a)
+
+let admit_config =
+  {
+    Candidate.an_phy = "gigabit-ethernet";
+    an_sources = 2;
+    an_params = broken_params;
+    an_horizon_ms = 10;
+  }
+
+let violating_candidate () =
+  (* Candidate 0 of the seeded search: known to accept-then-violate
+     under the horizon-starved parameters (asserted below, and frozen
+     into fixtures/admit_chaos_repro_min.json). *)
+  {
+    Candidate.ar_requests = churn 64 ~seed:7 ~pool:8;
+    ar_trace_seed = Rtnet_util.Prng.derive (Rtnet_util.Prng.derive 7 1) 0;
+  }
+
+let test_run_admit_violation () =
+  let report = Candidate.run_admit admit_config (violating_candidate ()) in
+  (match report.Candidate.rp_verdict with
+  | Oracle.Admission_violation { misses; _ } ->
+    Alcotest.(check bool) "misses counted" true (misses > 0)
+  | v -> Alcotest.failf "expected admission violation, got %s" (Oracle.label v));
+  let again = Candidate.run_admit admit_config (violating_candidate ()) in
+  Alcotest.(check string)
+    "fingerprint stable" report.Candidate.rp_fingerprint
+    again.Candidate.rp_fingerprint
+
+let test_run_admit_good_params_pass () =
+  let config = { admit_config with Candidate.an_params = good_params ~sources:2 } in
+  let report = Candidate.run_admit config (violating_candidate ()) in
+  Alcotest.(check string)
+    "sound params pass" "pass"
+    (Oracle.label report.Candidate.rp_verdict)
+
+let test_shrink_preserves_class () =
+  let cd = violating_candidate () in
+  let target = (Candidate.run_admit admit_config cd).Candidate.rp_verdict in
+  let oracle reqs =
+    (Candidate.run_admit admit_config { cd with Candidate.ar_requests = reqs })
+      .Candidate.rp_verdict
+  in
+  let res = Shrink.run_admit ~oracle ~target cd.Candidate.ar_requests in
+  Alcotest.(check bool)
+    "verdict class preserved" true
+    (Oracle.same_class res.Shrink.sa_verdict target);
+  Alcotest.(check bool)
+    "no longer than original" true
+    (List.length res.Shrink.sa_requests
+    <= List.length cd.Candidate.ar_requests);
+  Alcotest.(check bool) "did some checks" true (res.Shrink.sa_checks > 0)
+
+let test_repro_roundtrip () =
+  let cd = violating_candidate () in
+  let report = Candidate.run_admit admit_config cd in
+  let repro =
+    Repro.make_admission ~config:admit_config ~candidate:cd ~report
+      ~note:"unit test"
+  in
+  let decoded = ok_exn (Repro.admission_of_json (Repro.admission_to_json repro)) in
+  Alcotest.(check bool) "roundtrip" true (decoded = repro);
+  let replay = Repro.replay_admission repro in
+  Alcotest.(check bool) "verdict reproduces" true replay.Repro.rr_verdict_ok;
+  Alcotest.(check bool)
+    "fingerprint reproduces" true replay.Repro.rr_fingerprint_ok;
+  (* Tampering with the verdict must be caught by replay. *)
+  let tampered = { repro with Repro.ra_verdict = Oracle.Pass } in
+  Alcotest.(check bool)
+    "tampered verdict drifts" false
+    (Repro.replay_admission tampered).Repro.rr_verdict_ok
+
+let test_repro_load_any_dispatch () =
+  let path = Filename.temp_file "admit_repro" ".json" in
+  let cd = violating_candidate () in
+  let report = Candidate.run_admit admit_config cd in
+  Repro.save_admission ~path
+    (Repro.make_admission ~config:admit_config ~candidate:cd ~report
+       ~note:"dispatch test");
+  (match Repro.load_any ~path with
+  | Ok (Repro.Admission _) -> ()
+  | Ok _ -> Alcotest.fail "dispatched to the wrong artifact kind"
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_oracle_verdict_roundtrip () =
+  let v = Oracle.Admission_violation { flow = "f3"; misses = 7 } in
+  Alcotest.(check bool)
+    "roundtrip" true
+    (ok_exn (Oracle.of_json (Oracle.to_json v)) = v);
+  Alcotest.(check string) "label" "admission-violation" (Oracle.label v)
+
+let suite =
+  [
+    ( "admit",
+      [
+        Alcotest.test_case "engine rejection semantics" `Quick
+          test_engine_rejections;
+        Alcotest.test_case "modify is atomic" `Quick test_engine_atomic_modify;
+        Alcotest.test_case "malformed churn never raises" `Quick
+          test_engine_never_raises;
+        Alcotest.test_case "incremental == from-scratch on churn" `Quick
+          test_differential_churn;
+        Alcotest.test_case "differential holds under broken params" `Quick
+          test_differential_broken_params;
+        Alcotest.test_case "engine snapshot roundtrip" `Quick
+          test_snapshot_roundtrip;
+        Alcotest.test_case "journal roundtrip + trace hash" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "journal torn tail heals" `Quick
+          test_journal_torn_tail;
+        Alcotest.test_case "resume from every byte-truncation" `Slow
+          test_journal_prefix_truncation;
+        Alcotest.test_case "snapshot file roundtrip" `Quick
+          test_snapshot_file_roundtrip;
+        Alcotest.test_case "service summary accounting" `Quick
+          test_service_summary;
+        Alcotest.test_case "service overload watermarks deterministic" `Quick
+          test_service_overload;
+        Alcotest.test_case "service 20k churn stress" `Slow
+          test_service_churn_stress;
+        Alcotest.test_case "lint: clean trace" `Quick test_lint_clean;
+        Alcotest.test_case "lint: duplicate add is an error" `Quick
+          test_lint_duplicate_add;
+        Alcotest.test_case "lint: headroom warning on smoke fixture" `Quick
+          test_lint_headroom_warning;
+        Alcotest.test_case "sample_churn deterministic" `Quick
+          test_sample_churn_deterministic;
+        Alcotest.test_case "run_admit finds the planted violation" `Quick
+          test_run_admit_violation;
+        Alcotest.test_case "run_admit passes under sound params" `Quick
+          test_run_admit_good_params_pass;
+        Alcotest.test_case "shrink preserves the verdict class" `Quick
+          test_shrink_preserves_class;
+        Alcotest.test_case "admission repro roundtrip + replay" `Quick
+          test_repro_roundtrip;
+        Alcotest.test_case "load_any dispatches admission artifacts" `Quick
+          test_repro_load_any_dispatch;
+        Alcotest.test_case "oracle admission verdict roundtrip" `Quick
+          test_oracle_verdict_roundtrip;
+      ] );
+  ]

@@ -499,7 +499,8 @@ let test_topo_repro_replay_and_load_any () =
   (* load_any dispatches on the version key, for both kinds. *)
   (match Repro.load_any ~path:topo_fixture with
   | Ok (Repro.Federated _) -> ()
-  | Ok (Repro.Plain _) -> Alcotest.fail "topo artifact loaded as plain"
+  | Ok (Repro.Plain _ | Repro.Admission _) ->
+    Alcotest.fail "topo artifact loaded as another kind"
   | Error e -> Alcotest.fail e);
   let f = four_event_finding () in
   with_tmp_dir (fun dir ->
@@ -509,7 +510,8 @@ let test_topo_repro_replay_and_load_any () =
            ~report:f.Search.fi_report ~note:"");
       match Repro.load_any ~path with
       | Ok (Repro.Plain _) -> ()
-      | Ok (Repro.Federated _) -> Alcotest.fail "plain artifact loaded as topo"
+      | Ok (Repro.Federated _ | Repro.Admission _) ->
+        Alcotest.fail "plain artifact loaded as another kind"
       | Error e -> Alcotest.fail e)
 
 let test_shrink_topo_preserves_class () =
